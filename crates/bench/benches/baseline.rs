@@ -1,0 +1,71 @@
+//! Criterion benches contrasting the paper's all-pairs mechanism with the
+//! [12, 16]-style centralized single-pair baseline (experiment E9's
+//! wall-clock companion).
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_core::{baseline, protocol, vcg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_n_squared_single_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("n_squared_single_pair_baseline");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 24] {
+        let g = Family::BarabasiAlbert.build(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                for i in g.nodes() {
+                    for j in g.nodes() {
+                        if i != j {
+                            black_box(baseline::single_pair_node_vcg(g, i, j).unwrap());
+                        }
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_mechanism");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 24] {
+        let g = Family::BarabasiAlbert.build(n, 9);
+        group.bench_with_input(BenchmarkId::new("centralized", n), &g, |b, g| {
+            b.iter(|| black_box(vcg::compute(g).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", n), &g, |b, g| {
+            b.iter(|| black_box(protocol::run_sync(g).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_vcg(c: &mut Criterion) {
+    // Nisan–Ronen edge mechanism on a ladder of parallel two-edge paths.
+    let mut group = c.benchmark_group("nisan_ronen_edge_vcg");
+    for &paths in &[4usize, 16, 64] {
+        let mut edges = Vec::new();
+        let s = 0usize;
+        let t = 1usize;
+        for p in 0..paths {
+            let mid = 2 + p;
+            edges.push((s, mid, 1 + p as u64));
+            edges.push((mid, t, 1 + p as u64));
+        }
+        let g = baseline::EdgeWeightedGraph::new(2 + paths, &edges);
+        group.bench_with_input(BenchmarkId::from_parameter(paths), &g, |b, g| {
+            b.iter(|| black_box(baseline::edge_vcg(g, 0, 1).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_n_squared_single_pair,
+    bench_all_pairs_mechanism,
+    bench_edge_vcg
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the mechanism: Theorem-1 price computation,
+//! payment settlement (Sect. 6.4), and overcharge analysis (Sect. 7).
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_core::{accounting::PaymentLedger, overcharge::OverchargeReport, vcg};
+use bgpvcg_netgraph::TrafficMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_vcg_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vcg_compute");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let g = Family::BarabasiAlbert.build(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| vcg::compute(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_settlement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payment_settlement");
+    for &n in &[32usize, 64, 128] {
+        let g = Family::BarabasiAlbert.build(n, 7);
+        let outcome = vcg::compute(&g).unwrap();
+        let traffic = TrafficMatrix::uniform(n, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&outcome, &traffic),
+            |b, (outcome, traffic)| {
+                b.iter(|| PaymentLedger::settle(black_box(outcome), black_box(traffic)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_overcharge_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overcharge_analysis");
+    for &n in &[32usize, 64, 128] {
+        let g = Family::BarabasiAlbert.build(n, 7);
+        let outcome = vcg::compute(&g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &outcome, |b, outcome| {
+            b.iter(|| OverchargeReport::analyze(black_box(outcome)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vcg_compute,
+    bench_settlement,
+    bench_overcharge_analysis
+);
+criterion_main!(benches);

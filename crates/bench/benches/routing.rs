@@ -1,0 +1,66 @@
+//! Criterion benches for the routing substrate: per-destination Dijkstra,
+//! all-pairs LCPs, the Bellman–Ford fixpoint, and k-avoiding path tables —
+//! the computational kernels behind experiments E3/E4/E7.
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_lcp::avoiding::AvoidanceTable;
+use bgpvcg_lcp::{bellman, shortest_tree, AllPairsLcp};
+use bgpvcg_netgraph::AsId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_single_destination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_destination_tree");
+    for &n in &[32usize, 64, 128, 256] {
+        let g = Family::BarabasiAlbert.build(n, 5);
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &g, |b, g| {
+            b.iter(|| shortest_tree(black_box(g), AsId::new(0)))
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_fixpoint", n), &g, |b, g| {
+            b.iter(|| bellman::fixpoint(black_box(g), AsId::new(0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_lcp");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let g = Family::BarabasiAlbert.build(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| AllPairsLcp::compute(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_avoidance_table(c: &mut Criterion) {
+    // Ablation: full punctured Dijkstra per (j, k) vs the subtree-local
+    // relaxation exploiting the paper's Sect. 6.2 suffix structure.
+    let mut group = c.benchmark_group("avoidance_table");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let g = Family::BarabasiAlbert.build(n, 5);
+        let lcp = AllPairsLcp::compute(&g);
+        group.bench_with_input(
+            BenchmarkId::new("punctured_dijkstra", n),
+            &(&g, &lcp),
+            |b, (g, lcp)| b.iter(|| AvoidanceTable::compute(black_box(g), black_box(lcp))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("subtree_relaxation", n),
+            &(&g, &lcp),
+            |b, (g, lcp)| b.iter(|| AvoidanceTable::compute_fast(black_box(g), black_box(lcp))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_destination,
+    bench_all_pairs,
+    bench_avoidance_table
+);
+criterion_main!(benches);

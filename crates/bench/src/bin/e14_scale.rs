@@ -1,0 +1,61 @@
+//! E14 (scale) — laptop-scale end-to-end runs of the full pricing protocol.
+//!
+//! Not a paper claim per se, but the reproduction's calibration note rates
+//! the system "laptop-scale, fully working"; this experiment substantiates
+//! that with wall-clock and footprint numbers for the complete pipeline
+//! (generation → distributed pricing → verification against the
+//! centralized reference) up to 256 ASs on Internet-like topologies.
+//!
+//! Regenerate with: `cargo run --release -p bgpvcg-bench --bin e14_scale`
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_bench::table::Table;
+use bgpvcg_core::{protocol, vcg};
+use std::time::Instant;
+
+fn main() {
+    println!("E14 — end-to-end scale on Internet-like topologies\n");
+    let mut table = Table::new([
+        "family",
+        "n",
+        "links",
+        "stages",
+        "messages",
+        "MiB on wire",
+        "protocol (s)",
+        "verify vs centralized (s)",
+        "exact",
+    ]);
+    for family in [Family::BarabasiAlbert, Family::Hierarchy] {
+        for &n in &[64usize, 128, 192, 256] {
+            let g = family.build(n, 61);
+            let t0 = Instant::now();
+            let run = protocol::run_sync(&g).expect("valid graph");
+            let protocol_time = t0.elapsed();
+            assert!(run.report.converged);
+
+            let t0 = Instant::now();
+            let reference = vcg::compute(&g).unwrap();
+            let exact = run.outcome == reference;
+            let verify_time = t0.elapsed();
+
+            table.row([
+                family.name().to_string(),
+                n.to_string(),
+                g.link_count().to_string(),
+                run.report.stages.to_string(),
+                run.report.messages.to_string(),
+                format!("{:.1}", run.report.bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.2}", protocol_time.as_secs_f64()),
+                format!("{:.2}", verify_time.as_secs_f64()),
+                exact.to_string(),
+            ]);
+            assert!(exact, "{} n={n}", family.name());
+        }
+    }
+    println!("{table}");
+    println!(
+        "\nVERDICT: the full pipeline (distributed pricing + centralized verification) runs \
+         to exact agreement at n = 256 in seconds on commodity hardware"
+    );
+}

@@ -1,0 +1,102 @@
+//! E18 (follow-on study) — overcharging shrinks with path diversity.
+//!
+//! Sect. 7 leaves overcharging as an open concern. The VCG premium for a
+//! transit node is the *margin* between the LCP and the best path avoiding
+//! it, so the premium is a function of path diversity: the closer the
+//! second-best alternative, the less any node can extract. This study
+//! makes that quantitative: starting from a sparse biconnected topology,
+//! it adds random extra links and tracks the aggregate payment/cost ratio
+//! — a concrete, reproducible handle on the paper's open problem (denser
+//! peering ⇒ cheaper truthful routing).
+//!
+//! Regenerate with: `cargo run -p bgpvcg-bench --bin e18_overcharge_vs_diversity`
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_bench::stats;
+use bgpvcg_bench::table::Table;
+use bgpvcg_core::{overcharge::OverchargeReport, vcg};
+use bgpvcg_netgraph::{AsGraph, AsId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Adds `extra` random absent links to the graph.
+fn densify(mut g: AsGraph, extra: usize, rng: &mut StdRng) -> AsGraph {
+    let n = g.node_count() as u32;
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < 10_000 {
+        guard += 1;
+        let a = AsId::new(rng.gen_range(0..n));
+        let b = AsId::new(rng.gen_range(0..n));
+        if a == b || g.has_link(a, b) {
+            continue;
+        }
+        g = g.with_link(a, b).expect("validated absent link");
+        added += 1;
+    }
+    g
+}
+
+fn main() {
+    println!("E18 — VCG premium vs path diversity (n = 32, 3 seeds/point)\n");
+    let n = 32;
+    let extra_links = [0usize, 8, 16, 32, 64, 128];
+    let mut table = Table::new([
+        "extra links",
+        "mean links",
+        "payments/costs (mean)",
+        "max pair ratio (mean)",
+    ]);
+    let mut aggregate_by_step: Vec<f64> = Vec::new();
+    let mut max_by_step: Vec<f64> = Vec::new();
+    for &extra in &extra_links {
+        let mut aggregate = Vec::new();
+        let mut max_ratios = Vec::new();
+        let mut link_counts = Vec::new();
+        for seed in 0..3u64 {
+            let base = Family::BarabasiAlbert.build(n, 100 + seed);
+            let mut rng = StdRng::seed_from_u64(7_000 + seed);
+            let g = densify(base, extra, &mut rng);
+            link_counts.push(g.link_count() as f64);
+            let outcome = vcg::compute(&g).expect("still biconnected");
+            let report = OverchargeReport::analyze(&outcome);
+            let (pay, cost) = report.totals();
+            aggregate.push(pay as f64 / cost.max(1) as f64);
+            max_ratios.push(report.max_ratio().unwrap_or(1.0));
+        }
+        let mean_aggregate = stats::mean(&aggregate);
+        aggregate_by_step.push(mean_aggregate);
+        max_by_step.push(stats::mean(&max_ratios));
+        table.row([
+            extra.to_string(),
+            format!("{:.0}", stats::mean(&link_counts)),
+            format!("{mean_aggregate:.2}"),
+            format!("{:.1}", stats::mean(&max_ratios)),
+        ]);
+    }
+    println!("{table}");
+    let first_aggregate = aggregate_by_step[0];
+    let last_aggregate = *aggregate_by_step.last().expect("non-empty sweep");
+    let first_max = max_by_step[0];
+    let last_max = *max_by_step.last().expect("non-empty sweep");
+    println!(
+        "Sect. 7's open concern: total payments exceed costs; the premium is the k-avoiding \
+         margin, so it is a path-diversity quantity."
+    );
+    println!(
+        "\nVERDICT: path diversity reins in the *extremes* — the worst pair premium falls \
+         from {first_max:.1}x to {last_max:.1}x as links multiply — while the typical \
+         aggregate premium only eases ({first_aggregate:.2}x to {last_aggregate:.2}x): with \
+         heterogeneous costs the second-best path keeps a gap, so VCG overpayment is tamed \
+         but not eliminated by peering alone — sharpening, not contradicting, Sect. 7's \
+         concern"
+    );
+    assert!(
+        last_max < first_max / 1.5,
+        "worst-case premium must shrink markedly ({first_max:.1} -> {last_max:.1})"
+    );
+    assert!(
+        last_aggregate <= first_aggregate,
+        "aggregate premium must not grow with diversity"
+    );
+}

@@ -1,0 +1,86 @@
+//! E8 — Sect. 7: overcharging — total payments exceed true path costs.
+//!
+//! Reproduces the paper's overcharging discussion quantitatively: the
+//! `Y→Z` example (payment 9 for a cost-1 path), plus the distribution of
+//! the payment/cost ratio across families, and the wheel topology as a
+//! constructed extreme case (a free hub whose every price carries the full
+//! rim detour).
+//!
+//! Regenerate with: `cargo run -p bgpvcg-bench --bin e8_overcharging`
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_bench::stats;
+use bgpvcg_bench::table::Table;
+use bgpvcg_core::{overcharge::OverchargeReport, vcg};
+use bgpvcg_netgraph::generators::structured::{fig1, wheel, Fig1};
+use bgpvcg_netgraph::Cost;
+
+fn main() {
+    println!("E8 — Sect. 7 overcharging: Σ payments vs true path cost\n");
+
+    // The paper's own example first.
+    let outcome = vcg::compute(&fig1()).unwrap();
+    let report = OverchargeReport::analyze(&outcome);
+    let yz = report
+        .pairs
+        .iter()
+        .find(|p| p.source == Fig1::Y && p.destination == Fig1::Z)
+        .unwrap();
+    println!(
+        "Fig. 1, Y→Z: payment {} vs cost {} (paper: 9 vs 1, ratio 9).",
+        yz.total_payment, yz.route_cost
+    );
+    assert_eq!((yz.total_payment, yz.route_cost), (9, 1));
+
+    let sizes = [16usize, 32, 64];
+    let seeds = [1u64, 2, 3];
+    let mut table = Table::new([
+        "family",
+        "n",
+        "mean ratio",
+        "max ratio",
+        "total pay / total cost",
+    ]);
+    for family in Family::ALL {
+        for &n in &sizes {
+            let mut means = Vec::new();
+            let mut maxes = Vec::new();
+            let mut aggregate = Vec::new();
+            for &seed in &seeds {
+                let g = family.build(n, seed);
+                let outcome = vcg::compute(&g).unwrap();
+                let report = OverchargeReport::analyze(&outcome);
+                assert!(report.payments_dominate_costs(), "{} n={n}", family.name());
+                means.push(report.mean_ratio().unwrap_or(1.0));
+                maxes.push(report.max_ratio().unwrap_or(1.0));
+                let (pay, cost) = report.totals();
+                aggregate.push(pay as f64 / cost.max(1) as f64);
+            }
+            table.row([
+                family.name().to_string(),
+                n.to_string(),
+                format!("{:.2}", stats::mean(&means)),
+                format!("{:.2}", stats::max(&maxes).unwrap()),
+                format!("{:.2}", stats::mean(&aggregate)),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // A constructed extreme: free hub, expensive rim.
+    let g = wheel(10, Cost::ZERO, Cost::new(10));
+    let outcome = vcg::compute(&g).unwrap();
+    let report = OverchargeReport::analyze(&outcome);
+    let worst = report.worst_pair().unwrap();
+    println!(
+        "Constructed extreme (10-node wheel, free hub, rim cost 10): worst pair pays {} \
+         over a cost-{} route (surplus {}).",
+        worst.total_payment,
+        worst.route_cost,
+        worst.surplus()
+    );
+    println!(
+        "\nVERDICT: payments always dominate costs; premiums range from ~1x (dense graphs) \
+         to unbounded in constructed monopolistic-looking topologies — matching Sect. 7's concern"
+    );
+}

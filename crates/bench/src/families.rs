@@ -1,0 +1,119 @@
+//! The graph families experiments sweep over.
+
+use bgpvcg_netgraph::generators::structured;
+use bgpvcg_netgraph::generators::{
+    barabasi_albert, erdos_renyi, hierarchy, random_costs, waxman, HierarchyConfig, WaxmanConfig,
+};
+use bgpvcg_netgraph::AsGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named topology family, buildable at any size from a seed.
+///
+/// Random costs are drawn uniformly from `[1, 10]` (strictly positive so
+/// overcharge ratios are defined); structured families use uniform costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Cycle graph — linear diameter, the stress case for convergence.
+    Ring,
+    /// Erdős–Rényi with expected degree ≈ 5.
+    ErdosRenyi,
+    /// Barabási–Albert preferential attachment, `m = 2` — the stand-in for
+    /// the power-law AS graph.
+    BarabasiAlbert,
+    /// Waxman geographic random graph (classic Internet-topology model).
+    Waxman,
+    /// Two-tier ISP hierarchy: full-mesh core + dual-homed stubs.
+    Hierarchy,
+}
+
+impl Family {
+    /// All families, in display order.
+    pub const ALL: [Family; 5] = [
+        Family::Ring,
+        Family::ErdosRenyi,
+        Family::BarabasiAlbert,
+        Family::Waxman,
+        Family::Hierarchy,
+    ];
+
+    /// The family's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Ring => "ring",
+            Family::ErdosRenyi => "erdos-renyi",
+            Family::BarabasiAlbert => "barabasi-albert",
+            Family::Waxman => "waxman",
+            Family::Hierarchy => "hierarchy",
+        }
+    }
+
+    /// Builds an `n`-node instance (biconnected by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 8` (the hierarchy family needs room for its core).
+    pub fn build(self, n: usize, seed: u64) -> AsGraph {
+        assert!(n >= 8, "families are calibrated for n >= 8");
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Family::Ring => structured::ring(n, bgpvcg_netgraph::Cost::new(2)),
+            Family::ErdosRenyi => {
+                let costs = random_costs(n, 1, 10, &mut rng);
+                let p = (5.0 / n as f64).min(1.0);
+                erdos_renyi(costs, p, &mut rng)
+            }
+            Family::BarabasiAlbert => {
+                let costs = random_costs(n, 1, 10, &mut rng);
+                barabasi_albert(costs, 2, &mut rng)
+            }
+            Family::Waxman => {
+                let costs = random_costs(n, 1, 10, &mut rng);
+                waxman(costs, WaxmanConfig::default(), &mut rng)
+            }
+            Family::Hierarchy => {
+                let core = (n / 8).clamp(3, 12);
+                hierarchy(
+                    HierarchyConfig {
+                        core_size: core,
+                        stub_count: n - core,
+                        core_cost: (1, 3),
+                        stub_cost: (4, 10),
+                    },
+                    &mut rng,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_build_biconnected_graphs() {
+        for family in Family::ALL {
+            for &n in &[8usize, 24, 48] {
+                let g = family.build(n, 1);
+                assert_eq!(g.node_count(), n, "{}", family.name());
+                assert!(g.is_biconnected(), "{} n={n}", family.name());
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for family in Family::ALL {
+            assert_eq!(family.build(16, 9), family.build(16, 9));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! Small numeric summaries for experiment output.
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of a slice (`None` for empty input).
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite values"))
+}
+
+/// Minimum of a slice (`None` for empty input).
+pub fn min(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("finite values"))
+}
+
+/// `(mean, min, max)` in one pass-ish call, formatted for tables.
+pub fn summary(values: &[f64]) -> (f64, f64, f64) {
+    (
+        mean(values),
+        min(values).unwrap_or(0.0),
+        max(values).unwrap_or(0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(mean(&v), 2.0);
+        assert_eq!(max(&v), Some(3.0));
+        assert_eq!(min(&v), Some(1.0));
+        assert_eq!(summary(&v), (2.0, 1.0, 3.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[]), None);
+        assert_eq!(min(&[]), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Topology dynamics: link failures, link activations, cost changes.
+//!
+//! The paper (Sect. 6) notes that "the process of converging begins again
+//! each time a route is changed"; experiment E10 measures those
+//! reconvergences. Events come in two granularities: a network-level
+//! [`TopologyEvent`] applied through an engine, and the [`LocalEvent`] each
+//! affected node actually observes.
+
+use bgpvcg_netgraph::{AsId, Cost};
+use serde::{Deserialize, Serialize};
+
+/// A network-level topology change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyEvent {
+    /// The link between two ASs fails.
+    LinkDown(AsId, AsId),
+    /// A (previously absent) link between two ASs comes up.
+    LinkUp(AsId, AsId),
+    /// An AS re-declares its per-packet transit cost.
+    CostChange(AsId, Cost),
+}
+
+impl TopologyEvent {
+    /// The nodes that directly observe this event, paired with what each
+    /// observes.
+    pub fn local_views(&self) -> Vec<(AsId, LocalEvent)> {
+        match *self {
+            TopologyEvent::LinkDown(a, b) => {
+                vec![(a, LocalEvent::LinkDown(b)), (b, LocalEvent::LinkDown(a))]
+            }
+            TopologyEvent::LinkUp(a, b) => {
+                vec![(a, LocalEvent::LinkUp(b)), (b, LocalEvent::LinkUp(a))]
+            }
+            TopologyEvent::CostChange(k, cost) => vec![(k, LocalEvent::CostChange(cost))],
+        }
+    }
+}
+
+/// What a single node observes when a [`TopologyEvent`] touches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalEvent {
+    /// The link to the given neighbor went down.
+    LinkDown(AsId),
+    /// A link to the given neighbor came up.
+    LinkUp(AsId),
+    /// This node's own declared cost changed.
+    CostChange(Cost),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_events_touch_both_endpoints() {
+        let e = TopologyEvent::LinkDown(AsId::new(1), AsId::new(2));
+        let views = e.local_views();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0], (AsId::new(1), LocalEvent::LinkDown(AsId::new(2))));
+        assert_eq!(views[1], (AsId::new(2), LocalEvent::LinkDown(AsId::new(1))));
+    }
+
+    #[test]
+    fn cost_change_touches_one_node() {
+        let e = TopologyEvent::CostChange(AsId::new(5), Cost::new(9));
+        assert_eq!(
+            e.local_views(),
+            vec![(AsId::new(5), LocalEvent::CostChange(Cost::new(9)))]
+        );
+    }
+
+    #[test]
+    fn link_up_views() {
+        let e = TopologyEvent::LinkUp(AsId::new(0), AsId::new(3));
+        assert_eq!(
+            e.local_views(),
+            vec![
+                (AsId::new(0), LocalEvent::LinkUp(AsId::new(3))),
+                (AsId::new(3), LocalEvent::LinkUp(AsId::new(0))),
+            ]
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Asynchronous, channel-driven execution.
+//!
+//! The paper analyses the protocol in a synchronous-stage model but nothing
+//! in the algorithm itself requires synchrony: price entries relax
+//! monotonically toward the same fixpoint whatever the message interleaving.
+//! This engine demonstrates that by running every AS as its own OS thread
+//! connected to its neighbors by crossbeam channels, processing one message
+//! at a time with no global coordination.
+//!
+//! Termination uses in-flight message counting (a simplification of
+//! Dijkstra–Scholten): a global counter is incremented *before* every send
+//! and decremented only *after* the receiving node has fully processed the
+//! message, including any sends that processing triggered. The counter
+//! reading zero therefore proves global quiescence.
+
+use crate::message::Update;
+use crate::node::ProtocolNode;
+use bgpvcg_netgraph::{AsGraph, AsId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// What an asynchronous run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventReport {
+    /// Messages delivered across all links.
+    pub messages: usize,
+    /// Table entries carried by those messages.
+    pub entries: usize,
+}
+
+enum Envelope {
+    Deliver(Box<Update>),
+    Shutdown,
+}
+
+/// Runs the protocol asynchronously until quiescence and returns the nodes
+/// in AS order plus traffic statistics.
+///
+/// Each AS runs on its own thread and processes messages one at a time in
+/// arrival order; arrival order across senders is whatever the OS scheduler
+/// produces, so repeated runs exercise different interleavings. The final
+/// routing state must nevertheless be identical to the synchronous engine's
+/// (and is asserted to be, in the integration tests) because the protocol's
+/// fixpoint is unique.
+///
+/// # Panics
+///
+/// Panics if `nodes.len()` differs from the graph's node count or a worker
+/// thread panics.
+pub fn run_event_driven<N>(graph: &AsGraph, nodes: Vec<N>) -> (Vec<N>, EventReport)
+where
+    N: ProtocolNode + 'static,
+{
+    run_event_driven_chaotic(graph, nodes, 0.0, 0)
+}
+
+/// Like [`run_event_driven`], but each worker services its neighbors'
+/// message streams in seeded-random order instead of global arrival order —
+/// an adversarial scheduler. Per-sender FIFO is preserved (each message
+/// stream is buffered in its own sub-queue and consumed from the front),
+/// because that is what BGP's underlying TCP sessions guarantee and what
+/// last-writer-wins Rib-In semantics require; only the *interleaving
+/// across senders* is randomized, which is exactly the freedom a real
+/// asynchronous network has. The protocol must (and does — see the tests)
+/// still reach the unique fixpoint.
+///
+/// `chaos` in `(0, 1)` turns the adversarial scheduler on (the value is
+/// only a switch; scheduling randomness comes from `seed`); `0.0` recovers
+/// plain arrival order.
+///
+/// # Panics
+///
+/// Panics if `chaos` is not in `[0, 1)` or node count mismatches the
+/// graph.
+pub fn run_event_driven_chaotic<N>(
+    graph: &AsGraph,
+    nodes: Vec<N>,
+    chaos: f64,
+    seed: u64,
+) -> (Vec<N>, EventReport)
+where
+    N: ProtocolNode + 'static,
+{
+    assert!((0.0..1.0).contains(&chaos), "chaos must be in [0, 1)");
+    let chaotic = chaos > 0.0;
+    assert_eq!(nodes.len(), graph.node_count(), "one node per AS");
+    let n = nodes.len();
+    // Pre-charge one token per node: each is released only after that
+    // node's start() has completed, so the counter cannot read zero before
+    // every initial advertisement is out.
+    let in_flight = Arc::new(AtomicI64::new(n as i64));
+    let messages = Arc::new(AtomicUsize::new(0));
+    let entries = Arc::new(AtomicUsize::new(0));
+
+    let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (idx, mut node) in nodes.into_iter().enumerate() {
+        let rx = receivers[idx].take().expect("receiver taken once");
+        let neighbor_txs: Vec<Sender<Envelope>> = graph
+            .neighbors(AsId::new(idx as u32))
+            .iter()
+            .map(|a| senders[a.index()].clone())
+            .collect();
+        let in_flight = Arc::clone(&in_flight);
+        let messages = Arc::clone(&messages);
+        let entries = Arc::clone(&entries);
+        let mut scheduler = if chaotic {
+            Some(StdRng::seed_from_u64(
+                seed ^ (idx as u64).wrapping_mul(0x9e37_79b9),
+            ))
+        } else {
+            None
+        };
+
+        handles.push(thread::spawn(move || {
+            let broadcast = |update: &Update| {
+                for tx in &neighbor_txs {
+                    // Increment BEFORE the send so the counter can never dip
+                    // to zero while a message is in a channel.
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    messages.fetch_add(1, Ordering::Relaxed);
+                    entries.fetch_add(update.entry_count(), Ordering::Relaxed);
+                    tx.send(Envelope::Deliver(Box::new(update.clone())))
+                        .expect("receiver alive until shutdown");
+                }
+            };
+            if let Some(update) = node.start() {
+                broadcast(&update);
+            }
+            in_flight.fetch_sub(1, Ordering::SeqCst); // release the start token
+                                                      // Per-sender sub-queues for the adversarial scheduler: FIFO
+                                                      // within a sender, random service order across senders.
+            let mut buffered: std::collections::BTreeMap<
+                AsId,
+                std::collections::VecDeque<Box<Update>>,
+            > = std::collections::BTreeMap::new();
+            let process = |node: &mut N, update: &Update| {
+                if let Some(out) = node.handle(std::slice::from_ref(update)) {
+                    broadcast(&out);
+                }
+                // Decrement only after processing (and its sends) completed.
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            };
+            loop {
+                let envelope = if buffered.values().any(|q| !q.is_empty()) {
+                    // Don't block while messages are locally buffered.
+                    match rx.recv_timeout(Duration::from_micros(200)) {
+                        Ok(e) => Some(e),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                } else {
+                    match rx.recv() {
+                        Ok(e) => Some(e),
+                        Err(_) => break,
+                    }
+                };
+                match envelope {
+                    Some(Envelope::Shutdown) => break,
+                    Some(Envelope::Deliver(update)) => {
+                        if let Some(rng) = scheduler.as_mut() {
+                            // Buffer, then service one random sender's front.
+                            buffered.entry(update.from).or_default().push_back(update);
+                            let nonempty: Vec<AsId> = buffered
+                                .iter()
+                                .filter(|(_, q)| !q.is_empty())
+                                .map(|(&a, _)| a)
+                                .collect();
+                            let pick = nonempty[rng.gen_range(0..nonempty.len())];
+                            let next = buffered
+                                .get_mut(&pick)
+                                .and_then(std::collections::VecDeque::pop_front)
+                                .expect("picked a non-empty queue");
+                            process(&mut node, &next);
+                        } else {
+                            process(&mut node, &update);
+                        }
+                    }
+                    None => {
+                        // Timeout with local buffer: drain one random front.
+                        let rng = scheduler.as_mut().expect("buffer only in chaos mode");
+                        let nonempty: Vec<AsId> = buffered
+                            .iter()
+                            .filter(|(_, q)| !q.is_empty())
+                            .map(|(&a, _)| a)
+                            .collect();
+                        if let Some(&pick) = nonempty
+                            .first()
+                            .map(|_| &nonempty[rng.gen_range(0..nonempty.len())])
+                        {
+                            let next = buffered
+                                .get_mut(&pick)
+                                .and_then(std::collections::VecDeque::pop_front)
+                                .expect("picked a non-empty queue");
+                            process(&mut node, &next);
+                        }
+                    }
+                }
+            }
+            node
+        }));
+    }
+
+    // Wait for quiescence: the counter is incremented before each send (and
+    // pre-charged for each start()) and decremented only after the
+    // corresponding processing, so zero here proves no message is buffered,
+    // in processing, or about to be produced.
+    while in_flight.load(Ordering::SeqCst) != 0 {
+        thread::sleep(Duration::from_micros(200));
+    }
+
+    for tx in &senders {
+        tx.send(Envelope::Shutdown).expect("worker alive");
+    }
+    let mut out: Vec<N> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    out.sort_by_key(|node| node.id());
+
+    let report = EventReport {
+        messages: messages.load(Ordering::Relaxed),
+        entries: entries.load(Ordering::Relaxed),
+    };
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SyncEngine;
+    use crate::node::PlainBgpNode;
+    use bgpvcg_lcp::AllPairsLcp;
+    use bgpvcg_netgraph::generators::structured::{fig1, ring};
+    use bgpvcg_netgraph::generators::{erdos_renyi, random_costs};
+    use bgpvcg_netgraph::Cost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn async_routes_match_centralized_on_fig1() {
+        let g = fig1();
+        let (nodes, report) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+        assert!(report.messages > 0);
+        let lcp = AllPairsLcp::compute(&g);
+        for node in &nodes {
+            for j in g.nodes() {
+                assert_eq!(
+                    node.selector().route(j).as_ref(),
+                    lcp.route(node.id(), j),
+                    "{} -> {j}",
+                    node.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn async_matches_sync_final_state() {
+        let g = ring(8, Cost::new(3));
+        let (async_nodes, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+        let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        engine.run_to_convergence();
+        for node in &async_nodes {
+            let sync_node = engine.node(node.id());
+            for j in g.nodes() {
+                assert_eq!(
+                    node.selector().route(j),
+                    sync_node.selector().route(j),
+                    "{} -> {j}",
+                    node.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn async_is_deterministic_in_outcome_across_runs() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let costs = random_costs(15, 0, 9, &mut rng);
+        let g = erdos_renyi(costs, 0.3, &mut rng);
+        let (first, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+        for _ in 0..3 {
+            let (again, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+            for (a, b) in first.iter().zip(&again) {
+                for j in g.nodes() {
+                    assert_eq!(a.selector().route(j), b.selector().route(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaotic_delivery_reaches_the_same_fixpoint() {
+        // Adversarial reordering (40% requeue) must not change the result.
+        let mut rng = StdRng::seed_from_u64(23);
+        let costs = random_costs(14, 0, 9, &mut rng);
+        let g = erdos_renyi(costs, 0.3, &mut rng);
+        let (reference, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+        for seed in 0..3 {
+            let (chaotic, _) =
+                run_event_driven_chaotic(&g, PlainBgpNode::from_graph(&g), 0.4, seed);
+            for (a, b) in reference.iter().zip(&chaotic) {
+                for j in g.nodes() {
+                    assert_eq!(a.selector().route(j), b.selector().route(j), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos must be")]
+    fn chaos_rejects_out_of_range_parameter() {
+        let g = fig1();
+        let _ = run_event_driven_chaotic(&g, PlainBgpNode::from_graph(&g), 1.0, 0);
+    }
+
+    #[test]
+    fn nodes_return_in_as_order() {
+        let g = fig1();
+        let (nodes, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+        for (idx, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id().index(), idx);
+        }
+    }
+}

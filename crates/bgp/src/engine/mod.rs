@@ -1,0 +1,9 @@
+//! Execution engines driving [`ProtocolNode`](crate::ProtocolNode) state
+//! machines: the paper's synchronous-stage model ([`SyncEngine`]) and an
+//! asynchronous, channel-driven alternative ([`run_event_driven`]).
+
+mod event;
+mod sync;
+
+pub use event::{run_event_driven, run_event_driven_chaotic, EventReport};
+pub use sync::{RunReport, StageTrace, SyncEngine};

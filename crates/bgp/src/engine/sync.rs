@@ -1,0 +1,655 @@
+//! The synchronous-stage engine of the paper's Sect. 5.
+
+use crate::dynamics::TopologyEvent;
+use crate::message::Update;
+use crate::node::ProtocolNode;
+use crate::stats::StateSnapshot;
+use crate::wire;
+use bgpvcg_netgraph::{AsGraph, AsId};
+use std::fmt;
+
+/// What one call to [`SyncEngine::run_to_convergence`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Stages executed until quiescence. A stage is one synchronous round of
+    /// "deliver all queued updates, let every receiving node recompute and
+    /// re-advertise". This is the quantity the paper bounds by `d` for plain
+    /// BGP and `max(d, d′)` for the pricing extension.
+    pub stages: usize,
+    /// Messages delivered (one update crossing one link = one message).
+    pub messages: usize,
+    /// Routing-table entries carried by all delivered messages.
+    pub entries: usize,
+    /// Total bytes under the [`wire`] model.
+    pub bytes: usize,
+    /// Peak messages delivered on any single link in any single stage.
+    pub max_link_messages_per_stage: usize,
+    /// `false` if the engine hit its stage limit before quiescing (a
+    /// protocol bug, never expected with LCP policies).
+    pub converged: bool,
+}
+
+impl RunReport {
+    fn absorb(&mut self, other: RunReport) {
+        self.stages += other.stages;
+        self.messages += other.messages;
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+        self.max_link_messages_per_stage = self
+            .max_link_messages_per_stage
+            .max(other.max_link_messages_per_stage);
+        self.converged = other.converged;
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stages, {} messages, {} entries, {} bytes{}",
+            self.stages,
+            self.messages,
+            self.entries,
+            self.bytes,
+            if self.converged {
+                ""
+            } else {
+                " (NOT CONVERGED)"
+            }
+        )
+    }
+}
+
+/// One synchronous stage as seen by a trace observer (see
+/// [`SyncEngine::run_to_convergence_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTrace {
+    /// 1-based stage number within this run.
+    pub stage: usize,
+    /// Nodes that received at least one update this stage.
+    pub receiving_nodes: usize,
+    /// Nodes whose advertised state changed (they re-advertised).
+    pub changed_nodes: usize,
+    /// Messages sent this stage (update × receiving link).
+    pub messages: usize,
+    /// Encoded bytes sent this stage.
+    pub bytes: usize,
+}
+
+impl fmt::Display for StageTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage {:>3}: {:>3} nodes received, {:>3} changed, {:>5} msgs, {:>8} bytes",
+            self.stage, self.receiving_nodes, self.changed_nodes, self.messages, self.bytes
+        )
+    }
+}
+
+/// The synchronous-stage engine: all nodes exchange routing tables in
+/// lock-step rounds, exactly the computational model of the paper's Sect. 5.
+///
+/// Each stage consists of (1) delivering every update queued in the previous
+/// stage, (2) letting each node that received something recompute, and (3)
+/// queueing whatever those nodes want to re-advertise. The run ends at the
+/// first stage with nothing queued.
+///
+/// The engine is generic over the node type so the plain BGP speaker and the
+/// pricing extension run on identical machinery and their traffic statistics
+/// are directly comparable.
+#[derive(Debug)]
+pub struct SyncEngine<N> {
+    nodes: Vec<N>,
+    /// Physical adjacency (kept here, mutable by topology events).
+    adjacency: Vec<Vec<AsId>>,
+    /// Per-node inbox for the next stage.
+    inboxes: Vec<Vec<Update>>,
+    /// Safety valve: abort after this many stages (default `8n + 64`).
+    stage_limit: usize,
+    started: bool,
+    /// Stage counter for the step-wise API.
+    steps_executed: usize,
+}
+
+impl<N: ProtocolNode> SyncEngine<N> {
+    /// Creates an engine over the graph's topology with one prepared node
+    /// per AS (in AS order — see e.g.
+    /// [`PlainBgpNode::from_graph`](crate::PlainBgpNode::from_graph)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph's node count or ids
+    /// are out of order.
+    pub fn new(graph: &AsGraph, nodes: Vec<N>) -> Self {
+        assert_eq!(nodes.len(), graph.node_count(), "one node per AS");
+        for (idx, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id().index(), idx, "nodes must be in AS order");
+        }
+        let n = nodes.len();
+        SyncEngine {
+            nodes,
+            adjacency: graph.nodes().map(|k| graph.neighbors(k).to_vec()).collect(),
+            inboxes: vec![Vec::new(); n],
+            stage_limit: 8 * n + 64,
+            started: false,
+            steps_executed: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: AsId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over all nodes in AS order.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Overrides the stage safety limit.
+    pub fn set_stage_limit(&mut self, limit: usize) {
+        self.stage_limit = limit;
+    }
+
+    /// Queues `update` from `from` to every current neighbor of `from`,
+    /// returning (messages, entries, bytes) accounted.
+    fn broadcast(&mut self, from: AsId, update: &Update) -> (usize, usize, usize) {
+        let neighbors = self.adjacency[from.index()].clone();
+        let size = wire::update_size(update);
+        let mut messages = 0;
+        for to in neighbors {
+            self.inboxes[to.index()].push(update.clone());
+            messages += 1;
+        }
+        (messages, messages * update.entry_count(), messages * size)
+    }
+
+    /// Delivers `update` to `to` only (used for session establishment on
+    /// link-up).
+    fn unicast(&mut self, to: AsId, update: Update) -> (usize, usize, usize) {
+        let size = wire::update_size(&update);
+        let entries = update.entry_count();
+        self.inboxes[to.index()].push(update);
+        (1, entries, size)
+    }
+
+    /// Runs stages until no node has pending input, starting the protocol
+    /// (initial origin advertisements) on the first call.
+    pub fn run_to_convergence(&mut self) -> RunReport {
+        self.run_to_convergence_traced(|_| {})
+    }
+
+    /// Executes the protocol one stage at a time: `start()` (first call
+    /// only) plus a single delivery round, returning its [`StageTrace`] —
+    /// or `None` when the network is quiescent. Lets callers inspect node
+    /// state between stages (e.g. the per-node convergence experiment
+    /// behind Lemma 2's `d_i` bound).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bgpvcg_bgp::{engine::SyncEngine, PlainBgpNode};
+    /// use bgpvcg_netgraph::generators::structured::fig1;
+    ///
+    /// let g = fig1();
+    /// let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+    /// let mut stages = 0;
+    /// while engine.step().is_some() {
+    ///     stages += 1; // inspect engine.node(..) state here
+    /// }
+    /// assert!(stages >= 3, "Fig. 1 routing needs d = 3 stages plus drain");
+    /// ```
+    pub fn step(&mut self) -> Option<StageTrace> {
+        if !self.started {
+            self.started = true;
+            for idx in 0..self.nodes.len() {
+                if let Some(update) = self.nodes[idx].start() {
+                    let from = AsId::new(idx as u32);
+                    let _ = self.broadcast(from, &update);
+                }
+            }
+            self.steps_executed = 0;
+        }
+        if self.inboxes.iter().all(Vec::is_empty) {
+            return None;
+        }
+        self.steps_executed += 1;
+        let n = self.nodes.len();
+        let mut delivered = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
+        let mut trace = StageTrace {
+            stage: self.steps_executed,
+            receiving_nodes: 0,
+            changed_nodes: 0,
+            messages: 0,
+            bytes: 0,
+        };
+        for (idx, slot) in delivered.iter_mut().enumerate() {
+            let inbox = std::mem::take(slot);
+            if inbox.is_empty() {
+                continue;
+            }
+            trace.receiving_nodes += 1;
+            if let Some(update) = self.nodes[idx].handle(&inbox) {
+                trace.changed_nodes += 1;
+                let from = AsId::new(idx as u32);
+                let (m, _, b) = self.broadcast(from, &update);
+                trace.messages += m;
+                trace.bytes += b;
+            }
+        }
+        Some(trace)
+    }
+
+    /// Like [`run_to_convergence`](Self::run_to_convergence), but invokes
+    /// `observer` with a [`StageTrace`] after every executed stage — the
+    /// hook behind the CLI's `--trace` flag and any custom progress
+    /// reporting.
+    pub fn run_to_convergence_traced<F: FnMut(StageTrace)>(
+        &mut self,
+        mut observer: F,
+    ) -> RunReport {
+        let mut report = RunReport {
+            converged: true,
+            ..RunReport::default()
+        };
+        if !self.started {
+            self.started = true;
+            for idx in 0..self.nodes.len() {
+                if let Some(update) = self.nodes[idx].start() {
+                    let from = AsId::new(idx as u32);
+                    let (m, e, b) = self.broadcast(from, &update);
+                    report.messages += m;
+                    report.entries += e;
+                    report.bytes += b;
+                }
+            }
+        }
+
+        // `stages` reports the last stage in which some node's advertised
+        // state changed — the moment the tables are final. One further
+        // stage is executed to drain the resulting (no-op) deliveries, but
+        // it is pure message drain, not computation, and the paper's
+        // "converges within d stages" counts table changes.
+        let mut executed = 0usize;
+        while self.inboxes.iter().any(|inbox| !inbox.is_empty()) {
+            if executed >= self.stage_limit {
+                report.converged = false;
+                return report;
+            }
+            executed += 1;
+            let n = self.nodes.len();
+            let mut delivered = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
+            let mut stage_link_max = 0usize;
+            let mut trace = StageTrace {
+                stage: executed,
+                receiving_nodes: 0,
+                changed_nodes: 0,
+                messages: 0,
+                bytes: 0,
+            };
+            for (idx, slot) in delivered.iter_mut().enumerate() {
+                let inbox = std::mem::take(slot);
+                if inbox.is_empty() {
+                    continue;
+                }
+                trace.receiving_nodes += 1;
+                stage_link_max = stage_link_max.max(inbox.len());
+                if let Some(update) = self.nodes[idx].handle(&inbox) {
+                    trace.changed_nodes += 1;
+                    let from = AsId::new(idx as u32);
+                    let (m, e, b) = self.broadcast(from, &update);
+                    report.messages += m;
+                    report.entries += e;
+                    report.bytes += b;
+                    trace.messages += m;
+                    trace.bytes += b;
+                }
+            }
+            if trace.changed_nodes > 0 {
+                report.stages = executed;
+            }
+            report.max_link_messages_per_stage =
+                report.max_link_messages_per_stage.max(stage_link_max);
+            observer(trace);
+        }
+        report
+    }
+
+    /// Applies a topology event and reconverges, returning the report for
+    /// the reconvergence (the "convergence process begins again" of
+    /// Sect. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event references unknown nodes, brings up an existing
+    /// link, or takes down a missing one.
+    pub fn apply_event(&mut self, event: TopologyEvent) -> RunReport {
+        let mut report = RunReport {
+            converged: true,
+            ..RunReport::default()
+        };
+        // Update the engine's own adjacency first.
+        match event {
+            TopologyEvent::LinkDown(a, b) => {
+                let removed_a = {
+                    let adj = &mut self.adjacency[a.index()];
+                    let before = adj.len();
+                    adj.retain(|&x| x != b);
+                    adj.len() != before
+                };
+                assert!(removed_a, "link {a}–{b} does not exist");
+                self.adjacency[b.index()].retain(|&x| x != a);
+            }
+            TopologyEvent::LinkUp(a, b) => {
+                assert!(a != b, "no self links");
+                assert!(
+                    !self.adjacency[a.index()].contains(&b),
+                    "link {a}–{b} already exists"
+                );
+                self.adjacency[a.index()].push(b);
+                self.adjacency[a.index()].sort_unstable();
+                self.adjacency[b.index()].push(a);
+                self.adjacency[b.index()].sort_unstable();
+            }
+            TopologyEvent::CostChange(..) => {}
+        }
+        // Let the affected nodes react.
+        for (id, local) in event.local_views() {
+            if let Some(update) = self.nodes[id.index()].apply_event(local) {
+                let (m, e, b) = self.broadcast(id, &update);
+                report.messages += m;
+                report.entries += e;
+                report.bytes += b;
+            }
+        }
+        // Session establishment: on link-up both ends exchange full tables.
+        if let TopologyEvent::LinkUp(a, b) = event {
+            for (me, other) in [(a, b), (b, a)] {
+                if let Some(table) = self.nodes[me.index()].full_table() {
+                    let (m, e, bytes) = self.unicast(other, table);
+                    report.messages += m;
+                    report.entries += e;
+                    report.bytes += bytes;
+                }
+            }
+        }
+        let reconverge = self.run_to_convergence();
+        report.absorb(reconverge);
+        report
+    }
+
+    /// State snapshots of every node (for the E5 experiment), in AS order.
+    pub fn state_snapshots(&self) -> Vec<StateSnapshot> {
+        self.nodes.iter().map(ProtocolNode::state).collect()
+    }
+
+    /// Consumes the engine, returning the nodes.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PlainBgpNode;
+    use bgpvcg_lcp::{bellman, AllPairsLcp};
+    use bgpvcg_netgraph::generators::structured::{fig1, ring, Fig1};
+    use bgpvcg_netgraph::generators::{barabasi_albert, erdos_renyi, random_costs};
+    use bgpvcg_netgraph::Cost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn converged_engine(g: &AsGraph) -> (SyncEngine<PlainBgpNode>, RunReport) {
+        let mut engine = SyncEngine::new(g, PlainBgpNode::from_graph(g));
+        let report = engine.run_to_convergence();
+        (engine, report)
+    }
+
+    use bgpvcg_netgraph::AsGraph;
+
+    #[test]
+    fn fig1_converges_to_centralized_routes() {
+        let g = fig1();
+        let (engine, report) = converged_engine(&g);
+        assert!(report.converged);
+        let lcp = AllPairsLcp::compute(&g);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                let expected = lcp.route(i, j).unwrap().clone();
+                let actual = engine.node(i).selector().route(j).unwrap();
+                assert_eq!(actual, expected, "{i} -> {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_stages_bounded_by_d() {
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let costs = random_costs(25, 0, 9, &mut rng);
+            let g = if seed % 2 == 0 {
+                erdos_renyi(costs, 0.2, &mut rng)
+            } else {
+                barabasi_albert(costs, 2, &mut rng)
+            };
+            let lcp = AllPairsLcp::compute(&g);
+            let d = bgpvcg_lcp::diameter::lcp_hop_diameter(&lcp);
+            let (_, report) = converged_engine(&g);
+            assert!(report.converged);
+            assert!(
+                report.stages <= d,
+                "seed {seed}: {} stages > d = {d}",
+                report.stages
+            );
+        }
+    }
+
+    #[test]
+    fn sync_engine_matches_bellman_stage_semantics() {
+        // The engine's stage count equals the per-destination Bellman
+        // fixpoint's worst stage count: both implement Sect. 5 verbatim.
+        let g = ring(9, Cost::new(2));
+        let (_, report) = converged_engine(&g);
+        assert_eq!(report.stages, bellman::max_stages(&g));
+    }
+
+    #[test]
+    fn routes_match_centralized_on_random_graphs() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(30 + seed);
+            let costs = random_costs(20, 0, 8, &mut rng);
+            let g = erdos_renyi(costs, 0.25, &mut rng);
+            let (engine, _) = converged_engine(&g);
+            let lcp = AllPairsLcp::compute(&g);
+            for i in g.nodes() {
+                for j in g.nodes() {
+                    assert_eq!(
+                        engine.node(i).selector().route(j).as_ref(),
+                        lcp.route(i, j),
+                        "seed {seed}: {i} -> {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn second_run_is_a_no_op() {
+        let g = fig1();
+        let (mut engine, _) = converged_engine(&g);
+        let again = engine.run_to_convergence();
+        assert_eq!(again.stages, 0);
+        assert_eq!(again.messages, 0);
+    }
+
+    #[test]
+    fn link_down_reconverges_to_new_topology() {
+        let g = fig1();
+        let (mut engine, _) = converged_engine(&g);
+        // Fail the D–Z link: X's LCP to Z must become X A Z (cost 5).
+        let report = engine.apply_event(TopologyEvent::LinkDown(Fig1::D, Fig1::Z));
+        assert!(report.converged);
+        let g2 = g.without_link(Fig1::D, Fig1::Z).unwrap();
+        let lcp2 = AllPairsLcp::compute(&g2);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(
+                    engine.node(i).selector().route(j).as_ref(),
+                    lcp2.route(i, j),
+                    "{i} -> {j} after link failure"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_up_reconverges_to_new_topology() {
+        let g = fig1().without_link(Fig1::D, Fig1::Z).unwrap();
+        let (mut engine, _) = converged_engine(&g);
+        let report = engine.apply_event(TopologyEvent::LinkUp(Fig1::D, Fig1::Z));
+        assert!(report.converged);
+        let lcp = AllPairsLcp::compute(&fig1());
+        for i in fig1().nodes() {
+            for j in fig1().nodes() {
+                assert_eq!(
+                    engine.node(i).selector().route(j).as_ref(),
+                    lcp.route(i, j),
+                    "{i} -> {j} after link up"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_change_reconverges() {
+        let g = fig1();
+        let (mut engine, _) = converged_engine(&g);
+        // D becomes expensive: X's best route to Z flips to X A Z.
+        let report = engine.apply_event(TopologyEvent::CostChange(Fig1::D, Cost::new(50)));
+        assert!(report.converged);
+        let g2 = g.with_cost(Fig1::D, Cost::new(50));
+        let lcp2 = AllPairsLcp::compute(&g2);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(
+                    engine.node(i).selector().route(j).as_ref(),
+                    lcp2.route(i, j),
+                    "{i} -> {j} after cost change"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_accumulates_traffic() {
+        let g = ring(6, Cost::new(1));
+        let (_, report) = converged_engine(&g);
+        assert!(report.messages > 0);
+        assert!(
+            report.entries >= report.messages,
+            "every message carries ≥1 entry"
+        );
+        assert!(report.bytes > report.messages * wire::MESSAGE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn state_snapshots_have_full_tables() {
+        let g = fig1();
+        let (engine, _) = converged_engine(&g);
+        for snap in engine.state_snapshots() {
+            assert_eq!(snap.table_entries, g.node_count());
+            assert_eq!(snap.price_entries, 0);
+        }
+    }
+
+    #[test]
+    fn stage_limit_reports_non_convergence() {
+        let g = ring(9, Cost::new(1));
+        let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        engine.set_stage_limit(1); // far below the 4 stages the ring needs
+        let report = engine.run_to_convergence();
+        assert!(!report.converged);
+        assert!(report.to_string().contains("NOT CONVERGED"));
+        // Lifting the limit lets the same engine finish the job.
+        engine.set_stage_limit(1000);
+        let report = engine.run_to_convergence();
+        assert!(report.converged);
+        let lcp = AllPairsLcp::compute(&g);
+        for i in g.nodes() {
+            assert_eq!(
+                engine.node(i).selector().route(AsId::new(0)).as_ref(),
+                lcp.route(i, AsId::new(0))
+            );
+        }
+    }
+
+    #[test]
+    fn stepping_reaches_the_same_fixpoint() {
+        let g = fig1();
+        let mut stepped = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        let mut stages = 0;
+        while stepped.step().is_some() {
+            stages += 1;
+        }
+        let mut whole = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        let report = whole.run_to_convergence();
+        // step() executes the drain stage too; the report counts changes.
+        assert!(stages >= report.stages);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(
+                    stepped.node(i).selector().route(j),
+                    whole.node(i).selector().route(j),
+                    "{i} -> {j}"
+                );
+            }
+        }
+        assert!(stepped.step().is_none(), "quiescent engine stays quiescent");
+    }
+
+    #[test]
+    fn stage_traces_sum_to_the_report() {
+        let g = ring(7, Cost::new(1));
+        let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        let mut traces = Vec::new();
+        let report = engine.run_to_convergence_traced(|t| traces.push(t));
+        assert!(report.converged);
+        // Stage numbers are consecutive from 1.
+        for (idx, t) in traces.iter().enumerate() {
+            assert_eq!(t.stage, idx + 1);
+        }
+        // The last stage with changes is the reported convergence stage.
+        let last_changed = traces
+            .iter()
+            .filter(|t| t.changed_nodes > 0)
+            .map(|t| t.stage)
+            .max()
+            .unwrap();
+        assert_eq!(report.stages, last_changed);
+        // Per-stage message and byte counts sum to the totals, minus the
+        // pre-stage origin broadcasts.
+        let staged_messages: usize = traces.iter().map(|t| t.messages).sum();
+        let origin_messages = 2 * g.node_count(); // each node broadcasts to 2 neighbors
+        assert_eq!(staged_messages + origin_messages, report.messages);
+        let display = traces[0].to_string();
+        assert!(display.contains("stage"), "{display}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn link_down_of_missing_link_panics() {
+        let g = fig1();
+        let (mut engine, _) = converged_engine(&g);
+        engine.apply_event(TopologyEvent::LinkDown(Fig1::X, Fig1::Z));
+    }
+}

@@ -1,0 +1,227 @@
+//! The forwarding plane: hop-by-hop packet delivery over converged tables.
+//!
+//! Routing tables are control-plane state; packets are actually delivered
+//! by each AS looking up the destination and handing the packet to its
+//! *next hop*. This module simulates that data plane over a set of
+//! converged selectors, which checks a property the control-plane tests
+//! cannot: that per-hop forwarding decisions *compose* into the selected
+//! end-to-end routes (the loop-free tree property of Sect. 6 made
+//! operational — if the trees were inconsistent, packets would loop or
+//! diverge from the advertised paths).
+
+use crate::selector::RouteSelector;
+use bgpvcg_netgraph::AsId;
+use std::error::Error;
+use std::fmt;
+
+/// Why a packet could not be delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForwardingError {
+    /// Some AS on the way had no route to the destination.
+    NoRoute {
+        /// The AS holding the packet.
+        at: AsId,
+        /// The unreachable destination.
+        destination: AsId,
+    },
+    /// The packet revisited an AS — a forwarding loop (impossible with
+    /// consistent trees; reported rather than spun on).
+    Loop {
+        /// The AS where the loop closed.
+        at: AsId,
+    },
+    /// A next hop named an AS that is not in the network.
+    UnknownNextHop {
+        /// The bogus AS number.
+        next_hop: AsId,
+    },
+}
+
+impl fmt::Display for ForwardingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForwardingError::NoRoute { at, destination } => {
+                write!(f, "{at} has no route to {destination}")
+            }
+            ForwardingError::Loop { at } => write!(f, "forwarding loop detected at {at}"),
+            ForwardingError::UnknownNextHop { next_hop } => {
+                write!(f, "next hop {next_hop} does not exist")
+            }
+        }
+    }
+}
+
+impl Error for ForwardingError {}
+
+/// Forwards one packet from `source` to `destination` by per-hop next-hop
+/// lookups across `selectors` (indexed by `AsId::index`), returning the
+/// sequence of ASs traversed (source first, destination last).
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_bgp::{engine::SyncEngine, forwarding, PlainBgpNode, RouteSelector};
+/// use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+///
+/// let g = fig1();
+/// let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+/// engine.run_to_convergence();
+/// let nodes = engine.into_nodes();
+/// let selectors: Vec<&RouteSelector> = nodes.iter().map(|n| n.selector()).collect();
+/// let path = forwarding::forward_packet(&selectors, Fig1::X, Fig1::Z).unwrap();
+/// assert_eq!(path, vec![Fig1::X, Fig1::B, Fig1::D, Fig1::Z]);
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ForwardingError`] if some hop has no route, a loop forms, or
+/// a table names a non-existent AS — all impossible once the protocol has
+/// converged on a connected topology, and exactly what this simulator
+/// exists to prove.
+pub fn forward_packet(
+    selectors: &[&RouteSelector],
+    source: AsId,
+    destination: AsId,
+) -> Result<Vec<AsId>, ForwardingError> {
+    let mut at = source;
+    let mut path = vec![source];
+    // A packet on a loop-free tree takes at most n-1 hops.
+    while at != destination {
+        let selector = selectors
+            .get(at.index())
+            .ok_or(ForwardingError::UnknownNextHop { next_hop: at })?;
+        let route = selector
+            .selected(destination)
+            .ok_or(ForwardingError::NoRoute { at, destination })?;
+        let next = route
+            .next_hop()
+            .ok_or(ForwardingError::NoRoute { at, destination })?;
+        if next.index() >= selectors.len() {
+            return Err(ForwardingError::UnknownNextHop { next_hop: next });
+        }
+        if path.contains(&next) {
+            return Err(ForwardingError::Loop { at: next });
+        }
+        path.push(next);
+        at = next;
+    }
+    Ok(path)
+}
+
+/// Checks data-plane/control-plane consistency for every pair: the path a
+/// packet actually takes equals the route its source advertises. Returns
+/// the first inconsistency found.
+///
+/// # Errors
+///
+/// Propagates forwarding errors; additionally reports (as
+/// [`ForwardingError::NoRoute`]) a source that has a selected route whose
+/// forwarding path diverges — which would mean the trees `T(j)` are not
+/// consistent across nodes.
+pub fn verify_consistency(selectors: &[&RouteSelector]) -> Result<(), ForwardingError> {
+    for (idx, selector) in selectors.iter().enumerate() {
+        let source = AsId::new(idx as u32);
+        for destination in selector.destinations().collect::<Vec<_>>() {
+            if destination == source {
+                continue;
+            }
+            let Some(route) = selector.route(destination) else {
+                continue;
+            };
+            let forwarded = forward_packet(selectors, source, destination)?;
+            if forwarded != route.nodes() {
+                return Err(ForwardingError::NoRoute {
+                    at: source,
+                    destination,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SyncEngine;
+    use crate::node::PlainBgpNode;
+    use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+    use bgpvcg_netgraph::generators::{erdos_renyi, random_costs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn converged_selectors(g: &bgpvcg_netgraph::AsGraph) -> Vec<PlainBgpNode> {
+        let mut engine = SyncEngine::new(g, PlainBgpNode::from_graph(g));
+        let report = engine.run_to_convergence();
+        assert!(report.converged);
+        engine.into_nodes()
+    }
+
+    #[test]
+    fn packet_follows_the_advertised_route() {
+        let g = fig1();
+        let nodes = converged_selectors(&g);
+        let selectors: Vec<&RouteSelector> = nodes.iter().map(|n| n.selector()).collect();
+        let path = forward_packet(&selectors, Fig1::X, Fig1::Z).unwrap();
+        assert_eq!(path, vec![Fig1::X, Fig1::B, Fig1::D, Fig1::Z]);
+    }
+
+    #[test]
+    fn delivery_to_self_is_trivial() {
+        let g = fig1();
+        let nodes = converged_selectors(&g);
+        let selectors: Vec<&RouteSelector> = nodes.iter().map(|n| n.selector()).collect();
+        assert_eq!(
+            forward_packet(&selectors, Fig1::D, Fig1::D).unwrap(),
+            vec![Fig1::D]
+        );
+    }
+
+    #[test]
+    fn full_consistency_on_fig1() {
+        let g = fig1();
+        let nodes = converged_selectors(&g);
+        let selectors: Vec<&RouteSelector> = nodes.iter().map(|n| n.selector()).collect();
+        verify_consistency(&selectors).unwrap();
+    }
+
+    #[test]
+    fn full_consistency_on_random_graphs() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let costs = random_costs(20, 0, 9, &mut rng);
+            let g = erdos_renyi(costs, 0.25, &mut rng);
+            let nodes = converged_selectors(&g);
+            let selectors: Vec<&RouteSelector> = nodes.iter().map(|n| n.selector()).collect();
+            verify_consistency(&selectors).unwrap();
+        }
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        // A fresh, never-run selector set: nobody knows anything.
+        let g = fig1();
+        let nodes = PlainBgpNode::from_graph(&g);
+        let selectors: Vec<&RouteSelector> = nodes.iter().map(|n| n.selector()).collect();
+        let err = forward_packet(&selectors, Fig1::X, Fig1::Z).unwrap_err();
+        assert_eq!(
+            err,
+            ForwardingError::NoRoute {
+                at: Fig1::X,
+                destination: Fig1::Z
+            }
+        );
+        assert!(err.to_string().contains("no route"));
+    }
+
+    #[test]
+    fn error_display_variants() {
+        let loop_err = ForwardingError::Loop { at: Fig1::B };
+        assert!(loop_err.to_string().contains("loop"));
+        let bogus = ForwardingError::UnknownNextHop {
+            next_hop: AsId::new(99),
+        };
+        assert!(bogus.to_string().contains("AS99"));
+    }
+}

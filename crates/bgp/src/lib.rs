@@ -1,0 +1,63 @@
+//! Abstract BGP path-vector substrate (Griffin–Wilfong style).
+//!
+//! This crate implements the computational model of Sect. 5 of the paper: a
+//! network of Autonomous Systems exchanging *routing tables* with their
+//! physical neighbors. Each node stores, per destination, the selected
+//! lowest-cost AS path and its cost; a node re-advertises exactly when its
+//! table changes. Two execution engines drive the same node logic:
+//!
+//! * [`engine::SyncEngine`] — the paper's synchronous-stage model: each
+//!   stage every node ingests the tables its neighbors sent last stage,
+//!   recomputes, and re-advertises on change. Deterministic; used by all
+//!   experiments; its stage counter is the quantity bounded by `d` (plain
+//!   BGP) and `max(d, d′)` (the pricing extension).
+//! * [`engine::run_event_driven`] — an asynchronous engine (one OS thread
+//!   per AS, crossbeam channels as links) showing that nothing depends on
+//!   stage synchrony.
+//!
+//! The route-selection logic itself lives in [`RouteSelector`] so that both
+//! the plain BGP node ([`PlainBgpNode`]) and the pricing extension in
+//! `bgpvcg-core` share it — the paper's price computation is deliberately an
+//! *extension* of BGP, not a new protocol.
+//!
+//! Messages ([`Update`]) carry, per destination, the AS path annotated with
+//! each on-path node's declared cost, the path cost, and (for the pricing
+//! extension) the price array — the "costs and prices included in the
+//! routing message exchanges" of Sect. 6. [`wire`] provides the byte-size
+//! model used by the communication-overhead experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+//! use bgpvcg_bgp::{engine::SyncEngine, PlainBgpNode};
+//! use bgpvcg_netgraph::Cost;
+//!
+//! let g = fig1();
+//! let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+//! let report = engine.run_to_convergence();
+//! // Plain BGP converges within d = 3 stages on Fig. 1.
+//! assert!(report.stages <= 3);
+//! let x = engine.node(Fig1::X);
+//! assert_eq!(x.selector().route(Fig1::Z).unwrap().transit_cost(), Cost::new(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod forwarding;
+pub mod wire;
+
+mod dynamics;
+mod message;
+mod node;
+mod selector;
+mod stats;
+
+pub use dynamics::{LocalEvent, TopologyEvent};
+pub use message::{PathEntry, RouteAdvertisement, RouteInfo, Update};
+pub use node::{PlainBgpNode, ProtocolNode};
+pub use selector::RouteSelector;
+pub use stats::StateSnapshot;

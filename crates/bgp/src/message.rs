@@ -1,0 +1,237 @@
+//! Protocol messages.
+
+use bgpvcg_netgraph::{AsId, Cost};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One node of an advertised AS path, annotated with the cost that node
+/// declared.
+///
+/// Carrying declared costs inside path attributes is the "declared cost …
+/// included in the routing message exchanges" of the paper's Sect. 5/6: a
+/// receiver learns the cost of every node on every path it hears about,
+/// which the case-(iv) price relaxation needs (`p^k_ij ≤ c_k + …`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathEntry {
+    /// The AS.
+    pub node: AsId,
+    /// That AS's declared per-packet transit cost.
+    pub cost: Cost,
+}
+
+/// The routing payload for one destination: either a usable path or an
+/// explicit withdrawal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteInfo {
+    /// The advertiser has a route; fields describe it.
+    Reachable {
+        /// AS path from the advertiser (first entry) to the destination
+        /// (last entry), each annotated with its declared cost. The
+        /// advertiser's own entry carries its own declared cost.
+        path: Vec<PathEntry>,
+        /// Transit cost `c(advertiser, destination)` of the path (sum of
+        /// intermediate nodes' declared costs).
+        path_cost: Cost,
+        /// The advertiser's current price entries `p^k` for each transit
+        /// node `k` of `path`, in path order (`path[1..len-1]`). Empty for
+        /// plain BGP and for routes without transit nodes. `∞` entries are
+        /// prices not yet relaxed to a finite bound.
+        prices: Vec<Cost>,
+    },
+    /// The advertiser no longer has any route to the destination.
+    Withdrawn,
+}
+
+impl RouteInfo {
+    /// The advertised path, if reachable.
+    pub fn path(&self) -> Option<&[PathEntry]> {
+        match self {
+            RouteInfo::Reachable { path, .. } => Some(path),
+            RouteInfo::Withdrawn => None,
+        }
+    }
+
+    /// The advertised path cost, if reachable.
+    pub fn path_cost(&self) -> Option<Cost> {
+        match self {
+            RouteInfo::Reachable { path_cost, .. } => Some(*path_cost),
+            RouteInfo::Withdrawn => None,
+        }
+    }
+
+    /// Returns `true` if `node` appears anywhere on the advertised path.
+    pub fn contains(&self, node: AsId) -> bool {
+        self.path()
+            .is_some_and(|p| p.iter().any(|e| e.node == node))
+    }
+
+    /// The advertised price for transit node `k`, if the route is reachable
+    /// and `k` is one of its transit nodes.
+    pub fn price_of(&self, k: AsId) -> Option<Cost> {
+        let RouteInfo::Reachable { path, prices, .. } = self else {
+            return None;
+        };
+        if path.len() < 3 {
+            return None;
+        }
+        let transit = &path[1..path.len() - 1];
+        let pos = transit.iter().position(|e| e.node == k)?;
+        prices.get(pos).copied()
+    }
+}
+
+/// One routing-table entry being advertised: a destination plus its
+/// [`RouteInfo`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteAdvertisement {
+    /// The destination AS this entry routes toward.
+    pub destination: AsId,
+    /// The route (or withdrawal).
+    pub info: RouteInfo,
+}
+
+/// An UPDATE message: the changed portion of one node's routing table,
+/// broadcast to all of its neighbors.
+///
+/// The paper's model sends the full table on change and measures worst-case
+/// complexity that way; like real BGP, this implementation sends only the
+/// entries that changed (the engines' byte accounting records actual sizes,
+/// and experiment E5 reports full-table sizes separately).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Update {
+    /// The advertising AS.
+    pub from: AsId,
+    /// The advertiser's *per-neighbor* receive-cost vector — empty in the
+    /// paper's base (node-uniform) cost model, populated under the Sect. 3
+    /// per-neighbor extension, where a receiver `u` needs the advertiser's
+    /// cost of receiving from `u` specifically to evaluate candidates.
+    /// `O(degree)` extra data, still broadcast to all neighbors.
+    pub sender_costs: Vec<(AsId, Cost)>,
+    /// Changed table entries.
+    pub advertisements: Vec<RouteAdvertisement>,
+}
+
+impl Update {
+    /// Creates an update; returns `None` when there is nothing to send
+    /// (protocol rule: only advertise on change).
+    pub fn if_nonempty(from: AsId, advertisements: Vec<RouteAdvertisement>) -> Option<Update> {
+        if advertisements.is_empty() {
+            None
+        } else {
+            Some(Update {
+                from,
+                sender_costs: Vec::new(),
+                advertisements,
+            })
+        }
+    }
+
+    /// Attaches the advertiser's receive-cost vector (per-neighbor cost
+    /// model only).
+    #[must_use]
+    pub fn with_sender_costs(mut self, sender_costs: Vec<(AsId, Cost)>) -> Update {
+        self.sender_costs = sender_costs;
+        self
+    }
+
+    /// Number of table entries carried.
+    pub fn entry_count(&self) -> usize {
+        self.advertisements.len()
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Update from {} ({} entries)",
+            self.from,
+            self.advertisements.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(raw: u32, cost: u64) -> PathEntry {
+        PathEntry {
+            node: AsId::new(raw),
+            cost: Cost::new(cost),
+        }
+    }
+
+    fn reachable() -> RouteInfo {
+        // Path 0 -> 4 -> 3 -> 2 with transit nodes 4 (cost 2) and 3 (cost 1).
+        RouteInfo::Reachable {
+            path: vec![entry(0, 2), entry(4, 2), entry(3, 1), entry(2, 4)],
+            path_cost: Cost::new(3),
+            prices: vec![Cost::new(4), Cost::new(3)],
+        }
+    }
+
+    #[test]
+    fn path_accessors() {
+        let info = reachable();
+        assert_eq!(info.path().unwrap().len(), 4);
+        assert_eq!(info.path_cost(), Some(Cost::new(3)));
+        assert!(info.contains(AsId::new(3)));
+        assert!(!info.contains(AsId::new(9)));
+    }
+
+    #[test]
+    fn withdrawn_has_nothing() {
+        let info = RouteInfo::Withdrawn;
+        assert_eq!(info.path(), None);
+        assert_eq!(info.path_cost(), None);
+        assert!(!info.contains(AsId::new(0)));
+        assert_eq!(info.price_of(AsId::new(0)), None);
+    }
+
+    #[test]
+    fn price_of_transit_nodes() {
+        let info = reachable();
+        assert_eq!(info.price_of(AsId::new(4)), Some(Cost::new(4)));
+        assert_eq!(info.price_of(AsId::new(3)), Some(Cost::new(3)));
+        assert_eq!(info.price_of(AsId::new(0)), None, "source is not transit");
+        assert_eq!(
+            info.price_of(AsId::new(2)),
+            None,
+            "destination is not transit"
+        );
+    }
+
+    #[test]
+    fn price_of_on_short_paths() {
+        let info = RouteInfo::Reachable {
+            path: vec![entry(1, 5), entry(2, 4)],
+            path_cost: Cost::ZERO,
+            prices: vec![],
+        };
+        assert_eq!(info.price_of(AsId::new(1)), None);
+        assert_eq!(info.price_of(AsId::new(2)), None);
+    }
+
+    #[test]
+    fn update_if_nonempty() {
+        assert!(Update::if_nonempty(AsId::new(1), vec![]).is_none());
+        let ad = RouteAdvertisement {
+            destination: AsId::new(2),
+            info: RouteInfo::Withdrawn,
+        };
+        let u = Update::if_nonempty(AsId::new(1), vec![ad]).unwrap();
+        assert_eq!(u.entry_count(), 1);
+        assert_eq!(u.from, AsId::new(1));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let u = Update {
+            from: AsId::new(7),
+            sender_costs: Vec::new(),
+            advertisements: vec![],
+        };
+        assert!(u.to_string().contains("AS7"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The protocol-node abstraction and the plain (price-free) BGP node.
+
+use crate::dynamics::LocalEvent;
+use crate::message::{RouteAdvertisement, RouteInfo, Update};
+use crate::selector::RouteSelector;
+use crate::stats::StateSnapshot;
+use bgpvcg_netgraph::{AsGraph, AsId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The behaviour an AS must implement to be driven by either engine.
+///
+/// A node is a pure state machine: the engine feeds it messages and local
+/// events; the node answers with the UPDATE it wants broadcast to its
+/// neighbors (or `None` when its advertised state did not change — the
+/// paper's "routing-table exchanges only occur when a change is detected").
+pub trait ProtocolNode: Send {
+    /// This node's AS number.
+    fn id(&self) -> AsId;
+
+    /// Called once before the first stage: the node's initial advertisement
+    /// (at minimum, its origin route to itself).
+    fn start(&mut self) -> Option<Update>;
+
+    /// Ingests a batch of UPDATEs delivered this stage and returns the
+    /// resulting broadcast, if anything changed.
+    fn handle(&mut self, updates: &[Update]) -> Option<Update>;
+
+    /// Applies a local topology event and returns the resulting broadcast,
+    /// if anything changed. For [`LocalEvent::LinkUp`] the engine delivers
+    /// the returned update (the full table) to the *new neighbor only*, not
+    /// as a broadcast.
+    fn apply_event(&mut self, event: LocalEvent) -> Option<Update>;
+
+    /// The node's full table as an update — what a real BGP speaker sends
+    /// when a new session is established.
+    fn full_table(&self) -> Option<Update>;
+
+    /// Sizes of the node's protocol state, for the E5 experiment.
+    fn state(&self) -> StateSnapshot;
+}
+
+/// A plain lowest-cost-path BGP speaker: route selection and advertisement,
+/// no prices. This is the baseline protocol the paper extends; experiments
+/// E5/E6 compare its state and traffic against the pricing extension.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::structured::fig1;
+/// use bgpvcg_bgp::PlainBgpNode;
+///
+/// let g = fig1();
+/// let nodes = PlainBgpNode::from_graph(&g);
+/// assert_eq!(nodes.len(), g.node_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlainBgpNode {
+    selector: RouteSelector,
+    /// What we last advertised per destination, so we only send changes.
+    advertised: BTreeMap<AsId, RouteInfo>,
+}
+
+impl PlainBgpNode {
+    /// Creates a node for AS `id` of the given graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the graph.
+    pub fn new(graph: &AsGraph, id: AsId) -> Self {
+        PlainBgpNode {
+            selector: RouteSelector::new(id, graph.cost(id), graph.neighbors(id).iter().copied()),
+            advertised: BTreeMap::new(),
+        }
+    }
+
+    /// Creates one node per AS of the graph, in AS order — ready to hand to
+    /// an engine.
+    pub fn from_graph(graph: &AsGraph) -> Vec<Self> {
+        graph
+            .nodes()
+            .map(|id| PlainBgpNode::new(graph, id))
+            .collect()
+    }
+
+    /// Read access to the decision process (selected routes, Rib-In).
+    pub fn selector(&self) -> &RouteSelector {
+        &self.selector
+    }
+
+    /// The advertisement for one destination reflecting current state:
+    /// reachable with the selected path, or withdrawn.
+    fn advertisement_for(&self, dest: AsId) -> RouteInfo {
+        match self.selector.selected(dest) {
+            Some(route) => RouteInfo::Reachable {
+                path: route.path.clone(),
+                path_cost: route.cost,
+                prices: Vec::new(),
+            },
+            None => RouteInfo::Withdrawn,
+        }
+    }
+
+    /// Builds the outgoing update for the given destinations, comparing
+    /// against what was last advertised; records what is sent.
+    fn emit(&mut self, dests: impl IntoIterator<Item = AsId>) -> Option<Update> {
+        let mut ads = Vec::new();
+        for dest in dests {
+            let info = self.advertisement_for(dest);
+            let changed = match self.advertised.get(&dest) {
+                Some(prev) => *prev != info,
+                // Never advertise an initial withdrawal: silence means the
+                // same thing and costs nothing.
+                None => !matches!(info, RouteInfo::Withdrawn),
+            };
+            if changed {
+                self.advertised.insert(dest, info.clone());
+                ads.push(RouteAdvertisement {
+                    destination: dest,
+                    info,
+                });
+            }
+        }
+        Update::if_nonempty(self.selector.id(), ads)
+    }
+}
+
+impl ProtocolNode for PlainBgpNode {
+    fn id(&self) -> AsId {
+        self.selector.id()
+    }
+
+    fn start(&mut self) -> Option<Update> {
+        self.emit([self.selector.id()])
+    }
+
+    fn handle(&mut self, updates: &[Update]) -> Option<Update> {
+        let mut affected: BTreeSet<AsId> = BTreeSet::new();
+        for update in updates {
+            affected.extend(self.selector.ingest(update));
+        }
+        let mut changed = BTreeSet::new();
+        for dest in affected {
+            if self.selector.decide(dest) {
+                changed.insert(dest);
+            }
+        }
+        self.emit(changed)
+    }
+
+    fn apply_event(&mut self, event: LocalEvent) -> Option<Update> {
+        match event {
+            LocalEvent::LinkDown(neighbor) => {
+                let changed = self.selector.link_down(neighbor);
+                self.emit(changed)
+            }
+            LocalEvent::LinkUp(neighbor) => {
+                self.selector.link_up(neighbor);
+                None // the engine sends `full_table` to the new neighbor
+            }
+            LocalEvent::CostChange(cost) => {
+                self.selector.set_declared_cost(cost);
+                // Every originated path entry carries the declared cost, so
+                // the entire advertised table changes.
+                let dests: Vec<AsId> = self.selector.destinations().collect();
+                self.emit(dests)
+            }
+        }
+    }
+
+    fn full_table(&self) -> Option<Update> {
+        let ads: Vec<RouteAdvertisement> = self
+            .selector
+            .destinations()
+            .map(|dest| RouteAdvertisement {
+                destination: dest,
+                info: self.advertisement_for(dest),
+            })
+            .collect();
+        Update::if_nonempty(self.selector.id(), ads)
+    }
+
+    fn state(&self) -> StateSnapshot {
+        let mut snapshot = StateSnapshot::default();
+        for dest in self.selector.destinations() {
+            if let Some(route) = self.selector.selected(dest) {
+                snapshot.table_entries += 1;
+                snapshot.table_path_nodes += route.path.len();
+            }
+        }
+        let neighbors: Vec<AsId> = self.selector.neighbors().collect();
+        for a in neighbors {
+            for dest in self.selector.destinations().collect::<Vec<_>>() {
+                if let Some(info) = self.selector.rib(a, dest) {
+                    snapshot.rib_entries += 1;
+                    snapshot.rib_path_nodes += info.path().map_or(0, <[_]>::len);
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+    use bgpvcg_netgraph::Cost;
+
+    #[test]
+    fn start_advertises_origin_only() {
+        let g = fig1();
+        let mut node = PlainBgpNode::new(&g, Fig1::D);
+        let update = node.start().expect("origin must be advertised");
+        assert_eq!(update.entry_count(), 1);
+        assert_eq!(update.advertisements[0].destination, Fig1::D);
+        let info = &update.advertisements[0].info;
+        assert_eq!(info.path().unwrap().len(), 1);
+        assert_eq!(info.path().unwrap()[0].cost, Cost::new(1));
+    }
+
+    #[test]
+    fn handle_learns_and_forwards() {
+        let g = fig1();
+        let mut d = PlainBgpNode::new(&g, Fig1::D);
+        let mut z = PlainBgpNode::new(&g, Fig1::Z);
+        let z_origin = z.start().unwrap();
+        let out = d.handle(&[z_origin]).expect("new route must be advertised");
+        // D now advertises its route to Z (D, Z with cost 0) besides having
+        // learned it.
+        assert!(out
+            .advertisements
+            .iter()
+            .any(|ad| ad.destination == Fig1::Z));
+        assert_eq!(
+            d.selector().route_cost(Fig1::Z),
+            Cost::ZERO,
+            "one-hop route has no transit"
+        );
+    }
+
+    #[test]
+    fn duplicate_updates_produce_silence() {
+        let g = fig1();
+        let mut d = PlainBgpNode::new(&g, Fig1::D);
+        let mut z = PlainBgpNode::new(&g, Fig1::Z);
+        let z_origin = z.start().unwrap();
+        assert!(d.handle(std::slice::from_ref(&z_origin)).is_some());
+        assert!(
+            d.handle(&[z_origin]).is_none(),
+            "re-delivery of identical state must not re-advertise"
+        );
+    }
+
+    #[test]
+    fn full_table_covers_all_destinations() {
+        let g = fig1();
+        let mut d = PlainBgpNode::new(&g, Fig1::D);
+        let mut z = PlainBgpNode::new(&g, Fig1::Z);
+        d.handle(&[z.start().unwrap()]);
+        let table = d.full_table().unwrap();
+        assert_eq!(table.entry_count(), 2); // D itself and Z
+    }
+
+    #[test]
+    fn link_down_withdraws_lost_routes() {
+        let g = fig1();
+        let mut d = PlainBgpNode::new(&g, Fig1::D);
+        let mut z = PlainBgpNode::new(&g, Fig1::Z);
+        d.handle(&[z.start().unwrap()]);
+        let out = d
+            .apply_event(LocalEvent::LinkDown(Fig1::Z))
+            .expect("losing the only route must produce a withdrawal");
+        let ad = out
+            .advertisements
+            .iter()
+            .find(|ad| ad.destination == Fig1::Z)
+            .expect("withdrawal for Z");
+        assert_eq!(ad.info, RouteInfo::Withdrawn);
+    }
+
+    #[test]
+    fn cost_change_readvertises_table() {
+        let g = fig1();
+        let mut d = PlainBgpNode::new(&g, Fig1::D);
+        d.start();
+        let out = d
+            .apply_event(LocalEvent::CostChange(Cost::new(42)))
+            .expect("cost change must re-advertise");
+        let info = &out.advertisements[0].info;
+        assert_eq!(info.path().unwrap()[0].cost, Cost::new(42));
+    }
+
+    #[test]
+    fn state_snapshot_counts_entries() {
+        let g = fig1();
+        let mut d = PlainBgpNode::new(&g, Fig1::D);
+        let mut z = PlainBgpNode::new(&g, Fig1::Z);
+        d.handle(&[z.start().unwrap()]);
+        let snap = d.state();
+        assert_eq!(snap.table_entries, 2);
+        assert_eq!(snap.table_path_nodes, 1 + 2);
+        assert_eq!(snap.rib_entries, 1);
+        assert_eq!(snap.price_entries, 0);
+    }
+}

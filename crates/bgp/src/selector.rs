@@ -1,0 +1,667 @@
+//! Route selection: the per-node path-vector decision process.
+
+use crate::message::{PathEntry, RouteInfo, Update};
+use bgpvcg_lcp::Route;
+use bgpvcg_netgraph::{AsId, Cost};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A selected routing-table entry: the chosen path (cost-annotated) and its
+/// transit cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedRoute {
+    /// The path from this node (first entry) to the destination (last
+    /// entry), each node annotated with its declared cost as learned from
+    /// advertisements.
+    pub path: Vec<PathEntry>,
+    /// Transit cost of the path.
+    pub cost: Cost,
+}
+
+impl SelectedRoute {
+    /// Converts to an [`Route`] for inspection and comparison.
+    pub fn as_route(&self) -> Route {
+        Route::from_parts(self.path.iter().map(|e| e.node).collect(), self.cost)
+    }
+
+    /// The next hop (second node), or `None` for the trivial route.
+    pub fn next_hop(&self) -> Option<AsId> {
+        self.path.get(1).map(|e| e.node)
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// Structural validity of an incoming reachable advertisement: the path is
+/// non-empty, starts at the advertiser, ends at the destination, repeats no
+/// node, and carries at most one price slot per transit node. Everything a
+/// receiver later indexes into is covered, so a malformed message can be
+/// dropped here once instead of defended against everywhere.
+fn well_formed(from: AsId, destination: AsId, info: &RouteInfo) -> bool {
+    let RouteInfo::Reachable { path, prices, .. } = info else {
+        return true; // withdrawals carry no structure
+    };
+    let Some(first) = path.first() else {
+        return false;
+    };
+    let last = path.last().expect("non-empty checked");
+    if first.node != from || last.node != destination {
+        return false;
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    if !path.iter().all(|e| seen.insert(e.node)) {
+        return false;
+    }
+    prices.len() <= path.len().saturating_sub(2)
+}
+
+/// Compares two candidate routes under the deterministic route order
+/// `(transit cost, hop count, lexicographic AS path)`.
+fn candidate_cmp(a: &SelectedRoute, b: &SelectedRoute) -> std::cmp::Ordering {
+    a.cost
+        .cmp(&b.cost)
+        .then_with(|| a.path.len().cmp(&b.path.len()))
+        .then_with(|| {
+            a.path
+                .iter()
+                .map(|e| e.node)
+                .cmp(b.path.iter().map(|e| e.node))
+        })
+}
+
+/// The path-vector decision process of one AS: Rib-In (the last routes each
+/// neighbor advertised), route selection under the deterministic order, and
+/// the selected routing table.
+///
+/// `RouteSelector` is deliberately protocol-logic only — no I/O — so the
+/// synchronous and asynchronous engines, and the pricing extension in
+/// `bgpvcg-core`, all drive the same code (the paper's mechanism is an
+/// extension of BGP, so the BGP decision process must be shared, not
+/// duplicated).
+#[derive(Debug, Clone)]
+pub struct RouteSelector {
+    id: AsId,
+    /// This node's own declared transit cost (what it stamps into path
+    /// entries it originates or extends).
+    declared_cost: Cost,
+    /// Per-neighbor Rib-In: destination → last advertised route.
+    rib_in: BTreeMap<AsId, BTreeMap<AsId, RouteInfo>>,
+    /// Receive-cost vectors advertised by neighbors (per-neighbor cost
+    /// model only; empty in the paper's base model). `vectors[a][u]` is the
+    /// cost `a` incurs receiving a transit packet from `u`.
+    neighbor_vectors: BTreeMap<AsId, BTreeMap<AsId, Cost>>,
+    /// The selected routing table: destination → chosen route. Own
+    /// destination always maps to the trivial route.
+    table: BTreeMap<AsId, SelectedRoute>,
+}
+
+impl RouteSelector {
+    /// Creates a selector for node `id` with the given declared cost and
+    /// physical neighbors.
+    pub fn new<I: IntoIterator<Item = AsId>>(id: AsId, declared_cost: Cost, neighbors: I) -> Self {
+        let rib_in = neighbors
+            .into_iter()
+            .map(|a| (a, BTreeMap::new()))
+            .collect();
+        let mut table = BTreeMap::new();
+        table.insert(
+            id,
+            SelectedRoute {
+                path: vec![PathEntry {
+                    node: id,
+                    cost: declared_cost,
+                }],
+                cost: Cost::ZERO,
+            },
+        );
+        RouteSelector {
+            id,
+            declared_cost,
+            rib_in,
+            neighbor_vectors: BTreeMap::new(),
+            table,
+        }
+    }
+
+    /// This node's AS number.
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// This node's declared cost.
+    pub fn declared_cost(&self) -> Cost {
+        self.declared_cost
+    }
+
+    /// Changes this node's declared cost (a strategic deviation or dynamic
+    /// re-declaration). Every selected route's first path entry carries the
+    /// declared cost, so all of them are restamped; the caller must
+    /// re-advertise the full table afterwards.
+    pub fn set_declared_cost(&mut self, cost: Cost) {
+        self.declared_cost = cost;
+        for route in self.table.values_mut() {
+            route.path[0].cost = cost;
+        }
+    }
+
+    /// Current physical neighbors, ascending.
+    pub fn neighbors(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.rib_in.keys().copied()
+    }
+
+    /// Returns `true` if `a` is currently a neighbor.
+    pub fn has_neighbor(&self, a: AsId) -> bool {
+        self.rib_in.contains_key(&a)
+    }
+
+    /// The route `a` last advertised for `dest`, if any.
+    pub fn rib(&self, a: AsId, dest: AsId) -> Option<&RouteInfo> {
+        self.rib_in.get(&a)?.get(&dest)
+    }
+
+    /// The declared cost of neighbor `a` as learned from its advertisements
+    /// (the first path entry of anything it sends is itself), or `None`
+    /// before `a` has advertised anything.
+    pub fn neighbor_cost(&self, a: AsId) -> Option<Cost> {
+        let routes = self.rib_in.get(&a)?;
+        routes
+            .values()
+            .find_map(|info| info.path().and_then(|p| p.first()).map(|e| e.cost))
+    }
+
+    /// The receive-cost vector neighbor `a` last advertised (per-neighbor
+    /// cost model), if any.
+    pub fn neighbor_vector(&self, a: AsId) -> Option<&BTreeMap<AsId, Cost>> {
+        self.neighbor_vectors.get(&a)
+    }
+
+    /// The cost neighbor `a` incurs receiving a transit packet *from this
+    /// node*, per `a`'s advertised vector (per-neighbor model only).
+    pub fn recv_cost_from(&self, a: AsId) -> Option<Cost> {
+        self.neighbor_vectors.get(&a)?.get(&self.id).copied()
+    }
+
+    /// The selected route to `dest` (trivial for `dest == id`).
+    pub fn selected(&self, dest: AsId) -> Option<&SelectedRoute> {
+        self.table.get(&dest)
+    }
+
+    /// The selected route to `dest` as an [`Route`].
+    pub fn route(&self, dest: AsId) -> Option<Route> {
+        self.table.get(&dest).map(SelectedRoute::as_route)
+    }
+
+    /// The selected route's transit cost `c(self, dest)`, or
+    /// [`Cost::INFINITE`] if no route is known.
+    pub fn route_cost(&self, dest: AsId) -> Cost {
+        self.table.get(&dest).map_or(Cost::INFINITE, |r| r.cost)
+    }
+
+    /// All destinations with a selected route, ascending.
+    pub fn destinations(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.table.keys().copied()
+    }
+
+    /// Ingests an UPDATE from a neighbor into the Rib-In, returning the set
+    /// of destinations whose advertised state changed. Messages from
+    /// non-neighbors (possible transiently around link failures in the
+    /// asynchronous engine) are ignored.
+    pub fn ingest(&mut self, update: &Update) -> BTreeSet<AsId> {
+        let mut affected = BTreeSet::new();
+        if !self.rib_in.contains_key(&update.from) {
+            return affected;
+        }
+        if !update.sender_costs.is_empty() {
+            let vector: BTreeMap<AsId, Cost> = update.sender_costs.iter().copied().collect();
+            let previous = self.neighbor_vectors.insert(update.from, vector);
+            if previous.as_ref() != self.neighbor_vectors.get(&update.from) {
+                // A changed cost vector re-prices every candidate through
+                // this neighbor.
+                affected.extend(self.rib_in[&update.from].keys().copied());
+            }
+        }
+        let from = update.from;
+        let routes = self.rib_in.get_mut(&from).expect("checked above");
+        for ad in &update.advertisements {
+            match &ad.info {
+                RouteInfo::Withdrawn => {
+                    if routes.remove(&ad.destination).is_some() {
+                        affected.insert(ad.destination);
+                    }
+                }
+                reachable => {
+                    // Drop structurally malformed advertisements instead of
+                    // trusting them: a misbehaving or buggy neighbor must
+                    // not be able to crash this node (the paper's Sect. 7
+                    // notes the agents themselves run the algorithm).
+                    if !well_formed(from, ad.destination, reachable) {
+                        continue;
+                    }
+                    let prev = routes.insert(ad.destination, reachable.clone());
+                    if prev.as_ref() != Some(reachable) {
+                        affected.insert(ad.destination);
+                    }
+                }
+            }
+        }
+        affected
+    }
+
+    /// Re-runs route selection for one destination; returns `true` if the
+    /// selected route changed (including becoming unreachable).
+    ///
+    /// Selection: over all neighbors `a` whose Rib-In holds a route for
+    /// `dest` not containing this node (loop suppression), extend that route
+    /// by this node and keep the minimum under the deterministic order.
+    pub fn decide(&mut self, dest: AsId) -> bool {
+        if dest == self.id {
+            return false; // the trivial route is permanent
+        }
+        let mut best: Option<SelectedRoute> = None;
+        for (a, routes) in &self.rib_in {
+            let Some(info) = routes.get(&dest) else {
+                continue;
+            };
+            let RouteInfo::Reachable {
+                path, path_cost, ..
+            } = info
+            else {
+                continue;
+            };
+            if info.contains(self.id) {
+                continue; // loop suppression
+            }
+            // Extending by ourselves turns the advertiser into a transit
+            // node (unless it is the destination, which stays an endpoint).
+            // In the base model the advertiser's cost is the first path
+            // entry; in the per-neighbor model it is the advertiser's
+            // receive cost *from us*, taken from its advertised vector.
+            let vector_cost = self
+                .neighbor_vectors
+                .get(a)
+                .and_then(|v| v.get(&self.id))
+                .copied();
+            let added = if *a == dest {
+                Cost::ZERO
+            } else {
+                vector_cost.unwrap_or(path[0].cost)
+            };
+            let mut full_path = Vec::with_capacity(path.len() + 1);
+            full_path.push(PathEntry {
+                node: self.id,
+                cost: self.declared_cost,
+            });
+            full_path.extend_from_slice(path);
+            if vector_cost.is_some() {
+                // Per-neighbor model: each path entry carries the node's
+                // cost *given its predecessor on this path*, so the
+                // advertiser's entry is restamped for the new predecessor.
+                full_path[1].cost = added;
+            }
+            let candidate = SelectedRoute {
+                path: full_path,
+                cost: *path_cost + added,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate_cmp(&candidate, b) == std::cmp::Ordering::Less,
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let changed = match (&best, self.table.get(&dest)) {
+            (Some(new), Some(old)) => new != old,
+            (None, None) => false,
+            _ => true,
+        };
+        if changed {
+            match best {
+                Some(route) => {
+                    self.table.insert(dest, route);
+                }
+                None => {
+                    self.table.remove(&dest);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Re-runs selection for every destination mentioned anywhere in the
+    /// Rib-In or currently in the table; returns those whose selection
+    /// changed.
+    pub fn decide_all(&mut self) -> BTreeSet<AsId> {
+        let mut dests: BTreeSet<AsId> = self.table.keys().copied().collect();
+        for routes in self.rib_in.values() {
+            dests.extend(routes.keys().copied());
+        }
+        dests
+            .into_iter()
+            .filter(|&dest| self.decide(dest))
+            .collect()
+    }
+
+    /// Handles a link to `a` coming up: adds the neighbor with an empty
+    /// Rib-In. Idempotent.
+    pub fn link_up(&mut self, a: AsId) {
+        self.rib_in.entry(a).or_default();
+    }
+
+    /// Handles the link to `a` going down: drops its Rib-In and re-decides
+    /// everything; returns destinations whose selection changed.
+    pub fn link_down(&mut self, a: AsId) -> BTreeSet<AsId> {
+        if self.rib_in.remove(&a).is_none() {
+            return BTreeSet::new();
+        }
+        self.neighbor_vectors.remove(&a);
+        self.decide_all()
+    }
+}
+
+impl fmt::Display for RouteSelector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RouteSelector for {}:", self.id)?;
+        for (dest, route) in &self.table {
+            writeln!(f, "  {dest}: {}", route.as_route())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RouteAdvertisement;
+
+    fn entry(raw: u32, cost: u64) -> PathEntry {
+        PathEntry {
+            node: AsId::new(raw),
+            cost: Cost::new(cost),
+        }
+    }
+
+    fn ad(dest: u32, path: Vec<PathEntry>, cost: u64) -> RouteAdvertisement {
+        RouteAdvertisement {
+            destination: AsId::new(dest),
+            info: RouteInfo::Reachable {
+                path,
+                path_cost: Cost::new(cost),
+                prices: vec![],
+            },
+        }
+    }
+
+    fn update(from: u32, ads: Vec<RouteAdvertisement>) -> Update {
+        Update {
+            from: AsId::new(from),
+            sender_costs: Vec::new(),
+            advertisements: ads,
+        }
+    }
+
+    /// A selector for node 0 with neighbors 1 and 2.
+    fn selector() -> RouteSelector {
+        RouteSelector::new(AsId::new(0), Cost::new(5), [AsId::new(1), AsId::new(2)])
+    }
+
+    #[test]
+    fn starts_with_trivial_route_only() {
+        let s = selector();
+        assert_eq!(s.route_cost(AsId::new(0)), Cost::ZERO);
+        assert_eq!(s.route_cost(AsId::new(9)), Cost::INFINITE);
+        assert_eq!(s.destinations().count(), 1);
+        assert_eq!(
+            s.neighbors().collect::<Vec<_>>(),
+            vec![AsId::new(1), AsId::new(2)]
+        );
+    }
+
+    #[test]
+    fn ingest_and_decide_selects_direct_route() {
+        let mut s = selector();
+        // Neighbor 1 (cost 3) advertises itself.
+        let affected = s.ingest(&update(1, vec![ad(1, vec![entry(1, 3)], 0)]));
+        assert_eq!(affected, BTreeSet::from([AsId::new(1)]));
+        assert!(s.decide(AsId::new(1)));
+        let route = s.selected(AsId::new(1)).unwrap();
+        assert_eq!(route.cost, Cost::ZERO, "destination is an endpoint");
+        assert_eq!(route.hops(), 1);
+        assert_eq!(route.next_hop(), Some(AsId::new(1)));
+    }
+
+    #[test]
+    fn decide_prefers_cheaper_transit() {
+        let mut s = selector();
+        // Route to 9 via neighbor 1 (1 declares cost 3): transit = 3 + 4.
+        s.ingest(&update(
+            1,
+            vec![ad(9, vec![entry(1, 3), entry(7, 4), entry(9, 2)], 4)],
+        ));
+        // Route to 9 via neighbor 2 (2 declares cost 1): transit = 1 + 0.
+        s.ingest(&update(2, vec![ad(9, vec![entry(2, 1), entry(9, 2)], 0)]));
+        s.decide(AsId::new(9));
+        let route = s.selected(AsId::new(9)).unwrap();
+        assert_eq!(route.cost, Cost::new(1));
+        assert_eq!(route.next_hop(), Some(AsId::new(2)));
+    }
+
+    #[test]
+    fn loop_suppression_skips_paths_containing_self() {
+        let mut s = selector();
+        s.ingest(&update(
+            1,
+            vec![ad(9, vec![entry(1, 3), entry(0, 5), entry(9, 2)], 5)],
+        ));
+        s.decide(AsId::new(9));
+        assert!(s.selected(AsId::new(9)).is_none(), "only candidate loops");
+    }
+
+    #[test]
+    fn withdrawal_removes_route() {
+        let mut s = selector();
+        s.ingest(&update(1, vec![ad(1, vec![entry(1, 3)], 0)]));
+        s.decide(AsId::new(1));
+        assert!(s.selected(AsId::new(1)).is_some());
+        let affected = s.ingest(&update(
+            1,
+            vec![RouteAdvertisement {
+                destination: AsId::new(1),
+                info: RouteInfo::Withdrawn,
+            }],
+        ));
+        assert_eq!(affected, BTreeSet::from([AsId::new(1)]));
+        assert!(s.decide(AsId::new(1)));
+        assert!(s.selected(AsId::new(1)).is_none());
+    }
+
+    #[test]
+    fn ingest_from_stranger_is_ignored() {
+        let mut s = selector();
+        let affected = s.ingest(&update(77, vec![ad(1, vec![entry(77, 1)], 0)]));
+        assert!(affected.is_empty());
+    }
+
+    #[test]
+    fn reingest_of_same_route_reports_no_change() {
+        let mut s = selector();
+        let u = update(1, vec![ad(1, vec![entry(1, 3)], 0)]);
+        assert!(!s.ingest(&u).is_empty());
+        assert!(s.ingest(&u).is_empty(), "identical re-advertisement");
+    }
+
+    #[test]
+    fn neighbor_cost_learned_from_any_advertisement() {
+        let mut s = selector();
+        assert_eq!(s.neighbor_cost(AsId::new(1)), None);
+        s.ingest(&update(1, vec![ad(9, vec![entry(1, 3), entry(9, 2)], 0)]));
+        assert_eq!(s.neighbor_cost(AsId::new(1)), Some(Cost::new(3)));
+    }
+
+    #[test]
+    fn link_down_drops_routes_via_neighbor() {
+        let mut s = selector();
+        s.ingest(&update(1, vec![ad(1, vec![entry(1, 3)], 0)]));
+        s.ingest(&update(2, vec![ad(2, vec![entry(2, 1)], 0)]));
+        s.decide_all();
+        let changed = s.link_down(AsId::new(1));
+        assert!(changed.contains(&AsId::new(1)));
+        assert!(s.selected(AsId::new(1)).is_none());
+        assert!(s.selected(AsId::new(2)).is_some());
+        assert!(!s.has_neighbor(AsId::new(1)));
+        // Idempotent on a second call.
+        assert!(s.link_down(AsId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn link_up_registers_neighbor() {
+        let mut s = selector();
+        s.link_up(AsId::new(7));
+        assert!(s.has_neighbor(AsId::new(7)));
+        let affected = s.ingest(&update(7, vec![ad(7, vec![entry(7, 2)], 0)]));
+        assert!(!affected.is_empty());
+    }
+
+    #[test]
+    fn set_declared_cost_updates_own_entry() {
+        let mut s = selector();
+        s.set_declared_cost(Cost::new(11));
+        assert_eq!(s.declared_cost(), Cost::new(11));
+        let own = s.selected(AsId::new(0)).unwrap();
+        assert_eq!(own.path[0].cost, Cost::new(11));
+    }
+
+    #[test]
+    fn tie_break_on_equal_cost_prefers_fewer_hops_then_lex() {
+        let mut s = selector();
+        // Two candidates to dest 9, both transit cost 2.
+        s.ingest(&update(1, vec![ad(9, vec![entry(1, 2), entry(9, 0)], 0)])); // 0,1,9: cost 2, 2 hops
+        s.ingest(&update(
+            2,
+            vec![ad(9, vec![entry(2, 0), entry(3, 2), entry(9, 0)], 2)],
+        )); // 0,2,3,9: cost 2, 3 hops
+        s.decide(AsId::new(9));
+        assert_eq!(
+            s.selected(AsId::new(9)).unwrap().next_hop(),
+            Some(AsId::new(1))
+        );
+    }
+
+    #[test]
+    fn sender_vector_overrides_first_entry_cost() {
+        // Per-neighbor model: neighbor 1 declares "receiving from node 0
+        // costs 7" via its vector; the base path entry says 3. The
+        // candidate must be priced (and restamped) with 7.
+        let mut s = selector();
+        let u = update(1, vec![ad(9, vec![entry(1, 3), entry(9, 2)], 0)]).with_sender_costs(vec![
+            (AsId::new(0), Cost::new(7)),
+            (AsId::new(9), Cost::new(1)),
+        ]);
+        s.ingest(&u);
+        s.decide(AsId::new(9));
+        let route = s.selected(AsId::new(9)).unwrap();
+        assert_eq!(route.cost, Cost::new(7));
+        assert_eq!(
+            route.path[1].cost,
+            Cost::new(7),
+            "entry restamped for its predecessor"
+        );
+        assert_eq!(s.recv_cost_from(AsId::new(1)), Some(Cost::new(7)));
+        assert!(s.neighbor_vector(AsId::new(1)).is_some());
+    }
+
+    #[test]
+    fn changed_vector_marks_all_neighbor_dests_affected() {
+        let mut s = selector();
+        let u1 = update(1, vec![ad(9, vec![entry(1, 3), entry(9, 2)], 0)])
+            .with_sender_costs(vec![(AsId::new(0), Cost::new(7))]);
+        s.ingest(&u1);
+        s.decide(AsId::new(9));
+        // Same routes, different vector: destination 9 must be re-decided.
+        let u2 = update(1, vec![]).with_sender_costs(vec![(AsId::new(0), Cost::new(2))]);
+        // if_nonempty refuses empty ad lists; build directly.
+        let u2 = Update {
+            from: AsId::new(1),
+            sender_costs: u2.sender_costs,
+            advertisements: vec![],
+        };
+        let affected = s.ingest(&u2);
+        assert!(affected.contains(&AsId::new(9)), "{affected:?}");
+        s.decide(AsId::new(9));
+        assert_eq!(s.selected(AsId::new(9)).unwrap().cost, Cost::new(2));
+    }
+
+    #[test]
+    fn link_down_drops_neighbor_vector() {
+        let mut s = selector();
+        let u = update(1, vec![ad(1, vec![entry(1, 3)], 0)])
+            .with_sender_costs(vec![(AsId::new(0), Cost::new(7))]);
+        s.ingest(&u);
+        assert!(s.neighbor_vector(AsId::new(1)).is_some());
+        s.link_down(AsId::new(1));
+        assert!(s.neighbor_vector(AsId::new(1)).is_none());
+        assert_eq!(s.recv_cost_from(AsId::new(1)), None);
+    }
+
+    #[test]
+    fn malformed_advertisements_are_dropped() {
+        let mut s = selector();
+        // Wrong first node (claims to be node 7 but sent by 1).
+        let bad_first = update(1, vec![ad(9, vec![entry(7, 1), entry(9, 2)], 0)]);
+        assert!(s.ingest(&bad_first).is_empty());
+        // Path does not end at the destination.
+        let bad_last = update(1, vec![ad(9, vec![entry(1, 1), entry(8, 2)], 0)]);
+        assert!(s.ingest(&bad_last).is_empty());
+        // Repeated node.
+        let looped = update(
+            1,
+            vec![ad(
+                9,
+                vec![entry(1, 1), entry(4, 2), entry(1, 1), entry(9, 2)],
+                0,
+            )],
+        );
+        assert!(s.ingest(&looped).is_empty());
+        // Too many prices.
+        let overpriced = Update {
+            from: AsId::new(1),
+            sender_costs: vec![],
+            advertisements: vec![crate::message::RouteAdvertisement {
+                destination: AsId::new(9),
+                info: RouteInfo::Reachable {
+                    path: vec![entry(1, 1), entry(9, 2)],
+                    path_cost: Cost::ZERO,
+                    prices: vec![Cost::new(1)],
+                },
+            }],
+        };
+        assert!(s.ingest(&overpriced).is_empty());
+        // Empty path.
+        let empty = Update {
+            from: AsId::new(1),
+            sender_costs: vec![],
+            advertisements: vec![crate::message::RouteAdvertisement {
+                destination: AsId::new(9),
+                info: RouteInfo::Reachable {
+                    path: vec![],
+                    path_cost: Cost::ZERO,
+                    prices: vec![],
+                },
+            }],
+        };
+        assert!(s.ingest(&empty).is_empty());
+    }
+
+    #[test]
+    fn decide_all_reports_only_changes() {
+        let mut s = selector();
+        s.ingest(&update(1, vec![ad(1, vec![entry(1, 3)], 0)]));
+        let first = s.decide_all();
+        assert_eq!(first, BTreeSet::from([AsId::new(1)]));
+        let second = s.decide_all();
+        assert!(second.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Per-node state-size accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of one node's protocol state sizes, used by experiment E5 to
+/// reproduce the paper's Theorem-2 claim that the pricing extension keeps
+/// routing-table state at `O(nd)` — a constant factor over plain BGP.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateSnapshot {
+    /// Selected routing-table entries (≤ one per destination).
+    pub table_entries: usize,
+    /// Total AS-path nodes stored across the routing table — the `O(nd)`
+    /// term of the paper's table-size analysis.
+    pub table_path_nodes: usize,
+    /// Rib-In entries (routes remembered per neighbor).
+    pub rib_entries: usize,
+    /// Total AS-path nodes stored across the Rib-In.
+    pub rib_path_nodes: usize,
+    /// Price entries stored (zero for plain BGP; `O(nd)` for the pricing
+    /// extension).
+    pub price_entries: usize,
+}
+
+impl StateSnapshot {
+    /// Total stored cells under a uniform "one AS number or one cost = one
+    /// cell" model, the unit in which the constant-factor comparison is
+    /// made.
+    pub fn total_cells(&self) -> usize {
+        self.table_entries
+            + self.table_path_nodes
+            + self.rib_entries
+            + self.rib_path_nodes
+            + self.price_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cells_sums_components() {
+        let s = StateSnapshot {
+            table_entries: 1,
+            table_path_nodes: 2,
+            rib_entries: 3,
+            rib_path_nodes: 4,
+            price_entries: 5,
+        };
+        assert_eq!(s.total_cells(), 15);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(StateSnapshot::default().total_cells(), 0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Wire format: a real binary codec for UPDATE messages.
+//!
+//! The paper measures communication in "number of routing tables exchanged
+//! and the size of those tables". Rather than estimating sizes from a
+//! model, this module actually serializes messages to a compact
+//! length-prefixed binary format (4-byte AS numbers as in BGP-4, 8-byte
+//! costs, explicit `∞` sentinel) and the engines account the encoded
+//! length. Encoding and decoding round-trip exactly — tested here and by
+//! property tests — so the byte counts in experiments E5/E6/E11 are real.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! message   := magic "BV" | version u8 | from u32
+//!            | sender_cost_len u16 | (node u32, cost u64)*
+//!            | count u16 | advert*
+//! advert    := dest u32 | kind u8            (0 = withdrawn, 1 = reachable)
+//! reachable += path_len u16 | (node u32, cost u64)* | path_cost u64
+//!            | prices_len u16 | price u64*
+//! ```
+
+use crate::message::{PathEntry, RouteAdvertisement, RouteInfo, Update};
+use bgpvcg_netgraph::{AsId, Cost};
+use std::error::Error;
+use std::fmt;
+
+/// Bytes per AS number on the wire (BGP-4 uses 4-byte AS numbers).
+pub const AS_NUMBER_BYTES: usize = 4;
+/// Bytes per declared cost or price.
+pub const COST_BYTES: usize = 8;
+/// Fixed per-message header: magic (2) + version (1) + sender (4) +
+/// sender-cost count (2) + entry count (2).
+pub const MESSAGE_HEADER_BYTES: usize = 11;
+
+const MAGIC: [u8; 2] = *b"BV";
+const VERSION: u8 = 1;
+const KIND_WITHDRAWN: u8 = 0;
+const KIND_REACHABLE: u8 = 1;
+/// On-wire sentinel for [`Cost::INFINITE`].
+const INFINITE_WIRE: u64 = u64::MAX;
+
+/// Errors decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// The magic bytes or version byte did not match.
+    BadHeader,
+    /// An advertisement kind byte was neither withdrawn nor reachable.
+    BadKind(u8),
+    /// Trailing bytes followed a structurally complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadHeader => write!(f, "bad magic or version"),
+            DecodeError::BadKind(k) => write!(f, "unknown advertisement kind {k}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing byte(s)"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn put_cost(out: &mut Vec<u8>, cost: Cost) {
+    out.extend_from_slice(&cost.finite().unwrap_or(INFINITE_WIRE).to_le_bytes());
+}
+
+fn encode_advertisement(out: &mut Vec<u8>, ad: &RouteAdvertisement) {
+    out.extend_from_slice(&ad.destination.raw().to_le_bytes());
+    match &ad.info {
+        RouteInfo::Withdrawn => out.push(KIND_WITHDRAWN),
+        RouteInfo::Reachable {
+            path,
+            path_cost,
+            prices,
+        } => {
+            out.push(KIND_REACHABLE);
+            out.extend_from_slice(&(path.len() as u16).to_le_bytes());
+            for entry in path {
+                out.extend_from_slice(&entry.node.raw().to_le_bytes());
+                put_cost(out, entry.cost);
+            }
+            put_cost(out, *path_cost);
+            out.extend_from_slice(&(prices.len() as u16).to_le_bytes());
+            for &p in prices {
+                put_cost(out, p);
+            }
+        }
+    }
+}
+
+/// Serializes an UPDATE to its wire form.
+///
+/// # Panics
+///
+/// Panics if the update carries more than `u16::MAX` advertisements or a
+/// path/price list longer than `u16::MAX` (far beyond any real table).
+pub fn encode_update(update: &Update) -> Vec<u8> {
+    assert!(update.advertisements.len() <= usize::from(u16::MAX));
+    let mut out = Vec::with_capacity(MESSAGE_HEADER_BYTES + update.advertisements.len() * 32);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&update.from.raw().to_le_bytes());
+    assert!(update.sender_costs.len() <= usize::from(u16::MAX));
+    out.extend_from_slice(&(update.sender_costs.len() as u16).to_le_bytes());
+    for &(node, cost) in &update.sender_costs {
+        out.extend_from_slice(&node.raw().to_le_bytes());
+        put_cost(&mut out, cost);
+    }
+    out.extend_from_slice(&(update.advertisements.len() as u16).to_le_bytes());
+    for ad in &update.advertisements {
+        encode_advertisement(&mut out, ad);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn cost(&mut self) -> Result<Cost, DecodeError> {
+        let raw = u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"));
+        Ok(if raw == INFINITE_WIRE {
+            Cost::INFINITE
+        } else {
+            Cost::new(raw)
+        })
+    }
+}
+
+/// Parses a wire message back into an [`Update`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, bad header, unknown
+/// advertisement kinds, or trailing bytes.
+pub fn decode_update(buf: &[u8]) -> Result<Update, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(2)? != MAGIC || r.u8()? != VERSION {
+        return Err(DecodeError::BadHeader);
+    }
+    let from = AsId::new(r.u32()?);
+    let sender_cost_len = r.u16()?;
+    let mut sender_costs = Vec::with_capacity(usize::from(sender_cost_len));
+    for _ in 0..sender_cost_len {
+        let node = AsId::new(r.u32()?);
+        let cost = r.cost()?;
+        sender_costs.push((node, cost));
+    }
+    let count = r.u16()?;
+    let mut advertisements = Vec::with_capacity(usize::from(count));
+    for _ in 0..count {
+        let destination = AsId::new(r.u32()?);
+        let info = match r.u8()? {
+            KIND_WITHDRAWN => RouteInfo::Withdrawn,
+            KIND_REACHABLE => {
+                let path_len = r.u16()?;
+                let mut path = Vec::with_capacity(usize::from(path_len));
+                for _ in 0..path_len {
+                    let node = AsId::new(r.u32()?);
+                    let cost = r.cost()?;
+                    path.push(PathEntry { node, cost });
+                }
+                let path_cost = r.cost()?;
+                let prices_len = r.u16()?;
+                let mut prices = Vec::with_capacity(usize::from(prices_len));
+                for _ in 0..prices_len {
+                    prices.push(r.cost()?);
+                }
+                RouteInfo::Reachable {
+                    path,
+                    path_cost,
+                    prices,
+                }
+            }
+            other => return Err(DecodeError::BadKind(other)),
+        };
+        advertisements.push(RouteAdvertisement { destination, info });
+    }
+    if r.pos != buf.len() {
+        return Err(DecodeError::TrailingBytes(buf.len() - r.pos));
+    }
+    Ok(Update {
+        from,
+        sender_costs,
+        advertisements,
+    })
+}
+
+/// Wire size of one table entry (its encoded length).
+pub fn advertisement_size(ad: &RouteAdvertisement) -> usize {
+    let mut buf = Vec::new();
+    encode_advertisement(&mut buf, ad);
+    buf.len()
+}
+
+/// Wire size of a whole UPDATE message (its encoded length).
+pub fn update_size(update: &Update) -> usize {
+    MESSAGE_HEADER_BYTES
+        + update.sender_costs.len() * (AS_NUMBER_BYTES + COST_BYTES)
+        + update
+            .advertisements
+            .iter()
+            .map(advertisement_size)
+            .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(raw: u32, cost: u64) -> PathEntry {
+        PathEntry {
+            node: AsId::new(raw),
+            cost: Cost::new(cost),
+        }
+    }
+
+    fn reachable_ad(path_len: usize, price_len: usize) -> RouteAdvertisement {
+        let path = (0..path_len)
+            .map(|i| entry(i as u32, i as u64 + 1))
+            .collect();
+        RouteAdvertisement {
+            destination: AsId::new(99),
+            info: RouteInfo::Reachable {
+                path,
+                path_cost: Cost::new(17),
+                prices: vec![Cost::new(5); price_len],
+            },
+        }
+    }
+
+    fn sample_update() -> Update {
+        Update {
+            from: AsId::new(7),
+            sender_costs: Vec::new(),
+            advertisements: vec![
+                reachable_ad(4, 2),
+                RouteAdvertisement {
+                    destination: AsId::new(3),
+                    info: RouteInfo::Withdrawn,
+                },
+                RouteAdvertisement {
+                    destination: AsId::new(11),
+                    info: RouteInfo::Reachable {
+                        path: vec![entry(11, 0)],
+                        path_cost: Cost::ZERO,
+                        prices: vec![Cost::INFINITE],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let update = sample_update();
+        let bytes = encode_update(&update);
+        assert_eq!(decode_update(&bytes).unwrap(), update);
+    }
+
+    #[test]
+    fn infinite_prices_survive_the_wire() {
+        let update = sample_update();
+        let decoded = decode_update(&encode_update(&update)).unwrap();
+        let RouteInfo::Reachable { prices, .. } = &decoded.advertisements[2].info else {
+            panic!("third entry is reachable");
+        };
+        assert_eq!(prices, &[Cost::INFINITE]);
+    }
+
+    #[test]
+    fn update_size_equals_encoded_length() {
+        let update = sample_update();
+        assert_eq!(update_size(&update), encode_update(&update).len());
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = encode_update(&sample_update());
+        for cut in 0..bytes.len() {
+            let err = decode_update(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadHeader),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_update(&sample_update());
+        bytes.push(0xAB);
+        assert_eq!(
+            decode_update(&bytes).unwrap_err(),
+            DecodeError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_kind_are_rejected() {
+        let mut bytes = encode_update(&sample_update());
+        bytes[0] = b'X';
+        assert_eq!(decode_update(&bytes).unwrap_err(), DecodeError::BadHeader);
+
+        let mut bytes = encode_update(&sample_update());
+        // The kind byte of the first advertisement sits right after the
+        // header and the 4-byte destination.
+        let kind_pos = MESSAGE_HEADER_BYTES + 4;
+        bytes[kind_pos] = 9;
+        assert_eq!(decode_update(&bytes).unwrap_err(), DecodeError::BadKind(9));
+    }
+
+    #[test]
+    fn withdrawal_is_small() {
+        let ad = RouteAdvertisement {
+            destination: AsId::new(1),
+            info: RouteInfo::Withdrawn,
+        };
+        assert_eq!(advertisement_size(&ad), AS_NUMBER_BYTES + 1);
+    }
+
+    #[test]
+    fn size_grows_linearly_with_path() {
+        let short = advertisement_size(&reachable_ad(2, 0));
+        let long = advertisement_size(&reachable_ad(4, 0));
+        assert_eq!(long - short, 2 * (AS_NUMBER_BYTES + COST_BYTES));
+    }
+
+    #[test]
+    fn prices_add_constant_factor_not_blowup() {
+        // A priced entry for a path with t transit nodes adds t prices:
+        // bounded by the path length itself times COST_BYTES.
+        let plain = advertisement_size(&reachable_ad(5, 0));
+        let priced = advertisement_size(&reachable_ad(5, 3));
+        assert_eq!(priced - plain, 3 * COST_BYTES);
+        assert!(priced < 2 * plain, "pricing must stay a constant factor");
+    }
+
+    #[test]
+    fn empty_update_is_just_a_header() {
+        let update = Update {
+            from: AsId::new(0),
+            sender_costs: Vec::new(),
+            advertisements: vec![],
+        };
+        assert_eq!(encode_update(&update).len(), MESSAGE_HEADER_BYTES);
+        assert_eq!(decode_update(&encode_update(&update)).unwrap(), update);
+    }
+}

@@ -1,0 +1,97 @@
+//! Golden-bytes tests for the wire format.
+//!
+//! The round-trip property tests prove encode/decode are inverses of each
+//! other; these tests additionally pin the *byte layout itself*, so an
+//! accidental format change (which would silently break interoperability
+//! between differently-built nodes) fails a test instead of passing two
+//! mutually-consistent-but-new codecs.
+
+use bgpvcg_bgp::{wire, PathEntry, RouteAdvertisement, RouteInfo, Update};
+use bgpvcg_netgraph::{AsId, Cost};
+
+fn sample() -> Update {
+    Update {
+        from: AsId::new(7),
+        sender_costs: vec![(AsId::new(3), Cost::new(5))],
+        advertisements: vec![
+            RouteAdvertisement {
+                destination: AsId::new(2),
+                info: RouteInfo::Reachable {
+                    path: vec![
+                        PathEntry {
+                            node: AsId::new(7),
+                            cost: Cost::new(1),
+                        },
+                        PathEntry {
+                            node: AsId::new(2),
+                            cost: Cost::new(4),
+                        },
+                    ],
+                    path_cost: Cost::ZERO,
+                    prices: vec![Cost::INFINITE],
+                },
+            },
+            RouteAdvertisement {
+                destination: AsId::new(9),
+                info: RouteInfo::Withdrawn,
+            },
+        ],
+    }
+}
+
+#[test]
+fn golden_byte_layout() {
+    let bytes = wire::encode_update(&sample());
+    let expected: Vec<u8> = vec![
+        // magic "BV", version 1
+        0x42, 0x56, 0x01, //
+        // from = 7 (u32 LE)
+        0x07, 0x00, 0x00, 0x00, //
+        // sender_costs: len = 1, (node 3, cost 5)
+        0x01, 0x00, //
+        0x03, 0x00, 0x00, 0x00, //
+        0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // advertisement count = 2
+        0x02, 0x00, //
+        // ad 1: dest = 2, kind = reachable(1)
+        0x02, 0x00, 0x00, 0x00, 0x01, //
+        // path len = 2
+        0x02, 0x00, //
+        // entry (7, 1)
+        0x07, 0x00, 0x00, 0x00, //
+        0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // entry (2, 4)
+        0x02, 0x00, 0x00, 0x00, //
+        0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // path_cost = 0
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // prices len = 1, price = INFINITE (u64::MAX)
+        0x01, 0x00, //
+        0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, //
+        // ad 2: dest = 9, kind = withdrawn(0)
+        0x09, 0x00, 0x00, 0x00, 0x00,
+    ];
+    assert_eq!(bytes, expected, "wire layout changed — version-bump the format");
+}
+
+#[test]
+fn golden_bytes_decode_back() {
+    let update = sample();
+    let bytes = wire::encode_update(&update);
+    assert_eq!(wire::decode_update(&bytes).unwrap(), update);
+    assert_eq!(wire::update_size(&update), bytes.len());
+}
+
+#[test]
+fn header_constant_matches_layout() {
+    // magic(2) + version(1) + from(4) + sender_cost_len(2) + count(2).
+    let empty = Update {
+        from: AsId::new(0),
+        sender_costs: vec![],
+        advertisements: vec![],
+    };
+    assert_eq!(
+        wire::encode_update(&empty).len(),
+        wire::MESSAGE_HEADER_BYTES
+    );
+}

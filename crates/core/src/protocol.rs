@@ -1,0 +1,267 @@
+//! Turnkey runners for the full pricing protocol.
+//!
+//! These helpers validate the graph, wire [`PricingBgpNode`]s into an
+//! engine, run to convergence, and extract a [`RoutingOutcome`] directly
+//! comparable (by `==`) with the centralized Theorem-1 reference from
+//! [`crate::vcg`].
+
+use crate::outcome::{PairOutcome, RoutingOutcome};
+use crate::pricing_node::PricingBgpNode;
+use bgpvcg_bgp::engine::{run_event_driven, EventReport, RunReport, SyncEngine};
+use bgpvcg_bgp::{ProtocolNode, StateSnapshot};
+use bgpvcg_netgraph::{AsGraph, GraphError};
+
+/// Everything a synchronous pricing run produces.
+#[derive(Debug, Clone)]
+pub struct PricingRun {
+    /// Routes and prices extracted from the converged nodes.
+    pub outcome: RoutingOutcome,
+    /// Stage/message/byte statistics of the run.
+    pub report: RunReport,
+    /// Per-node state sizes at convergence (for the E5 experiment).
+    pub snapshots: Vec<StateSnapshot>,
+}
+
+/// Builds a synchronous engine loaded with pricing nodes, without running
+/// it — used by experiments that interleave convergence with topology
+/// events.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+pub fn build_sync_engine(graph: &AsGraph) -> Result<SyncEngine<PricingBgpNode>, GraphError> {
+    graph.validate_for_mechanism()?;
+    Ok(SyncEngine::new(graph, PricingBgpNode::from_graph(graph)))
+}
+
+/// Runs the pricing protocol to convergence on the synchronous engine.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_core::{protocol, vcg};
+/// use bgpvcg_netgraph::generators::structured::fig1;
+///
+/// # fn main() -> Result<(), bgpvcg_netgraph::GraphError> {
+/// let g = fig1();
+/// let run = protocol::run_sync(&g)?;
+/// assert_eq!(run.outcome, vcg::compute(&g)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_sync(graph: &AsGraph) -> Result<PricingRun, GraphError> {
+    let mut engine = build_sync_engine(graph)?;
+    let report = engine.run_to_convergence();
+    let snapshots = engine.state_snapshots();
+    let outcome = outcome_from_nodes(&engine.into_nodes());
+    Ok(PricingRun {
+        outcome,
+        report,
+        snapshots,
+    })
+}
+
+/// Runs the pricing protocol on the asynchronous (threads + channels)
+/// engine until quiescence.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+pub fn run_async(graph: &AsGraph) -> Result<(RoutingOutcome, EventReport), GraphError> {
+    graph.validate_for_mechanism()?;
+    let (nodes, report) = run_event_driven(graph, PricingBgpNode::from_graph(graph));
+    Ok((outcome_from_nodes(&nodes), report))
+}
+
+/// Extracts the distributed state of converged nodes into a
+/// [`RoutingOutcome`].
+///
+/// # Panics
+///
+/// Panics if the nodes are not in AS order (engines return them sorted).
+pub fn outcome_from_nodes(nodes: &[PricingBgpNode]) -> RoutingOutcome {
+    let n = nodes.len();
+    let mut pairs: Vec<Option<PairOutcome>> = vec![None; n * n];
+    for (idx, node) in nodes.iter().enumerate() {
+        assert_eq!(node.id().index(), idx, "nodes must be in AS order");
+        let i = node.id();
+        for j in node.selector().destinations().collect::<Vec<_>>() {
+            if j == i {
+                continue;
+            }
+            let Some(route) = node.selector().route(j) else {
+                continue;
+            };
+            let prices = route
+                .transit_nodes()
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        node.price(j, k)
+                            .expect("every transit node has a price entry"),
+                    )
+                })
+                .collect();
+            pairs[i.index() * n + j.index()] = Some(PairOutcome::new(route, prices));
+        }
+    }
+    RoutingOutcome::from_pairs(n, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcg;
+    use bgpvcg_netgraph::generators::structured::{fig1, petersen, ring, torus, wheel, Fig1};
+    use bgpvcg_netgraph::generators::{
+        barabasi_albert, erdos_renyi, hierarchy, random_costs, waxman, HierarchyConfig,
+        WaxmanConfig,
+    };
+    use bgpvcg_netgraph::Cost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_distributed_equals_centralized() {
+        let g = fig1();
+        let run = run_sync(&g).unwrap();
+        assert!(run.report.converged);
+        assert_eq!(run.outcome, vcg::compute(&g).unwrap());
+    }
+
+    #[test]
+    fn fig1_worked_example_prices() {
+        let run = run_sync(&fig1()).unwrap();
+        assert_eq!(
+            run.outcome.price(Fig1::X, Fig1::Z, Fig1::D),
+            Some(Cost::new(3))
+        );
+        assert_eq!(
+            run.outcome.price(Fig1::X, Fig1::Z, Fig1::B),
+            Some(Cost::new(4))
+        );
+        assert_eq!(
+            run.outcome.price(Fig1::Y, Fig1::Z, Fig1::D),
+            Some(Cost::new(9))
+        );
+    }
+
+    #[test]
+    fn structured_families_distributed_equals_centralized() {
+        for g in [
+            ring(8, Cost::new(2)),
+            torus(3, 4, Cost::new(1)),
+            wheel(7, Cost::ZERO, Cost::new(6)),
+            petersen(Cost::new(3)),
+        ] {
+            let run = run_sync(&g).unwrap();
+            assert!(run.report.converged);
+            assert_eq!(run.outcome, vcg::compute(&g).unwrap());
+        }
+    }
+
+    #[test]
+    fn random_families_distributed_equals_centralized() {
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let costs = random_costs(18, 0, 9, &mut rng);
+            let g = match seed % 4 {
+                0 => erdos_renyi(costs, 0.25, &mut rng),
+                1 => barabasi_albert(costs, 2, &mut rng),
+                2 => waxman(costs, WaxmanConfig::default(), &mut rng),
+                _ => hierarchy(
+                    HierarchyConfig {
+                        core_size: 4,
+                        stub_count: 14,
+                        ..HierarchyConfig::default()
+                    },
+                    &mut rng,
+                ),
+            };
+            let run = run_sync(&g).unwrap();
+            assert!(run.report.converged, "seed {seed}");
+            assert_eq!(run.outcome, vcg::compute(&g).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn convergence_within_max_d_dprime_stages() {
+        use bgpvcg_lcp::avoiding::AvoidanceTable;
+        use bgpvcg_lcp::{diameter, AllPairsLcp};
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let costs = random_costs(20, 1, 9, &mut rng);
+            let g = erdos_renyi(costs, 0.2, &mut rng);
+            let lcp = AllPairsLcp::compute(&g);
+            let avoidance = AvoidanceTable::compute(&g, &lcp);
+            let bound = diameter::convergence_bound(&lcp, &avoidance);
+            let run = run_sync(&g).unwrap();
+            assert!(
+                run.report.stages <= bound,
+                "seed {seed}: {} stages > max(d, d') = {bound}",
+                run.report.stages
+            );
+        }
+    }
+
+    #[test]
+    fn async_engine_matches_centralized() {
+        let g = fig1();
+        let (outcome, report) = run_async(&g).unwrap();
+        assert!(report.messages > 0);
+        assert_eq!(outcome, vcg::compute(&g).unwrap());
+    }
+
+    #[test]
+    fn async_engine_matches_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let costs = random_costs(14, 0, 8, &mut rng);
+        let g = erdos_renyi(costs, 0.3, &mut rng);
+        let (outcome, _) = run_async(&g).unwrap();
+        assert_eq!(outcome, vcg::compute(&g).unwrap());
+    }
+
+    #[test]
+    fn chaotic_async_delivery_still_computes_vcg_prices() {
+        use bgpvcg_bgp::engine::run_event_driven_chaotic;
+        let mut rng = StdRng::seed_from_u64(77);
+        let costs = random_costs(14, 1, 9, &mut rng);
+        let g = erdos_renyi(costs, 0.3, &mut rng);
+        let reference = vcg::compute(&g).unwrap();
+        for seed in 0..2 {
+            let (nodes, _) =
+                run_event_driven_chaotic(&g, crate::PricingBgpNode::from_graph(&g), 0.35, seed);
+            assert_eq!(outcome_from_nodes(&nodes), reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_graphs() {
+        let path =
+            bgpvcg_netgraph::generators::from_edges(vec![Cost::new(1); 3], &[(0, 1), (1, 2)]);
+        assert!(run_sync(&path).is_err());
+        assert!(run_async(&path).is_err());
+        assert!(build_sync_engine(&path).is_err());
+    }
+
+    #[test]
+    fn price_state_is_order_nd() {
+        // Theorem 2: price state is O(nd) — at most (n−1)(d−1) entries.
+        let g = petersen(Cost::new(2));
+        let run = run_sync(&g).unwrap();
+        let lcp = bgpvcg_lcp::AllPairsLcp::compute(&g);
+        let d = bgpvcg_lcp::diameter::lcp_hop_diameter(&lcp);
+        let n = g.node_count();
+        for snap in &run.snapshots {
+            assert!(snap.price_entries <= (n - 1) * d);
+        }
+    }
+}

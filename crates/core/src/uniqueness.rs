@@ -1,0 +1,204 @@
+//! Probing Theorem 1's *uniqueness*: every nearby payment rule is
+//! manipulable.
+//!
+//! Theorem 1 has two halves. Strategyproofness of the VCG prices is tested
+//! throughout this repository; uniqueness — "there is only one
+//! strategyproof pricing scheme with this property" — is an impossibility
+//! statement over all mechanisms and cannot be tested exhaustively. What
+//! *can* be tested is the natural two-parameter family around the VCG rule,
+//!
+//! ```text
+//! p^k_ij(α, β) = β · c_k  +  α · [Cost(P_{-k}(c; i, j)) − Cost(P(c; i, j))]
+//! ```
+//!
+//! (computed from *declared* costs, like any real mechanism must be):
+//! `(α, β) = (1, 1)` is Theorem 1's mechanism; `(0, 1)` is naïve
+//! cost-reimbursement; `(α, 0)` pays pure margins; etc. This module
+//! evaluates agent utilities under any `(α, β)` and searches for profitable
+//! lies — experiment E17 shows every scaling except `(1, 1)` admits one,
+//! while `(1, 1)` never does, which is exactly the shape Theorem 1
+//! predicts.
+
+use crate::vcg;
+use bgpvcg_netgraph::{AsGraph, AsId, Cost, GraphError, TrafficMatrix};
+
+/// A member of the scaled payment family: `p = β·c_k + α·margin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledRule {
+    /// Multiplier on the k-avoiding margin (VCG: 1).
+    pub alpha: u64,
+    /// Multiplier on the declared cost (VCG: 1).
+    pub beta: u64,
+}
+
+impl ScaledRule {
+    /// Theorem 1's mechanism.
+    pub const VCG: ScaledRule = ScaledRule { alpha: 1, beta: 1 };
+}
+
+/// Agent `k`'s utility when declaring `declared` under the scaled rule:
+/// payments computed from the declared profile, incurred costs from the
+/// true one.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the graph violates the mechanism's
+/// preconditions.
+pub fn utility_under_rule(
+    graph: &AsGraph,
+    k: AsId,
+    declared: Cost,
+    traffic: &TrafficMatrix,
+    rule: ScaledRule,
+) -> Result<i128, GraphError> {
+    let declared_graph = graph.with_cost(k, declared);
+    let outcome = vcg::compute(&declared_graph)?;
+    let true_cost = u128::from(graph.cost(k).finite().expect("finite true costs"));
+    let declared_raw = u128::from(declared.finite().expect("finite declarations"));
+    let mut utility: i128 = 0;
+    for (i, j, t) in traffic.flows() {
+        let Some(pair) = outcome.pair(i, j) else {
+            continue;
+        };
+        let Some(vcg_price) = pair.price_of(k) else {
+            continue;
+        };
+        // Recover the margin from the stored VCG price: p = c_decl + margin.
+        let margin = u128::from(
+            vcg_price
+                .checked_sub(declared)
+                .expect("price covers declared cost")
+                .finite()
+                .expect("finite margins"),
+        );
+        let scaled = u128::from(rule.beta) * declared_raw + u128::from(rule.alpha) * margin;
+        utility += (scaled as i128 - true_cost as i128) * i128::from(t);
+    }
+    Ok(utility)
+}
+
+/// Searches declarations `0..=ceiling` for a lie that strictly beats the
+/// truth for some agent under `rule`; returns the first found as
+/// `(agent, lie, truthful utility, deviant utility)`.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the graph violates the mechanism's
+/// preconditions.
+pub fn find_profitable_lie(
+    graph: &AsGraph,
+    traffic: &TrafficMatrix,
+    ceiling: u64,
+    rule: ScaledRule,
+) -> Result<Option<(AsId, Cost, i128, i128)>, GraphError> {
+    for k in graph.nodes() {
+        let truthful = utility_under_rule(graph, k, graph.cost(k), traffic, rule)?;
+        for lie in 0..=ceiling {
+            let lie = Cost::new(lie);
+            if lie == graph.cost(k) {
+                continue;
+            }
+            let deviant = utility_under_rule(graph, k, lie, traffic, rule)?;
+            if deviant > truthful {
+                return Ok(Some((k, lie, truthful, deviant)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpvcg_netgraph::generators::structured::fig1;
+    use bgpvcg_netgraph::generators::{erdos_renyi, random_costs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform(g: &AsGraph) -> TrafficMatrix {
+        TrafficMatrix::uniform(g.node_count(), 1)
+    }
+
+    #[test]
+    fn vcg_rule_matches_strategy_module() {
+        // (α, β) = (1, 1) must reproduce the standard utility.
+        let g = fig1();
+        let t = uniform(&g);
+        for k in g.nodes() {
+            for declared in [0u64, 2, 5, 9] {
+                let via_rule =
+                    utility_under_rule(&g, k, Cost::new(declared), &t, ScaledRule::VCG).unwrap();
+                let via_strategy =
+                    crate::strategy::evaluate(&g, k, Cost::new(declared), &t).unwrap();
+                assert_eq!(via_rule, via_strategy.utility, "{k} declaring {declared}");
+            }
+        }
+    }
+
+    #[test]
+    fn vcg_rule_has_no_profitable_lie() {
+        let g = fig1();
+        let t = uniform(&g);
+        assert_eq!(
+            find_profitable_lie(&g, &t, 15, ScaledRule::VCG).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn cost_reimbursement_is_manipulable() {
+        // (α, β) = (0, 1): pay declared cost only. Overstating while staying
+        // on the LCP is free money.
+        let g = fig1();
+        let t = uniform(&g);
+        let found = find_profitable_lie(&g, &t, 15, ScaledRule { alpha: 0, beta: 1 })
+            .unwrap()
+            .expect("naive reimbursement must be manipulable");
+        assert!(found.3 > found.2);
+    }
+
+    #[test]
+    fn doubled_margin_is_manipulable() {
+        // (α, β) = (2, 1): understating inflates the margin.
+        let g = fig1();
+        let t = uniform(&g);
+        assert!(
+            find_profitable_lie(&g, &t, 15, ScaledRule { alpha: 2, beta: 1 })
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn doubled_cost_term_is_manipulable() {
+        // (α, β) = (1, 2): overstating collects double the declaration.
+        let g = fig1();
+        let t = uniform(&g);
+        assert!(
+            find_profitable_lie(&g, &t, 15, ScaledRule { alpha: 1, beta: 2 })
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn only_vcg_survives_on_a_random_graph() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = erdos_renyi(random_costs(9, 1, 6, &mut rng), 0.45, &mut rng);
+        let t = uniform(&g);
+        for alpha in 0..=2u64 {
+            for beta in 0..=2u64 {
+                let rule = ScaledRule { alpha, beta };
+                let lie = find_profitable_lie(&g, &t, 12, rule).unwrap();
+                if rule == ScaledRule::VCG {
+                    assert_eq!(lie, None, "VCG must be strategyproof");
+                } else {
+                    assert!(
+                        lie.is_some(),
+                        "({alpha}, {beta}) should be manipulable here"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Lowest-cost k-avoiding paths.
+//!
+//! The VCG price paid to a transit node `k` on the LCP from `i` to `j` is
+//! determined by the lowest-cost path from `i` to `j` that does **not** pass
+//! through `k` — the *k-avoiding path* `P_{-k}(c; i, j)` (paper, Sect. 4).
+//! In a biconnected graph such a path always exists, which is exactly why
+//! the paper assumes biconnectivity.
+//!
+//! The price formula only needs the avoiding path's **cost**, which is
+//! tie-independent; the avoiding path's **hop count** additionally feeds the
+//! convergence bound `max(d, d′)` of Lemma 2, so this module records both.
+
+use crate::all_pairs::AllPairsLcp;
+use crate::route::Route;
+use crate::tree::DestinationTree;
+use bgpvcg_netgraph::{AsGraph, AsId, Cost};
+use std::fmt;
+
+/// Computes the tree of lowest-cost `avoid`-avoiding routes to
+/// `destination`: Dijkstra on the graph with node `avoid` removed, under the
+/// same deterministic route order as [`crate::shortest_tree`].
+///
+/// `avoid` itself (and any node separated from `destination` by removing
+/// `avoid`) ends up unreachable in the returned tree; in a biconnected graph
+/// only `avoid` does.
+///
+/// # Panics
+///
+/// Panics if `destination` or `avoid` is not in the graph, or if
+/// `destination == avoid`.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+/// use bgpvcg_lcp::avoiding::avoiding_tree;
+/// use bgpvcg_netgraph::Cost;
+///
+/// let g = fig1();
+/// let t = avoiding_tree(&g, Fig1::Z, Fig1::D);
+/// // The paper: the lowest-cost D-avoiding path from X to Z is X A Z, cost 5.
+/// assert_eq!(t.cost(Fig1::X), Cost::new(5));
+/// ```
+pub fn avoiding_tree(graph: &AsGraph, destination: AsId, avoid: AsId) -> DestinationTree {
+    assert!(
+        graph.contains_node(destination) && graph.contains_node(avoid),
+        "nodes must be in the graph"
+    );
+    assert!(destination != avoid, "cannot avoid the destination itself");
+    // Dijkstra on the punctured graph. Rather than materializing a copy of
+    // the graph, run the same algorithm and skip `avoid`.
+    let n = graph.node_count();
+    let mut selected: Vec<Option<Route>> = vec![None; n];
+    // Pre-settling `avoid` (with no route) keeps pops and relaxations from
+    // ever touching it.
+    let mut settled = vec![false; n];
+    settled[avoid.index()] = true;
+
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(std::cmp::Reverse(Route::trivial(destination)));
+
+    while let Some(std::cmp::Reverse(route)) = heap.pop() {
+        let u: AsId = route.source();
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        selected[u.index()] = Some(route.clone());
+        for &v in graph.neighbors(u) {
+            if settled[v.index()] || route.contains(v) {
+                continue;
+            }
+            let candidate = route.extend(v, graph.cost(u));
+            let better = match &selected[v.index()] {
+                None => true,
+                Some(current) => candidate < *current,
+            };
+            if better {
+                selected[v.index()] = Some(candidate.clone());
+                heap.push(std::cmp::Reverse(candidate));
+            }
+        }
+    }
+
+    for (idx, slot) in selected.iter_mut().enumerate() {
+        if !settled[idx] || idx == avoid.index() {
+            *slot = None;
+        }
+    }
+    DestinationTree::from_routes(destination, selected)
+}
+
+/// One recorded avoiding-path fact: for a transit node `k` on the LCP from
+/// some `i` to some `j`, the cost and hop count of the lowest-cost
+/// k-avoiding path from `i` to `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvoidingEntry {
+    /// The avoided transit node `k`.
+    pub avoided: AsId,
+    /// `Cost(P_{-k}(c; i, j))`; infinite only if the graph is not
+    /// biconnected.
+    pub cost: Cost,
+    /// Hop count of the selected lowest-cost k-avoiding path (`0` when the
+    /// cost is infinite).
+    pub hops: usize,
+}
+
+/// All the k-avoiding facts the mechanism needs: for every pair `(i, j)` and
+/// every transit node `k` on the selected LCP from `i` to `j`, the cost and
+/// hop count of `P_{-k}(c; i, j)`.
+///
+/// Built with one punctured Dijkstra per (destination, avoided-node) pair
+/// where the avoided node actually carries transit traffic toward that
+/// destination — `O(n²)` Dijkstras worst case, far less on sparse trees.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+/// use bgpvcg_lcp::{avoiding::AvoidanceTable, AllPairsLcp};
+/// use bgpvcg_netgraph::Cost;
+///
+/// let g = fig1();
+/// let lcp = AllPairsLcp::compute(&g);
+/// let avoid = AvoidanceTable::compute(&g, &lcp);
+/// let entry = avoid.get(Fig1::X, Fig1::Z, Fig1::D).expect("D is transit");
+/// assert_eq!(entry.cost, Cost::new(5)); // X A Z
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvoidanceTable {
+    n: usize,
+    /// `entries[j][i]` lists, in LCP path order, one entry per transit node
+    /// on the selected route from `i` to `j`. Empty when the route has no
+    /// transit nodes (or does not exist).
+    entries: Vec<Vec<Vec<AvoidingEntry>>>,
+}
+
+impl AvoidanceTable {
+    /// Computes the table for the given graph and its all-pairs routes.
+    ///
+    /// For graphs that are not biconnected, entries whose avoiding path does
+    /// not exist carry [`Cost::INFINITE`]; callers that require the
+    /// mechanism's preconditions should validate the graph first.
+    pub fn compute(graph: &AsGraph, lcp: &AllPairsLcp) -> Self {
+        let n = graph.node_count();
+        let mut entries: Vec<Vec<Vec<AvoidingEntry>>> = vec![vec![Vec::new(); n]; n];
+        for j in graph.nodes() {
+            let tree = lcp.tree(j);
+            // A node k carries transit traffic toward j iff it has children
+            // in T(j) and is not j itself (its subtree routes pass through it).
+            let transit_nodes: Vec<AsId> = graph
+                .nodes()
+                .filter(|&k| k != j && !tree.children(k).is_empty())
+                .collect();
+            for &k in &transit_nodes {
+                let avoid = avoiding_tree(graph, j, k);
+                for i in graph.nodes() {
+                    if i == j || !tree.is_transit(k, i) {
+                        continue;
+                    }
+                    let (cost, hops) = match avoid.route(i) {
+                        Some(route) => (route.transit_cost(), route.hops()),
+                        None => (Cost::INFINITE, 0),
+                    };
+                    entries[j.index()][i.index()].push(AvoidingEntry {
+                        avoided: k,
+                        cost,
+                        hops,
+                    });
+                }
+            }
+            // Keep each (i, j) list in LCP path order so downstream price
+            // arrays line up with the advertised path.
+            for i in graph.nodes() {
+                if i == j {
+                    continue;
+                }
+                let Some(route) = tree.route(i) else { continue };
+                let order: Vec<AsId> = route.transit_nodes().to_vec();
+                entries[j.index()][i.index()].sort_by_key(|e| {
+                    order
+                        .iter()
+                        .position(|&t| t == e.avoided)
+                        .expect("entry for non-transit node")
+                });
+            }
+        }
+        AvoidanceTable { n, entries }
+    }
+
+    /// Computes the table by relaxing **within the avoided node's subtree
+    /// only** — the centralized counterpart of the paper's Sect. 6.2 suffix
+    /// structure, and the reason its distributed algorithm is local:
+    ///
+    /// A node `i` needs a k-avoiding cost only if `k` is transit on its
+    /// LCP, i.e. `i` lies in `k`'s subtree of the tree `T(j)`. For such an
+    /// `i`, the lowest-cost k-avoiding path either exits the subtree
+    /// immediately (first hop to a neighbor `a` outside the subtree, whose
+    /// own LCP is already k-free — cost `c_a + c(a, j)`), or moves to
+    /// another subtree node `a` and continues along *its* best k-avoiding
+    /// path (cost `c_a + A(a)`). Solving that recurrence with a
+    /// Dijkstra-style priority queue over the subtree alone costs
+    /// `O(S log S + edges(S))` per `(j, k)` with `S` the subtree size —
+    /// usually a small fraction of `n` — instead of a full punctured
+    /// Dijkstra over the whole graph.
+    ///
+    /// Produces **exactly** the same table as [`AvoidanceTable::compute`]
+    /// (asserted by tests and the `routing` Criterion bench group measures
+    /// the speedup): costs are tie-free quantities and hop counts are
+    /// minimized among minimum-cost paths under both orderings.
+    pub fn compute_fast(graph: &AsGraph, lcp: &AllPairsLcp) -> Self {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = graph.node_count();
+        let mut entries: Vec<Vec<Vec<AvoidingEntry>>> = vec![vec![Vec::new(); n]; n];
+        for j in graph.nodes() {
+            let tree = lcp.tree(j);
+            let transit_nodes: Vec<AsId> = graph
+                .nodes()
+                .filter(|&k| k != j && !tree.children(k).is_empty())
+                .collect();
+            for &k in &transit_nodes {
+                // Membership: i is in k's subtree iff k is transit on P(i, j).
+                let in_subtree: Vec<bool> = (0..n)
+                    .map(|i| tree.is_transit(k, AsId::new(i as u32)))
+                    .collect();
+                // Best-known (cost, hops) per subtree node.
+                let mut best: Vec<Option<(Cost, usize)>> = vec![None; n];
+                let mut settled = vec![false; n];
+                let mut heap: BinaryHeap<Reverse<(Cost, usize, u32)>> = BinaryHeap::new();
+
+                // Seed: exits from the subtree to an already-k-free LCP.
+                for i in graph.nodes() {
+                    if !in_subtree[i.index()] {
+                        continue;
+                    }
+                    for &a in graph.neighbors(i) {
+                        if a == k || in_subtree[a.index()] {
+                            continue;
+                        }
+                        let Some(a_route) = tree.route(a) else {
+                            continue;
+                        };
+                        let exit_cost = if a == j {
+                            Cost::ZERO
+                        } else {
+                            graph.cost(a) + a_route.transit_cost()
+                        };
+                        let exit_hops = 1 + a_route.hops();
+                        let candidate = (exit_cost, exit_hops);
+                        if best[i.index()].is_none_or(|cur| candidate < cur) {
+                            best[i.index()] = Some(candidate);
+                            heap.push(Reverse((exit_cost, exit_hops, i.raw())));
+                        }
+                    }
+                }
+
+                // Relax within the subtree.
+                while let Some(Reverse((cost, hops, raw))) = heap.pop() {
+                    let u = AsId::new(raw);
+                    if settled[u.index()] {
+                        continue;
+                    }
+                    settled[u.index()] = true;
+                    for &v in graph.neighbors(u) {
+                        if v == k || !in_subtree[v.index()] || settled[v.index()] {
+                            continue;
+                        }
+                        // v -> u -> (u's best k-avoiding path): u becomes
+                        // transit and pays its declared cost.
+                        let candidate = (cost + graph.cost(u), hops + 1);
+                        if best[v.index()].is_none_or(|cur| candidate < cur) {
+                            best[v.index()] = Some(candidate);
+                            heap.push(Reverse((candidate.0, candidate.1, v.raw())));
+                        }
+                    }
+                }
+
+                for i in graph.nodes() {
+                    if !in_subtree[i.index()] {
+                        continue;
+                    }
+                    let (cost, hops) = match best[i.index()] {
+                        Some((c, h)) if settled[i.index()] => (c, h),
+                        _ => (Cost::INFINITE, 0),
+                    };
+                    entries[j.index()][i.index()].push(AvoidingEntry {
+                        avoided: k,
+                        cost,
+                        hops,
+                    });
+                }
+            }
+            for i in graph.nodes() {
+                if i == j {
+                    continue;
+                }
+                let Some(route) = tree.route(i) else { continue };
+                let order: Vec<AsId> = route.transit_nodes().to_vec();
+                entries[j.index()][i.index()].sort_by_key(|e| {
+                    order
+                        .iter()
+                        .position(|&t| t == e.avoided)
+                        .expect("entry for non-transit node")
+                });
+            }
+        }
+        AvoidanceTable { n, entries }
+    }
+
+    /// Number of ASs covered.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The avoiding-path facts for the pair `(i, j)`, in LCP path order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn entries(&self, i: AsId, j: AsId) -> &[AvoidingEntry] {
+        &self.entries[j.index()][i.index()]
+    }
+
+    /// The avoiding-path fact for transit node `k` on the LCP from `i` to
+    /// `j`, or `None` if `k` is not a transit node of that route.
+    pub fn get(&self, i: AsId, j: AsId, k: AsId) -> Option<AvoidingEntry> {
+        self.entries(i, j).iter().copied().find(|e| e.avoided == k)
+    }
+
+    /// The largest hop count of any recorded lowest-cost k-avoiding path —
+    /// the paper's `d′`. Returns 0 for graphs with no transit traffic.
+    pub fn max_hops(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.hops)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for AvoidanceTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "AvoidanceTable over {} ASs (d' = {})",
+            self.n,
+            self.max_hops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_tree;
+    use bgpvcg_netgraph::generators::structured::{fig1, ring, Fig1};
+    use bgpvcg_netgraph::generators::{erdos_renyi, from_edges, random_costs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_d_avoiding_path_from_x() {
+        let g = fig1();
+        let t = avoiding_tree(&g, Fig1::Z, Fig1::D);
+        let route = t.route(Fig1::X).unwrap();
+        assert_eq!(route.nodes(), &[Fig1::X, Fig1::A, Fig1::Z]);
+        assert_eq!(route.transit_cost(), Cost::new(5));
+    }
+
+    #[test]
+    fn fig1_b_avoiding_path_from_x() {
+        let g = fig1();
+        let t = avoiding_tree(&g, Fig1::Z, Fig1::B);
+        assert_eq!(t.cost(Fig1::X), Cost::new(5)); // X A Z again
+    }
+
+    #[test]
+    fn fig1_d_avoiding_path_from_y_is_the_long_way() {
+        // The paper's overcharging example: the best D-avoiding path from Y
+        // to Z is Y B X A Z with cost 9.
+        let g = fig1();
+        let t = avoiding_tree(&g, Fig1::Z, Fig1::D);
+        let route = t.route(Fig1::Y).unwrap();
+        assert_eq!(
+            route.nodes(),
+            &[Fig1::Y, Fig1::B, Fig1::X, Fig1::A, Fig1::Z]
+        );
+        assert_eq!(route.transit_cost(), Cost::new(9));
+    }
+
+    #[test]
+    fn avoided_node_is_unreachable_in_tree() {
+        let g = fig1();
+        let t = avoiding_tree(&g, Fig1::Z, Fig1::D);
+        assert!(t.route(Fig1::D).is_none());
+        assert_eq!(t.cost(Fig1::D), Cost::INFINITE);
+    }
+
+    #[test]
+    fn avoiding_routes_never_contain_avoided_node() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let costs = random_costs(20, 0, 8, &mut rng);
+        let g = erdos_renyi(costs, 0.2, &mut rng);
+        for j in g.nodes() {
+            for k in g.nodes() {
+                if k == j {
+                    continue;
+                }
+                let t = avoiding_tree(&g, j, k);
+                for i in g.nodes() {
+                    if let Some(route) = t.route(i) {
+                        assert!(!route.contains(k), "route {route} contains avoided {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_cost_at_least_lcp_cost() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let costs = random_costs(18, 1, 9, &mut rng);
+        let g = erdos_renyi(costs, 0.25, &mut rng);
+        for j in g.nodes() {
+            let plain = shortest_tree(&g, j);
+            for k in g.nodes() {
+                if k == j {
+                    continue;
+                }
+                let avoid = avoiding_tree(&g, j, k);
+                for i in g.nodes() {
+                    if i == j || i == k {
+                        continue;
+                    }
+                    assert!(
+                        avoid.cost(i) >= plain.cost(i),
+                        "restricting paths cannot reduce cost"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "avoid the destination")]
+    fn rejects_avoiding_destination() {
+        let g = fig1();
+        let _ = avoiding_tree(&g, Fig1::Z, Fig1::Z);
+    }
+
+    #[test]
+    fn non_biconnected_graph_yields_unreachable() {
+        // Path 0-1-2: avoiding node 1 disconnects 0 from 2.
+        let g = from_edges(vec![Cost::new(1); 3], &[(0, 1), (1, 2)]);
+        let t = avoiding_tree(&g, AsId::new(2), AsId::new(1));
+        assert!(t.route(AsId::new(0)).is_none());
+    }
+
+    #[test]
+    fn table_matches_per_tree_computation_on_fig1() {
+        let g = fig1();
+        let lcp = AllPairsLcp::compute(&g);
+        let table = AvoidanceTable::compute(&g, &lcp);
+        // X -> Z has transit nodes B, D in that order.
+        let entries = table.entries(Fig1::X, Fig1::Z);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].avoided, Fig1::B);
+        assert_eq!(entries[0].cost, Cost::new(5));
+        assert_eq!(entries[1].avoided, Fig1::D);
+        assert_eq!(entries[1].cost, Cost::new(5));
+        // Y -> Z has one transit node D with avoiding cost 9 over 4 hops.
+        let entries = table.entries(Fig1::Y, Fig1::Z);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0],
+            AvoidingEntry {
+                avoided: Fig1::D,
+                cost: Cost::new(9),
+                hops: 4
+            }
+        );
+    }
+
+    #[test]
+    fn table_get_returns_none_for_non_transit() {
+        let g = fig1();
+        let lcp = AllPairsLcp::compute(&g);
+        let table = AvoidanceTable::compute(&g, &lcp);
+        assert!(table.get(Fig1::X, Fig1::Z, Fig1::A).is_none());
+        assert!(table.get(Fig1::X, Fig1::Z, Fig1::D).is_some());
+    }
+
+    #[test]
+    fn table_agrees_with_direct_avoiding_trees() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let costs = random_costs(16, 0, 7, &mut rng);
+        let g = erdos_renyi(costs, 0.3, &mut rng);
+        let lcp = AllPairsLcp::compute(&g);
+        let table = AvoidanceTable::compute(&g, &lcp);
+        for j in g.nodes() {
+            for i in g.nodes() {
+                if i == j {
+                    continue;
+                }
+                let route = lcp.route(i, j).unwrap();
+                let entries = table.entries(i, j);
+                assert_eq!(entries.len(), route.transit_nodes().len());
+                for (slot, &k) in route.transit_nodes().iter().enumerate() {
+                    let direct = avoiding_tree(&g, j, k);
+                    assert_eq!(entries[slot].avoided, k);
+                    assert_eq!(entries[slot].cost, direct.cost(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_fast_equals_compute_on_fig1() {
+        let g = fig1();
+        let lcp = AllPairsLcp::compute(&g);
+        assert_eq!(
+            AvoidanceTable::compute_fast(&g, &lcp),
+            AvoidanceTable::compute(&g, &lcp)
+        );
+    }
+
+    #[test]
+    fn compute_fast_equals_compute_on_random_families() {
+        use bgpvcg_netgraph::generators::barabasi_albert;
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let costs = random_costs(24, 0, 9, &mut rng);
+            let g = if seed % 2 == 0 {
+                erdos_renyi(costs, 0.2, &mut rng)
+            } else {
+                barabasi_albert(costs, 2, &mut rng)
+            };
+            let lcp = AllPairsLcp::compute(&g);
+            assert_eq!(
+                AvoidanceTable::compute_fast(&g, &lcp),
+                AvoidanceTable::compute(&g, &lcp),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_fast_equals_compute_with_zero_costs() {
+        // Zero costs maximize ties; cost and hop values must still agree.
+        let g = ring(9, Cost::ZERO);
+        let lcp = AllPairsLcp::compute(&g);
+        assert_eq!(
+            AvoidanceTable::compute_fast(&g, &lcp),
+            AvoidanceTable::compute(&g, &lcp)
+        );
+    }
+
+    #[test]
+    fn max_hops_on_ring() {
+        // On a uniform ring, avoiding a node on the short arc forces the
+        // long way around. The shortest LCP with a transit node has 2 hops,
+        // so the longest avoiding detour has n - 2 hops.
+        let g = ring(8, Cost::new(1));
+        let lcp = AllPairsLcp::compute(&g);
+        let table = AvoidanceTable::compute(&g, &lcp);
+        assert_eq!(table.max_hops(), 6);
+    }
+}

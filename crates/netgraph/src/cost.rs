@@ -1,0 +1,213 @@
+//! Exact per-packet transit costs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A per-packet transit cost, or a path cost (a sum of transit costs).
+///
+/// The mechanism's arithmetic — VCG prices are sums and differences of
+/// declared costs — must be exact for the distributed protocol to agree
+/// bit-for-bit with the centralized Theorem-1 computation, so `Cost` wraps an
+/// integer rather than a float.
+///
+/// `Cost` is a lattice with top element [`Cost::INFINITE`]: the distributed
+/// price computation initializes every price entry to `∞` and relaxes it
+/// monotonically downward (paper, Sect. 6.1), and the uniqueness proof of
+/// Theorem 1 sets `c_k = ∞` to zero out a node's traffic. Addition saturates
+/// at `∞`, mirroring path costs through an unreachable node.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::Cost;
+///
+/// let a = Cost::new(5);
+/// let b = Cost::new(2);
+/// assert_eq!(a + b, Cost::new(7));
+/// assert_eq!(a + Cost::INFINITE, Cost::INFINITE);
+/// assert!(a < Cost::INFINITE);
+/// assert_eq!((a + b).checked_sub(a), Some(b));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cost(u64);
+
+/// Sentinel raw value representing an infinite cost.
+const INFINITE_RAW: u64 = u64::MAX;
+
+impl Cost {
+    /// The zero cost. Endpoints of a route contribute `ZERO` to its cost.
+    pub const ZERO: Cost = Cost(0);
+
+    /// The infinite cost: the top of the price lattice, and the cost of any
+    /// path through a removed node.
+    pub const INFINITE: Cost = Cost(INFINITE_RAW);
+
+    /// Creates a finite cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` equals the reserved infinite sentinel (`u64::MAX`);
+    /// use [`Cost::INFINITE`] for infinity.
+    pub const fn new(value: u64) -> Self {
+        assert!(
+            value != INFINITE_RAW,
+            "u64::MAX is reserved for Cost::INFINITE"
+        );
+        Cost(value)
+    }
+
+    /// Returns `true` if this is the infinite cost.
+    pub const fn is_infinite(self) -> bool {
+        self.0 == INFINITE_RAW
+    }
+
+    /// Returns `true` if this cost is finite.
+    pub const fn is_finite(self) -> bool {
+        !self.is_infinite()
+    }
+
+    /// Returns the finite value, or `None` if infinite.
+    pub const fn finite(self) -> Option<u64> {
+        if self.is_infinite() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Subtracts `rhs`, returning `None` on underflow or if either side is
+    /// infinite. VCG price formulas only ever subtract an LCP cost from the
+    /// (never smaller) cost of a k-avoiding path, so `None` signals a logic
+    /// error in the caller rather than a meaningful quantity.
+    pub fn checked_sub(self, rhs: Cost) -> Option<Cost> {
+        if self.is_infinite() || rhs.is_infinite() {
+            return None;
+        }
+        self.0.checked_sub(rhs.0).map(Cost)
+    }
+
+    /// Adds `rhs`, saturating at [`Cost::INFINITE`] (both when either operand
+    /// is infinite and on `u64` overflow).
+    pub fn saturating_add(self, rhs: Cost) -> Cost {
+        if self.is_infinite() || rhs.is_infinite() {
+            return Cost::INFINITE;
+        }
+        match self.0.checked_add(rhs.0) {
+            Some(v) if v != INFINITE_RAW => Cost(v),
+            _ => Cost::INFINITE,
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    /// Saturating addition: `∞ + x = ∞`.
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl From<u32> for Cost {
+    fn from(value: u32) -> Self {
+        Cost(u64::from(value))
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_construction_and_query() {
+        let c = Cost::new(17);
+        assert!(c.is_finite());
+        assert!(!c.is_infinite());
+        assert_eq!(c.finite(), Some(17));
+    }
+
+    #[test]
+    fn infinite_is_infinite() {
+        assert!(Cost::INFINITE.is_infinite());
+        assert_eq!(Cost::INFINITE.finite(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn new_rejects_sentinel() {
+        let _ = Cost::new(u64::MAX);
+    }
+
+    #[test]
+    fn addition_is_exact_when_finite() {
+        assert_eq!(Cost::new(3) + Cost::new(4), Cost::new(7));
+        assert_eq!(Cost::ZERO + Cost::new(9), Cost::new(9));
+    }
+
+    #[test]
+    fn addition_saturates_at_infinity() {
+        assert_eq!(Cost::new(1) + Cost::INFINITE, Cost::INFINITE);
+        assert_eq!(Cost::INFINITE + Cost::INFINITE, Cost::INFINITE);
+        // Overflow also saturates.
+        assert_eq!(Cost(u64::MAX - 1) + Cost::new(5), Cost::INFINITE);
+    }
+
+    #[test]
+    fn checked_sub_behaves() {
+        assert_eq!(Cost::new(9).checked_sub(Cost::new(3)), Some(Cost::new(6)));
+        assert_eq!(Cost::new(3).checked_sub(Cost::new(9)), None);
+        assert_eq!(Cost::INFINITE.checked_sub(Cost::new(1)), None);
+        assert_eq!(Cost::new(1).checked_sub(Cost::INFINITE), None);
+    }
+
+    #[test]
+    fn infinite_dominates_order() {
+        assert!(Cost::new(u64::MAX - 1) < Cost::INFINITE);
+        assert!(Cost::ZERO < Cost::new(1));
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: Cost = [Cost::new(1), Cost::new(2), Cost::new(3)].into_iter().sum();
+        assert_eq!(total, Cost::new(6));
+        let with_inf: Cost = [Cost::new(1), Cost::INFINITE].into_iter().sum();
+        assert_eq!(with_inf, Cost::INFINITE);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cost::new(12).to_string(), "12");
+        assert_eq!(Cost::INFINITE.to_string(), "∞");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Cost::default(), Cost::ZERO);
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz DOT export for AS graphs.
+//!
+//! Purely a developer/paper-figure convenience: `dot -Tsvg` on the output
+//! renders topology diagrams like the paper's Fig. 1.
+
+use crate::graph::AsGraph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax. Nodes are labelled
+/// `AS<k>\nc=<cost>`; an optional `highlight` path (a node sequence) is
+/// drawn in bold.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::structured::fig1;
+/// use bgpvcg_netgraph::dot::to_dot;
+///
+/// let dot = to_dot(&fig1(), &[]);
+/// assert!(dot.starts_with("graph as_graph {"));
+/// assert!(dot.contains("AS0"));
+/// ```
+pub fn to_dot(graph: &AsGraph, highlight: &[crate::AsId]) -> String {
+    let mut out = String::from("graph as_graph {\n");
+    let _ = writeln!(out, "  layout=neato;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for k in graph.nodes() {
+        let emphasized = highlight.contains(&k);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\nc={}\"{}];",
+            k.raw(),
+            k,
+            graph.cost(k),
+            if emphasized { ", penwidth=2.5" } else { "" }
+        );
+    }
+    for link in graph.links() {
+        let on_path = highlight.windows(2).any(|w| {
+            (w[0] == link.a() && w[1] == link.b()) || (w[0] == link.b() && w[1] == link.a())
+        });
+        let _ = writeln!(
+            out,
+            "  n{} -- n{}{};",
+            link.a().raw(),
+            link.b().raw(),
+            if on_path { " [penwidth=2.5]" } else { "" }
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured::{fig1, Fig1};
+
+    #[test]
+    fn dot_lists_all_nodes_and_links() {
+        let g = fig1();
+        let dot = to_dot(&g, &[]);
+        for k in g.nodes() {
+            assert!(dot.contains(&format!("n{} [label=\"{k}", k.raw())));
+        }
+        assert_eq!(dot.matches(" -- ").count(), g.link_count());
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlight_emphasizes_path_nodes_and_links() {
+        let g = fig1();
+        let path = [Fig1::X, Fig1::B, Fig1::D, Fig1::Z];
+        let dot = to_dot(&g, &path);
+        // 4 bold nodes + 3 bold links.
+        assert_eq!(dot.matches("penwidth=2.5").count(), 7);
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = crate::AsGraph::builder().build();
+        let dot = to_dot(&g, &[]);
+        assert!(dot.starts_with("graph as_graph {"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

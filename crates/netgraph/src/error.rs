@@ -1,0 +1,90 @@
+//! Error types for graph construction and validation.
+
+use crate::id::AsId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while building or validating an AS graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A link endpoint refers to a node that does not exist.
+    UnknownNode(AsId),
+    /// A self-loop `(k, k)` was requested; the model has no such links.
+    SelfLoop(AsId),
+    /// The link already exists (the model allows at most one link per AS
+    /// pair, following the Griffin–Wilfong abstraction the paper adopts).
+    DuplicateLink(AsId, AsId),
+    /// The graph is not biconnected, so lowest-cost k-avoiding paths — and
+    /// therefore VCG prices — are undefined (paper, Sect. 4).
+    NotBiconnected,
+    /// The graph has fewer than three nodes; biconnectivity (and hence the
+    /// mechanism) needs at least a triangle.
+    TooSmall {
+        /// Number of nodes present.
+        nodes: usize,
+    },
+    /// The graph is not connected; unreachable destinations have no LCPs.
+    Disconnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::SelfLoop(id) => write!(f, "self-loop at {id} is not allowed"),
+            GraphError::DuplicateLink(a, b) => {
+                write!(f, "link between {a} and {b} already exists")
+            }
+            GraphError::NotBiconnected => write!(
+                f,
+                "graph is not biconnected, so k-avoiding paths and VCG prices are undefined"
+            ),
+            GraphError::TooSmall { nodes } => {
+                write!(
+                    f,
+                    "graph with {nodes} node(s) is too small for the mechanism"
+                )
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::UnknownNode(AsId::new(3)), "AS3"),
+            (GraphError::SelfLoop(AsId::new(1)), "self-loop"),
+            (
+                GraphError::DuplicateLink(AsId::new(0), AsId::new(1)),
+                "already exists",
+            ),
+            (GraphError::NotBiconnected, "biconnected"),
+            (GraphError::TooSmall { nodes: 2 }, "2 node"),
+            (GraphError::Disconnected, "not connected"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<GraphError>();
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Barabási–Albert preferential-attachment graphs.
+
+use super::make_biconnected;
+use crate::cost::Cost;
+use crate::graph::{AsGraph, AsGraphBuilder};
+use crate::id::AsId;
+use rand::Rng;
+
+/// Samples a Barabási–Albert preferential-attachment graph: new nodes attach
+/// `m ≥ 2` links to existing nodes with probability proportional to degree.
+///
+/// The measured AS graph has a power-law degree distribution and a small,
+/// slowly growing diameter; BA graphs are the standard synthetic stand-in,
+/// which is why experiment E7 (the paper's "d′ is not much larger than d on
+/// the current AS graph" remark) runs on this family. With `m ≥ 2` the
+/// result is almost always biconnected already; [`make_biconnected`]
+/// guarantees it.
+///
+/// # Panics
+///
+/// Panics if `costs.len() < m + 1` or `m < 2`.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::{barabasi_albert, random_costs};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let costs = random_costs(30, 1, 10, &mut rng);
+/// let g = barabasi_albert(costs, 2, &mut rng);
+/// assert!(g.is_biconnected());
+/// ```
+pub fn barabasi_albert<R: Rng + ?Sized>(costs: Vec<Cost>, m: usize, rng: &mut R) -> AsGraph {
+    let n = costs.len();
+    assert!(m >= 2, "m must be at least 2 for biconnectivity");
+    assert!(n > m, "need more nodes than the attachment count");
+
+    let mut b = AsGraphBuilder::new();
+    b.add_nodes(costs);
+
+    // Seed clique on the first m+1 nodes.
+    for a in 0..=(m as u32) {
+        for c in (a + 1)..=(m as u32) {
+            b.add_link(AsId::new(a), AsId::new(c)).expect("seed clique");
+        }
+    }
+
+    // `targets` holds one entry per link endpoint, so uniform sampling from
+    // it is degree-proportional sampling.
+    let mut targets: Vec<u32> = Vec::new();
+    for a in 0..=(m as u32) {
+        for _ in 0..m {
+            targets.push(a);
+        }
+    }
+
+    for new in (m + 1)..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let pick = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            b.add_link(AsId::new(new as u32), AsId::new(t))
+                .expect("new node links are fresh");
+            targets.push(t);
+            targets.push(new as u32);
+        }
+    }
+
+    make_biconnected(b.build(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn link_count_matches_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50;
+        let m = 2;
+        let g = barabasi_albert(vec![Cost::new(1); n], m, &mut rng);
+        // seed clique C(m+1, 2) + m links per later node, plus possibly a few
+        // from biconnectivity augmentation (usually zero).
+        let expected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert!(g.link_count() >= expected);
+        assert!(g.link_count() <= expected + 3);
+    }
+
+    #[test]
+    fn result_is_biconnected() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = barabasi_albert(vec![Cost::new(1); 40], 2, &mut rng);
+            assert!(g.is_biconnected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(vec![Cost::new(1); 200], 2, &mut rng);
+        let max_degree = g.nodes().map(|k| g.degree(k)).max().unwrap();
+        // Preferential attachment produces hubs far above the minimum degree.
+        assert!(max_degree >= 10, "max degree {max_degree} too small for BA");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = barabasi_albert(vec![Cost::new(1); 30], 3, &mut StdRng::seed_from_u64(5));
+        let g2 = barabasi_albert(vec![Cost::new(1); 30], 3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_m_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = barabasi_albert(vec![Cost::ZERO; 10], 1, &mut rng);
+    }
+}

@@ -1,0 +1,95 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+
+use super::make_biconnected;
+use crate::cost::Cost;
+use crate::graph::{AsGraph, AsGraphBuilder};
+use crate::id::AsId;
+use rand::Rng;
+
+/// Samples a `G(n, p)` graph with the given declared costs, then augments it
+/// to be biconnected (the mechanism's precondition) with
+/// [`make_biconnected`].
+///
+/// Every unordered node pair receives a link independently with probability
+/// `p`. With `p` above the connectivity threshold `ln n / n` the augmentation
+/// rarely needs to add anything.
+///
+/// # Panics
+///
+/// Panics if `costs.len() < 3` or `p` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::{erdos_renyi, random_costs};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let costs = random_costs(20, 1, 10, &mut rng);
+/// let g = erdos_renyi(costs, 0.2, &mut rng);
+/// assert!(g.is_biconnected());
+/// ```
+pub fn erdos_renyi<R: Rng + ?Sized>(costs: Vec<Cost>, p: f64, rng: &mut R) -> AsGraph {
+    assert!(costs.len() >= 3, "need at least 3 nodes");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let n = costs.len();
+    let mut b = AsGraphBuilder::new();
+    b.add_nodes(costs);
+    for a in 0..n as u32 {
+        for c in (a + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                b.add_link(AsId::new(a), AsId::new(c))
+                    .expect("pairs visited once");
+            }
+        }
+    }
+    make_biconnected(b.build(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn result_is_biconnected_even_with_p_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(vec![Cost::new(1); 10], 0.0, &mut rng);
+        assert!(g.is_biconnected());
+    }
+
+    #[test]
+    fn p_one_gives_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(vec![Cost::new(1); 6], 1.0, &mut rng);
+        assert_eq!(g.link_count(), 15);
+    }
+
+    #[test]
+    fn density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40;
+        let g = erdos_renyi(vec![Cost::new(1); n], 0.5, &mut rng);
+        let max_links = n * (n - 1) / 2;
+        let density = g.link_count() as f64 / max_links as f64;
+        assert!(
+            (0.4..=0.6).contains(&density),
+            "density {density} far from 0.5"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = erdos_renyi(vec![Cost::new(2); 15], 0.3, &mut StdRng::seed_from_u64(9));
+        let g2 = erdos_renyi(vec![Cost::new(2); 15], 0.3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = erdos_renyi(vec![Cost::ZERO; 5], 1.5, &mut rng);
+    }
+}

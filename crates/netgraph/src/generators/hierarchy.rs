@@ -1,0 +1,171 @@
+//! Two-tier ISP hierarchy topologies.
+
+use super::make_biconnected;
+use crate::cost::Cost;
+use crate::graph::{AsGraph, AsGraphBuilder};
+use crate::id::AsId;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Parameters for [`hierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of tier-1 (transit core) ASs; they form a full mesh. Must be
+    /// at least 3.
+    pub core_size: usize,
+    /// Number of stub (edge) ASs; each multi-homes to two distinct core ASs.
+    pub stub_count: usize,
+    /// Inclusive range of core transit costs (core ASs are typically
+    /// high-capacity and cheap per packet).
+    pub core_cost: (u64, u64),
+    /// Inclusive range of stub transit costs.
+    pub stub_cost: (u64, u64),
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            core_size: 5,
+            stub_count: 20,
+            core_cost: (1, 3),
+            stub_cost: (4, 10),
+        }
+    }
+}
+
+/// Builds a two-tier ISP hierarchy: a full-mesh transit core plus
+/// multi-homed stubs.
+///
+/// This is the textbook cartoon of interdomain structure and the second
+/// Internet-like family (besides Barabási–Albert) used by the `d′/d`
+/// experiment. Every stub connects to two distinct core nodes, so the graph
+/// is biconnected by construction (the call to [`make_biconnected`] is a
+/// belt-and-braces no-op).
+///
+/// Node numbering: core ASs are `AS0 .. AS(core_size-1)`, stubs follow.
+///
+/// # Panics
+///
+/// Panics if `core_size < 3` or a cost range is inverted or touches
+/// `u64::MAX`.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::{hierarchy, HierarchyConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = hierarchy(HierarchyConfig::default(), &mut rng);
+/// assert!(g.is_biconnected());
+/// assert_eq!(g.node_count(), 25);
+/// ```
+pub fn hierarchy<R: Rng + ?Sized>(config: HierarchyConfig, rng: &mut R) -> AsGraph {
+    assert!(config.core_size >= 3, "core must have at least 3 ASs");
+    for (lo, hi) in [config.core_cost, config.stub_cost] {
+        assert!(lo <= hi, "cost range inverted");
+        assert!(hi < u64::MAX, "cost range must be finite");
+    }
+    let core_dist = Uniform::new_inclusive(config.core_cost.0, config.core_cost.1);
+    let stub_dist = Uniform::new_inclusive(config.stub_cost.0, config.stub_cost.1);
+
+    let mut b = AsGraphBuilder::new();
+    for _ in 0..config.core_size {
+        b.add_node(Cost::new(core_dist.sample(rng)));
+    }
+    for _ in 0..config.stub_count {
+        b.add_node(Cost::new(stub_dist.sample(rng)));
+    }
+
+    // Full mesh among the core.
+    for a in 0..config.core_size as u32 {
+        for c in (a + 1)..config.core_size as u32 {
+            b.add_link(AsId::new(a), AsId::new(c)).expect("core mesh");
+        }
+    }
+
+    // Each stub multi-homes to two distinct core providers.
+    for s in 0..config.stub_count {
+        let stub = AsId::new((config.core_size + s) as u32);
+        let first = rng.gen_range(0..config.core_size);
+        let mut second = rng.gen_range(0..config.core_size - 1);
+        if second >= first {
+            second += 1;
+        }
+        b.add_link(stub, AsId::new(first as u32)).expect("homing");
+        b.add_link(stub, AsId::new(second as u32)).expect("homing");
+    }
+
+    make_biconnected(b.build(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_matches_config() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = HierarchyConfig {
+            core_size: 4,
+            stub_count: 10,
+            core_cost: (1, 1),
+            stub_cost: (5, 5),
+        };
+        let g = hierarchy(cfg, &mut rng);
+        assert_eq!(g.node_count(), 14);
+        // core mesh 6 links + 2 per stub.
+        assert_eq!(g.link_count(), 6 + 20);
+        for c in 0..4u32 {
+            assert_eq!(g.cost(AsId::new(c)), Cost::new(1));
+        }
+        for s in 4..14u32 {
+            assert_eq!(g.cost(AsId::new(s)), Cost::new(5));
+            assert_eq!(g.degree(AsId::new(s)), 2, "stubs are dual-homed");
+        }
+    }
+
+    #[test]
+    fn result_is_biconnected() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = hierarchy(HierarchyConfig::default(), &mut rng);
+            assert!(g.is_biconnected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stubs_never_peer_with_stubs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = HierarchyConfig::default();
+        let g = hierarchy(cfg, &mut rng);
+        for s in cfg.core_size..g.node_count() {
+            for &nb in g.neighbors(AsId::new(s as u32)) {
+                assert!(nb.index() < cfg.core_size, "stub {s} peers with stub {nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = HierarchyConfig::default();
+        let g1 = hierarchy(cfg, &mut StdRng::seed_from_u64(2));
+        let g2 = hierarchy(cfg, &mut StdRng::seed_from_u64(2));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn rejects_tiny_core() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = hierarchy(
+            HierarchyConfig {
+                core_size: 2,
+                ..HierarchyConfig::default()
+            },
+            &mut rng,
+        );
+    }
+}

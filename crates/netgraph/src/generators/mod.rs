@@ -1,0 +1,231 @@
+//! Synthetic AS-graph generators.
+//!
+//! The paper's remarks about "the current AS graph" (Sect. 6.2) cannot be
+//! reproduced on the real, proprietary AS topology, so experiments run on
+//! synthetic families that reproduce the structural features the claims
+//! depend on:
+//!
+//! * [`barabasi_albert`] — preferential attachment; power-law degrees like
+//!   the measured AS graph, small diameter.
+//! * [`hierarchy`] — an explicit two-tier ISP hierarchy (transit core +
+//!   multi-homed stubs), the textbook cartoon of interdomain structure.
+//! * [`waxman`] — the classic geographic random-graph model used by early
+//!   Internet topology generators.
+//! * [`erdos_renyi`] — the G(n, p) baseline.
+//! * [`structured`] — deterministic graphs (ring, grid, complete,
+//!   wheel, Petersen, and the paper's own Fig. 1 example) used by unit tests
+//!   and worked-example experiments.
+//!
+//! All random generators take an explicit `Rng` so experiments are
+//! reproducible from a seed, and all of them offer biconnectivity
+//! post-processing via [`make_biconnected`] (the mechanism's standing
+//! assumption).
+
+mod barabasi_albert;
+mod erdos_renyi;
+mod hierarchy;
+pub mod structured;
+mod waxman;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::erdos_renyi;
+pub use hierarchy::{hierarchy, HierarchyConfig};
+pub use waxman::{waxman, WaxmanConfig};
+
+use crate::cost::Cost;
+use crate::graph::{AsGraph, AsGraphBuilder};
+use crate::id::AsId;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Draws one declared transit cost uniformly from `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi` is `u64::MAX` (reserved for
+/// [`Cost::INFINITE`]).
+pub fn random_cost<R: Rng + ?Sized>(lo: u64, hi: u64, rng: &mut R) -> Cost {
+    assert!(lo <= hi, "lo must not exceed hi");
+    assert!(hi < u64::MAX, "hi must be finite");
+    Cost::new(Uniform::new_inclusive(lo, hi).sample(rng))
+}
+
+/// Draws a vector of `n` declared costs uniformly from `[lo, hi]`.
+pub fn random_costs<R: Rng + ?Sized>(n: usize, lo: u64, hi: u64, rng: &mut R) -> Vec<Cost> {
+    (0..n).map(|_| random_cost(lo, hi, rng)).collect()
+}
+
+/// Adds links to `graph` until it is biconnected, preferring links between
+/// the articulation-separated parts; returns the augmented graph.
+///
+/// The procedure first connects components (joining each component's
+/// lowest-numbered node to node 0's component), then repeatedly links a
+/// neighbor-pair "around" each articulation point until none remain. It
+/// terminates because each pass strictly reduces the number of biconnected-
+/// component separations and the complete graph is biconnected.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than three nodes — no augmentation can make
+/// it biconnected.
+pub fn make_biconnected<R: Rng + ?Sized>(graph: AsGraph, rng: &mut R) -> AsGraph {
+    assert!(
+        graph.node_count() >= 3,
+        "need at least 3 nodes to biconnect"
+    );
+    let mut g = graph;
+
+    // Phase 1: connect the components.
+    loop {
+        let n = g.node_count();
+        let mut component = vec![usize::MAX; n];
+        let mut next_comp = 0usize;
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            component[start] = next_comp;
+            while let Some(u) = stack.pop() {
+                for &v in g.neighbors(AsId::new(u as u32)) {
+                    if component[v.index()] == usize::MAX {
+                        component[v.index()] = next_comp;
+                        stack.push(v.index());
+                    }
+                }
+            }
+            next_comp += 1;
+        }
+        if next_comp <= 1 {
+            break;
+        }
+        // Join a random node of component 0 with the first node of another.
+        let in_zero: Vec<usize> = (0..n).filter(|&k| component[k] == 0).collect();
+        let other = (0..n)
+            .find(|&k| component[k] != 0)
+            .expect("second component");
+        let a = in_zero[rng.gen_range(0..in_zero.len())];
+        g = g
+            .with_link(AsId::new(a as u32), AsId::new(other as u32))
+            .expect("cross-component link cannot already exist");
+    }
+
+    // Phase 2: eliminate articulation points by linking around them.
+    loop {
+        let cuts = g.articulation_points();
+        let Some(&cut) = cuts.first() else { break };
+        // Removing `cut` splits its neighbors into ≥2 groups; link the first
+        // neighbor to a neighbor in a different group.
+        let n = g.node_count();
+        let mut mark = vec![false; n];
+        mark[cut.index()] = true;
+        let first = g.neighbors(cut)[0];
+        let mut stack = vec![first];
+        mark[first.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !mark[v.index()] {
+                    mark[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        let stranded = g
+            .neighbors(cut)
+            .iter()
+            .copied()
+            .find(|v| !mark[v.index()])
+            .expect("articulation point must separate some neighbor");
+        g = g
+            .with_link(first, stranded)
+            .expect("link across articulation point cannot already exist");
+    }
+    g
+}
+
+/// Builds a graph from an explicit node-cost vector and an edge list.
+///
+/// Convenience shared by generators and tests.
+///
+/// # Panics
+///
+/// Panics if any edge is invalid (unknown node, self-loop, duplicate).
+pub fn from_edges(costs: Vec<Cost>, edges: &[(u32, u32)]) -> AsGraph {
+    let mut b = AsGraphBuilder::new();
+    b.add_nodes(costs);
+    for &(x, y) in edges {
+        b.add_link(AsId::new(x), AsId::new(y))
+            .expect("invalid edge in from_edges");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_cost_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = random_cost(3, 9, &mut rng);
+            let v = c.finite().unwrap();
+            assert!((3..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_costs_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(random_costs(12, 0, 5, &mut rng).len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn random_cost_rejects_sentinel_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = random_cost(0, u64::MAX, &mut rng);
+    }
+
+    #[test]
+    fn make_biconnected_fixes_a_path() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let path = from_edges(
+            vec![Cost::ZERO; 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        assert!(!path.is_biconnected());
+        let fixed = make_biconnected(path, &mut rng);
+        assert!(fixed.is_biconnected());
+    }
+
+    #[test]
+    fn make_biconnected_fixes_disconnected_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = from_edges(vec![Cost::ZERO; 7], &[(0, 1), (2, 3), (4, 5), (5, 6)]);
+        assert!(!g.is_connected());
+        let fixed = make_biconnected(g, &mut rng);
+        assert!(fixed.is_biconnected());
+    }
+
+    #[test]
+    fn make_biconnected_is_identity_on_biconnected_input() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ring = structured::ring(8, Cost::new(1));
+        let fixed = make_biconnected(ring.clone(), &mut rng);
+        assert_eq!(fixed, ring);
+    }
+
+    #[test]
+    fn make_biconnected_star_graph() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let star = from_edges(
+            vec![Cost::ZERO; 8],
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)],
+        );
+        let fixed = make_biconnected(star, &mut rng);
+        assert!(fixed.is_biconnected());
+    }
+}

@@ -1,0 +1,357 @@
+//! Deterministic structured topologies, including the paper's Fig. 1.
+
+use super::from_edges;
+use crate::cost::Cost;
+use crate::graph::AsGraph;
+use crate::id::AsId;
+
+/// Node labels for [`fig1`], the paper's Sect. 4 worked example.
+///
+/// The AS numbers are fixed so tests and experiments can refer to the nodes
+/// by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig1;
+
+impl Fig1 {
+    /// Node `X` (cost 2), a traffic source in the worked example.
+    pub const X: AsId = AsId::new(0);
+    /// Node `A` (cost 5), on the D-avoiding path `X A Z`.
+    pub const A: AsId = AsId::new(1);
+    /// Node `Z` (cost 4), the destination in the worked example.
+    pub const Z: AsId = AsId::new(2);
+    /// Node `D` (cost 1), the transit node paid 3 for `X→Z` and 9 for `Y→Z`.
+    pub const D: AsId = AsId::new(3);
+    /// Node `B` (cost 2), the transit node paid 4 for `X→Z`.
+    pub const B: AsId = AsId::new(4);
+    /// Node `Y` (cost 3), the source of the overcharging example.
+    pub const Y: AsId = AsId::new(5);
+}
+
+/// The 6-node AS graph of the paper's Fig. 1.
+///
+/// Costs: `c_X = 2, c_A = 5, c_Z = 4, c_D = 1, c_B = 2, c_Y = 3`. Links:
+/// `X–A, A–Z, X–B, B–D, D–Z, D–Y, B–Y`. The LCP from `X` to `Z` is
+/// `X B D Z` (transit cost 3) and the lowest-cost D-avoiding path is
+/// `X A Z` (transit cost 5), giving the payments computed in Sect. 4.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+///
+/// let g = fig1();
+/// assert!(g.is_biconnected());
+/// assert_eq!(g.cost(Fig1::D).finite(), Some(1));
+/// ```
+pub fn fig1() -> AsGraph {
+    from_edges(
+        vec![
+            Cost::new(2), // X
+            Cost::new(5), // A
+            Cost::new(4), // Z
+            Cost::new(1), // D
+            Cost::new(2), // B
+            Cost::new(3), // Y
+        ],
+        &[
+            (0, 1), // X–A
+            (1, 2), // A–Z
+            (0, 4), // X–B
+            (4, 3), // B–D
+            (3, 2), // D–Z
+            (3, 5), // D–Y
+            (4, 5), // B–Y
+        ],
+    )
+}
+
+/// A cycle on `n ≥ 3` nodes, all with the same cost. The smallest
+/// biconnected family; `d` grows linearly, which stresses convergence-stage
+/// experiments.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, cost: Cost) -> AsGraph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    from_edges(vec![cost; n], &edges)
+}
+
+/// The complete graph `K_n` on `n ≥ 3` nodes with uniform cost: diameter 1,
+/// every 2-hop route available, maximal route churn.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn complete(n: usize, cost: Cost) -> AsGraph {
+    assert!(n >= 3, "a complete graph needs at least 3 nodes here");
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            edges.push((a, b));
+        }
+    }
+    from_edges(vec![cost; n], &edges)
+}
+
+/// An `rows × cols` grid with wrap-around in both dimensions (a torus), so
+/// the result is biconnected even for a single row or column pair.
+///
+/// # Panics
+///
+/// Panics if `rows * cols < 3` or either dimension is smaller than 3 (a
+/// 2-wide torus would create duplicate links).
+pub fn torus(rows: usize, cols: usize, cost: Cost) -> AsGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((id(r, c), id(r, (c + 1) % cols)));
+            edges.push((id(r, c), id((r + 1) % rows, c)));
+        }
+    }
+    from_edges(vec![cost; n], &edges)
+}
+
+/// A wheel: a hub (node 0, cost `hub_cost`) connected to every node of an
+/// `n−1`-cycle (cost `rim_cost`). The hub is a cheap transit magnet, useful
+/// for overcharging experiments: rim-to-rim LCPs go through the hub while
+/// the k-avoiding alternative crawls around the rim.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize, hub_cost: Cost, rim_cost: Cost) -> AsGraph {
+    assert!(n >= 4, "a wheel needs at least 4 nodes");
+    let rim = n - 1;
+    let mut edges = Vec::new();
+    for i in 0..rim as u32 {
+        edges.push((i + 1, (i + 1) % rim as u32 + 1)); // rim cycle
+        edges.push((0, i + 1)); // spokes
+    }
+    let mut costs = vec![rim_cost; n];
+    costs[0] = hub_cost;
+    from_edges(costs, &edges)
+}
+
+/// A "theta" graph: two hub nodes joined by three disjoint paths — a short
+/// primary (`short` interior nodes, cheap), a short backup (`short`
+/// interior nodes, slightly dearer), and a long detour (`long` interior
+/// nodes, dearest).
+///
+/// Pricing a node on the short paths for hub-to-hub traffic can force the
+/// k-avoiding path the long way around, so `d′` tracks `long` — but note
+/// the *all-pairs* LCP diameter `d` also grows with `long` (pairs interior
+/// to the detour), so `d′/d` approaches 2 like a ring. For the truly
+/// unbounded `d′/d` construction use [`wheel`]: removing its free hub
+/// forces rim crawls while `d` stays 2.
+///
+/// Node numbering: hubs are `AS0` and `AS1`; then the primary path's
+/// interior, the backup's, the detour's.
+///
+/// # Panics
+///
+/// Panics if `short == 0` or `long == 0`.
+pub fn theta(short: usize, long: usize, base_cost: Cost) -> AsGraph {
+    assert!(short > 0 && long > 0, "paths need interior nodes");
+    let scaled =
+        |factor: u64| Cost::new(base_cost.finite().expect("finite base cost") * factor + factor);
+    let mut costs = vec![Cost::ZERO, Cost::ZERO]; // free hubs
+    costs.extend(std::iter::repeat_n(scaled(1), short)); // primary
+    costs.extend(std::iter::repeat_n(scaled(2), short)); // backup
+    costs.extend(std::iter::repeat_n(scaled(3), long)); // detour
+    let mut edges = Vec::new();
+    let mut offset = 2u32;
+    for len in [short, short, long] {
+        edges.push((0, offset));
+        for i in 0..(len as u32 - 1) {
+            edges.push((offset + i, offset + i + 1));
+        }
+        edges.push((offset + len as u32 - 1, 1));
+        offset += len as u32;
+    }
+    from_edges(costs, &edges)
+}
+
+/// The `dim`-dimensional hypercube (`2^dim` nodes, `dim`-regular) with
+/// uniform cost: logarithmic diameter and exponentially many disjoint
+/// paths, the opposite extreme from the ring for convergence and
+/// overcharging experiments.
+///
+/// # Panics
+///
+/// Panics if `dim < 2` (lower dimensions are not biconnected).
+pub fn hypercube(dim: u32, cost: Cost) -> AsGraph {
+    assert!(dim >= 2, "hypercube needs dimension >= 2");
+    let n = 1u32 << dim;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for bit in 0..dim {
+            let w = v ^ (1 << bit);
+            if v < w {
+                edges.push((v, w));
+            }
+        }
+    }
+    from_edges(vec![cost; n as usize], &edges)
+}
+
+/// The Petersen graph (10 nodes, 15 links, 3-regular, girth 5) with uniform
+/// cost: a classic worst-case-ish sparse biconnected graph.
+pub fn petersen(cost: Cost) -> AsGraph {
+    from_edges(
+        vec![cost; 10],
+        &[
+            // outer 5-cycle
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            // spokes
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9),
+            // inner pentagram
+            (5, 7),
+            (7, 9),
+            (9, 6),
+            (6, 8),
+            (8, 5),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_paper() {
+        let g = fig1();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.link_count(), 7);
+        assert_eq!(g.cost(Fig1::X), Cost::new(2));
+        assert_eq!(g.cost(Fig1::A), Cost::new(5));
+        assert_eq!(g.cost(Fig1::Z), Cost::new(4));
+        assert_eq!(g.cost(Fig1::D), Cost::new(1));
+        assert_eq!(g.cost(Fig1::B), Cost::new(2));
+        assert_eq!(g.cost(Fig1::Y), Cost::new(3));
+        assert!(g.has_link(Fig1::X, Fig1::A));
+        assert!(g.has_link(Fig1::A, Fig1::Z));
+        assert!(g.has_link(Fig1::X, Fig1::B));
+        assert!(g.has_link(Fig1::B, Fig1::D));
+        assert!(g.has_link(Fig1::D, Fig1::Z));
+        assert!(g.has_link(Fig1::D, Fig1::Y));
+        assert!(g.has_link(Fig1::B, Fig1::Y));
+        assert!(!g.has_link(Fig1::X, Fig1::Z), "no direct X-Z link");
+        assert!(g.is_biconnected());
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5, Cost::new(2));
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.link_count(), 5);
+        for k in g.nodes() {
+            assert_eq!(g.degree(k), 2);
+        }
+        assert!(g.is_biconnected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small() {
+        let _ = ring(2, Cost::ZERO);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5, Cost::new(1));
+        assert_eq!(g.link_count(), 10);
+        for k in g.nodes() {
+            assert_eq!(g.degree(k), 4);
+        }
+        assert!(g.is_biconnected());
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(3, 4, Cost::new(1));
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.link_count(), 24); // 2 links per node on a torus
+        for k in g.nodes() {
+            assert_eq!(g.degree(k), 4);
+        }
+        assert!(g.is_biconnected());
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(6, Cost::ZERO, Cost::new(5));
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.degree(AsId::new(0)), 5, "hub touches all rim nodes");
+        for i in 1..6u32 {
+            assert_eq!(g.degree(AsId::new(i)), 3, "rim: 2 rim links + 1 spoke");
+        }
+        assert!(g.is_biconnected());
+        assert_eq!(g.cost(AsId::new(0)), Cost::ZERO);
+        assert_eq!(g.cost(AsId::new(3)), Cost::new(5));
+    }
+
+    #[test]
+    fn theta_shape() {
+        let g = theta(2, 6, Cost::new(1));
+        assert_eq!(g.node_count(), 2 + 2 + 2 + 6);
+        assert!(g.is_biconnected());
+        // Hubs are free; paths are increasingly expensive.
+        assert_eq!(g.cost(AsId::new(0)), Cost::ZERO);
+        assert_eq!(g.cost(AsId::new(2)), Cost::new(2)); // primary: 1*1+1
+        assert_eq!(g.cost(AsId::new(4)), Cost::new(4)); // backup: 1*2+2
+        assert_eq!(g.cost(AsId::new(6)), Cost::new(6)); // detour: 1*3+3
+                                                        // Hub degrees: one link per path.
+        assert_eq!(g.degree(AsId::new(0)), 3);
+        assert_eq!(g.degree(AsId::new(1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn theta_rejects_empty_paths() {
+        let _ = theta(0, 5, Cost::new(1));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(3, Cost::new(1));
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.link_count(), 12);
+        for k in g.nodes() {
+            assert_eq!(g.degree(k), 3);
+        }
+        assert!(g.is_biconnected());
+        // Antipodal nodes differ in all bits: 0 and 7 are not adjacent.
+        assert!(!g.has_link(AsId::new(0), AsId::new(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn hypercube_rejects_dim_one() {
+        let _ = hypercube(1, Cost::ZERO);
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let g = petersen(Cost::new(1));
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.link_count(), 15);
+        for k in g.nodes() {
+            assert_eq!(g.degree(k), 3);
+        }
+        assert!(g.is_biconnected());
+    }
+}

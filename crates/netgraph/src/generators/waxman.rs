@@ -1,0 +1,147 @@
+//! Waxman geographic random graphs.
+
+use super::make_biconnected;
+use crate::cost::Cost;
+use crate::graph::{AsGraph, AsGraphBuilder};
+use crate::id::AsId;
+use rand::Rng;
+
+/// Parameters of the Waxman model.
+///
+/// Nodes are placed uniformly in the unit square; a link between nodes at
+/// distance `d` appears with probability `alpha · exp(−d / (beta · L))`,
+/// where `L = √2` is the maximal distance. Higher `alpha` gives denser
+/// graphs; higher `beta` gives more long links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxmanConfig {
+    /// Overall link density, in `(0, 1]`.
+    pub alpha: f64,
+    /// Distance decay, in `(0, 1]`.
+    pub beta: f64,
+}
+
+impl Default for WaxmanConfig {
+    /// The classic parameterization `alpha = 0.4`, `beta = 0.2`.
+    fn default() -> Self {
+        WaxmanConfig {
+            alpha: 0.4,
+            beta: 0.2,
+        }
+    }
+}
+
+/// Samples a Waxman graph over the given cost vector and augments it to be
+/// biconnected.
+///
+/// The Waxman model was the workhorse of 1990s Internet topology generators;
+/// it produces geographically clustered sparse graphs whose LCP diameters
+/// grow faster than Barabási–Albert graphs, giving the convergence
+/// experiments a contrasting family.
+///
+/// # Panics
+///
+/// Panics if `costs.len() < 3` or the config parameters are outside
+/// `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::{waxman, WaxmanConfig, random_costs};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let costs = random_costs(25, 1, 8, &mut rng);
+/// let g = waxman(costs, WaxmanConfig::default(), &mut rng);
+/// assert!(g.is_biconnected());
+/// ```
+pub fn waxman<R: Rng + ?Sized>(costs: Vec<Cost>, config: WaxmanConfig, rng: &mut R) -> AsGraph {
+    assert!(costs.len() >= 3, "need at least 3 nodes");
+    assert!(
+        config.alpha > 0.0 && config.alpha <= 1.0,
+        "alpha must be in (0, 1]"
+    );
+    assert!(
+        config.beta > 0.0 && config.beta <= 1.0,
+        "beta must be in (0, 1]"
+    );
+    let n = costs.len();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let max_dist = std::f64::consts::SQRT_2;
+
+    let mut b = AsGraphBuilder::new();
+    b.add_nodes(costs);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = positions[i].0 - positions[j].0;
+            let dy = positions[i].1 - positions[j].1;
+            let dist = (dx * dx + dy * dy).sqrt();
+            let p = config.alpha * (-dist / (config.beta * max_dist)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                b.add_link(AsId::new(i as u32), AsId::new(j as u32))
+                    .expect("pairs visited once");
+            }
+        }
+    }
+    make_biconnected(b.build(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn result_is_biconnected() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = waxman(vec![Cost::new(1); 30], WaxmanConfig::default(), &mut rng);
+            assert!(g.is_biconnected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alpha_controls_density() {
+        let sparse = waxman(
+            vec![Cost::new(1); 60],
+            WaxmanConfig {
+                alpha: 0.05,
+                beta: 0.2,
+            },
+            &mut StdRng::seed_from_u64(11),
+        );
+        let dense = waxman(
+            vec![Cost::new(1); 60],
+            WaxmanConfig {
+                alpha: 0.9,
+                beta: 0.9,
+            },
+            &mut StdRng::seed_from_u64(11),
+        );
+        assert!(dense.link_count() > sparse.link_count() * 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = WaxmanConfig::default();
+        let g1 = waxman(vec![Cost::new(1); 20], cfg, &mut StdRng::seed_from_u64(4));
+        let g2 = waxman(vec![Cost::new(1); 20], cfg, &mut StdRng::seed_from_u64(4));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = waxman(
+            vec![Cost::ZERO; 5],
+            WaxmanConfig {
+                alpha: 0.0,
+                beta: 0.5,
+            },
+            &mut rng,
+        );
+    }
+}

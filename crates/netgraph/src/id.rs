@@ -1,0 +1,100 @@
+//! Typed Autonomous System identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An Autonomous System number.
+///
+/// In the paper's model every node of the AS graph is an AS identified by its
+/// AS number; routes are sequences of these identifiers. `AsId` is a newtype
+/// over a dense `u32` index so it can double as a direct index into
+/// per-node arrays (see [`AsId::index`]).
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::AsId;
+///
+/// let k = AsId::new(7);
+/// assert_eq!(k.index(), 7);
+/// assert_eq!(k.to_string(), "AS7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsId(u32);
+
+impl AsId {
+    /// Creates an AS identifier from a raw number.
+    pub const fn new(raw: u32) -> Self {
+        AsId(raw)
+    }
+
+    /// Returns the raw AS number.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the AS number as a `usize`, suitable for indexing per-node
+    /// arrays (the graph assigns AS numbers densely from zero).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for AsId {
+    fn from(raw: u32) -> Self {
+        AsId::new(raw)
+    }
+}
+
+impl From<AsId> for u32 {
+    fn from(id: AsId) -> Self {
+        id.raw()
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn raw_round_trip() {
+        let id = AsId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(AsId::from(42u32), id);
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(AsId::new(0).index(), 0);
+        assert_eq!(AsId::new(65_535).index(), 65_535);
+    }
+
+    #[test]
+    fn display_is_as_prefixed() {
+        assert_eq!(AsId::new(0).to_string(), "AS0");
+        assert_eq!(format!("{}", AsId::new(199)), "AS199");
+    }
+
+    #[test]
+    fn ordering_follows_raw_number() {
+        let mut set = BTreeSet::new();
+        set.insert(AsId::new(3));
+        set.insert(AsId::new(1));
+        set.insert(AsId::new(2));
+        let sorted: Vec<u32> = set.into_iter().map(AsId::raw).collect();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", AsId::new(5)).is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! AS-graph substrate for the BGP-VCG mechanism.
+//!
+//! This crate provides the network model of Feigenbaum, Papadimitriou, Sami,
+//! and Shenker's *"A BGP-based mechanism for lowest-cost routing"* (PODC
+//! 2002): an undirected **AS graph** whose nodes are Autonomous Systems, each
+//! with a private per-packet transit cost, plus everything needed to set up
+//! experiments on such graphs:
+//!
+//! * [`AsId`] — a typed AS number.
+//! * [`Cost`] — exact (integer) per-packet transit cost with an explicit
+//!   [`Cost::INFINITE`] sentinel, so VCG price arithmetic is bit-exact.
+//! * [`AsGraph`] — the biconnectivity-checkable topology + declared costs.
+//! * [`TrafficMatrix`] — packet intensities `T_ij` used by payment
+//!   accounting.
+//! * [`generators`] — Internet-like synthetic topologies (Barabási–Albert,
+//!   Waxman, Erdős–Rényi, two-tier ISP hierarchy) and structured graphs,
+//!   including the paper's Fig. 1 example.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpvcg_netgraph::{AsGraph, AsId, Cost};
+//!
+//! # fn main() -> Result<(), bgpvcg_netgraph::GraphError> {
+//! let mut g = AsGraph::builder();
+//! let a = g.add_node(Cost::new(5));
+//! let b = g.add_node(Cost::new(2));
+//! let c = g.add_node(Cost::new(1));
+//! g.add_link(a, b)?;
+//! g.add_link(b, c)?;
+//! g.add_link(c, a)?;
+//! let graph = g.build();
+//! assert!(graph.is_biconnected());
+//! assert_eq!(graph.cost(b), Cost::new(2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod biconnectivity;
+mod cost;
+mod error;
+mod graph;
+mod id;
+mod traffic;
+
+pub mod dot;
+pub mod generators;
+pub mod metrics;
+
+pub use cost::Cost;
+pub use error::GraphError;
+pub use graph::{AsGraph, AsGraphBuilder, Link};
+pub use id::AsId;
+pub use traffic::TrafficMatrix;

@@ -1,0 +1,194 @@
+//! Topology metrics: are the synthetic graphs actually Internet-like?
+//!
+//! The reproduction substitutes synthetic families for the proprietary AS
+//! graph (DESIGN.md, "Substitutions"). The substitution's justification is
+//! structural — power-law-ish degree distributions, small diameters, low
+//! per-node degree for stubs — and this module computes the numbers that
+//! back it: degree statistics, clustering, and degree assortativity.
+//! Experiment E16 reports them per family.
+
+use crate::graph::AsGraph;
+use crate::id::AsId;
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Mean degree (`2|L| / n`).
+    pub mean: f64,
+    /// Maximum degree.
+    pub max: usize,
+    /// Ratio `max / mean`: large values indicate hubs (heavy tails).
+    pub hub_dominance: f64,
+    /// Fraction of nodes with degree at most 3 (stub-like nodes).
+    pub stub_fraction: f64,
+}
+
+/// Computes degree statistics.
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_netgraph::generators::structured::ring;
+/// use bgpvcg_netgraph::metrics::degree_stats;
+/// use bgpvcg_netgraph::Cost;
+///
+/// let stats = degree_stats(&ring(10, Cost::new(1)));
+/// assert_eq!((stats.min, stats.max), (2, 2));
+/// assert_eq!(stats.mean, 2.0);
+/// ```
+pub fn degree_stats(graph: &AsGraph) -> DegreeStats {
+    assert!(graph.node_count() > 0, "empty graph has no degrees");
+    let degrees: Vec<usize> = graph.nodes().map(|k| graph.degree(k)).collect();
+    let min = *degrees.iter().min().expect("non-empty");
+    let max = *degrees.iter().max().expect("non-empty");
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+    let stubs = degrees.iter().filter(|&&d| d <= 3).count();
+    DegreeStats {
+        min,
+        mean,
+        max,
+        hub_dominance: max as f64 / mean,
+        stub_fraction: stubs as f64 / degrees.len() as f64,
+    }
+}
+
+/// The global clustering coefficient: `3 × triangles / connected triples`.
+/// Real AS graphs cluster noticeably; pure random graphs of the same
+/// density barely do.
+///
+/// Returns 0.0 when the graph has no connected triple.
+pub fn clustering_coefficient(graph: &AsGraph) -> f64 {
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for v in graph.nodes() {
+        let neighbors = graph.neighbors(v);
+        let d = neighbors.len();
+        if d < 2 {
+            continue;
+        }
+        triples += d * (d - 1) / 2;
+        for (idx, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[idx + 1..] {
+                if graph.has_link(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times.
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Degree assortativity (Pearson correlation of degrees across link
+/// endpoints). The measured AS graph is strongly *disassortative*
+/// (hubs attach to stubs): values well below zero.
+///
+/// Returns 0.0 for graphs with no links or zero degree variance.
+pub fn degree_assortativity(graph: &AsGraph) -> f64 {
+    let links = graph.links();
+    if links.is_empty() {
+        return 0.0;
+    }
+    let deg = |k: AsId| graph.degree(k) as f64;
+    let m = links.len() as f64;
+    let (mut sum_xy, mut sum_x, mut sum_y, mut sum_x2, mut sum_y2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    // Treat each undirected link as two directed stubs for symmetry.
+    for link in links {
+        for (x, y) in [(link.a(), link.b()), (link.b(), link.a())] {
+            let (dx, dy) = (deg(x), deg(y));
+            sum_xy += dx * dy;
+            sum_x += dx;
+            sum_y += dy;
+            sum_x2 += dx * dx;
+            sum_y2 += dy * dy;
+        }
+    }
+    let n = 2.0 * m;
+    let cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+    let var_x = sum_x2 / n - (sum_x / n) * (sum_x / n);
+    let var_y = sum_y2 / n - (sum_y / n) * (sum_y / n);
+    let denom = (var_x * var_y).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured::{complete, ring, wheel};
+    use crate::generators::{barabasi_albert, erdos_renyi, random_costs};
+    use crate::Cost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_is_perfectly_regular() {
+        let g = ring(12, Cost::new(1));
+        let stats = degree_stats(&g);
+        assert_eq!(stats.min, 2);
+        assert_eq!(stats.max, 2);
+        assert_eq!(stats.hub_dominance, 1.0);
+        assert_eq!(stats.stub_fraction, 1.0);
+        assert_eq!(clustering_coefficient(&g), 0.0, "rings have no triangles");
+        assert_eq!(degree_assortativity(&g), 0.0, "no degree variance");
+    }
+
+    #[test]
+    fn complete_graph_fully_clusters() {
+        let g = complete(6, Cost::new(1));
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barabasi_albert_grows_hubs_erdos_renyi_does_not() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ba = barabasi_albert(random_costs(200, 1, 5, &mut rng), 2, &mut rng);
+        let er = erdos_renyi(random_costs(200, 1, 5, &mut rng), 4.0 / 200.0, &mut rng);
+        let ba_stats = degree_stats(&ba);
+        let er_stats = degree_stats(&er);
+        assert!(
+            ba_stats.hub_dominance > 2.0 * er_stats.hub_dominance,
+            "BA hubs {:.1} vs ER {:.1}",
+            ba_stats.hub_dominance,
+            er_stats.hub_dominance
+        );
+        assert!(ba_stats.stub_fraction > 0.6, "most BA nodes are stubs");
+    }
+
+    #[test]
+    fn wheel_is_disassortative() {
+        // The hub (high degree) attaches only to low-degree rim nodes.
+        let g = wheel(20, Cost::ZERO, Cost::new(5));
+        assert!(degree_assortativity(&g) < -0.2);
+    }
+
+    #[test]
+    fn barabasi_albert_is_disassortative_like_the_as_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ba = barabasi_albert(random_costs(300, 1, 5, &mut rng), 2, &mut rng);
+        assert!(
+            degree_assortativity(&ba) < 0.0,
+            "preferential attachment yields hub-to-stub mixing"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn degree_stats_rejects_empty() {
+        let g = crate::AsGraph::builder().build();
+        let _ = degree_stats(&g);
+    }
+}

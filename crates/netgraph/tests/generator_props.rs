@@ -1,0 +1,202 @@
+//! Property tests for the graph substrate: generators always satisfy the
+//! mechanism's preconditions, mutation methods are inverses, and traffic
+//! matrices behave like matrices.
+
+use bgpvcg_netgraph::generators::{
+    barabasi_albert, erdos_renyi, hierarchy, make_biconnected, random_costs, waxman,
+    HierarchyConfig, WaxmanConfig,
+};
+use bgpvcg_netgraph::{AsGraph, AsGraphBuilder, AsId, Cost, TrafficMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every random generator yields a biconnected graph of the requested
+    /// size (the mechanism's standing precondition).
+    #[test]
+    fn generators_always_biconnected(
+        n in 8usize..40,
+        which in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = random_costs(n, 0, 10, &mut rng);
+        let g = match which {
+            0 => erdos_renyi(costs, 0.15, &mut rng),
+            1 => barabasi_albert(costs, 2, &mut rng),
+            2 => waxman(costs, WaxmanConfig::default(), &mut rng),
+            _ => hierarchy(
+                HierarchyConfig {
+                    core_size: (n / 6).clamp(3, 10),
+                    stub_count: n - (n / 6).clamp(3, 10),
+                    ..HierarchyConfig::default()
+                },
+                &mut rng,
+            ),
+        };
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.is_biconnected());
+        prop_assert!(g.validate_for_mechanism().is_ok());
+    }
+
+    /// make_biconnected on arbitrary sparse graphs delivers biconnectivity
+    /// and never removes anything.
+    #[test]
+    fn make_biconnected_is_additive(
+        n in 3usize..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 0..40),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut b = AsGraphBuilder::new();
+        b.add_nodes(vec![Cost::ZERO; n]);
+        for (x, y) in edges {
+            let (x, y) = (x % n as u32, y % n as u32);
+            if x != y && !b.has_link(AsId::new(x), AsId::new(y)) {
+                b.add_link(AsId::new(x), AsId::new(y)).unwrap();
+            }
+        }
+        let original = b.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fixed = make_biconnected(original.clone(), &mut rng);
+        prop_assert!(fixed.is_biconnected());
+        for link in original.links() {
+            prop_assert!(fixed.has_link(link.a(), link.b()), "lost {link}");
+        }
+    }
+
+    /// without_link and with_link are inverses.
+    #[test]
+    fn link_removal_and_insertion_are_inverses(
+        n in 8usize..25,
+        pick in 0usize..1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(random_costs(n, 1, 9, &mut rng), 0.3, &mut rng);
+        let link = g.links()[pick % g.link_count()];
+        let removed = g.without_link(link.a(), link.b()).unwrap();
+        prop_assert!(!removed.has_link(link.a(), link.b()));
+        prop_assert_eq!(removed.link_count(), g.link_count() - 1);
+        let restored = removed.with_link(link.a(), link.b()).unwrap();
+        prop_assert_eq!(restored, g);
+    }
+
+    /// with_cost changes exactly one declaration.
+    #[test]
+    fn with_cost_is_pointwise(
+        n in 8usize..25,
+        pick in 0u32..1000,
+        new_cost in 0u64..100,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(random_costs(n, 1, 9, &mut rng), 0.3, &mut rng);
+        let k = AsId::new(pick % n as u32);
+        let g2 = g.with_cost(k, Cost::new(new_cost));
+        for node in g.nodes() {
+            if node == k {
+                prop_assert_eq!(g2.cost(node), Cost::new(new_cost));
+            } else {
+                prop_assert_eq!(g2.cost(node), g.cost(node));
+            }
+        }
+        prop_assert_eq!(g2.links(), g.links());
+    }
+
+    /// Traffic matrices: flows() reports exactly the non-zero demands and
+    /// total_packets sums them.
+    #[test]
+    fn traffic_matrix_flow_consistency(
+        n in 2usize..12,
+        demands in proptest::collection::vec((0u32..12, 0u32..12, 0u64..50), 0..30),
+    ) {
+        let mut t = TrafficMatrix::zero(n);
+        for (i, j, d) in demands {
+            let (i, j) = (i % n as u32, j % n as u32);
+            if i != j {
+                t.set(AsId::new(i), AsId::new(j), d);
+            }
+        }
+        let flow_sum: u64 = t.flows().map(|(_, _, d)| d).sum();
+        prop_assert_eq!(flow_sum, t.total_packets());
+        for (i, j, d) in t.flows() {
+            prop_assert!(d > 0);
+            prop_assert_eq!(t.demand(i, j), d);
+            prop_assert!(i != j);
+        }
+    }
+
+    /// Cost arithmetic: saturating addition is commutative, associative on
+    /// samples, and absorbs infinity.
+    #[test]
+    fn cost_addition_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
+        let (ca, cb, cc) = (Cost::new(a), Cost::new(b), Cost::new(c));
+        prop_assert_eq!(ca + cb, cb + ca);
+        prop_assert_eq!((ca + cb) + cc, ca + (cb + cc));
+        prop_assert_eq!(ca + Cost::INFINITE, Cost::INFINITE);
+        prop_assert_eq!((ca + cb).checked_sub(cb), Some(ca));
+    }
+
+    /// Articulation points are sound: removing a reported cut vertex of a
+    /// connected graph disconnects it (checked via a fresh graph without
+    /// that node's links).
+    #[test]
+    fn articulation_points_disconnect(
+        n in 4usize..16,
+        edges in proptest::collection::vec((0u32..16, 0u32..16), 3..30),
+    ) {
+        let mut b = AsGraphBuilder::new();
+        b.add_nodes(vec![Cost::ZERO; n]);
+        for (x, y) in edges {
+            let (x, y) = (x % n as u32, y % n as u32);
+            if x != y && !b.has_link(AsId::new(x), AsId::new(y)) {
+                b.add_link(AsId::new(x), AsId::new(y)).unwrap();
+            }
+        }
+        let g = b.build();
+        prop_assume!(g.is_connected());
+        for cut in g.articulation_points() {
+            // Remove every link of `cut`; the remaining graph (minus the
+            // isolated cut vertex itself) must be disconnected.
+            let mut punctured = g.clone();
+            for &nb in g.neighbors(cut) {
+                punctured = punctured.without_link(cut, nb).unwrap();
+            }
+            // Count connected components among nodes != cut.
+            let mut seen = vec![false; n];
+            seen[cut.index()] = true;
+            let mut components = 0;
+            for start in punctured.nodes() {
+                if seen[start.index()] {
+                    continue;
+                }
+                components += 1;
+                let mut stack = vec![start];
+                seen[start.index()] = true;
+                while let Some(u) = stack.pop() {
+                    for &v in punctured.neighbors(u) {
+                        if !seen[v.index()] {
+                            seen[v.index()] = true;
+                            stack.push(v);
+                        }
+                    }
+                }
+            }
+            prop_assert!(components >= 2, "removing {} does not disconnect", cut);
+        }
+    }
+}
+
+/// Compile-time-ish checks that core types satisfy the API guidelines'
+/// thread-safety expectations.
+#[test]
+fn substrate_types_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AsGraph>();
+    assert_send_sync::<TrafficMatrix>();
+    assert_send_sync::<Cost>();
+    assert_send_sync::<AsId>();
+}

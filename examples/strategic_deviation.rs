@@ -1,0 +1,63 @@
+//! Strategyproofness in action: why lying about costs never pays.
+//!
+//! Takes the paper's Fig. 1 network and lets each AS try a sweep of false
+//! cost declarations — both understating (to attract traffic) and
+//! overstating (to inflate prices), the two temptations of the paper's
+//! footnote 1. For every lie the example prints the resulting traffic,
+//! payment, and utility, showing the utility never exceeds the truthful
+//! one (Theorem 1).
+//!
+//! Run with: `cargo run --example strategic_deviation`
+
+use bgp_vcg::core::strategy;
+use bgp_vcg::netgraph::generators::structured::fig1;
+use bgp_vcg::{Cost, TrafficMatrix};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let graph = fig1();
+    let traffic = TrafficMatrix::uniform(graph.node_count(), 1);
+    let names = ["X", "A", "Z", "D", "B", "Y"];
+
+    println!("Each AS tries declaring costs 0..=12 instead of its true cost.");
+    println!("Utility = payment received − (true cost × transit packets carried).\n");
+
+    let mut any_profitable = false;
+    for k in graph.nodes() {
+        let true_cost = graph.cost(k);
+        let truthful = strategy::evaluate(&graph, k, true_cost, &traffic)?;
+        println!(
+            "{} (true cost {true_cost}): truthful utility {}, carrying {} transit packets",
+            names[k.index()],
+            truthful.utility,
+            truthful.packets_carried
+        );
+        for declared in 0..=12u64 {
+            let lie = Cost::new(declared);
+            if lie == true_cost {
+                continue;
+            }
+            let view = strategy::evaluate(&graph, k, lie, &traffic)?;
+            let verdict = match view.utility.cmp(&truthful.utility) {
+                std::cmp::Ordering::Greater => {
+                    any_profitable = true;
+                    "PROFITABLE LIE — STRATEGYPROOFNESS VIOLATED"
+                }
+                std::cmp::Ordering::Equal => "no gain",
+                std::cmp::Ordering::Less => "loses",
+            };
+            println!(
+                "    declare {declared:>2}: carries {:>2} packets, paid {:>3}, utility {:>4}  ({verdict})",
+                view.packets_carried, view.payment, view.utility
+            );
+        }
+        println!();
+    }
+
+    assert!(
+        !any_profitable,
+        "Theorem 1 guarantees no unilateral lie is profitable"
+    );
+    println!("No profitable deviation exists: truth-telling is a dominant strategy.");
+    Ok(())
+}

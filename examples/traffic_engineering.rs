@@ -1,0 +1,103 @@
+//! Cost declarations as knobs: truthful traffic engineering.
+//!
+//! In the paper's model a transit cost is private information, but it is
+//! also an honest *signal*: an AS whose internal network becomes congested
+//! genuinely incurs a higher per-packet cost, re-declares it, and the
+//! mechanism re-routes traffic and re-prices everyone — no out-of-band
+//! coordination, no incentive distortion (re-declaring your true cost *is*
+//! the dominant strategy). This example walks a congestion episode on a
+//! two-tier ISP topology:
+//!
+//! 1. converge, settle payments;
+//! 2. the busiest core AS's true cost triples (congestion) → re-declare,
+//!    reconverge, watch its traffic share fall and the network re-price;
+//! 3. congestion clears → re-declare down, everything returns exactly to
+//!    the initial state.
+//!
+//! Run with: `cargo run --example traffic_engineering`
+
+use bgp_vcg::bgp::TopologyEvent;
+use bgp_vcg::core::accounting::PaymentLedger;
+use bgp_vcg::netgraph::generators::{hierarchy, HierarchyConfig};
+use bgp_vcg::{protocol, vcg, AsId, Cost, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn busiest_core(ledger: &PaymentLedger, core: usize) -> AsId {
+    (0..core as u32)
+        .map(AsId::new)
+        .max_by_key(|&k| ledger.packets_carried(k))
+        .expect("non-empty core")
+}
+
+fn settle(
+    engine: &bgp_vcg::bgp::engine::SyncEngine<bgp_vcg::PricingBgpNode>,
+    traffic: &TrafficMatrix,
+) -> PaymentLedger {
+    let nodes: Vec<_> = engine.nodes().cloned().collect();
+    PaymentLedger::settle_from_nodes(&nodes, traffic).expect("converged network delivers")
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(1961); // Vickrey's counterspeculation paper
+    let config = HierarchyConfig {
+        core_size: 5,
+        stub_count: 27,
+        core_cost: (1, 3),
+        stub_cost: (4, 10),
+    };
+    let graph = hierarchy(config, &mut rng);
+    let traffic = TrafficMatrix::gravity(graph.node_count(), 12, &mut rng);
+
+    let mut engine = protocol::build_sync_engine(&graph)?;
+    engine.run_to_convergence();
+    let ledger = settle(&engine, &traffic);
+    let hot = busiest_core(&ledger, config.core_size);
+    let before_packets = ledger.packets_carried(hot);
+    let before_payment = ledger.payment(hot);
+    let original_cost = graph.cost(hot);
+    println!(
+        "Initial state: {hot} is the busiest core AS — {before_packets} transit packets, paid {before_payment}."
+    );
+
+    // --- Congestion: the true cost triples; honesty says re-declare. ---
+    let congested_cost = Cost::new(original_cost.finite().unwrap() * 3 + 2);
+    println!("\n*** {hot} congests: true per-packet cost rises {original_cost} -> {congested_cost} ***");
+    let report = engine.apply_event(TopologyEvent::CostChange(hot, congested_cost));
+    println!("Reconverged in {} stages.", report.stages);
+    let congested_graph = graph.with_cost(hot, congested_cost);
+    // The network's prices are again exactly the VCG prices for the new
+    // declaration profile.
+    let nodes: Vec<_> = engine.nodes().cloned().collect();
+    assert_eq!(
+        protocol::outcome_from_nodes(&nodes),
+        vcg::compute(&congested_graph)?
+    );
+    let ledger = settle(&engine, &traffic);
+    let during_packets = ledger.packets_carried(hot);
+    println!(
+        "{hot} now carries {during_packets} transit packets (was {before_packets}): traffic \
+         shifted to cheaper cores automatically."
+    );
+    assert!(during_packets < before_packets);
+
+    // --- Recovery: cost returns; so does the routing, exactly. ---
+    println!("\n*** congestion clears: {hot} re-declares {original_cost} ***");
+    let report = engine.apply_event(TopologyEvent::CostChange(hot, original_cost));
+    println!("Reconverged in {} stages.", report.stages);
+    let nodes: Vec<_> = engine.nodes().cloned().collect();
+    assert_eq!(protocol::outcome_from_nodes(&nodes), vcg::compute(&graph)?);
+    let ledger = settle(&engine, &traffic);
+    assert_eq!(ledger.packets_carried(hot), before_packets);
+    assert_eq!(ledger.payment(hot), before_payment);
+    println!(
+        "Traffic and payments returned exactly to the initial state — the mechanism is a \
+         memoryless function of the declared profile."
+    );
+    println!(
+        "\nBecause truthful declaration is dominant (Theorem 1), using cost re-declaration \
+         for traffic engineering carries no strategic penalty: the knob is the truth."
+    );
+    Ok(())
+}

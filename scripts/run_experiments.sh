@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every experiment (E1..E17) in release mode, saving outputs
+# under results/. Fails if any experiment's verdict assertion trips.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+experiments=(
+  e1_worked_example e2_strategyproofness e3_bgp_convergence
+  e4_price_convergence e5_state_overhead e6_communication
+  e7_dprime_vs_d e8_overcharging e9_baseline_comparison e10_dynamics
+  e11_ablation_full_table e12_neighbor_costs e13_audit e14_scale
+  e15_per_node_convergence e16_topology_realism e17_uniqueness
+  e18_overcharge_vs_diversity
+)
+for e in "${experiments[@]}"; do
+  echo "== $e =="
+  cargo run --quiet --release -p bgpvcg-bench --bin "$e" | tee "results/$e.txt"
+done
+echo "All ${#experiments[@]} experiments passed."

@@ -1,0 +1,95 @@
+//! The grand differential-consistency test: every independent
+//! implementation path in the workspace, run on the same random instance,
+//! must agree exactly.
+//!
+//! Routing has three implementations (Dijkstra, Bellman–Ford fixpoint,
+//! path-vector protocol), the avoidance table has two (punctured Dijkstra,
+//! subtree relaxation), price computation has two (Theorem-1 closed form,
+//! distributed relaxation), the distributed run has three schedulers
+//! (synchronous, asynchronous, chaotic-asynchronous), and settlement has
+//! two (closed-form, source-side over the forwarding plane). Any
+//! disagreement anywhere is a bug in at least one of them; agreement across
+//! all on random instances is the strongest single check the workspace has.
+
+use bgp_vcg::bgp::engine::{run_event_driven, run_event_driven_chaotic, SyncEngine};
+use bgp_vcg::bgp::{forwarding, PlainBgpNode, RouteSelector};
+use bgp_vcg::core::accounting::PaymentLedger;
+use bgp_vcg::lcp::avoiding::AvoidanceTable;
+use bgp_vcg::lcp::{bellman, shortest_tree, AllPairsLcp};
+use bgp_vcg::netgraph::generators::{barabasi_albert, erdos_renyi, random_costs};
+use bgp_vcg::{protocol, vcg, AsGraph, PricingBgpNode, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(seed: u64) -> AsGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs = random_costs(16, 0, 9, &mut rng);
+    if seed.is_multiple_of(2) {
+        erdos_renyi(costs, 0.3, &mut rng)
+    } else {
+        barabasi_albert(costs, 2, &mut rng)
+    }
+}
+
+#[test]
+fn all_implementation_paths_agree() {
+    for seed in 0..6 {
+        let g = instance(seed);
+
+        // --- Routing: three implementations. ---
+        let lcp = AllPairsLcp::compute(&g);
+        for j in g.nodes() {
+            assert_eq!(
+                shortest_tree(&g, j),
+                bellman::fixpoint(&g, j).tree,
+                "seed {seed}: dijkstra vs bellman, dest {j}"
+            );
+        }
+        let mut plain = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        assert!(plain.run_to_convergence().converged);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(
+                    plain.node(i).selector().route(j).as_ref(),
+                    lcp.route(i, j),
+                    "seed {seed}: protocol vs dijkstra, {i}->{j}"
+                );
+            }
+        }
+
+        // --- Avoidance table: two implementations. ---
+        let slow = AvoidanceTable::compute(&g, &lcp);
+        let fast = AvoidanceTable::compute_fast(&g, &lcp);
+        assert_eq!(slow, fast, "seed {seed}: avoidance tables");
+
+        // --- Prices: closed form vs three distributed schedulers. ---
+        let reference = vcg::from_parts(&g, &lcp, &fast);
+        let sync_run = protocol::run_sync(&g).unwrap();
+        assert_eq!(sync_run.outcome, reference, "seed {seed}: sync protocol");
+        let (async_nodes, _) = run_event_driven(&g, PricingBgpNode::from_graph(&g));
+        assert_eq!(
+            protocol::outcome_from_nodes(&async_nodes),
+            reference,
+            "seed {seed}: async protocol"
+        );
+        let (chaos_nodes, _) =
+            run_event_driven_chaotic(&g, PricingBgpNode::from_graph(&g), 0.3, seed);
+        assert_eq!(
+            protocol::outcome_from_nodes(&chaos_nodes),
+            reference,
+            "seed {seed}: chaotic protocol"
+        );
+
+        // --- Forwarding plane composes with the control plane. ---
+        let selectors: Vec<&RouteSelector> =
+            async_nodes.iter().map(PricingBgpNode::selector).collect();
+        forwarding::verify_consistency(&selectors).unwrap();
+
+        // --- Settlement: closed form vs distributed source-side tallies. ---
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let traffic = TrafficMatrix::random(g.node_count(), 0, 4, &mut rng);
+        let closed = PaymentLedger::settle(&reference, &traffic);
+        let distributed = PaymentLedger::settle_from_nodes(&async_nodes, &traffic).unwrap();
+        assert_eq!(closed, distributed, "seed {seed}: settlement");
+    }
+}

@@ -142,7 +142,10 @@ fn main() {
                     continue;
                 }
                 let nodes: Vec<_> = engine.nodes().cloned().collect();
-                let outcome = protocol::outcome_from_nodes(&nodes);
+                let Ok(outcome) = protocol::outcome_from_nodes(&nodes) else {
+                    all_exact = false;
+                    continue;
+                };
                 let exact = vcg::compute(&expected)
                     .map(|r| r == outcome)
                     .unwrap_or(false);

@@ -45,7 +45,7 @@ fn main() {
         let individually_rational = truthful
             .pairs()
             .all(|(_, _, pair)| pair.prices().iter().all(|&(k, p)| p >= g.cost(k)));
-        let ledger = PaymentLedger::settle(&truthful, &traffic);
+        let ledger = PaymentLedger::settle(&truthful, &traffic).expect("converged outcome settles");
         let zero_pay_off_path = g
             .nodes()
             .filter(|&k| ledger.packets_carried(k) == 0)

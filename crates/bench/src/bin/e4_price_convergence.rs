@@ -38,7 +38,8 @@ fn main() {
             let bound = d.max(dprime);
 
             let run = protocol::run_sync(&g).expect("family graphs are biconnected");
-            let reference = vcg::from_parts(&g, &lcp, &avoidance);
+            let reference =
+                vcg::from_parts(&g, &lcp, &avoidance).expect("family graphs are biconnected");
             let exact = run.outcome == reference;
             let within = run.report.stages <= bound;
             all_ok &= exact && within && run.report.converged;

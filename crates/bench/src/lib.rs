@@ -16,7 +16,6 @@
 //! * [`stats`] — small numeric summaries (mean/min/max).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod families;
 pub mod stats;

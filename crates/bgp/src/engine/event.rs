@@ -16,11 +16,11 @@
 use crate::message::Update;
 use crate::node::ProtocolNode;
 use bgpvcg_netgraph::{AsGraph, AsId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -36,6 +36,25 @@ pub struct EventReport {
 enum Envelope {
     Deliver(Box<Update>),
     Shutdown,
+}
+
+/// Pops the front of one uniformly-chosen non-empty per-sender queue, or
+/// `None` when every queue is empty. FIFO within each sender is preserved;
+/// only the cross-sender interleaving is randomized.
+fn drain_random(
+    rng: &mut StdRng,
+    buffered: &mut BTreeMap<AsId, VecDeque<Box<Update>>>,
+) -> Option<Box<Update>> {
+    let nonempty: Vec<AsId> = buffered
+        .iter()
+        .filter(|(_, q)| !q.is_empty())
+        .map(|(&a, _)| a)
+        .collect();
+    if nonempty.is_empty() {
+        return None;
+    }
+    let pick = nonempty[rng.gen_range(0..nonempty.len())];
+    buffered.get_mut(&pick).and_then(VecDeque::pop_front)
 }
 
 /// Runs the protocol asynchronously until quiescence and returns the nodes
@@ -54,7 +73,7 @@ enum Envelope {
 /// thread panics.
 pub fn run_event_driven<N>(graph: &AsGraph, nodes: Vec<N>) -> (Vec<N>, EventReport)
 where
-    N: ProtocolNode + 'static,
+    N: ProtocolNode,
 {
     run_event_driven_chaotic(graph, nodes, 0.0, 0)
 }
@@ -84,7 +103,7 @@ pub fn run_event_driven_chaotic<N>(
     seed: u64,
 ) -> (Vec<N>, EventReport)
 where
-    N: ProtocolNode + 'static,
+    N: ProtocolNode,
 {
     assert!((0.0..1.0).contains(&chaos), "chaos must be in [0, 1)");
     let chaotic = chaos > 0.0;
@@ -92,147 +111,141 @@ where
     let n = nodes.len();
     // Pre-charge one token per node: each is released only after that
     // node's start() has completed, so the counter cannot read zero before
-    // every initial advertisement is out.
-    let in_flight = Arc::new(AtomicI64::new(n as i64));
-    let messages = Arc::new(AtomicUsize::new(0));
-    let entries = Arc::new(AtomicUsize::new(0));
+    // every initial advertisement is out. Scoped threads borrow the
+    // counters directly — no Arc, and no worker can outlive this call.
+    let in_flight = AtomicI64::new(n as i64);
+    let messages = AtomicUsize::new(0);
+    let entries = AtomicUsize::new(0);
 
     let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = unbounded();
         senders.push(tx);
-        receivers.push(Some(rx));
+        receivers.push(rx);
     }
 
-    let mut handles = Vec::with_capacity(n);
-    for (idx, mut node) in nodes.into_iter().enumerate() {
-        let rx = receivers[idx].take().expect("receiver taken once");
-        let neighbor_txs: Vec<Sender<Envelope>> = graph
-            .neighbors(AsId::new(idx as u32))
-            .iter()
-            .map(|a| senders[a.index()].clone())
-            .collect();
-        let in_flight = Arc::clone(&in_flight);
-        let messages = Arc::clone(&messages);
-        let entries = Arc::clone(&entries);
-        let mut scheduler = if chaotic {
-            Some(StdRng::seed_from_u64(
-                seed ^ (idx as u64).wrapping_mul(0x9e37_79b9),
-            ))
-        } else {
-            None
-        };
+    let mut out: Vec<N> = thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for (idx, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
+            let neighbor_txs: Vec<Sender<Envelope>> = graph
+                .neighbors(AsId::new(idx as u32))
+                .iter()
+                .map(|a| senders[a.index()].clone())
+                .collect();
+            let (in_flight, messages, entries) = (&in_flight, &messages, &entries);
+            let mut scheduler = if chaotic {
+                Some(StdRng::seed_from_u64(
+                    seed ^ (idx as u64).wrapping_mul(0x9e37_79b9),
+                ))
+            } else {
+                None
+            };
 
-        handles.push(thread::spawn(move || {
-            let broadcast = |update: &Update| {
-                for tx in &neighbor_txs {
-                    // Increment BEFORE the send so the counter can never dip
-                    // to zero while a message is in a channel.
-                    in_flight.fetch_add(1, Ordering::SeqCst);
-                    messages.fetch_add(1, Ordering::Relaxed);
-                    entries.fetch_add(update.entry_count(), Ordering::Relaxed);
-                    tx.send(Envelope::Deliver(Box::new(update.clone())))
-                        .expect("receiver alive until shutdown");
-                }
-            };
-            if let Some(update) = node.start() {
-                broadcast(&update);
-            }
-            in_flight.fetch_sub(1, Ordering::SeqCst); // release the start token
-                                                      // Per-sender sub-queues for the adversarial scheduler: FIFO
-                                                      // within a sender, random service order across senders.
-            let mut buffered: std::collections::BTreeMap<
-                AsId,
-                std::collections::VecDeque<Box<Update>>,
-            > = std::collections::BTreeMap::new();
-            let process = |node: &mut N, update: &Update| {
-                if let Some(out) = node.handle(std::slice::from_ref(update)) {
-                    broadcast(&out);
-                }
-                // Decrement only after processing (and its sends) completed.
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-            };
-            loop {
-                let envelope = if buffered.values().any(|q| !q.is_empty()) {
-                    // Don't block while messages are locally buffered.
-                    match rx.recv_timeout(Duration::from_micros(200)) {
-                        Ok(e) => Some(e),
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                    }
-                } else {
-                    match rx.recv() {
-                        Ok(e) => Some(e),
-                        Err(_) => break,
+            handles.push(s.spawn(move || {
+                let broadcast = |update: &Update| {
+                    for tx in &neighbor_txs {
+                        // Increment BEFORE the send so the counter can never
+                        // dip to zero while a message is in a channel.
+                        in_flight.fetch_add(1, Ordering::SeqCst);
+                        messages.fetch_add(1, Ordering::SeqCst);
+                        entries.fetch_add(update.entry_count(), Ordering::SeqCst);
+                        if tx
+                            .send(Envelope::Deliver(Box::new(update.clone())))
+                            .is_err()
+                        {
+                            // Receiver exited early (a worker panicked and the
+                            // run is doomed); compensate the token so the
+                            // coordinator cannot hang waiting for quiescence.
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
                     }
                 };
-                match envelope {
-                    Some(Envelope::Shutdown) => break,
-                    Some(Envelope::Deliver(update)) => {
-                        if let Some(rng) = scheduler.as_mut() {
-                            // Buffer, then service one random sender's front.
-                            buffered.entry(update.from).or_default().push_back(update);
-                            let nonempty: Vec<AsId> = buffered
-                                .iter()
-                                .filter(|(_, q)| !q.is_empty())
-                                .map(|(&a, _)| a)
-                                .collect();
-                            let pick = nonempty[rng.gen_range(0..nonempty.len())];
-                            let next = buffered
-                                .get_mut(&pick)
-                                .and_then(std::collections::VecDeque::pop_front)
-                                .expect("picked a non-empty queue");
-                            process(&mut node, &next);
-                        } else {
-                            process(&mut node, &update);
-                        }
+                if let Some(update) = node.start() {
+                    broadcast(&update);
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst); // release the start token
+
+                // Per-sender sub-queues for the adversarial scheduler: FIFO
+                // within a sender, random service order across senders.
+                let mut buffered: BTreeMap<AsId, VecDeque<Box<Update>>> = BTreeMap::new();
+                let process = |node: &mut N, update: &Update| {
+                    if let Some(out) = node.handle(std::slice::from_ref(update)) {
+                        broadcast(&out);
                     }
-                    None => {
-                        // Timeout with local buffer: drain one random front.
-                        let rng = scheduler.as_mut().expect("buffer only in chaos mode");
-                        let nonempty: Vec<AsId> = buffered
-                            .iter()
-                            .filter(|(_, q)| !q.is_empty())
-                            .map(|(&a, _)| a)
-                            .collect();
-                        if let Some(&pick) = nonempty
-                            .first()
-                            .map(|_| &nonempty[rng.gen_range(0..nonempty.len())])
-                        {
-                            let next = buffered
-                                .get_mut(&pick)
-                                .and_then(std::collections::VecDeque::pop_front)
-                                .expect("picked a non-empty queue");
-                            process(&mut node, &next);
+                    // Decrement only after processing (and its sends) completed.
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                };
+                loop {
+                    let envelope = if buffered.values().any(|q| !q.is_empty()) {
+                        // Don't block while messages are locally buffered.
+                        match rx.recv_timeout(Duration::from_micros(200)) {
+                            Ok(e) => Some(e),
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        }
+                    } else {
+                        match rx.recv() {
+                            Ok(e) => Some(e),
+                            Err(_) => break,
+                        }
+                    };
+                    match envelope {
+                        Some(Envelope::Shutdown) => break,
+                        Some(Envelope::Deliver(update)) => {
+                            if let Some(rng) = scheduler.as_mut() {
+                                // Buffer, then service one random sender's
+                                // front (never `None`: we just pushed).
+                                buffered.entry(update.from).or_default().push_back(update);
+                                if let Some(next) = drain_random(rng, &mut buffered) {
+                                    process(&mut node, &next);
+                                }
+                            } else {
+                                process(&mut node, &update);
+                            }
+                        }
+                        None => {
+                            // Timeout with a local buffer: only the chaotic
+                            // scheduler buffers, so without one this re-enters
+                            // recv() above.
+                            if let Some(rng) = scheduler.as_mut() {
+                                if let Some(next) = drain_random(rng, &mut buffered) {
+                                    process(&mut node, &next);
+                                }
+                            }
                         }
                     }
                 }
-            }
-            node
-        }));
-    }
+                node
+            }));
+        }
 
-    // Wait for quiescence: the counter is incremented before each send (and
-    // pre-charged for each start()) and decremented only after the
-    // corresponding processing, so zero here proves no message is buffered,
-    // in processing, or about to be produced.
-    while in_flight.load(Ordering::SeqCst) != 0 {
-        thread::sleep(Duration::from_micros(200));
-    }
+        // Wait for quiescence: the counter is incremented before each send
+        // (and pre-charged for each start()) and decremented only after the
+        // corresponding processing, so zero here proves no message is
+        // buffered, in processing, or about to be produced.
+        while in_flight.load(Ordering::SeqCst) != 0 {
+            thread::sleep(Duration::from_micros(200));
+        }
 
-    for tx in &senders {
-        tx.send(Envelope::Shutdown).expect("worker alive");
-    }
-    let mut out: Vec<N> = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread panicked"))
-        .collect();
+        for tx in &senders {
+            // A failed send means that worker already exited (it panicked);
+            // join() below surfaces the panic.
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(node) => node,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
     out.sort_by_key(|node| node.id());
 
     let report = EventReport {
-        messages: messages.load(Ordering::Relaxed),
-        entries: entries.load(Ordering::Relaxed),
+        messages: messages.load(Ordering::SeqCst),
+        entries: entries.load(Ordering::SeqCst),
     };
     (out, report)
 }

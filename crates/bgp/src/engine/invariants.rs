@@ -1,0 +1,43 @@
+//! Feature-gated protocol invariant hooks for the engines.
+//!
+//! With the `invariant-checks` cargo feature enabled, these functions
+//! install `debug_assert!`-based audits at the engine's convergence points;
+//! without it they compile to nothing. `cargo xtask audit` verifies both
+//! that the hooks stay wired in and that the feature-enabled test suite
+//! passes.
+
+#[cfg(feature = "invariant-checks")]
+use super::sync::RunReport;
+
+/// Audits the bookkeeping of one synchronous convergence run.
+///
+/// Invariants checked:
+/// * the reported convergence stage never exceeds the stages executed
+///   (`stages` counts the last stage with a table change; trailing stages
+///   are pure message drain);
+/// * a converged run stopped strictly before the stage safety limit;
+/// * a non-converged run executed exactly up to the limit — "did not
+///   converge" must mean "ran out of budget", never an early bail.
+#[cfg(feature = "invariant-checks")]
+pub(crate) fn convergence(report: &RunReport, executed: usize, stage_limit: usize) {
+    debug_assert!(
+        report.stages <= executed,
+        "convergence stage {} exceeds {executed} executed stages",
+        report.stages
+    );
+    if report.converged {
+        debug_assert!(
+            executed <= stage_limit,
+            "converged run executed {executed} stages past the limit {stage_limit}"
+        );
+    } else {
+        debug_assert!(
+            executed >= stage_limit,
+            "non-converged run stopped at {executed} stages below the limit {stage_limit}"
+        );
+    }
+}
+
+#[cfg(not(feature = "invariant-checks"))]
+#[inline(always)]
+pub(crate) fn convergence<R>(_report: &R, _executed: usize, _stage_limit: usize) {}

@@ -3,6 +3,7 @@
 //! asynchronous, channel-driven alternative ([`run_event_driven`]).
 
 mod event;
+mod invariants;
 mod sync;
 
 pub use event::{run_event_driven, run_event_driven_chaotic, EventReport};

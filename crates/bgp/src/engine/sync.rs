@@ -1,5 +1,6 @@
 //! The synchronous-stage engine of the paper's Sect. 5.
 
+use super::invariants;
 use crate::dynamics::TopologyEvent;
 use crate::message::Update;
 use crate::node::ProtocolNode;
@@ -283,6 +284,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         while self.inboxes.iter().any(|inbox| !inbox.is_empty()) {
             if executed >= self.stage_limit {
                 report.converged = false;
+                invariants::convergence(&report, executed, self.stage_limit);
                 return report;
             }
             executed += 1;
@@ -321,6 +323,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 report.max_link_messages_per_stage.max(stage_link_max);
             observer(trace);
         }
+        invariants::convergence(&report, executed, self.stage_limit);
         report
     }
 

@@ -43,8 +43,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
 
 pub mod engine;
 pub mod forwarding;
@@ -59,5 +57,5 @@ mod stats;
 pub use dynamics::{LocalEvent, TopologyEvent};
 pub use message::{PathEntry, RouteAdvertisement, RouteInfo, Update};
 pub use node::{PlainBgpNode, ProtocolNode};
-pub use selector::RouteSelector;
+pub use selector::{RouteSelector, SelectedRoute};
 pub use stats::StateSnapshot;

@@ -44,10 +44,9 @@ fn well_formed(from: AsId, destination: AsId, info: &RouteInfo) -> bool {
     let RouteInfo::Reachable { path, prices, .. } = info else {
         return true; // withdrawals carry no structure
     };
-    let Some(first) = path.first() else {
+    let (Some(first), Some(last)) = (path.first(), path.last()) else {
         return false;
     };
-    let last = path.last().expect("non-empty checked");
     if first.node != from || last.node != destination {
         return false;
     }
@@ -224,7 +223,9 @@ impl RouteSelector {
             }
         }
         let from = update.from;
-        let routes = self.rib_in.get_mut(&from).expect("checked above");
+        let Some(routes) = self.rib_in.get_mut(&from) else {
+            return affected; // unreachable: membership checked on entry
+        };
         for ad in &update.advertisements {
             match &ad.info {
                 RouteInfo::Withdrawn => {

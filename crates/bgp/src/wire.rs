@@ -18,7 +18,20 @@
 //! reachable += path_len u16 | (node u32, cost u64)* | path_cost u64
 //!            | prices_len u16 | price u64*
 //! ```
+//!
+//! Topology-dynamics events (experiment E10 replays recorded traces of
+//! them) have their own control frame, distinguished from UPDATEs by the
+//! magic:
+//!
+//! ```text
+//! event     := magic "BE" | version u8 | tag u8 | payload
+//! tag 0/1   := a u32 | b u32             (TopologyEvent::LinkDown/LinkUp)
+//! tag 2     := node u32 | cost u64       (TopologyEvent::CostChange)
+//! tag 3/4   := neighbor u32              (LocalEvent::LinkDown/LinkUp)
+//! tag 5     := cost u64                  (LocalEvent::CostChange)
+//! ```
 
+use crate::dynamics::{LocalEvent, TopologyEvent};
 use crate::message::{PathEntry, RouteAdvertisement, RouteInfo, Update};
 use bgpvcg_netgraph::{AsId, Cost};
 use std::error::Error;
@@ -33,9 +46,16 @@ pub const COST_BYTES: usize = 8;
 pub const MESSAGE_HEADER_BYTES: usize = 11;
 
 const MAGIC: [u8; 2] = *b"BV";
+const EVENT_MAGIC: [u8; 2] = *b"BE";
 const VERSION: u8 = 1;
 const KIND_WITHDRAWN: u8 = 0;
 const KIND_REACHABLE: u8 = 1;
+const TAG_TOPO_LINK_DOWN: u8 = 0;
+const TAG_TOPO_LINK_UP: u8 = 1;
+const TAG_TOPO_COST_CHANGE: u8 = 2;
+const TAG_LOCAL_LINK_DOWN: u8 = 3;
+const TAG_LOCAL_LINK_UP: u8 = 4;
+const TAG_LOCAL_COST_CHANGE: u8 = 5;
 /// On-wire sentinel for [`Cost::INFINITE`].
 const INFINITE_WIRE: u64 = u64::MAX;
 
@@ -49,6 +69,8 @@ pub enum DecodeError {
     BadHeader,
     /// An advertisement kind byte was neither withdrawn nor reachable.
     BadKind(u8),
+    /// An event tag byte named no known event variant.
+    BadEventTag(u8),
     /// Trailing bytes followed a structurally complete message.
     TrailingBytes(usize),
 }
@@ -59,6 +81,7 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "message truncated"),
             DecodeError::BadHeader => write!(f, "bad magic or version"),
             DecodeError::BadKind(k) => write!(f, "unknown advertisement kind {k}"),
+            DecodeError::BadEventTag(t) => write!(f, "unknown event tag {t}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing byte(s)"),
         }
     }
@@ -140,19 +163,27 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        let bytes = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let bytes = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn cost(&mut self) -> Result<Cost, DecodeError> {
-        let raw = u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"));
+        let bytes = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        let raw = u64::from_le_bytes(bytes);
         Ok(if raw == INFINITE_WIRE {
             Cost::INFINITE
         } else {
@@ -218,6 +249,111 @@ pub fn decode_update(buf: &[u8]) -> Result<Update, DecodeError> {
         sender_costs,
         advertisements,
     })
+}
+
+fn event_frame(tag: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&EVENT_MAGIC);
+    out.push(VERSION);
+    out.push(tag);
+    out
+}
+
+/// Serializes a network-level topology event to its control-frame form.
+pub fn encode_topology_event(event: &TopologyEvent) -> Vec<u8> {
+    match *event {
+        TopologyEvent::LinkDown(a, b) => {
+            let mut out = event_frame(TAG_TOPO_LINK_DOWN);
+            out.extend_from_slice(&a.raw().to_le_bytes());
+            out.extend_from_slice(&b.raw().to_le_bytes());
+            out
+        }
+        TopologyEvent::LinkUp(a, b) => {
+            let mut out = event_frame(TAG_TOPO_LINK_UP);
+            out.extend_from_slice(&a.raw().to_le_bytes());
+            out.extend_from_slice(&b.raw().to_le_bytes());
+            out
+        }
+        TopologyEvent::CostChange(node, cost) => {
+            let mut out = event_frame(TAG_TOPO_COST_CHANGE);
+            out.extend_from_slice(&node.raw().to_le_bytes());
+            put_cost(&mut out, cost);
+            out
+        }
+    }
+}
+
+/// Serializes a node-local event observation to its control-frame form.
+pub fn encode_local_event(event: &LocalEvent) -> Vec<u8> {
+    match *event {
+        LocalEvent::LinkDown(neighbor) => {
+            let mut out = event_frame(TAG_LOCAL_LINK_DOWN);
+            out.extend_from_slice(&neighbor.raw().to_le_bytes());
+            out
+        }
+        LocalEvent::LinkUp(neighbor) => {
+            let mut out = event_frame(TAG_LOCAL_LINK_UP);
+            out.extend_from_slice(&neighbor.raw().to_le_bytes());
+            out
+        }
+        LocalEvent::CostChange(cost) => {
+            let mut out = event_frame(TAG_LOCAL_COST_CHANGE);
+            put_cost(&mut out, cost);
+            out
+        }
+    }
+}
+
+fn event_reader(buf: &[u8]) -> Result<(Reader<'_>, u8), DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(2)? != EVENT_MAGIC || r.u8()? != VERSION {
+        return Err(DecodeError::BadHeader);
+    }
+    let tag = r.u8()?;
+    Ok((r, tag))
+}
+
+fn finish_frame(r: &Reader<'_>) -> Result<(), DecodeError> {
+    if r.pos != r.buf.len() {
+        return Err(DecodeError::TrailingBytes(r.buf.len() - r.pos));
+    }
+    Ok(())
+}
+
+/// Parses a control frame back into a [`TopologyEvent`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, bad header, a tag that does not
+/// name a topology event, or trailing bytes.
+pub fn decode_topology_event(buf: &[u8]) -> Result<TopologyEvent, DecodeError> {
+    let (mut r, tag) = event_reader(buf)?;
+    let event = match tag {
+        TAG_TOPO_LINK_DOWN => TopologyEvent::LinkDown(AsId::new(r.u32()?), AsId::new(r.u32()?)),
+        TAG_TOPO_LINK_UP => TopologyEvent::LinkUp(AsId::new(r.u32()?), AsId::new(r.u32()?)),
+        TAG_TOPO_COST_CHANGE => TopologyEvent::CostChange(AsId::new(r.u32()?), r.cost()?),
+        other => return Err(DecodeError::BadEventTag(other)),
+    };
+    finish_frame(&r)?;
+    Ok(event)
+}
+
+/// Parses a control frame back into a [`LocalEvent`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, bad header, a tag that does not
+/// name a local event, or trailing bytes.
+pub fn decode_local_event(buf: &[u8]) -> Result<LocalEvent, DecodeError> {
+    let (mut r, tag) = event_reader(buf)?;
+    let event = match tag {
+        TAG_LOCAL_LINK_DOWN => LocalEvent::LinkDown(AsId::new(r.u32()?)),
+        TAG_LOCAL_LINK_UP => LocalEvent::LinkUp(AsId::new(r.u32()?)),
+        TAG_LOCAL_COST_CHANGE => LocalEvent::CostChange(r.cost()?),
+        other => return Err(DecodeError::BadEventTag(other)),
+    };
+    finish_frame(&r)?;
+    Ok(event)
 }
 
 /// Wire size of one table entry (its encoded length).

@@ -6,7 +6,9 @@
 //! between differently-built nodes) fails a test instead of passing two
 //! mutually-consistent-but-new codecs.
 
-use bgpvcg_bgp::{wire, PathEntry, RouteAdvertisement, RouteInfo, Update};
+use bgpvcg_bgp::{
+    wire, LocalEvent, PathEntry, RouteAdvertisement, RouteInfo, TopologyEvent, Update,
+};
 use bgpvcg_netgraph::{AsId, Cost};
 
 fn sample() -> Update {
@@ -71,7 +73,10 @@ fn golden_byte_layout() {
         // ad 2: dest = 9, kind = withdrawn(0)
         0x09, 0x00, 0x00, 0x00, 0x00,
     ];
-    assert_eq!(bytes, expected, "wire layout changed — version-bump the format");
+    assert_eq!(
+        bytes, expected,
+        "wire layout changed — version-bump the format"
+    );
 }
 
 #[test]
@@ -80,6 +85,101 @@ fn golden_bytes_decode_back() {
     let bytes = wire::encode_update(&update);
     assert_eq!(wire::decode_update(&bytes).unwrap(), update);
     assert_eq!(wire::update_size(&update), bytes.len());
+}
+
+/// One golden vector per topology-event variant: the exact control-frame
+/// bytes, plus the round trip back through `decode_topology_event`.
+#[test]
+fn golden_topology_event_frames() {
+    let cases: Vec<(TopologyEvent, Vec<u8>)> = vec![
+        (
+            TopologyEvent::LinkDown(AsId::new(1), AsId::new(2)),
+            vec![
+                // magic "BE", version 1, tag 0
+                0x42, 0x45, 0x01, 0x00, //
+                // a = 1, b = 2 (u32 LE each)
+                0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+            ],
+        ),
+        (
+            TopologyEvent::LinkUp(AsId::new(3), AsId::new(4)),
+            vec![
+                0x42, 0x45, 0x01, 0x01, //
+                0x03, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00,
+            ],
+        ),
+        (
+            TopologyEvent::CostChange(AsId::new(5), Cost::new(9)),
+            vec![
+                0x42, 0x45, 0x01, 0x02, //
+                0x05, 0x00, 0x00, 0x00, //
+                0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            ],
+        ),
+    ];
+    for (event, expected) in cases {
+        let bytes = wire::encode_topology_event(&event);
+        assert_eq!(bytes, expected, "layout changed for {event:?}");
+        assert_eq!(wire::decode_topology_event(&bytes).unwrap(), event);
+    }
+}
+
+/// One golden vector per local-event variant, with round trips.
+#[test]
+fn golden_local_event_frames() {
+    let cases: Vec<(LocalEvent, Vec<u8>)> = vec![
+        (
+            LocalEvent::LinkDown(AsId::new(6)),
+            vec![0x42, 0x45, 0x01, 0x03, 0x06, 0x00, 0x00, 0x00],
+        ),
+        (
+            LocalEvent::LinkUp(AsId::new(7)),
+            vec![0x42, 0x45, 0x01, 0x04, 0x07, 0x00, 0x00, 0x00],
+        ),
+        (
+            LocalEvent::CostChange(Cost::INFINITE),
+            vec![
+                0x42, 0x45, 0x01, 0x05, //
+                0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+            ],
+        ),
+    ];
+    for (event, expected) in cases {
+        let bytes = wire::encode_local_event(&event);
+        assert_eq!(bytes, expected, "layout changed for {event:?}");
+        assert_eq!(wire::decode_local_event(&bytes).unwrap(), event);
+    }
+}
+
+/// Malformed control frames are rejected, never misparsed.
+#[test]
+fn event_frames_reject_corruption() {
+    let bytes = wire::encode_topology_event(&TopologyEvent::LinkDown(AsId::new(1), AsId::new(2)));
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(wire::decode_topology_event(&bad_magic).is_err());
+
+    let mut bad_tag = bytes.clone();
+    bad_tag[3] = 9;
+    assert!(wire::decode_topology_event(&bad_tag).is_err());
+
+    for cut in 0..bytes.len() {
+        assert!(
+            wire::decode_topology_event(&bytes[..cut]).is_err(),
+            "cut {cut}"
+        );
+    }
+
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(wire::decode_topology_event(&trailing).is_err());
+
+    // A local-event tag inside a topology decode (and vice versa) is a tag
+    // error, not a misparse.
+    let local = wire::encode_local_event(&LocalEvent::LinkUp(AsId::new(1)));
+    assert!(wire::decode_topology_event(&local).is_err());
+    assert!(wire::decode_local_event(&bytes).is_err());
 }
 
 #[test]

@@ -7,6 +7,7 @@
 //! out of band ("at various intervals" — the paper assumes this traffic is
 //! negligible, and so does this module).
 
+use crate::errors::MechanismError;
 use crate::outcome::RoutingOutcome;
 use crate::pricing_node::PricingBgpNode;
 use bgpvcg_bgp::forwarding::{self, ForwardingError};
@@ -24,13 +25,13 @@ use std::fmt;
 /// use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
 /// use bgpvcg_netgraph::TrafficMatrix;
 ///
-/// # fn main() -> Result<(), bgpvcg_netgraph::GraphError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = fig1();
 /// let outcome = vcg::compute(&g)?;
 /// // One packet from X to Z: D is owed 3, B is owed 4, A nothing.
 /// let mut t = TrafficMatrix::zero(g.node_count());
 /// t.set(Fig1::X, Fig1::Z, 1);
-/// let ledger = PaymentLedger::settle(&outcome, &t);
+/// let ledger = PaymentLedger::settle(&outcome, &t)?;
 /// assert_eq!(ledger.payment(Fig1::D), 3);
 /// assert_eq!(ledger.payment(Fig1::B), 4);
 /// assert_eq!(ledger.payment(Fig1::A), 0);
@@ -49,12 +50,19 @@ impl PaymentLedger {
     /// Settles the whole traffic matrix against converged prices by
     /// simulating the per-packet counters of Sect. 6.4.
     ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::UnroutedPair`] if traffic is demanded for a
+    /// pair no selected route serves, and [`MechanismError::MissingPrice`]
+    /// if some price on a demanded route has not converged (is infinite).
+    ///
     /// # Panics
     ///
-    /// Panics if the matrix covers a different node count than the outcome,
-    /// if traffic is demanded for an unreachable pair, or if some price has
-    /// not converged (is infinite).
-    pub fn settle(outcome: &RoutingOutcome, traffic: &TrafficMatrix) -> Self {
+    /// Panics if the matrix covers a different node count than the outcome.
+    pub fn settle(
+        outcome: &RoutingOutcome,
+        traffic: &TrafficMatrix,
+    ) -> Result<Self, MechanismError> {
         assert_eq!(
             outcome.node_count(),
             traffic.node_count(),
@@ -65,18 +73,21 @@ impl PaymentLedger {
             packets_carried: vec![0; outcome.node_count()],
         };
         for (i, j, packets) in traffic.flows() {
-            let pair = outcome
-                .pair(i, j)
-                .unwrap_or_else(|| panic!("traffic {i}->{j} demanded but pair has no route"));
+            let pair = outcome.pair(i, j).ok_or(MechanismError::UnroutedPair {
+                source: i,
+                destination: j,
+            })?;
             for &(k, price) in pair.prices() {
-                let per_packet = price
-                    .finite()
-                    .unwrap_or_else(|| panic!("price of {k} on {i}->{j} has not converged"));
+                let per_packet = price.finite().ok_or(MechanismError::MissingPrice {
+                    source: i,
+                    destination: j,
+                    transit: k,
+                })?;
                 ledger.payments[k.index()] += u128::from(per_packet) * u128::from(packets);
                 ledger.packets_carried[k.index()] += u128::from(packets);
             }
         }
-        ledger
+        Ok(ledger)
     }
 
     /// Settles traffic **using only distributed node state**, the way the
@@ -114,18 +125,19 @@ impl PaymentLedger {
     ///
     /// # Errors
     ///
-    /// Returns a [`ForwardingError`] if some demanded flow cannot be
-    /// delivered (no route, loop, unknown hop) or if the forwarding path
-    /// diverges from the source's priced route.
+    /// Returns [`MechanismError::Forwarding`] if some demanded flow cannot
+    /// be delivered (no route, loop, unknown hop) or if the forwarding path
+    /// diverges from the source's priced route, and
+    /// [`MechanismError::MissingPrice`] if a price on a demanded route has
+    /// not converged.
     ///
     /// # Panics
     ///
-    /// Panics if node count and matrix disagree, or if a price on a
-    /// demanded route has not converged.
+    /// Panics if node count and matrix disagree.
     pub fn settle_from_nodes(
         nodes: &[PricingBgpNode],
         traffic: &TrafficMatrix,
-    ) -> Result<Self, ForwardingError> {
+    ) -> Result<Self, MechanismError> {
         assert_eq!(nodes.len(), traffic.node_count(), "one node per AS");
         let selectors: Vec<&RouteSelector> = nodes.iter().map(PricingBgpNode::selector).collect();
         let mut ledger = PaymentLedger {
@@ -144,13 +156,17 @@ impl PaymentLedger {
                 return Err(ForwardingError::NoRoute {
                     at: i,
                     destination: j,
-                });
+                }
+                .into());
             }
             for &k in route.transit_nodes() {
-                let price = source
-                    .price(j, k)
-                    .and_then(Cost::finite)
-                    .unwrap_or_else(|| panic!("price of {k} on {i}->{j} has not converged"));
+                let price = source.price(j, k).and_then(Cost::finite).ok_or(
+                    MechanismError::MissingPrice {
+                        source: i,
+                        destination: j,
+                        transit: k,
+                    },
+                )?;
                 ledger.payments[k.index()] += u128::from(price) * u128::from(packets);
                 ledger.packets_carried[k.index()] += u128::from(packets);
             }
@@ -175,7 +191,7 @@ impl PaymentLedger {
     /// The true cost node `k` incurred (`u_k(c) = c_k · packets carried`),
     /// given its *true* per-packet cost.
     pub fn incurred_cost(&self, k: AsId, true_cost: Cost) -> u128 {
-        u128::from(true_cost.finite().expect("true costs are finite"))
+        u128::from(true_cost.finite().expect("true costs are finite")) // lint:allow(caller passes a node's declared cost, finite by AsGraph construction)
             * self.packets_carried[k.index()]
     }
 
@@ -225,7 +241,7 @@ mod tests {
         let outcome = vcg::compute(&g).unwrap();
         let mut t = TrafficMatrix::zero(6);
         t.set(Fig1::Y, Fig1::Z, 1);
-        let ledger = PaymentLedger::settle(&outcome, &t);
+        let ledger = PaymentLedger::settle(&outcome, &t).unwrap();
         assert_eq!(ledger.payment(Fig1::D), 9);
         assert_eq!(ledger.packets_carried(Fig1::D), 1);
         assert_eq!(ledger.total_payments(), 9);
@@ -241,8 +257,8 @@ mod tests {
         let outcome = vcg::compute(&g).unwrap();
         let t1 = TrafficMatrix::uniform(6, 1);
         let t2 = TrafficMatrix::uniform(6, 2);
-        let l1 = PaymentLedger::settle(&outcome, &t1);
-        let l2 = PaymentLedger::settle(&outcome, &t2);
+        let l1 = PaymentLedger::settle(&outcome, &t1).unwrap();
+        let l2 = PaymentLedger::settle(&outcome, &t2).unwrap();
         for k in g.nodes() {
             assert_eq!(l2.payment(k), 2 * l1.payment(k));
         }
@@ -252,7 +268,7 @@ mod tests {
     fn zero_traffic_means_zero_payments() {
         let g = fig1();
         let outcome = vcg::compute(&g).unwrap();
-        let ledger = PaymentLedger::settle(&outcome, &TrafficMatrix::zero(6));
+        let ledger = PaymentLedger::settle(&outcome, &TrafficMatrix::zero(6)).unwrap();
         assert_eq!(ledger.total_payments(), 0);
         for k in g.nodes() {
             assert_eq!(ledger.payment(k), 0);
@@ -268,7 +284,7 @@ mod tests {
         let g = erdos_renyi(costs, 0.3, &mut rng);
         let outcome = vcg::compute(&g).unwrap();
         let t = TrafficMatrix::uniform(g.node_count(), 1);
-        let ledger = PaymentLedger::settle(&outcome, &t);
+        let ledger = PaymentLedger::settle(&outcome, &t).unwrap();
         for k in g.nodes() {
             if ledger.packets_carried(k) == 0 {
                 assert_eq!(ledger.payment(k), 0);
@@ -284,7 +300,7 @@ mod tests {
         let g = erdos_renyi(costs, 0.3, &mut rng);
         let outcome = vcg::compute(&g).unwrap();
         let t = TrafficMatrix::uniform(g.node_count(), 3);
-        let ledger = PaymentLedger::settle(&outcome, &t);
+        let ledger = PaymentLedger::settle(&outcome, &t).unwrap();
         for k in g.nodes() {
             assert!(ledger.welfare(k, g.cost(k)) >= 0, "{k}");
         }
@@ -310,7 +326,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let traffic = TrafficMatrix::random(6, 0, 4, &mut rng);
         let distributed = PaymentLedger::settle_from_nodes(&nodes, &traffic).unwrap();
-        let closed_form = PaymentLedger::settle(&run.outcome, &traffic);
+        let closed_form = PaymentLedger::settle(&run.outcome, &traffic).unwrap();
         assert_eq!(distributed, closed_form);
     }
 

@@ -53,7 +53,7 @@ pub fn single_pair_node_vcg(
         let avoid_cost = avoiding.cost(source);
         let margin = avoid_cost
             .checked_sub(lcp_cost)
-            .expect("biconnected graph has finite k-avoiding paths");
+            .ok_or(GraphError::NotBiconnected)?;
         prices.push((k, graph.cost(k) + margin));
     }
     Ok(prices)
@@ -184,7 +184,7 @@ pub fn edge_vcg(
         // below the base by exactly c... the standard membership test:
         let with_zero = graph
             .distance(s, t, Some((idx, Some(0))))
-            .expect("zeroing an edge cannot disconnect");
+            .ok_or(GraphError::Disconnected)?;
         let on_shortest_path = with_zero + c == base;
         let payment = if on_shortest_path {
             let without = graph

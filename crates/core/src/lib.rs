@@ -50,8 +50,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
 
 pub mod accounting;
 pub mod audit;
@@ -63,8 +61,11 @@ pub mod strategy;
 pub mod uniqueness;
 pub mod vcg;
 
+mod errors;
+mod invariants;
 mod outcome;
 mod pricing_node;
 
+pub use errors::MechanismError;
 pub use outcome::{PairOutcome, RoutingOutcome};
 pub use pricing_node::PricingBgpNode;

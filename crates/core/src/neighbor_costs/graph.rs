@@ -90,7 +90,7 @@ impl NeighborCostGraph {
     pub fn recv_cost(&self, k: AsId, from: AsId) -> Cost {
         *self.recv_costs[k.index()]
             .get(&from)
-            .unwrap_or_else(|| panic!("{from} is not a neighbor of {k}"))
+            .unwrap_or_else(|| panic!("{from} is not a neighbor of {k}")) // lint:allow(documented # Panics contract: non-neighbor lookup is a caller bug)
     }
 
     /// The full declared cost vector of node `k`: `(neighbor, cost)` pairs

@@ -62,27 +62,27 @@ pub fn compute(graph: &NeighborCostGraph) -> Result<RoutingOutcome, GraphError> 
             let Some(route) = tree.route(i) else { continue };
             let lcp_cost = route.transit_cost();
             let nodes = route.nodes();
-            let prices = route
-                .transit_nodes()
-                .iter()
-                .map(|&k| {
-                    let pos = nodes
-                        .iter()
-                        .position(|&x| x == k)
-                        .expect("transit on route");
-                    let pred = nodes[pos - 1];
-                    let incurred = graph.recv_cost(k, pred);
-                    let avoid_cost = avoiding
-                        .iter()
-                        .find(|(a, _)| *a == k)
-                        .map(|(_, t)| t.cost(i))
-                        .expect("transit nodes of T(j) were enumerated");
-                    let margin = avoid_cost
-                        .checked_sub(lcp_cost)
-                        .expect("biconnected graph has finite avoiding paths");
-                    (k, incurred + margin)
-                })
-                .collect();
+            let transit = route.transit_nodes();
+            let mut prices = Vec::with_capacity(transit.len());
+            for &k in transit {
+                let pos = nodes
+                    .iter()
+                    .position(|&x| x == k)
+                    .expect("a route's transit nodes lie on the route"); // lint:allow(structural invariant of the Route type)
+                let pred = nodes[pos - 1];
+                let incurred = graph.recv_cost(k, pred);
+                let avoid_cost = avoiding
+                    .iter()
+                    .find(|(a, _)| *a == k)
+                    .map(|(_, t)| t.cost(i))
+                    .expect("transit_nodes filter above enumerated every transit of T(j)"); // lint:allow(avoiding list is built from the same tree)
+                                                                                            // An unsubtractable (infinite) avoiding cost means no
+                                                                                            // k-avoiding path exists: biconnectivity was lost.
+                let margin = avoid_cost
+                    .checked_sub(lcp_cost)
+                    .ok_or(GraphError::NotBiconnected)?;
+                prices.push((k, incurred + margin));
+            }
             pairs[i.index() * n + j.index()] = Some(PairOutcome::new(route.clone(), prices));
         }
     }
@@ -125,9 +125,8 @@ pub fn evaluate(
     let mut packets_carried: u128 = 0;
     let mut incurred: u128 = 0;
     for (i, j, t) in traffic.flows() {
-        let pair = outcome
-            .pair(i, j)
-            .expect("validated graphs route every pair");
+        // `compute` on a validated (connected) graph routes every pair.
+        let pair = outcome.pair(i, j).ok_or(GraphError::Disconnected)?;
         let Some(price) = pair.price_of(k) else {
             continue;
         };
@@ -135,14 +134,19 @@ pub fn evaluate(
         let pos = nodes
             .iter()
             .position(|&x| x == k)
-            .expect("priced => transit");
+            .expect("a priced node is a transit node of the route"); // lint:allow(prices are keyed by the route's own transit nodes)
         let pred = nodes[pos - 1];
         let true_cost = graph
             .recv_cost(k, pred)
             .finite()
-            .expect("finite true costs");
-        payment += u128::from(price.finite().expect("finite prices")) * u128::from(t);
+            .expect("declared cost vectors are validated finite"); // lint:allow(NeighborCostGraph construction rejects infinite costs)
         incurred += u128::from(true_cost) * u128::from(t);
+        payment += u128::from(
+            price
+                .finite()
+                // lint:allow(prices are sums of validated finite costs)
+                .expect("finite declared costs and margins sum finite"),
+        ) * u128::from(t);
         packets_carried += u128::from(t);
     }
     Ok(NeighborCostView {

@@ -20,12 +20,13 @@
 //! second is case (iv) minus `c_k`.
 
 use super::graph::NeighborCostGraph;
+use crate::errors::MechanismError;
 use crate::outcome::{PairOutcome, RoutingOutcome};
 use bgpvcg_bgp::engine::{RunReport, SyncEngine};
 use bgpvcg_bgp::{
     LocalEvent, ProtocolNode, RouteAdvertisement, RouteInfo, RouteSelector, StateSnapshot, Update,
 };
-use bgpvcg_netgraph::{AsId, Cost, GraphError};
+use bgpvcg_netgraph::{AsId, Cost};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A BGP speaker computing VCG prices under per-neighbor (receive-side)
@@ -37,7 +38,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// use bgpvcg_core::neighbor_costs::{self, NcPricingNode, NeighborCostGraph};
 /// use bgpvcg_netgraph::generators::structured::fig1;
 ///
-/// # fn main() -> Result<(), bgpvcg_netgraph::GraphError> {
+/// # fn main() -> Result<(), bgpvcg_core::MechanismError> {
 /// let g = NeighborCostGraph::uniform(&fig1());
 /// let (outcome, _) = neighbor_costs::run_nc_sync(&g)?;
 /// assert_eq!(outcome, neighbor_costs::compute(&g)?);
@@ -160,6 +161,7 @@ impl NcPricingNode {
                 }
             }
         }
+        crate::invariants::margin_step(transit, arr.as_slice());
         let changed = self.margins.get(&dest) != Some(&arr);
         self.margins.insert(dest, arr);
         changed
@@ -302,14 +304,28 @@ impl ProtocolNode for NcPricingNode {
 ///
 /// Returns the graph-validation error if the topology violates the
 /// mechanism's preconditions.
-pub fn run_nc_sync(graph: &NeighborCostGraph) -> Result<(RoutingOutcome, RunReport), GraphError> {
+pub fn run_nc_sync(
+    graph: &NeighborCostGraph,
+) -> Result<(RoutingOutcome, RunReport), MechanismError> {
     graph.validate_for_mechanism()?;
     let mut engine = SyncEngine::new(graph.topology(), NcPricingNode::from_graph(graph));
     let report = engine.run_to_convergence();
-    let nodes = engine.into_nodes();
+    let outcome = outcome_from_nc_nodes(&engine.into_nodes())?;
+    Ok((outcome, report))
+}
+
+/// Extracts the distributed state of converged NC nodes into a
+/// [`RoutingOutcome`].
+///
+/// # Errors
+///
+/// Returns [`MechanismError::MissingPrice`] if a selected route carries a
+/// transit node without a converged margin entry — i.e. the nodes were
+/// read before the relaxation fixpoint was reached.
+fn outcome_from_nc_nodes(nodes: &[NcPricingNode]) -> Result<RoutingOutcome, MechanismError> {
     let n = nodes.len();
     let mut pairs: Vec<Option<PairOutcome>> = vec![None; n * n];
-    for node in &nodes {
+    for node in nodes {
         let i = node.id();
         for j in node.selector().destinations().collect::<Vec<_>>() {
             if j == i {
@@ -318,15 +334,19 @@ pub fn run_nc_sync(graph: &NeighborCostGraph) -> Result<(RoutingOutcome, RunRepo
             let Some(route) = node.selector().route(j) else {
                 continue;
             };
-            let prices = route
-                .transit_nodes()
-                .iter()
-                .map(|&k| (k, node.price(j, k).expect("transit nodes are priced")))
-                .collect();
+            let mut prices = Vec::with_capacity(route.transit_nodes().len());
+            for &k in route.transit_nodes() {
+                let price = node.price(j, k).ok_or(MechanismError::MissingPrice {
+                    source: i,
+                    destination: j,
+                    transit: k,
+                })?;
+                prices.push((k, price));
+            }
             pairs[i.index() * n + j.index()] = Some(PairOutcome::new(route, prices));
         }
     }
-    Ok((RoutingOutcome::from_pairs(n, pairs), report))
+    Ok(RoutingOutcome::from_pairs(n, pairs))
 }
 
 /// Runs the generalized pricing protocol on the asynchronous engine until
@@ -340,30 +360,11 @@ pub fn run_nc_sync(graph: &NeighborCostGraph) -> Result<(RoutingOutcome, RunRepo
 /// mechanism's preconditions.
 pub fn run_nc_async(
     graph: &NeighborCostGraph,
-) -> Result<(RoutingOutcome, bgpvcg_bgp::engine::EventReport), GraphError> {
+) -> Result<(RoutingOutcome, bgpvcg_bgp::engine::EventReport), MechanismError> {
     graph.validate_for_mechanism()?;
     let (nodes, report) =
         bgpvcg_bgp::engine::run_event_driven(graph.topology(), NcPricingNode::from_graph(graph));
-    let n = nodes.len();
-    let mut pairs: Vec<Option<PairOutcome>> = vec![None; n * n];
-    for node in &nodes {
-        let i = node.id();
-        for j in node.selector().destinations().collect::<Vec<_>>() {
-            if j == i {
-                continue;
-            }
-            let Some(route) = node.selector().route(j) else {
-                continue;
-            };
-            let prices = route
-                .transit_nodes()
-                .iter()
-                .map(|&k| (k, node.price(j, k).expect("transit nodes are priced")))
-                .collect();
-            pairs[i.index() * n + j.index()] = Some(PairOutcome::new(route, prices));
-        }
-    }
-    Ok((RoutingOutcome::from_pairs(n, pairs), report))
+    Ok((outcome_from_nc_nodes(&nodes)?, report))
 }
 
 #[cfg(test)]

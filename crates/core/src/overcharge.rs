@@ -66,11 +66,11 @@ impl OverchargeReport {
                 .route()
                 .transit_cost()
                 .finite()
-                .expect("selected routes have finite cost");
+                .expect("selected routes have finite cost"); // lint:allow(documented # Panics contract: caller passes a converged outcome)
             let total_payment = pair
                 .prices()
                 .iter()
-                .map(|(_, p)| p.finite().expect("converged prices are finite"))
+                .map(|(_, p)| p.finite().expect("converged prices are finite")) // lint:allow(documented # Panics contract: caller passes a converged outcome)
                 .sum();
             pairs.push(PairPremium {
                 source: i,
@@ -87,7 +87,7 @@ impl OverchargeReport {
         self.pairs
             .iter()
             .filter_map(PairPremium::ratio)
-            .max_by(|a, b| a.partial_cmp(b).expect("ratios are finite"))
+            .max_by(|a, b| a.total_cmp(b))
     }
 
     /// The mean ratio across pairs with non-zero cost.

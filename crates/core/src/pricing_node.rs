@@ -194,6 +194,7 @@ impl PricingBgpNode {
             }
         }
 
+        crate::invariants::relaxation_step(transit, arr.as_slice());
         let changed = self.prices.get(&dest) != Some(&arr);
         self.prices.insert(dest, arr);
         changed

@@ -5,6 +5,7 @@
 //! comparable (by `==`) with the centralized Theorem-1 reference from
 //! [`crate::vcg`].
 
+use crate::errors::MechanismError;
 use crate::outcome::{PairOutcome, RoutingOutcome};
 use crate::pricing_node::PricingBgpNode;
 use bgpvcg_bgp::engine::{run_event_driven, EventReport, RunReport, SyncEngine};
@@ -32,6 +33,7 @@ pub struct PricingRun {
 /// fail.
 pub fn build_sync_engine(graph: &AsGraph) -> Result<SyncEngine<PricingBgpNode>, GraphError> {
     graph.validate_for_mechanism()?;
+    crate::invariants::mechanism_preconditions(graph);
     Ok(SyncEngine::new(graph, PricingBgpNode::from_graph(graph)))
 }
 
@@ -48,18 +50,18 @@ pub fn build_sync_engine(graph: &AsGraph) -> Result<SyncEngine<PricingBgpNode>, 
 /// use bgpvcg_core::{protocol, vcg};
 /// use bgpvcg_netgraph::generators::structured::fig1;
 ///
-/// # fn main() -> Result<(), bgpvcg_netgraph::GraphError> {
+/// # fn main() -> Result<(), bgpvcg_core::MechanismError> {
 /// let g = fig1();
 /// let run = protocol::run_sync(&g)?;
 /// assert_eq!(run.outcome, vcg::compute(&g)?);
 /// # Ok(())
 /// # }
 /// ```
-pub fn run_sync(graph: &AsGraph) -> Result<PricingRun, GraphError> {
+pub fn run_sync(graph: &AsGraph) -> Result<PricingRun, MechanismError> {
     let mut engine = build_sync_engine(graph)?;
     let report = engine.run_to_convergence();
     let snapshots = engine.state_snapshots();
-    let outcome = outcome_from_nodes(&engine.into_nodes());
+    let outcome = outcome_from_nodes(&engine.into_nodes())?;
     Ok(PricingRun {
         outcome,
         report,
@@ -74,19 +76,26 @@ pub fn run_sync(graph: &AsGraph) -> Result<PricingRun, GraphError> {
 ///
 /// Returns the graph-validation error if the mechanism's preconditions
 /// fail.
-pub fn run_async(graph: &AsGraph) -> Result<(RoutingOutcome, EventReport), GraphError> {
+pub fn run_async(graph: &AsGraph) -> Result<(RoutingOutcome, EventReport), MechanismError> {
     graph.validate_for_mechanism()?;
+    crate::invariants::mechanism_preconditions(graph);
     let (nodes, report) = run_event_driven(graph, PricingBgpNode::from_graph(graph));
-    Ok((outcome_from_nodes(&nodes), report))
+    Ok((outcome_from_nodes(&nodes)?, report))
 }
 
 /// Extracts the distributed state of converged nodes into a
 /// [`RoutingOutcome`].
 ///
+/// # Errors
+///
+/// Returns [`MechanismError::MissingPrice`] if a selected route carries a
+/// transit node without a converged price entry — i.e. the nodes were read
+/// before the pricing fixpoint was reached.
+///
 /// # Panics
 ///
 /// Panics if the nodes are not in AS order (engines return them sorted).
-pub fn outcome_from_nodes(nodes: &[PricingBgpNode]) -> RoutingOutcome {
+pub fn outcome_from_nodes(nodes: &[PricingBgpNode]) -> Result<RoutingOutcome, MechanismError> {
     let n = nodes.len();
     let mut pairs: Vec<Option<PairOutcome>> = vec![None; n * n];
     for (idx, node) in nodes.iter().enumerate() {
@@ -99,21 +108,20 @@ pub fn outcome_from_nodes(nodes: &[PricingBgpNode]) -> RoutingOutcome {
             let Some(route) = node.selector().route(j) else {
                 continue;
             };
-            let prices = route
-                .transit_nodes()
-                .iter()
-                .map(|&k| {
-                    (
-                        k,
-                        node.price(j, k)
-                            .expect("every transit node has a price entry"),
-                    )
-                })
-                .collect();
+            let mut prices = Vec::with_capacity(route.transit_nodes().len());
+            for &k in route.transit_nodes() {
+                let price = node.price(j, k).ok_or(MechanismError::MissingPrice {
+                    source: i,
+                    destination: j,
+                    transit: k,
+                })?;
+                prices.push((k, price));
+            }
+            crate::invariants::converged_prices(node.selector().selected(j), prices.as_slice());
             pairs[i.index() * n + j.index()] = Some(PairOutcome::new(route, prices));
         }
     }
-    RoutingOutcome::from_pairs(n, pairs)
+    Ok(RoutingOutcome::from_pairs(n, pairs))
 }
 
 #[cfg(test)]
@@ -239,7 +247,11 @@ mod tests {
         for seed in 0..2 {
             let (nodes, _) =
                 run_event_driven_chaotic(&g, crate::PricingBgpNode::from_graph(&g), 0.35, seed);
-            assert_eq!(outcome_from_nodes(&nodes), reference, "seed {seed}");
+            assert_eq!(
+                outcome_from_nodes(&nodes).unwrap(),
+                reference,
+                "seed {seed}"
+            );
         }
     }
 

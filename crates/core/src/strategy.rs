@@ -8,6 +8,7 @@
 //! harness used by experiment E2 and the property-based test suite.
 
 use crate::accounting::PaymentLedger;
+use crate::errors::MechanismError;
 use crate::vcg;
 use bgpvcg_netgraph::{AsGraph, AsId, Cost, GraphError, TrafficMatrix};
 use rand::Rng;
@@ -44,7 +45,7 @@ pub struct AgentView {
 /// use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
 /// use bgpvcg_netgraph::{Cost, TrafficMatrix};
 ///
-/// # fn main() -> Result<(), bgpvcg_netgraph::GraphError> {
+/// # fn main() -> Result<(), bgpvcg_core::MechanismError> {
 /// let g = fig1();
 /// let t = TrafficMatrix::uniform(g.node_count(), 1);
 /// let truthful = strategy::evaluate(&g, Fig1::D, g.cost(Fig1::D), &t)?;
@@ -58,10 +59,10 @@ pub fn evaluate(
     k: AsId,
     declared: Cost,
     traffic: &TrafficMatrix,
-) -> Result<AgentView, GraphError> {
+) -> Result<AgentView, MechanismError> {
     let declared_graph = graph.with_cost(k, declared);
     let outcome = vcg::compute(&declared_graph)?;
-    let ledger = PaymentLedger::settle(&outcome, traffic);
+    let ledger = PaymentLedger::settle(&outcome, traffic)?;
     Ok(AgentView {
         declared,
         payment: ledger.payment(k),
@@ -106,7 +107,7 @@ pub fn deviate(
     k: AsId,
     lie: Cost,
     traffic: &TrafficMatrix,
-) -> Result<DeviationOutcome, GraphError> {
+) -> Result<DeviationOutcome, MechanismError> {
     Ok(DeviationOutcome {
         agent: k,
         truthful: evaluate(graph, k, graph.cost(k), traffic)?,
@@ -177,12 +178,12 @@ pub fn efficiency_loss(
         for (i, j, t) in traffic.flows() {
             let pair = outcome
                 .pair(i, j)
-                .expect("validated graphs route every pair");
+                .expect("validated graphs route every pair"); // lint:allow(vcg::compute validated connectivity two lines up)
             let route_true_cost: u128 = pair
                 .route()
                 .transit_nodes()
                 .iter()
-                .map(|&x| u128::from(graph.cost(x).finite().expect("finite true costs")))
+                .map(|&x| u128::from(graph.cost(x).finite().expect("finite true costs"))) // lint:allow(AsGraph construction rejects infinite node costs)
                 .sum();
             total += route_true_cost * u128::from(t);
         }
@@ -216,7 +217,7 @@ pub fn efficiency_loss(
 /// use bgpvcg_netgraph::TrafficMatrix;
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
-/// # fn main() -> Result<(), bgpvcg_netgraph::GraphError> {
+/// # fn main() -> Result<(), bgpvcg_core::MechanismError> {
 /// let g = fig1();
 /// let traffic = TrafficMatrix::uniform(g.node_count(), 1);
 /// let mut rng = StdRng::seed_from_u64(1);
@@ -231,7 +232,7 @@ pub fn sweep_deviations<R: Rng + ?Sized>(
     lies_per_agent: usize,
     lie_ceiling: u64,
     rng: &mut R,
-) -> Result<Vec<DeviationOutcome>, GraphError> {
+) -> Result<Vec<DeviationOutcome>, MechanismError> {
     let mut outcomes = Vec::new();
     for k in graph.nodes() {
         let mut lies = vec![Cost::ZERO, Cost::new(lie_ceiling)];

@@ -53,9 +53,9 @@ pub fn utility_under_rule(
 ) -> Result<i128, GraphError> {
     let declared_graph = graph.with_cost(k, declared);
     let outcome = vcg::compute(&declared_graph)?;
-    let true_cost = u128::from(graph.cost(k).finite().expect("finite true costs"));
-    let declared_raw = u128::from(declared.finite().expect("finite declarations"));
+    let true_cost = u128::from(graph.cost(k).finite().expect("finite true costs")); // lint:allow(AsGraph construction rejects infinite node costs)
     let mut utility: i128 = 0;
+    let declared_raw = u128::from(declared.finite().expect("finite declarations")); // lint:allow(with_cost above would have rejected an infinite declaration)
     for (i, j, t) in traffic.flows() {
         let Some(pair) = outcome.pair(i, j) else {
             continue;
@@ -67,9 +67,9 @@ pub fn utility_under_rule(
         let margin = u128::from(
             vcg_price
                 .checked_sub(declared)
-                .expect("price covers declared cost")
+                .expect("Theorem 1 prices satisfy p >= declared cost") // lint:allow(mathematical invariant: VCG price is declared cost plus a non-negative margin)
                 .finite()
-                .expect("finite margins"),
+                .expect("finite margins"), // lint:allow(difference of finite costs is finite)
         );
         let scaled = u128::from(rule.beta) * declared_raw + u128::from(rule.alpha) * margin;
         utility += (scaled as i128 - true_cost as i128) * i128::from(t);

@@ -51,22 +51,23 @@ pub fn compute(graph: &AsGraph) -> Result<RoutingOutcome, GraphError> {
     // the identical table to the per-(j,k) punctured Dijkstra — asserted in
     // `bgpvcg-lcp`'s tests — several times faster on sparse graphs.
     let avoidance = AvoidanceTable::compute_fast(graph, &lcp);
-    Ok(from_parts(graph, &lcp, &avoidance))
+    from_parts(graph, &lcp, &avoidance)
 }
 
 /// Computes the outcome from precomputed routing structures (useful when
 /// the caller already has them, e.g. in benchmarks that sweep many traffic
 /// matrices over one topology).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if some required k-avoiding path does not exist (i.e. the graph
-/// was not biconnected); use [`compute`] for validated entry.
+/// Returns [`GraphError::NotBiconnected`] if some required k-avoiding path
+/// does not exist; [`compute`] validates the graph up front so this can
+/// only surface here when bypassing validation.
 pub fn from_parts(
     graph: &AsGraph,
     lcp: &AllPairsLcp,
     avoidance: &AvoidanceTable,
-) -> RoutingOutcome {
+) -> Result<RoutingOutcome, GraphError> {
     let n = graph.node_count();
     let mut pairs: Vec<Option<PairOutcome>> = vec![None; n * n];
     for i in graph.nodes() {
@@ -78,26 +79,21 @@ pub fn from_parts(
                 continue;
             };
             let lcp_cost = route.transit_cost();
-            let prices = avoidance
-                .entries(i, j)
-                .iter()
-                .map(|entry| {
-                    let avoid_cost = entry.cost.finite().unwrap_or_else(|| {
-                        panic!(
-                            "no {}-avoiding path for {i}->{j}: graph not biconnected",
-                            entry.avoided
-                        )
-                    });
-                    let margin = Cost::new(avoid_cost)
-                        .checked_sub(lcp_cost)
-                        .expect("k-avoiding path cannot beat the LCP");
-                    (entry.avoided, graph.cost(entry.avoided) + margin)
-                })
-                .collect();
+            let entries = avoidance.entries(i, j);
+            let mut prices = Vec::with_capacity(entries.len());
+            for entry in entries {
+                // An infinite k-avoiding cost means no k-avoiding path
+                // exists: the graph lost biconnectivity.
+                let avoid_cost = entry.cost.finite().ok_or(GraphError::NotBiconnected)?;
+                let margin = Cost::new(avoid_cost)
+                    .checked_sub(lcp_cost)
+                    .expect("a k-avoiding path is itself a path, so it cannot beat the LCP"); // lint:allow(mathematical invariant of shortest paths)
+                prices.push((entry.avoided, graph.cost(entry.avoided) + margin));
+            }
             pairs[i.index() * n + j.index()] = Some(PairOutcome::new(route.clone(), prices));
         }
     }
-    RoutingOutcome::from_pairs(n, pairs)
+    Ok(RoutingOutcome::from_pairs(n, pairs))
 }
 
 #[cfg(test)]
@@ -207,7 +203,10 @@ mod tests {
         let g = fig1();
         let lcp = AllPairsLcp::compute(&g);
         let avoidance = AvoidanceTable::compute(&g, &lcp);
-        assert_eq!(from_parts(&g, &lcp, &avoidance), compute(&g).unwrap());
+        assert_eq!(
+            from_parts(&g, &lcp, &avoidance).unwrap(),
+            compute(&g).unwrap()
+        );
     }
 
     #[test]

@@ -39,7 +39,13 @@ pub fn all_simple_routes(graph: &AsGraph, source: AsId, destination: AsId) -> Ve
         graph.contains_node(source) && graph.contains_node(destination),
         "endpoints must be in the graph"
     );
-    fn dfs(graph: &AsGraph, at: AsId, destination: AsId, path: &mut Vec<AsId>, out: &mut Vec<Route>) {
+    fn dfs(
+        graph: &AsGraph,
+        at: AsId,
+        destination: AsId,
+        path: &mut Vec<AsId>,
+        out: &mut Vec<Route>,
+    ) {
         if at == destination {
             out.push(Route::from_nodes(graph, path.clone()));
             return;
@@ -169,10 +175,7 @@ mod tests {
     #[test]
     fn avoiding_nonexistent_alternative_is_none() {
         // Path graph 0-1-2: avoiding 1 leaves no 0->2 route.
-        let g = bgpvcg_netgraph::generators::from_edges(
-            vec![Cost::new(1); 3],
-            &[(0, 1), (1, 2)],
-        );
+        let g = bgpvcg_netgraph::generators::from_edges(vec![Cost::new(1); 3], &[(0, 1), (1, 2)]);
         assert_eq!(
             brute_force_avoiding(&g, AsId::new(0), AsId::new(2), AsId::new(1)),
             None

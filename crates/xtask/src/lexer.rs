@@ -1,0 +1,304 @@
+//! A minimal line-oriented Rust lexer for the lint rules.
+//!
+//! Full parsing is neither available (std-only, offline: no syn) nor
+//! needed: every rule matches *code* tokens, so it suffices to blank out
+//! the three things that cause textual false positives — comments, string
+//! literals, and char literals — while preserving line structure and byte
+//! columns. Doc comments are comments here, which is exactly right: a
+//! `panic!` inside a doc example must not trip the no-panic rule.
+
+/// One source file, split into per-line code text with comments/strings
+/// blanked, plus the line-level lint annotations found in comments.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Code-only text per line: comments, string contents, and char
+    /// literals replaced by spaces (delimiters of strings are kept so
+    /// token boundaries survive).
+    pub code_lines: Vec<String>,
+    /// `lint:allow(reason)` annotations: (line index, reason).
+    pub allows: Vec<Allow>,
+    /// Line indices (0-based) that belong to `#[cfg(test)]` modules.
+    pub test_lines: Vec<bool>,
+}
+
+/// One `// lint:allow(reason)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 0-based line index the annotation sits on.
+    pub line: usize,
+    /// The reason text between the parentheses.
+    pub reason: String,
+    /// Set by the rule engine when the annotation suppresses a violation;
+    /// audited afterwards so stale annotations are themselves errors.
+    pub used: std::cell::Cell<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lexes `source` into code-only lines plus annotations.
+pub fn lex(source: &str) -> LexedFile {
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(64);
+    let mut code_lines = Vec::new();
+    let mut allows = Vec::new();
+    let mut mode = Mode::Code;
+    let mut line_no = 0usize;
+
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if let Mode::LineComment = mode {
+                mode = Mode::Code;
+            }
+            if let Some(reason) = parse_allow(&comment) {
+                allows.push(Allow {
+                    line: line_no,
+                    reason,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            comment.clear();
+            code_lines.push(std::mem::take(&mut code));
+            line_no += 1;
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = Mode::LineComment;
+                    code.push(' ');
+                    i += 1;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(1);
+                    code.push(' ');
+                    i += 1;
+                } else if b == b'"' {
+                    mode = Mode::Str;
+                    code.push('"');
+                } else if b == b'r' && matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        mode = Mode::RawStr(hashes);
+                        code.push('"');
+                        i = j;
+                    } else {
+                        code.push(b as char);
+                    }
+                } else if b == b'\'' {
+                    // Char literal vs lifetime: a lifetime is ' followed by
+                    // an identifier NOT closed by another quote soon. Treat
+                    // as char literal when the matching close quote is
+                    // within 3 bytes (covers '\n', '\\', 'x').
+                    let close = (i + 1..=(i + 4).min(bytes.len().saturating_sub(1)))
+                        .find(|&j| bytes[j] == b'\'' && (j > i + 1 || bytes[i + 1] == b'\\'));
+                    if let Some(_j) = close {
+                        mode = Mode::Char;
+                        code.push('\'');
+                    } else {
+                        code.push('\'');
+                    }
+                } else {
+                    code.push(b as char);
+                }
+            }
+            Mode::LineComment => {
+                comment.push(b as char);
+                code.push(' ');
+            }
+            Mode::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    code.push(' ');
+                    i += 1;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                }
+                if let Mode::BlockComment(_) = mode {
+                    comment.push(b as char);
+                }
+            }
+            Mode::Str => {
+                if b == b'\\' {
+                    code.push(' ');
+                    i += 1;
+                    if i < bytes.len() && bytes[i] != b'\n' {
+                        code.push(' ');
+                    } else {
+                        continue; // escaped newline: reprocess the \n above
+                    }
+                } else if b == b'"' {
+                    mode = Mode::Code;
+                    code.push('"');
+                } else {
+                    code.push(' ');
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        mode = Mode::Code;
+                        code.push('"');
+                        i = j - 1;
+                    } else {
+                        code.push(' ');
+                    }
+                } else {
+                    code.push(' ');
+                }
+            }
+            Mode::Char => {
+                if b == b'\\' {
+                    code.push(' ');
+                    i += 1;
+                    if i < bytes.len() && bytes[i] != b'\n' {
+                        code.push(' ');
+                    } else {
+                        continue;
+                    }
+                } else if b == b'\'' {
+                    mode = Mode::Code;
+                    code.push('\'');
+                } else {
+                    code.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    if let Some(reason) = parse_allow(&comment) {
+        allows.push(Allow {
+            line: line_no,
+            reason,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    code_lines.push(code);
+
+    let test_lines = mark_test_lines(&code_lines);
+    LexedFile {
+        code_lines,
+        allows,
+        test_lines,
+    }
+}
+
+/// Extracts the reason from a `lint:allow(reason)` comment, if present.
+fn parse_allow(comment: &str) -> Option<String> {
+    let idx = comment.find("lint:allow(")?;
+    let rest = &comment[idx + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    Some(rest[..close].trim().to_string())
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated item (module or fn) by
+/// tracking brace depth from the gated item's opening brace to its close.
+fn mark_test_lines(code_lines: &[String]) -> Vec<bool> {
+    let mut marks = vec![false; code_lines.len()];
+    let mut pending_cfg_test = false;
+    let mut depth_stack: Vec<i32> = Vec::new(); // brace depth at each gated item entry
+    let mut depth: i32 = 0;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if !depth_stack.is_empty() {
+            marks[idx] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending_cfg_test {
+                        depth_stack.push(depth);
+                        pending_cfg_test = false;
+                        marks[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if depth_stack.last() == Some(&depth) {
+                        depth_stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lexed = lex("let x = \"panic!\"; // panic! here\nlet y = 1; /* unwrap() */");
+        assert!(!lexed.code_lines[0].contains("panic"));
+        assert!(!lexed.code_lines[1].contains("unwrap"));
+        assert!(lexed.code_lines[0].contains("let x"));
+    }
+
+    #[test]
+    fn allow_annotations_are_collected() {
+        let lexed = lex("foo(); // lint:allow(engine precondition)\nbar();");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 0);
+        assert_eq!(lexed.allows[0].reason, "engine precondition");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\npub fn c() {}";
+        let lexed = lex(src);
+        assert!(!lexed.test_lines[0]);
+        assert!(lexed.test_lines[3]);
+        assert!(!lexed.test_lines[5]);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lexed = lex("let s = r#\"unwrap() panic!\"#; s.len();");
+        assert!(!lexed.code_lines[0].contains("unwrap"));
+        assert!(lexed.code_lines[0].contains("len"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x } // unwrap()");
+        assert!(lexed.code_lines[0].contains("fn f<'a>"));
+        assert!(!lexed.code_lines[0].contains("unwrap"));
+    }
+}

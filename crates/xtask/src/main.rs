@@ -1,0 +1,286 @@
+//! Workspace static-analysis driver (`cargo xtask …`).
+//!
+//! Std-only by design: the build environment has no registry access, so the
+//! lint engine carries its own minimal lexer instead of depending on `syn`.
+//!
+//! Subcommands:
+//! - `lint`  — run the four protocol lint rules (see `rules`); exit 1 on any
+//!   violation outside the `// lint:allow(reason)` allowlist.
+//! - `audit` — lint allowlist hygiene (stale / reason-less annotations),
+//!   verify the invariant-hook wiring is present, then run the test suite
+//!   with `--features invariant-checks` so the debug assertions execute.
+//!   `--static-only` skips the test run.
+//! - `ci`    — the full offline-tolerant pipeline: fmt check, lint, clippy
+//!   wall, workspace tests, invariant-checked tests. Steps whose external
+//!   tool is unavailable (no rustfmt/clippy component) are reported and
+//!   skipped rather than failed, so `ci` works in minimal containers.
+
+mod lexer;
+mod rules;
+
+use rules::SourceFile;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&root),
+        Some("audit") => cmd_audit(&root, args.iter().any(|a| a == "--static-only")),
+        Some("ci") => cmd_ci(&root),
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "cargo xtask <subcommand>\n\n\
+         \tlint                run the protocol lint rules (no-panic, pub-docs,\n\
+         \t                    wire-golden, engine-hygiene)\n\
+         \taudit [--static-only]\n\
+         \t                    check allowlist hygiene + invariant-hook wiring,\n\
+         \t                    then run tests with --features invariant-checks\n\
+         \tci                  fmt check, lint, clippy, tests, invariant tests\n\
+         \thelp                this message"
+    );
+}
+
+/// Locates the workspace root: the nearest ancestor of the current directory
+/// containing a `Cargo.toml` with a `[workspace]` table.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Collects every tracked `.rs` file the rules care about: crate sources,
+/// crate tests, and the root `src/`. Vendored stand-ins and `target/` are
+/// excluded — they are not protocol code.
+fn collect_sources(root: &Path) -> (Vec<SourceFile>, Vec<Vec<String>>) {
+    let mut files = Vec::new();
+    let mut raw_lines = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        let mut entries: Vec<_> = entries.flatten().collect();
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = entry.file_name();
+                if name != "target" && name != ".git" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let Ok(source) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                raw_lines.push(source.lines().map(String::from).collect());
+                files.push(SourceFile {
+                    rel_path: rel,
+                    lexed: lexer::lex(&source),
+                });
+            }
+        }
+    }
+    (files, raw_lines)
+}
+
+fn cmd_lint(root: &Path) -> ExitCode {
+    let (files, raw_lines) = collect_sources(root);
+    let violations = rules::run_all(&files, &raw_lines);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "xtask lint: clean ({} files, 4 rules, 0 violations)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Files that must carry invariant-hook call sites for the
+/// `invariant-checks` feature to mean anything. Checked textually so a
+/// refactor cannot silently drop the audit wiring.
+const INVARIANT_HOOK_SITES: &[(&str, &str)] = &[
+    ("crates/core/src/invariants.rs", "relaxation_step"),
+    ("crates/core/src/pricing_node.rs", "invariants::"),
+    ("crates/core/src/neighbor_costs/node.rs", "invariants::"),
+    ("crates/core/src/protocol.rs", "invariants::"),
+    ("crates/bgp/src/engine/invariants.rs", "convergence"),
+    ("crates/bgp/src/engine/sync.rs", "invariants::"),
+];
+
+fn cmd_audit(root: &Path, static_only: bool) -> ExitCode {
+    let (files, raw_lines) = collect_sources(root);
+    // Run the rules first so every live annotation is marked used; what
+    // remains unused is stale.
+    let violations = rules::run_all(&files, &raw_lines);
+    let mut problems = rules::stale_allows(&files);
+
+    for (rel, needle) in INVARIANT_HOOK_SITES {
+        let hooked = files
+            .iter()
+            .find(|f| f.rel_path == Path::new(rel))
+            .map(|f| f.lexed.code_lines.join("\n").contains(needle));
+        if hooked != Some(true) {
+            problems.push(rules::Violation {
+                rule: "invariant-hooks",
+                file: PathBuf::from(rel),
+                line: 1,
+                message: format!("expected invariant hook `{needle}` is missing"),
+            });
+        }
+    }
+
+    for p in &problems {
+        println!("{p}");
+    }
+    let allow_count: usize = files.iter().map(|f| f.lexed.allows.len()).sum();
+    println!(
+        "xtask audit: {} allowlist annotation(s), {} live violation(s) suppressed elsewhere, {} problem(s)",
+        allow_count,
+        violations.len(),
+        problems.len()
+    );
+    if !problems.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    if static_only {
+        return ExitCode::SUCCESS;
+    }
+    println!("xtask audit: running tests with --features invariant-checks");
+    let ok = run_step(
+        root,
+        "invariant tests",
+        "cargo",
+        &["test", "-q", "--features", "invariant-checks"],
+        false,
+    ) && run_step(
+        root,
+        "invariant tests (protocol crates)",
+        "cargo",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "bgpvcg-core",
+            "-p",
+            "bgpvcg-bgp",
+            "--features",
+            "bgpvcg-core/invariant-checks,bgpvcg-bgp/invariant-checks",
+        ],
+        false,
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one pipeline step. When `optional` and the tool itself is absent
+/// (missing binary or missing cargo component), the step is skipped with a
+/// notice instead of failing — this keeps `ci` usable offline and in
+/// minimal containers.
+fn run_step(root: &Path, label: &str, program: &str, args: &[&str], optional: bool) -> bool {
+    println!("==> {label}: {program} {}", args.join(" "));
+    let output = Command::new(program).args(args).current_dir(root).output();
+    match output {
+        Ok(out) if out.status.success() => true,
+        Ok(out) => {
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            let tool_missing = stderr.contains("no such command")
+                || stderr.contains("not installed")
+                || stderr.contains("no such subcommand");
+            if optional && tool_missing {
+                println!("==> {label}: tool unavailable, skipped");
+                true
+            } else {
+                print!("{}", String::from_utf8_lossy(&out.stdout));
+                eprint!("{stderr}");
+                println!("==> {label}: FAILED");
+                false
+            }
+        }
+        Err(err) => {
+            if optional {
+                println!("==> {label}: cannot launch `{program}` ({err}), skipped");
+                true
+            } else {
+                println!("==> {label}: cannot launch `{program}` ({err})");
+                false
+            }
+        }
+    }
+}
+
+fn cmd_ci(root: &Path) -> ExitCode {
+    let mut ok = true;
+    ok &= run_step(root, "format check", "cargo", &["fmt", "--check"], true);
+    ok &= cmd_lint(root) == ExitCode::SUCCESS;
+    ok &= cmd_audit(root, true) == ExitCode::SUCCESS;
+    ok &= run_step(
+        root,
+        "clippy wall",
+        "cargo",
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+        true,
+    );
+    ok &= run_step(
+        root,
+        "workspace tests",
+        "cargo",
+        &["test", "-q", "--workspace"],
+        false,
+    );
+    ok &= run_step(
+        root,
+        "invariant tests",
+        "cargo",
+        &["test", "-q", "--features", "invariant-checks"],
+        false,
+    );
+    if ok {
+        println!("xtask ci: all steps passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask ci: FAILED");
+        ExitCode::FAILURE
+    }
+}

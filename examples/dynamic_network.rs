@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut engine = protocol::build_sync_engine(&graph)?;
     let report = engine.run_to_convergence();
     println!("Initial convergence: {} stages.", report.stages);
-    let outcome = protocol::outcome_from_nodes(&clone_nodes(&engine));
+    let outcome = protocol::outcome_from_nodes(&clone_nodes(&engine))?;
     show_x_to_z(&outcome);
 
     // 1. The B–D link fails: X must fall back to the expensive X A Z path.
@@ -87,7 +87,7 @@ fn verify(
     engine: &bgp_vcg::bgp::engine::SyncEngine<bgp_vcg::PricingBgpNode>,
     expected_graph: &AsGraph,
 ) -> Result<(), Box<dyn Error>> {
-    let outcome = protocol::outcome_from_nodes(&clone_nodes(engine));
+    let outcome = protocol::outcome_from_nodes(&clone_nodes(engine))?;
     let reference = vcg::compute(expected_graph)?;
     assert_eq!(
         outcome, reference,

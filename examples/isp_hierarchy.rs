@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Gravity-model interdomain traffic (real matrices are proprietary).
     let traffic = TrafficMatrix::gravity(graph.node_count(), 20, &mut rng);
-    let ledger = PaymentLedger::settle(&run.outcome, &traffic);
+    let ledger = PaymentLedger::settle(&run.outcome, &traffic)?;
 
     println!("Top transit earners (payment vs. incurred cost):");
     let mut rows: Vec<(AsId, u128, u128)> = graph

@@ -63,7 +63,9 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // --- Congestion: the true cost triples; honesty says re-declare. ---
     let congested_cost = Cost::new(original_cost.finite().unwrap() * 3 + 2);
-    println!("\n*** {hot} congests: true per-packet cost rises {original_cost} -> {congested_cost} ***");
+    println!(
+        "\n*** {hot} congests: true per-packet cost rises {original_cost} -> {congested_cost} ***"
+    );
     let report = engine.apply_event(TopologyEvent::CostChange(hot, congested_cost));
     println!("Reconverged in {} stages.", report.stages);
     let congested_graph = graph.with_cost(hot, congested_cost);
@@ -71,7 +73,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // declaration profile.
     let nodes: Vec<_> = engine.nodes().cloned().collect();
     assert_eq!(
-        protocol::outcome_from_nodes(&nodes),
+        protocol::outcome_from_nodes(&nodes)?,
         vcg::compute(&congested_graph)?
     );
     let ledger = settle(&engine, &traffic);
@@ -87,7 +89,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let report = engine.apply_event(TopologyEvent::CostChange(hot, original_cost));
     println!("Reconverged in {} stages.", report.stages);
     let nodes: Vec<_> = engine.nodes().cloned().collect();
-    assert_eq!(protocol::outcome_from_nodes(&nodes), vcg::compute(&graph)?);
+    assert_eq!(protocol::outcome_from_nodes(&nodes)?, vcg::compute(&graph)?);
     let ledger = settle(&engine, &traffic);
     assert_eq!(ledger.packets_carried(hot), before_packets);
     assert_eq!(ledger.payment(hot), before_payment);

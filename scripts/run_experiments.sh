@@ -12,8 +12,25 @@ experiments=(
   e15_per_node_convergence e16_topology_realism e17_uniqueness
   e18_overcharge_vs_diversity
 )
+# Build everything up front, then verify each expected binary actually
+# exists: a typo'd experiment name fails here in seconds instead of
+# mid-run after the earlier experiments have already been regenerated.
+cargo build --quiet --release -p bgpvcg-bench --bins
+target_dir="${CARGO_TARGET_DIR:-target}/release"
+missing=0
+for e in "${experiments[@]}"; do
+  if [[ ! -x "$target_dir/$e" ]]; then
+    echo "error: experiment binary '$e' not found in $target_dir" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "aborting: missing experiment binaries (names drifted from crates/bench/src/bin/?)" >&2
+  exit 1
+fi
+
 for e in "${experiments[@]}"; do
   echo "== $e =="
-  cargo run --quiet --release -p bgpvcg-bench --bin "$e" | tee "results/$e.txt"
+  "$target_dir/$e" | tee "results/$e.txt"
 done
 echo "All ${#experiments[@]} experiments passed."

@@ -351,7 +351,7 @@ fn run_simulate(
             report.bytes / 1024
         );
         let nodes: Vec<_> = engine.into_nodes();
-        protocol::outcome_from_nodes(&nodes)
+        protocol::outcome_from_nodes(&nodes).map_err(|e| e.to_string())?
     } else {
         let run = protocol::run_sync(&g).map_err(|e| e.to_string())?;
         println!(
@@ -367,7 +367,7 @@ fn run_simulate(
     println!("Distributed prices verified against the centralized Theorem-1 computation.");
 
     let traffic = TrafficMatrix::uniform(n, 1);
-    let ledger = PaymentLedger::settle(&outcome, &traffic);
+    let ledger = PaymentLedger::settle(&outcome, &traffic).map_err(|e| e.to_string())?;
     let mut earners: Vec<(AsId, u128)> = g.nodes().map(|k| (k, ledger.payment(k))).collect();
     earners.sort_by_key(|&(_, p)| std::cmp::Reverse(p));
     println!("Top transit earners under uniform traffic:");

@@ -55,7 +55,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub use bgpvcg_bgp as bgp;
 pub use bgpvcg_core as core;

@@ -63,19 +63,19 @@ fn all_implementation_paths_agree() {
         assert_eq!(slow, fast, "seed {seed}: avoidance tables");
 
         // --- Prices: closed form vs three distributed schedulers. ---
-        let reference = vcg::from_parts(&g, &lcp, &fast);
+        let reference = vcg::from_parts(&g, &lcp, &fast).unwrap();
         let sync_run = protocol::run_sync(&g).unwrap();
         assert_eq!(sync_run.outcome, reference, "seed {seed}: sync protocol");
         let (async_nodes, _) = run_event_driven(&g, PricingBgpNode::from_graph(&g));
         assert_eq!(
-            protocol::outcome_from_nodes(&async_nodes),
+            protocol::outcome_from_nodes(&async_nodes).unwrap(),
             reference,
             "seed {seed}: async protocol"
         );
         let (chaos_nodes, _) =
             run_event_driven_chaotic(&g, PricingBgpNode::from_graph(&g), 0.3, seed);
         assert_eq!(
-            protocol::outcome_from_nodes(&chaos_nodes),
+            protocol::outcome_from_nodes(&chaos_nodes).unwrap(),
             reference,
             "seed {seed}: chaotic protocol"
         );
@@ -88,7 +88,7 @@ fn all_implementation_paths_agree() {
         // --- Settlement: closed form vs distributed source-side tallies. ---
         let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
         let traffic = TrafficMatrix::random(g.node_count(), 0, 4, &mut rng);
-        let closed = PaymentLedger::settle(&reference, &traffic);
+        let closed = PaymentLedger::settle(&reference, &traffic).unwrap();
         let distributed = PaymentLedger::settle_from_nodes(&async_nodes, &traffic).unwrap();
         assert_eq!(closed, distributed, "seed {seed}: settlement");
     }

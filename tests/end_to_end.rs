@@ -63,7 +63,7 @@ fn fig1_payments_under_uniform_traffic() {
     let g = fig1();
     let run = protocol::run_sync(&g).unwrap();
     let traffic = TrafficMatrix::uniform(g.node_count(), 1);
-    let ledger = PaymentLedger::settle(&run.outcome, &traffic);
+    let ledger = PaymentLedger::settle(&run.outcome, &traffic).unwrap();
     // Every node's payment covers its incurred cost (individual
     // rationality under truth-telling).
     for k in g.nodes() {
@@ -100,7 +100,7 @@ fn event_sequence_stays_exact() {
             TopologyEvent::CostChange(k, c) => current.with_cost(k, c),
         };
         let nodes: Vec<_> = engine.nodes().cloned().collect();
-        let outcome = protocol::outcome_from_nodes(&nodes);
+        let outcome = protocol::outcome_from_nodes(&nodes).unwrap();
         assert_eq!(outcome, vcg::compute(&current).unwrap(), "after {event:?}");
     }
 }

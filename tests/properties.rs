@@ -96,7 +96,7 @@ proptest! {
     fn zero_payment_without_transit((n, density, max_cost, seed) in graph_params()) {
         let g = graph_from(n, density, max_cost, seed);
         let outcome = vcg::compute(&g).unwrap();
-        let ledger = PaymentLedger::settle(&outcome, &TrafficMatrix::uniform(n, 2));
+        let ledger = PaymentLedger::settle(&outcome, &TrafficMatrix::uniform(n, 2)).unwrap();
         for k in g.nodes() {
             if ledger.packets_carried(k) == 0 {
                 prop_assert_eq!(ledger.payment(k), 0);
@@ -128,8 +128,8 @@ proptest! {
         for (i, j, t) in base.flows() {
             scaled.set(i, j, t * scale);
         }
-        let l1 = PaymentLedger::settle(&outcome, &base);
-        let l2 = PaymentLedger::settle(&outcome, &scaled);
+        let l1 = PaymentLedger::settle(&outcome, &base).unwrap();
+        let l2 = PaymentLedger::settle(&outcome, &scaled).unwrap();
         for k in g.nodes() {
             prop_assert_eq!(l2.payment(k), l1.payment(k) * u128::from(scale));
         }

@@ -76,7 +76,7 @@ fn event_storm_stays_exact() {
             TopologyEvent::CostChange(k, c) => g.with_cost(k, c),
         };
         let nodes: Vec<_> = engine.nodes().cloned().collect();
-        let outcome = protocol::outcome_from_nodes(&nodes);
+        let outcome = protocol::outcome_from_nodes(&nodes).unwrap();
         assert_eq!(
             outcome,
             vcg::compute(&g).unwrap(),
@@ -99,7 +99,7 @@ fn chaotic_async_soak() {
         let (nodes, _) =
             run_event_driven_chaotic(&g, bgp_vcg::PricingBgpNode::from_graph(&g), 0.5, seed);
         assert_eq!(
-            protocol::outcome_from_nodes(&nodes),
+            protocol::outcome_from_nodes(&nodes).unwrap(),
             reference,
             "seed {seed}"
         );

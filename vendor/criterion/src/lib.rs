@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`: compiles the workspace benches
+//! unchanged and runs each benchmark as a short timed smoke run (median of
+//! a few batches, printed to stdout) instead of a full statistical
+//! analysis. Good enough to catch perf regressions by eye and to keep
+//! `cargo bench` meaningful while the registry is unreachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`: one warmup call, then batches until ~20ms of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut batch: u64 = 1;
+        let mut samples: Vec<f64> = Vec::new();
+        let budget = Instant::now();
+        while budget.elapsed() < Duration::from_millis(20) && samples.len() < 64 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            samples.push(elapsed / batch as f64);
+            if elapsed < 1_000_000.0 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.nanos_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn report(group: &str, label: &str, throughput: Option<Throughput>, nanos: f64) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if nanos > 0.0 => {
+            format!("  {:.1} MiB/s", b as f64 / nanos * 1e9 / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) if nanos > 0.0 => {
+            format!("  {:.1} Melem/s", e as f64 / nanos * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    if nanos >= 1e6 {
+        println!("bench {group}/{label}: {:.3} ms/iter{rate}", nanos / 1e6);
+    } else if nanos >= 1e3 {
+        println!("bench {group}/{label}: {:.3} us/iter{rate}", nanos / 1e3);
+    } else {
+        println!("bench {group}/{label}: {nanos:.1} ns/iter{rate}");
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the smoke runner self-limits.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the smoke runner self-limits.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark that closes over its input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&self.name, &id.label, self.throughput, bencher.nanos_per_iter);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&self.name, &id.label, self.throughput, bencher.nanos_per_iter);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `crossbeam`, covering the `channel` subset the
+//! event-driven engine uses: `unbounded()`, cloneable senders, and
+//! `recv`/`recv_timeout` with crossbeam's error vocabulary.
+//!
+//! Backed by `std::sync::mpsc`, which matches the engine's usage exactly:
+//! one receiver per worker thread (never cloned or shared) and many
+//! cloned senders. Unlike real crossbeam, `Receiver` here is not `Sync`
+//! and cannot be cloned — the engine does neither.
+
+pub mod channel {
+    //! MPSC channels with crossbeam's surface, mapped onto `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Cloneable sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; errors only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel (single consumer).
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_cloned_senders() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx.send(1u32).expect("receiver alive"));
+            std::thread::spawn(move || tx2.send(2u32).expect("receiver alive"));
+            let mut got = vec![rx.recv().expect("sent"), rx.recv().expect("sent")];
+            got.sort_unstable();
+            assert_eq!(got, [1, 2]);
+        }
+
+        #[test]
+        fn timeout_then_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

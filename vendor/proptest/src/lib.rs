@@ -1,0 +1,472 @@
+//! Offline stand-in for `proptest`, implementing the subset this workspace
+//! uses: the `proptest!` macro, range/tuple/`Just`/`prop_map`/`prop_oneof`
+//! strategies, `collection::vec`, `any::<T>()`, the `prop_assert*` family,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its deterministic attempt
+//!   index (re-runnable, since the RNG is seeded from the test name and
+//!   attempt number) instead of a minimized input.
+//! - **No persistence.** `.proptest-regressions` files are ignored.
+//! - Generation runs on the vendored xoshiro `StdRng`, so the sampled
+//!   inputs differ from upstream proptest for the same seed.
+
+pub mod test_runner {
+    //! Case configuration, error vocabulary, and the deterministic RNG.
+
+    /// Deterministic per-case generator (the vendored xoshiro `StdRng`).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` accepted cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Upper bound on generation attempts before the runner gives up
+        /// (rejections via `prop_assume!` do not count as accepted cases).
+        pub fn max_attempts(&self) -> u32 {
+            self.cases.saturating_mul(20).max(1024)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property failed; the runner panics with this message.
+        Fail(String),
+        /// `prop_assume!` filtered the input; the case is re-drawn.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// The RNG for one attempt of one property: FNV-1a of the test path,
+    /// perturbed by the attempt index. Fully deterministic across runs.
+    pub fn case_rng(test_path: &str, attempt: u32) -> TestRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Arc<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::distributions::uniform::SampleUniform,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Weighted choice among boxed alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Arc<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; total weight must be positive.
+        pub fn new_weighted(arms: Vec<(u32, Arc<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+                "prop_oneof! needs positive total weight"
+            );
+            Union { arms }
+        }
+
+        /// Type-erases one arm (helper for the `prop_oneof!` expansion).
+        pub fn arc(strategy: impl Strategy<Value = T> + 'static) -> Arc<dyn Strategy<Value = T>> {
+            Arc::new(strategy)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, strat) in &self.arms {
+                if pick < u64::from(*w) {
+                    return strat.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights sum checked at construction")
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitives.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's full domain.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Full-domain strategy for an [`Arbitrary`] type.
+    #[derive(Debug)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A> Clone for Any<A> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`'s full domain.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with element strategy `S` and length in a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len` (half-open).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range for collection::vec");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Rejects the current case (re-drawn, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Weighted (or uniform) choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((($weight) as u32, $crate::strategy::Union::arc($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the real crate's surface syntax: an optional leading
+/// `#![proptest_config(expr)]`, then any number of
+/// `fn name(pat in strategy, ...) { body }` items (doc comments and extra
+/// attributes allowed). Bodies may use `prop_assert*!` / `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    (@items ($cfg:expr)) => {};
+    (@items ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __pt_config: $crate::test_runner::Config = $cfg;
+            let __pt_max = __pt_config.max_attempts();
+            let mut __pt_accepted: u32 = 0;
+            let mut __pt_attempt: u32 = 0;
+            while __pt_accepted < __pt_config.cases {
+                assert!(
+                    __pt_attempt < __pt_max,
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name),
+                );
+                let mut __pt_rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __pt_attempt,
+                );
+                __pt_attempt += 1;
+                let __pt_result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __pt_result {
+                    ::std::result::Result::Ok(()) => __pt_accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} failed at attempt {}: {}",
+                            stringify!($name),
+                            __pt_attempt - 1,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Ranges honor their bounds.
+        fn range_bounds(v in 10u64..20) {
+            prop_assert!((10..20).contains(&v));
+        }
+
+        /// Assume rejects without failing the run.
+        fn assume_filters(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        /// Tuples, maps, oneof, and vec compose.
+        fn combinators(
+            pair in (0u8..10, 0u8..10),
+            tagged in prop_oneof![3 => Just(0u8), 1 => (1u8..4).prop_map(|x| x)],
+            items in prop::collection::vec(any::<u8>(), 0..5),
+        ) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert!(tagged < 4);
+            prop_assert!(items.len() < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::case_rng("x", 3);
+        let mut b = crate::test_runner::case_rng("x", 3);
+        assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+    }
+}

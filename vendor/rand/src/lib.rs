@@ -1,0 +1,330 @@
+//! Offline stand-in for the `rand` crate, exposing exactly the API subset
+//! this workspace uses: [`Rng`], [`SeedableRng`], [`rngs::StdRng`], and
+//! [`distributions::Uniform`].
+//!
+//! The registry is unreachable in the build environment, so the workspace
+//! vendors a std-only implementation. `StdRng` here is xoshiro256++ seeded
+//! through SplitMix64 — statistically strong and deterministic per seed,
+//! but **not** the ChaCha stream of the real `rand::rngs::StdRng`, so
+//! fixed-seed sequences differ from upstream.
+
+/// A source of random `u64` words. Mirror of `rand_core::RngCore`, reduced
+/// to the one method everything else derives from.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `state`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Samples a value from the type's standard distribution (the
+    /// `Standard` distribution of real rand: unit interval for floats,
+    /// full domain for integers and `bool`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+}
+
+/// Types drawable via [`Rng::gen`].
+pub trait StandardSample {
+    /// Draws one value from the standard distribution.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator (Blackman–Vigna), seeded via SplitMix64.
+    ///
+    /// Drop-in for `rand::rngs::StdRng` in this workspace: deterministic
+    /// per seed, passes the usual statistical batteries, std-only.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions (the `Uniform` subset).
+
+    use super::RngCore;
+
+    /// Types that `Distribution::sample` can produce.
+    pub trait Distribution<T> {
+        /// Draws one value using `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a closed or half-open interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl<T: uniform::SampleUniform> Uniform<T> {
+        /// Uniform over `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            Uniform {
+                lo,
+                hi,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[lo, hi]`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            Uniform {
+                lo,
+                hi,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            if self.inclusive {
+                T::sample_inclusive(rng, self.lo, self.hi)
+            } else {
+                T::sample_exclusive(rng, self.lo, self.hi)
+            }
+        }
+    }
+
+    pub mod uniform {
+        //! The sampling traits backing `gen_range` and `Uniform`.
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Primitive types that support uniform interval sampling.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+            /// Uniform draw from `[lo, hi]`. Panics if `hi < lo`.
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        }
+
+        /// Range shapes accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_exclusive(rng, self.start, self.end)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(rng, *self.start(), *self.end())
+            }
+        }
+
+        macro_rules! impl_uniform_uint {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        assert!(lo < hi, "empty gen_range");
+                        let span = (hi as u128) - (lo as u128);
+                        lo + ((rng.next_u64() as u128 % span) as $t)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        assert!(lo <= hi, "empty gen_range");
+                        let span = (hi as u128) - (lo as u128) + 1;
+                        lo + ((rng.next_u64() as u128 % span) as $t)
+                    }
+                }
+            )*};
+        }
+        impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        assert!(lo < hi, "empty gen_range");
+                        let span = (hi as i128 - lo as i128) as u128;
+                        (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        assert!(lo <= hi, "empty gen_range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        impl_uniform_int!(i8, i16, i32, i64, isize);
+
+        macro_rules! impl_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        assert!(lo < hi, "empty gen_range");
+                        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                        lo + (unit as $t) * (hi - lo)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        assert!(lo <= hi, "empty gen_range");
+                        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) - 1) as f64);
+                        lo + (unit as $t) * (hi - lo)
+                    }
+                }
+            )*};
+        }
+        impl_uniform_float!(f32, f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_word(), b.next_word());
+        }
+    }
+
+    impl StdRng {
+        fn next_word(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new_inclusive(0u64, 1);
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

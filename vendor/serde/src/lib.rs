@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its wire and outcome
+//! types for downstream consumers but performs no (de)serialization inside
+//! the tree, so this stand-in reduces the traits to blanket-implemented
+//! markers and the derives (see `serde_derive`) to no-ops. Swapping the
+//! real serde back in is a one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

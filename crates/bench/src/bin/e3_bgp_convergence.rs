@@ -5,15 +5,24 @@
 //! hop diameter `d`, the paper's bound. Also reports the per-stage per-link
 //! message load the paper bounds by `O(nd)` entries.
 //!
+//! All table figures are sourced from the shared telemetry registry
+//! (`bgp_messages_total` deltas, the `bgp_stages_to_quiescence` gauge —
+//! see `docs/OBSERVABILITY.md`), cross-checked against the engine report.
+//!
 //! Regenerate with: `cargo run -p bgpvcg-bench --bin e3_bgp_convergence`
+//! Optional: `--trace-out PATH` / `--metrics-out PATH`.
 
 use bgpvcg_bench::families::Family;
+use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
 use bgpvcg_bgp::engine::SyncEngine;
+use bgpvcg_bgp::telemetry::metric;
 use bgpvcg_bgp::PlainBgpNode;
 use bgpvcg_lcp::{diameter, AllPairsLcp};
 
 fn main() {
+    let obs = ObsConfig::from_args();
+    let telemetry = obs.telemetry();
     println!("E3 — Sect. 5: plain BGP computes all LCPs within d synchronous stages\n");
     let sizes = [16usize, 32, 64, 128];
     let mut table = Table::new([
@@ -26,6 +35,9 @@ fn main() {
         "total msgs",
         "total entries",
     ]);
+    let messages = telemetry.counter(metric::MESSAGES);
+    let entries = telemetry.counter(metric::ENTRIES);
+    let stages_gauge = telemetry.gauge(metric::STAGES_TO_QUIESCENCE);
     let mut all_within = true;
     for family in Family::ALL {
         for &n in &sizes {
@@ -33,9 +45,19 @@ fn main() {
             let lcp = AllPairsLcp::compute(&g);
             let d = diameter::lcp_hop_diameter(&lcp);
             let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+            engine.attach_telemetry(telemetry);
+            let (messages_before, entries_before) = (messages.get(), entries.get());
             let report = engine.run_to_convergence();
             assert!(report.converged, "{} n={n}", family.name());
-            let within = report.stages <= d;
+            // The registry is the source of truth for the table; the engine
+            // report must agree (observation is non-perturbing).
+            let run_messages = messages.get() - messages_before;
+            let run_entries = entries.get() - entries_before;
+            let stages = stages_gauge.get() as usize;
+            assert_eq!(run_messages, report.messages as u64);
+            assert_eq!(run_entries, report.entries as u64);
+            assert_eq!(stages, report.stages);
+            let within = stages <= d;
             all_within &= within;
             // Spot-check the routes themselves.
             for i in g.nodes().take(4) {
@@ -53,10 +75,10 @@ fn main() {
                 n.to_string(),
                 g.link_count().to_string(),
                 d.to_string(),
-                report.stages.to_string(),
+                stages.to_string(),
                 within.to_string(),
-                report.messages.to_string(),
-                report.entries.to_string(),
+                run_messages.to_string(),
+                run_entries.to_string(),
             ]);
         }
     }
@@ -70,5 +92,6 @@ fn main() {
             "BOUND VIOLATED"
         }
     );
+    obs.finish();
     assert!(all_within);
 }

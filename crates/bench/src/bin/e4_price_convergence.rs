@@ -6,15 +6,24 @@
 //! bit-for-bit, and compares the stage count against the paper's
 //! `max(d, d′)` bound.
 //!
+//! Stage counts are sourced from the telemetry registry's
+//! `bgp_stages_to_quiescence` gauge, set by the engine at quiescence
+//! (see `docs/OBSERVABILITY.md`), and cross-checked against the report.
+//!
 //! Regenerate with: `cargo run -p bgpvcg-bench --bin e4_price_convergence`
+//! Optional: `--trace-out PATH` / `--metrics-out PATH`.
 
 use bgpvcg_bench::families::Family;
+use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
+use bgpvcg_bgp::telemetry::metric;
 use bgpvcg_core::{protocol, vcg};
 use bgpvcg_lcp::avoiding::AvoidanceTable;
 use bgpvcg_lcp::{diameter, AllPairsLcp};
 
 fn main() {
+    let obs = ObsConfig::from_args();
+    let telemetry = obs.telemetry();
     println!("E4 — Theorem 2: VCG prices computed exactly, within max(d, d') stages\n");
     let sizes = [16usize, 32, 64];
     let mut table = Table::new([
@@ -37,11 +46,14 @@ fn main() {
             let dprime = diameter::avoiding_hop_diameter(&avoidance);
             let bound = d.max(dprime);
 
-            let run = protocol::run_sync(&g).expect("family graphs are biconnected");
+            let run =
+                protocol::run_sync_telemetry(&g, telemetry).expect("family graphs are biconnected");
             let reference =
                 vcg::from_parts(&g, &lcp, &avoidance).expect("family graphs are biconnected");
             let exact = run.outcome == reference;
-            let within = run.report.stages <= bound;
+            let stages = telemetry.gauge(metric::STAGES_TO_QUIESCENCE).get() as usize;
+            assert_eq!(stages, run.report.stages, "gauge mirrors the report");
+            let within = stages <= bound;
             all_ok &= exact && within && run.report.converged;
 
             table.row([
@@ -50,7 +62,7 @@ fn main() {
                 d.to_string(),
                 dprime.to_string(),
                 bound.to_string(),
-                run.report.stages.to_string(),
+                stages.to_string(),
                 within.to_string(),
                 exact.to_string(),
             ]);
@@ -66,5 +78,6 @@ fn main() {
             "CLAIM VIOLATED"
         }
     );
+    obs.finish();
     assert!(all_ok);
 }

@@ -14,9 +14,12 @@
 //! * [`table`] — a plain-text table renderer so every binary prints
 //!   paper-style rows that can be pasted into `EXPERIMENTS.md`.
 //! * [`stats`] — small numeric summaries (mean/min/max).
+//! * [`obs`] — the shared `--trace-out` / `--metrics-out` observability
+//!   surface (see `docs/OBSERVABILITY.md`).
 
 #![forbid(unsafe_code)]
 
 pub mod families;
+pub mod obs;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,126 @@
+//! Shared observability CLI surface for experiment binaries.
+//!
+//! Every instrumented binary accepts the same two optional flags:
+//!
+//! * `--trace-out PATH` — stream the structured event trace as JSONL
+//!   (one [`bgpvcg_telemetry::TraceEvent`] per line) to `PATH`.
+//! * `--metrics-out PATH` — at exit, write the final metrics snapshot as
+//!   JSON to `PATH` and as Prometheus text exposition to a sibling file
+//!   with the extension replaced by `.prom`.
+//!
+//! Without flags the binaries behave exactly as before: the registry still
+//! aggregates (the tables are printed from it), but nothing hits disk.
+//! See `docs/OBSERVABILITY.md` for the event taxonomy and metric names.
+
+use bgpvcg_telemetry::{expose, Telemetry};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// Parsed `--trace-out` / `--metrics-out` flags plus the [`Telemetry`]
+/// handle they configure.
+#[derive(Debug)]
+pub struct ObsConfig {
+    metrics_out: Option<PathBuf>,
+    telemetry: Telemetry,
+}
+
+impl ObsConfig {
+    /// Parses the process arguments. Unknown flags print usage to stderr
+    /// and exit with status 2, so a typo never silently runs the (often
+    /// minutes-long) sweep without its requested outputs.
+    pub fn from_args() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut trace_out: Option<PathBuf> = None;
+        let mut metrics_out: Option<PathBuf> = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let slot = match arg.as_str() {
+                "--trace-out" => &mut trace_out,
+                "--metrics-out" => &mut metrics_out,
+                _ => {
+                    eprintln!("unknown argument `{arg}`");
+                    eprintln!("usage: <experiment> [--trace-out PATH] [--metrics-out PATH]");
+                    exit(2);
+                }
+            };
+            match args.next() {
+                Some(path) => *slot = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("`{arg}` requires a PATH argument");
+                    exit(2);
+                }
+            }
+        }
+        let telemetry = match &trace_out {
+            Some(path) => Telemetry::jsonl_file(path)
+                .unwrap_or_else(|err| panic!("cannot open {}: {err}", path.display())),
+            None => Telemetry::null(),
+        };
+        ObsConfig {
+            metrics_out,
+            telemetry,
+        }
+    }
+
+    /// The telemetry handle every run in the binary should share, so the
+    /// final exposition aggregates the whole sweep.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Flushes the trace and writes the metrics expositions (JSON at the
+    /// `--metrics-out` path, Prometheus text at its `.prom` sibling).
+    /// Call once, after the last run.
+    pub fn finish(&self) {
+        self.telemetry.flush();
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        let snapshot = self.telemetry.snapshot();
+        write_or_die(path, &expose::json(&snapshot));
+        write_or_die(
+            &path.with_extension("prom"),
+            &expose::prometheus_text(&snapshot),
+        );
+    }
+}
+
+fn write_or_die(path: &Path, contents: &str) {
+    std::fs::write(path, contents)
+        .unwrap_or_else(|err| panic!("cannot write {}: {err}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpvcg_telemetry::TraceEvent;
+
+    #[test]
+    fn no_flags_yields_a_null_sink_and_no_files() {
+        let config = ObsConfig::from_iter(Vec::new());
+        config
+            .telemetry()
+            .record(&TraceEvent::StageStart { stage: 1 });
+        config.finish(); // must not write anywhere
+        assert!(config.metrics_out.is_none());
+    }
+
+    #[test]
+    fn metrics_out_writes_json_and_prom_siblings() {
+        let dir = std::env::temp_dir().join("bgpvcg-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("metrics.json");
+        let config =
+            ObsConfig::from_iter(["--metrics-out".to_string(), json_path.display().to_string()]);
+        config.telemetry().counter("bgp_messages_total").add(7);
+        config.finish();
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"bgp_messages_total\":7"), "{json}");
+        let prom = std::fs::read_to_string(json_path.with_extension("prom")).unwrap();
+        assert!(prom.contains("bgp_messages_total 7"), "{prom}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,12 +15,16 @@
 
 use crate::message::Update;
 use crate::node::ProtocolNode;
+use crate::telemetry::{metric, UpdateTracer};
+use crate::wire;
 use bgpvcg_netgraph::{AsGraph, AsId};
+use bgpvcg_telemetry::{Counter, Telemetry, TraceEvent};
 use crossbeam::channel::{unbounded, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 
@@ -36,6 +40,47 @@ pub struct EventReport {
 enum Envelope {
     Deliver(Box<Update>),
     Shutdown,
+}
+
+/// Shared instruments for one asynchronous run. The tracer sits behind a
+/// mutex because every worker thread reports through it; the lock is taken
+/// once per *broadcast*, not per delivered message, which keeps contention
+/// proportional to table changes rather than traffic.
+struct EventInstruments {
+    tracer: Mutex<UpdateTracer>,
+    /// Global broadcast sequence — the async stand-in for a stage number
+    /// (the async engine has no stages; events are keyed by send order).
+    seq: AtomicU64,
+    updates_sent: Counter,
+    messages: Counter,
+    entries: Counter,
+    bytes: Counter,
+}
+
+impl EventInstruments {
+    fn new(telemetry: &Telemetry) -> Self {
+        EventInstruments {
+            tracer: Mutex::new(UpdateTracer::new(telemetry)),
+            seq: AtomicU64::new(0),
+            updates_sent: telemetry.counter(metric::UPDATES_SENT),
+            messages: telemetry.counter(metric::MESSAGES),
+            entries: telemetry.counter(metric::ENTRIES),
+            bytes: telemetry.counter(metric::BYTES),
+        }
+    }
+
+    /// Accounts one broadcast reaching `links` neighbors.
+    fn on_broadcast(&self, update: &Update, links: u64) {
+        let stage = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.tracer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe_update(update, stage);
+        self.updates_sent.inc();
+        self.messages.add(links);
+        self.entries.add(links * update.entry_count() as u64);
+        self.bytes.add(links * wire::update_size(update) as u64);
+    }
 }
 
 /// Pops the front of one uniformly-chosen non-empty per-sender queue, or
@@ -105,7 +150,41 @@ pub fn run_event_driven_chaotic<N>(
 where
     N: ProtocolNode,
 {
+    run_event_driven_impl(graph, nodes, chaos, seed, None)
+}
+
+/// Like [`run_event_driven`], but narrates the run through `telemetry`:
+/// every broadcast traces as [`TraceEvent`]s (keyed by a global broadcast
+/// sequence number in place of the stage the async engine does not have)
+/// and the shared registry's `bgp_*` traffic counters stay current. The
+/// final `Quiescent` event carries the run's total delivered messages.
+///
+/// # Panics
+///
+/// Panics if node count mismatches the graph or a worker thread panics.
+pub fn run_event_driven_telemetry<N>(
+    graph: &AsGraph,
+    nodes: Vec<N>,
+    telemetry: &Telemetry,
+) -> (Vec<N>, EventReport)
+where
+    N: ProtocolNode,
+{
+    run_event_driven_impl(graph, nodes, 0.0, 0, Some(telemetry))
+}
+
+fn run_event_driven_impl<N>(
+    graph: &AsGraph,
+    nodes: Vec<N>,
+    chaos: f64,
+    seed: u64,
+    telemetry: Option<&Telemetry>,
+) -> (Vec<N>, EventReport)
+where
+    N: ProtocolNode,
+{
     assert!((0.0..1.0).contains(&chaos), "chaos must be in [0, 1)");
+    let instruments = telemetry.map(EventInstruments::new);
     let chaotic = chaos > 0.0;
     assert_eq!(nodes.len(), graph.node_count(), "one node per AS");
     let n = nodes.len();
@@ -134,6 +213,7 @@ where
                 .map(|a| senders[a.index()].clone())
                 .collect();
             let (in_flight, messages, entries) = (&in_flight, &messages, &entries);
+            let instruments = instruments.as_ref();
             let mut scheduler = if chaotic {
                 Some(StdRng::seed_from_u64(
                     seed ^ (idx as u64).wrapping_mul(0x9e37_79b9),
@@ -144,6 +224,9 @@ where
 
             handles.push(s.spawn(move || {
                 let broadcast = |update: &Update| {
+                    if let Some(ins) = instruments {
+                        ins.on_broadcast(update, neighbor_txs.len() as u64);
+                    }
                     for tx in &neighbor_txs {
                         // Increment BEFORE the send so the counter can never
                         // dip to zero while a message is in a channel.
@@ -247,6 +330,13 @@ where
         messages: messages.load(Ordering::SeqCst),
         entries: entries.load(Ordering::SeqCst),
     };
+    if let (Some(telemetry), Some(ins)) = (telemetry, instruments.as_ref()) {
+        telemetry.record(&TraceEvent::Quiescent {
+            stage: ins.seq.load(Ordering::SeqCst),
+            messages: report.messages as u64,
+        });
+        telemetry.flush();
+    }
     (out, report)
 }
 
@@ -346,6 +436,54 @@ mod tests {
         let (nodes, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
         for (idx, node) in nodes.iter().enumerate() {
             assert_eq!(node.id().index(), idx);
+        }
+    }
+
+    #[test]
+    fn telemetry_run_counts_match_the_report() {
+        let g = ring(8, Cost::new(3));
+        let (telemetry, sink) = Telemetry::ring(65536);
+        let (nodes, report) =
+            run_event_driven_telemetry(&g, PlainBgpNode::from_graph(&g), &telemetry);
+        assert_eq!(nodes.len(), g.node_count());
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters[metric::MESSAGES], report.messages as u64);
+        assert_eq!(snap.counters[metric::ENTRIES], report.entries as u64);
+        // One RouteSelected/Withdrawn event per broadcast advertisement;
+        // plain BGP never withdraws in a static run.
+        let events = sink.events();
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::Quiescent { messages, .. })
+                if *messages == report.messages as u64
+        ));
+        let selected = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RouteSelected { .. }))
+            .count();
+        assert_eq!(snap.counters[metric::ROUTES_SELECTED], selected as u64);
+        assert_eq!(snap.counters[metric::ROUTES_WITHDRAWN], 0);
+        // Broadcast sequence numbers are unique and dense: the Quiescent
+        // stage equals the number of broadcasts.
+        assert_eq!(
+            events.last().map(super::TraceEvent::stage),
+            Some(snap.counters[metric::UPDATES_SENT])
+        );
+    }
+
+    #[test]
+    fn telemetry_run_reaches_the_same_fixpoint() {
+        let g = fig1();
+        let (reference, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+        let (observed, _) = run_event_driven_telemetry(
+            &g,
+            PlainBgpNode::from_graph(&g),
+            &bgpvcg_telemetry::Telemetry::null(),
+        );
+        for (a, b) in reference.iter().zip(&observed) {
+            for j in g.nodes() {
+                assert_eq!(a.selector().route(j), b.selector().route(j));
+            }
         }
     }
 }

@@ -6,5 +6,7 @@ mod event;
 mod invariants;
 mod sync;
 
-pub use event::{run_event_driven, run_event_driven_chaotic, EventReport};
+pub use event::{
+    run_event_driven, run_event_driven_chaotic, run_event_driven_telemetry, EventReport,
+};
 pub use sync::{RunReport, StageTrace, SyncEngine};

@@ -5,8 +5,10 @@ use crate::dynamics::TopologyEvent;
 use crate::message::Update;
 use crate::node::ProtocolNode;
 use crate::stats::StateSnapshot;
+use crate::telemetry::{metric, RunInstruments};
 use crate::wire;
 use bgpvcg_netgraph::{AsGraph, AsId};
+use bgpvcg_telemetry::{Telemetry, TraceEvent};
 use std::fmt;
 
 /// What one call to [`SyncEngine::run_to_convergence`] did.
@@ -110,6 +112,10 @@ pub struct SyncEngine<N> {
     started: bool,
     /// Stage counter for the step-wise API.
     steps_executed: usize,
+    /// Attached observability instruments (None = zero overhead). Taken out
+    /// of the engine for the duration of each run loop so broadcasts can
+    /// borrow `self` mutably while the instruments record.
+    instruments: Option<RunInstruments>,
 }
 
 impl<N: ProtocolNode> SyncEngine<N> {
@@ -134,7 +140,16 @@ impl<N: ProtocolNode> SyncEngine<N> {
             stage_limit: 8 * n + 64,
             started: false,
             steps_executed: 0,
+            instruments: None,
         }
+    }
+
+    /// Attaches observability: from now on every run narrates itself as
+    /// [`TraceEvent`]s through `telemetry`'s sink and keeps the shared
+    /// registry's `bgp_*` metrics (see [`metric`]) current. Detached
+    /// engines pay nothing.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.instruments = Some(RunInstruments::new(telemetry));
     }
 
     /// Number of nodes.
@@ -210,24 +225,36 @@ impl<N: ProtocolNode> SyncEngine<N> {
     /// assert!(stages >= 3, "Fig. 1 routing needs d = 3 stages plus drain");
     /// ```
     pub fn step(&mut self) -> Option<StageTrace> {
+        let mut instruments = self.instruments.take();
         if !self.started {
             self.started = true;
             for idx in 0..self.nodes.len() {
                 if let Some(update) = self.nodes[idx].start() {
                     let from = AsId::new(idx as u32);
-                    let _ = self.broadcast(from, &update);
+                    let (m, e, b) = self.broadcast(from, &update);
+                    if let Some(ins) = instruments.as_mut() {
+                        ins.on_broadcast(&update, 0, m, e, b);
+                    }
                 }
             }
             self.steps_executed = 0;
         }
         if self.inboxes.iter().all(Vec::is_empty) {
+            self.instruments = instruments;
             return None;
         }
         self.steps_executed += 1;
+        let stage = self.steps_executed;
+        let wall_start = instruments.as_ref().map(|ins| {
+            ins.telemetry().record(&TraceEvent::StageStart {
+                stage: stage as u64,
+            });
+            ins.telemetry().now_nanos()
+        });
         let n = self.nodes.len();
         let mut delivered = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
         let mut trace = StageTrace {
-            stage: self.steps_executed,
+            stage,
             receiving_nodes: 0,
             changed_nodes: 0,
             messages: 0,
@@ -242,11 +269,21 @@ impl<N: ProtocolNode> SyncEngine<N> {
             if let Some(update) = self.nodes[idx].handle(&inbox) {
                 trace.changed_nodes += 1;
                 let from = AsId::new(idx as u32);
-                let (m, _, b) = self.broadcast(from, &update);
+                let (m, e, b) = self.broadcast(from, &update);
+                if let Some(ins) = instruments.as_mut() {
+                    ins.on_broadcast(&update, stage as u64, m, e, b);
+                }
                 trace.messages += m;
                 trace.bytes += b;
             }
         }
+        if let (Some(ins), Some(start)) = (instruments.as_ref(), wall_start) {
+            let elapsed = ins.telemetry().now_nanos().saturating_sub(start);
+            ins.telemetry()
+                .histogram(metric::STAGE_WALL_NANOS)
+                .observe(elapsed);
+        }
+        self.instruments = instruments;
         Some(trace)
     }
 
@@ -262,12 +299,17 @@ impl<N: ProtocolNode> SyncEngine<N> {
             converged: true,
             ..RunReport::default()
         };
+        let mut instruments = self.instruments.take();
         if !self.started {
             self.started = true;
             for idx in 0..self.nodes.len() {
                 if let Some(update) = self.nodes[idx].start() {
                     let from = AsId::new(idx as u32);
                     let (m, e, b) = self.broadcast(from, &update);
+                    if let Some(ins) = instruments.as_mut() {
+                        // Origin advertisements precede stage 1 — stage 0.
+                        ins.on_broadcast(&update, 0, m, e, b);
+                    }
                     report.messages += m;
                     report.entries += e;
                     report.bytes += b;
@@ -285,9 +327,16 @@ impl<N: ProtocolNode> SyncEngine<N> {
             if executed >= self.stage_limit {
                 report.converged = false;
                 invariants::convergence(&report, executed, self.stage_limit);
+                self.instruments = instruments;
                 return report;
             }
             executed += 1;
+            let wall_start = instruments.as_ref().map(|ins| {
+                ins.telemetry().record(&TraceEvent::StageStart {
+                    stage: executed as u64,
+                });
+                ins.telemetry().now_nanos()
+            });
             let n = self.nodes.len();
             let mut delivered = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
             let mut stage_link_max = 0usize;
@@ -309,6 +358,9 @@ impl<N: ProtocolNode> SyncEngine<N> {
                     trace.changed_nodes += 1;
                     let from = AsId::new(idx as u32);
                     let (m, e, b) = self.broadcast(from, &update);
+                    if let Some(ins) = instruments.as_mut() {
+                        ins.on_broadcast(&update, executed as u64, m, e, b);
+                    }
                     report.messages += m;
                     report.entries += e;
                     report.bytes += b;
@@ -321,9 +373,27 @@ impl<N: ProtocolNode> SyncEngine<N> {
             }
             report.max_link_messages_per_stage =
                 report.max_link_messages_per_stage.max(stage_link_max);
+            if let (Some(ins), Some(start)) = (instruments.as_ref(), wall_start) {
+                let elapsed = ins.telemetry().now_nanos().saturating_sub(start);
+                ins.telemetry()
+                    .histogram(metric::STAGE_WALL_NANOS)
+                    .observe(elapsed);
+            }
             observer(trace);
         }
         invariants::convergence(&report, executed, self.stage_limit);
+        if let Some(ins) = instruments.as_ref() {
+            let telemetry = ins.telemetry();
+            telemetry
+                .gauge(metric::STAGES_TO_QUIESCENCE)
+                .set(report.stages as u64);
+            telemetry.record(&TraceEvent::Quiescent {
+                stage: report.stages as u64,
+                messages: report.messages as u64,
+            });
+            telemetry.flush();
+        }
+        self.instruments = instruments;
         report
     }
 
@@ -365,10 +435,15 @@ impl<N: ProtocolNode> SyncEngine<N> {
             }
             TopologyEvent::CostChange(..) => {}
         }
-        // Let the affected nodes react.
+        // Let the affected nodes react. Reaction broadcasts precede the
+        // reconvergence run's stage 1, so they trace at stage 0.
+        let mut instruments = self.instruments.take();
         for (id, local) in event.local_views() {
             if let Some(update) = self.nodes[id.index()].apply_event(local) {
                 let (m, e, b) = self.broadcast(id, &update);
+                if let Some(ins) = instruments.as_mut() {
+                    ins.on_broadcast(&update, 0, m, e, b);
+                }
                 report.messages += m;
                 report.entries += e;
                 report.bytes += b;
@@ -379,12 +454,16 @@ impl<N: ProtocolNode> SyncEngine<N> {
             for (me, other) in [(a, b), (b, a)] {
                 if let Some(table) = self.nodes[me.index()].full_table() {
                     let (m, e, bytes) = self.unicast(other, table);
+                    if let Some(ins) = instruments.as_mut() {
+                        ins.on_unicast(m, e, bytes);
+                    }
                     report.messages += m;
                     report.entries += e;
                     report.bytes += bytes;
                 }
             }
         }
+        self.instruments = instruments;
         let reconverge = self.run_to_convergence();
         report.absorb(reconverge);
         report
@@ -654,5 +733,92 @@ mod tests {
         let g = fig1();
         let (mut engine, _) = converged_engine(&g);
         engine.apply_event(TopologyEvent::LinkDown(Fig1::X, Fig1::Z));
+    }
+
+    #[test]
+    fn attached_telemetry_narrates_a_run() {
+        let g = ring(6, Cost::new(1));
+        let (telemetry, sink) = Telemetry::ring(4096);
+        let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        engine.attach_telemetry(&telemetry);
+        let report = engine.run_to_convergence();
+        assert!(report.converged);
+        let snap = telemetry.snapshot();
+        // Registry counters agree with the engine's own report.
+        assert_eq!(snap.counters[metric::MESSAGES], report.messages as u64);
+        assert_eq!(snap.counters[metric::ENTRIES], report.entries as u64);
+        assert_eq!(snap.counters[metric::BYTES], report.bytes as u64);
+        assert_eq!(
+            snap.gauges[metric::STAGES_TO_QUIESCENCE],
+            report.stages as u64
+        );
+        // Plain BGP never relaxes a price.
+        assert_eq!(snap.counters[metric::PRICE_RELAXATIONS], 0);
+        // Per-stage wall time was observed once per executed stage (the
+        // drain stage included).
+        assert!(snap.histograms[metric::STAGE_WALL_NANOS].count >= report.stages as u64);
+        let events = sink.events();
+        let stage_starts: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StageStart { stage } => Some(*stage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stage_starts[0], 1, "stages are 1-based");
+        assert!(
+            stage_starts.windows(2).all(|w| w[1] == w[0] + 1),
+            "stage starts are consecutive"
+        );
+        assert!(
+            matches!(
+                events.last(),
+                Some(TraceEvent::Quiescent { stage, messages })
+                    if *stage == report.stages as u64
+                        && *messages == report.messages as u64
+            ),
+            "the trace ends with the run's Quiescent event"
+        );
+        let selected = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RouteSelected { .. }))
+            .count();
+        assert_eq!(snap.counters[metric::ROUTES_SELECTED], selected as u64);
+    }
+
+    #[test]
+    fn telemetry_traces_withdrawals_on_link_failure() {
+        let g = fig1();
+        let (mut engine, _) = converged_engine(&g);
+        let (telemetry, sink) = Telemetry::ring(4096);
+        engine.attach_telemetry(&telemetry);
+        engine.apply_event(TopologyEvent::LinkDown(Fig1::D, Fig1::Z));
+        let withdrawals = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Withdrawn { .. }))
+            .count();
+        assert!(
+            withdrawals > 0,
+            "losing D–Z must withdraw at least one route"
+        );
+        assert_eq!(
+            telemetry.snapshot().counters[metric::ROUTES_WITHDRAWN],
+            withdrawals as u64
+        );
+    }
+
+    #[test]
+    fn detached_engine_matches_attached_engine_report() {
+        let g = ring(7, Cost::new(2));
+        let mut plain = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        let plain_report = plain.run_to_convergence();
+        let mut observed = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        observed.attach_telemetry(&Telemetry::null());
+        let observed_report = observed.run_to_convergence();
+        assert_eq!(
+            plain_report, observed_report,
+            "observation must not perturb"
+        );
     }
 }

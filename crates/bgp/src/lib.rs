@@ -46,6 +46,7 @@
 
 pub mod engine;
 pub mod forwarding;
+pub mod telemetry;
 pub mod wire;
 
 mod dynamics;

@@ -19,6 +19,16 @@ pub struct StateSnapshot {
     /// Price entries stored (zero for plain BGP; `O(nd)` for the pricing
     /// extension).
     pub price_entries: usize,
+    /// AS-path cells labeling the price entries (zero for plain BGP).
+    ///
+    /// A deployable encoding stores each price as a `(k, p^k)` pair — the
+    /// transit node it prices plus the cost — so the label cells are part
+    /// of the extension's footprint exactly as stored path nodes are part
+    /// of the routing table's. Counting them keeps E5's `O(nd)` comparison
+    /// honest: price-table AS cells are tallied the same way as
+    /// routing-table AS cells, instead of riding along implicitly via the
+    /// selected route's path.
+    pub price_path_nodes: usize,
 }
 
 impl StateSnapshot {
@@ -31,6 +41,7 @@ impl StateSnapshot {
             + self.rib_entries
             + self.rib_path_nodes
             + self.price_entries
+            + self.price_path_nodes
     }
 }
 
@@ -46,8 +57,9 @@ mod tests {
             rib_entries: 3,
             rib_path_nodes: 4,
             price_entries: 5,
+            price_path_nodes: 6,
         };
-        assert_eq!(s.total_cells(), 15);
+        assert_eq!(s.total_cells(), 21);
     }
 
     #[test]

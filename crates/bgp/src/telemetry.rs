@@ -1,0 +1,308 @@
+//! Telemetry glue: turning protocol [`Update`]s into typed trace events
+//! and shared-registry metrics.
+//!
+//! Both engines drive the same [`UpdateTracer`]: it watches every broadcast
+//! UPDATE and narrates it as [`TraceEvent`]s — `RouteSelected` / `Withdrawn`
+//! per advertisement, and `PriceRelaxed` per price-entry change, diffed
+//! against a shadow copy of the last value traced per
+//! `(node, destination, transit)` cell (absent cells read as `∞`, matching
+//! the paper's "prices start at ∞ and relax downward").
+
+use crate::message::{RouteInfo, Update};
+use bgpvcg_netgraph::Cost;
+use bgpvcg_telemetry::{Counter, Telemetry, TraceEvent, INFINITE};
+use std::collections::BTreeMap;
+
+/// Canonical metric names shared by the engines and every experiment
+/// binary, so `--metrics-out` expositions are comparable across runs.
+pub mod metric {
+    /// UPDATE broadcasts (one per advertising node per change, not per
+    /// link).
+    pub const UPDATES_SENT: &str = "bgp_updates_sent_total";
+    /// Messages delivered (one update crossing one link).
+    pub const MESSAGES: &str = "bgp_messages_total";
+    /// Routing-table entries carried by all delivered messages.
+    pub const ENTRIES: &str = "bgp_entries_total";
+    /// Bytes under the [`wire`](crate::wire) model.
+    pub const BYTES: &str = "bgp_bytes_total";
+    /// Reachable-route advertisements (route newly selected or changed).
+    pub const ROUTES_SELECTED: &str = "bgp_routes_selected_total";
+    /// Withdrawal advertisements (routes flapped away).
+    pub const ROUTES_WITHDRAWN: &str = "bgp_routes_withdrawn_total";
+    /// Price-entry relaxations applied (one per changed `p^k` cell).
+    pub const PRICE_RELAXATIONS: &str = "bgp_price_relaxations_total";
+    /// Gauge: last stage with advertised-state changes in the most recent
+    /// synchronous run (the quantity the paper bounds by `max(d, d′)`).
+    pub const STAGES_TO_QUIESCENCE: &str = "bgp_stages_to_quiescence";
+    /// Histogram: wall nanoseconds per executed synchronous stage.
+    pub const STAGE_WALL_NANOS: &str = "bgp_stage_wall_nanos";
+}
+
+/// Raw trace encoding of a cost: the finite value, or `u64::MAX` for `∞`.
+pub fn cost_raw(cost: Cost) -> u64 {
+    cost.finite().unwrap_or(INFINITE)
+}
+
+/// Diffs a stream of broadcast [`Update`]s into trace events and event
+/// counters. One tracer observes one run; engines create it internally when
+/// telemetry is attached.
+#[derive(Debug)]
+pub struct UpdateTracer {
+    telemetry: Telemetry,
+    /// Last price value traced per `(node, dest, transit)` — absent = `∞`.
+    prices: BTreeMap<(u32, u32, u32), u64>,
+    /// Last path traced per `(node, dest)`, as `(hop, cumulative cost)`
+    /// pairs — absent = no route advertised (or last ad was a withdrawal).
+    routes: BTreeMap<(u32, u32), Vec<(u32, u64)>>,
+    routes_selected: Counter,
+    routes_withdrawn: Counter,
+    price_relaxations: Counter,
+}
+
+impl UpdateTracer {
+    /// Creates a tracer recording through `telemetry`'s sink and registry.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        UpdateTracer {
+            routes_selected: telemetry.counter(metric::ROUTES_SELECTED),
+            routes_withdrawn: telemetry.counter(metric::ROUTES_WITHDRAWN),
+            price_relaxations: telemetry.counter(metric::PRICE_RELAXATIONS),
+            prices: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            telemetry: telemetry.clone(),
+        }
+    }
+
+    /// Narrates one broadcast UPDATE at the given stage (or async delivery
+    /// sequence). Callers must only feed *change* advertisements (broadcast
+    /// updates), not full-table session syncs. A pricing node re-advertises
+    /// a destination's entry whenever its route **or any price** for it
+    /// changed, so both event streams are diffed against shadow copies of
+    /// the last traced value: `RouteSelected` fires only when the advertised
+    /// path (hops or costs) changed, `PriceRelaxed` only when the `p^k` cell
+    /// changed. `Withdrawn` is unconditional — the protocol only withdraws
+    /// previously-advertised routes.
+    pub fn observe_update(&mut self, update: &Update, stage: u64) {
+        let node = update.from.raw();
+        for ad in &update.advertisements {
+            let dest = ad.destination.raw();
+            match &ad.info {
+                RouteInfo::Reachable {
+                    path,
+                    path_cost,
+                    prices,
+                } => {
+                    let shadow: Vec<(u32, u64)> = path
+                        .iter()
+                        .map(|e| (e.node.raw(), cost_raw(e.cost)))
+                        .collect();
+                    if self.routes.get(&(node, dest)) != Some(&shadow) {
+                        self.routes.insert((node, dest), shadow);
+                        self.routes_selected.inc();
+                        self.telemetry.record(&TraceEvent::RouteSelected {
+                            node,
+                            dest,
+                            stage,
+                            hops: path.len() as u32,
+                            path_cost: cost_raw(*path_cost),
+                        });
+                    }
+                    // Transit nodes are path[1..len-1], in path order —
+                    // the same order the price array uses.
+                    if path.len() >= 3 {
+                        for (entry, price) in path[1..path.len() - 1].iter().zip(prices) {
+                            let key = (node, dest, entry.node.raw());
+                            let new = cost_raw(*price);
+                            let old = self.prices.get(&key).copied().unwrap_or(INFINITE);
+                            if new != old {
+                                self.prices.insert(key, new);
+                                self.price_relaxations.inc();
+                                self.telemetry.record(&TraceEvent::PriceRelaxed {
+                                    node,
+                                    dest,
+                                    k: entry.node.raw(),
+                                    stage,
+                                    old,
+                                    new,
+                                });
+                            }
+                        }
+                    }
+                }
+                RouteInfo::Withdrawn => {
+                    self.routes.remove(&(node, dest));
+                    self.routes_withdrawn.inc();
+                    self.telemetry
+                        .record(&TraceEvent::Withdrawn { node, dest, stage });
+                }
+            }
+        }
+    }
+
+    /// The telemetry handle this tracer records through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+}
+
+/// The synchronous engine's bundled instruments: the tracer plus cached
+/// traffic counter handles, held as `Option` inside the engine and taken
+/// out for the duration of each run loop.
+#[derive(Debug)]
+pub(crate) struct RunInstruments {
+    pub(crate) tracer: UpdateTracer,
+    pub(crate) updates_sent: Counter,
+    pub(crate) messages: Counter,
+    pub(crate) entries: Counter,
+    pub(crate) bytes: Counter,
+}
+
+impl RunInstruments {
+    pub(crate) fn new(telemetry: &Telemetry) -> Self {
+        RunInstruments {
+            tracer: UpdateTracer::new(telemetry),
+            updates_sent: telemetry.counter(metric::UPDATES_SENT),
+            messages: telemetry.counter(metric::MESSAGES),
+            entries: telemetry.counter(metric::ENTRIES),
+            bytes: telemetry.counter(metric::BYTES),
+        }
+    }
+
+    /// Accounts one broadcast: the update's events plus its per-link
+    /// traffic.
+    pub(crate) fn on_broadcast(
+        &mut self,
+        update: &Update,
+        stage: u64,
+        messages: usize,
+        entries: usize,
+        bytes: usize,
+    ) {
+        self.updates_sent.inc();
+        self.messages.add(messages as u64);
+        self.entries.add(entries as u64);
+        self.bytes.add(bytes as u64);
+        self.tracer.observe_update(update, stage);
+    }
+
+    /// Accounts a session-establishment unicast (full table): traffic only,
+    /// no events — a full table re-states unchanged routes, which the
+    /// tracer's change semantics must not misreport as reselections.
+    pub(crate) fn on_unicast(&mut self, messages: usize, entries: usize, bytes: usize) {
+        self.messages.add(messages as u64);
+        self.entries.add(entries as u64);
+        self.bytes.add(bytes as u64);
+    }
+
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        self.tracer.telemetry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{PathEntry, RouteAdvertisement};
+    use bgpvcg_netgraph::AsId;
+
+    fn entry(raw: u32, cost: u64) -> PathEntry {
+        PathEntry {
+            node: AsId::new(raw),
+            cost: Cost::new(cost),
+        }
+    }
+
+    fn priced_update(prices: Vec<Cost>) -> Update {
+        Update {
+            from: AsId::new(0),
+            sender_costs: Vec::new(),
+            advertisements: vec![RouteAdvertisement {
+                destination: AsId::new(3),
+                info: RouteInfo::Reachable {
+                    path: vec![entry(0, 1), entry(1, 2), entry(2, 1), entry(3, 4)],
+                    path_cost: Cost::new(3),
+                    prices,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn price_changes_diff_against_infinity_then_previous_value() {
+        let (telemetry, ring) = Telemetry::ring(64);
+        let mut tracer = UpdateTracer::new(&telemetry);
+        tracer.observe_update(&priced_update(vec![Cost::new(5), Cost::INFINITE]), 1);
+        // Second advertisement relaxes the ∞ entry and lowers the first.
+        tracer.observe_update(&priced_update(vec![Cost::new(4), Cost::new(7)]), 2);
+        // Re-advertising identical prices is silent on the price stream.
+        tracer.observe_update(&priced_update(vec![Cost::new(4), Cost::new(7)]), 3);
+        let relaxations: Vec<_> = ring
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::PriceRelaxed { .. }))
+            .collect();
+        assert_eq!(
+            relaxations,
+            vec![
+                TraceEvent::PriceRelaxed {
+                    node: 0,
+                    dest: 3,
+                    k: 1,
+                    stage: 1,
+                    old: INFINITE,
+                    new: 5
+                },
+                TraceEvent::PriceRelaxed {
+                    node: 0,
+                    dest: 3,
+                    k: 1,
+                    stage: 2,
+                    old: 5,
+                    new: 4
+                },
+                TraceEvent::PriceRelaxed {
+                    node: 0,
+                    dest: 3,
+                    k: 2,
+                    stage: 2,
+                    old: INFINITE,
+                    new: 7
+                },
+            ],
+            "∞ entries never trace; finite changes trace once each"
+        );
+        assert_eq!(telemetry.snapshot().counters[metric::PRICE_RELAXATIONS], 3);
+        // The path never changed, so only the first ad selects a route —
+        // the later two were price-only re-advertisements.
+        assert_eq!(telemetry.snapshot().counters[metric::ROUTES_SELECTED], 1);
+    }
+
+    #[test]
+    fn withdrawals_trace_and_count() {
+        let (telemetry, ring) = Telemetry::ring(8);
+        let mut tracer = UpdateTracer::new(&telemetry);
+        let update = Update {
+            from: AsId::new(4),
+            sender_costs: Vec::new(),
+            advertisements: vec![RouteAdvertisement {
+                destination: AsId::new(2),
+                info: RouteInfo::Withdrawn,
+            }],
+        };
+        tracer.observe_update(&update, 9);
+        assert_eq!(
+            ring.events(),
+            vec![TraceEvent::Withdrawn {
+                node: 4,
+                dest: 2,
+                stage: 9
+            }]
+        );
+        assert_eq!(telemetry.snapshot().counters[metric::ROUTES_WITHDRAWN], 1);
+    }
+
+    #[test]
+    fn cost_raw_maps_infinity_to_the_trace_sentinel() {
+        assert_eq!(cost_raw(Cost::INFINITE), INFINITE);
+        assert_eq!(cost_raw(Cost::new(17)), 17);
+    }
+}

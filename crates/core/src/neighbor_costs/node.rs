@@ -291,7 +291,10 @@ impl ProtocolNode for NcPricingNode {
                 }
             }
         }
+        // One margin per transit node of the selected route; a deployable
+        // encoding labels each with that node's AS number (one cell each).
         snapshot.price_entries = self.margins.values().map(Vec::len).sum();
+        snapshot.price_path_nodes = snapshot.price_entries;
         snapshot
     }
 }

@@ -344,8 +344,12 @@ impl ProtocolNode for PricingBgpNode {
         }
         // ...plus the extension's price state (own arrays and the arrays
         // remembered in the Rib-In are both part of the node's footprint;
-        // the former is the paper's "added state").
+        // the former is the paper's "added state"). The arrays are stored
+        // here aligned with the selected route's transit slice, but a
+        // deployable encoding labels each price with the transit node it
+        // prices — one AS cell per entry, counted as `price_path_nodes`.
         snapshot.price_entries = self.prices.values().map(Vec::len).sum();
+        snapshot.price_path_nodes = snapshot.price_entries;
         snapshot
     }
 }
@@ -532,5 +536,7 @@ mod tests {
         };
         x.handle(&[b_ad]);
         assert_eq!(x.state().price_entries, 2);
+        // Each price entry carries one transit-node AS label cell.
+        assert_eq!(x.state().price_path_nodes, 2);
     }
 }

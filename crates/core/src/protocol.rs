@@ -8,9 +8,13 @@
 use crate::errors::MechanismError;
 use crate::outcome::{PairOutcome, RoutingOutcome};
 use crate::pricing_node::PricingBgpNode;
-use bgpvcg_bgp::engine::{run_event_driven, EventReport, RunReport, SyncEngine};
+use crate::telemetry::metric;
+use bgpvcg_bgp::engine::{
+    run_event_driven, run_event_driven_telemetry, EventReport, RunReport, SyncEngine,
+};
 use bgpvcg_bgp::{ProtocolNode, StateSnapshot};
 use bgpvcg_netgraph::{AsGraph, GraphError};
+use bgpvcg_telemetry::Telemetry;
 
 /// Everything a synchronous pricing run produces.
 #[derive(Debug, Clone)]
@@ -67,6 +71,75 @@ pub fn run_sync(graph: &AsGraph) -> Result<PricingRun, MechanismError> {
         report,
         snapshots,
     })
+}
+
+/// Like [`run_sync`], but the run narrates itself through `telemetry`: the
+/// engine traces every stage and broadcast (the `bgp_*` metrics and the
+/// JSONL event stream), and the price extraction records the `vcg_*`
+/// extraction counters.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+pub fn run_sync_telemetry(
+    graph: &AsGraph,
+    telemetry: &Telemetry,
+) -> Result<PricingRun, MechanismError> {
+    let mut engine = build_sync_engine(graph)?;
+    engine.attach_telemetry(telemetry);
+    let report = engine.run_to_convergence();
+    let snapshots = engine.state_snapshots();
+    let outcome = outcome_from_nodes(&engine.into_nodes())?;
+    record_extraction(&outcome, telemetry);
+    Ok(PricingRun {
+        outcome,
+        report,
+        snapshots,
+    })
+}
+
+/// Like [`run_async`], but observed through `telemetry` (broadcast-keyed
+/// trace events plus the shared `bgp_*` / `vcg_*` counters).
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+pub fn run_async_telemetry(
+    graph: &AsGraph,
+    telemetry: &Telemetry,
+) -> Result<(RoutingOutcome, EventReport), MechanismError> {
+    graph.validate_for_mechanism()?;
+    crate::invariants::mechanism_preconditions(graph);
+    let (nodes, report) =
+        run_event_driven_telemetry(graph, PricingBgpNode::from_graph(graph), telemetry);
+    let outcome = outcome_from_nodes(&nodes)?;
+    record_extraction(&outcome, telemetry);
+    Ok((outcome, report))
+}
+
+/// Counts what price extraction pulled out of the converged nodes.
+fn record_extraction(outcome: &RoutingOutcome, telemetry: &Telemetry) {
+    let mut pairs = 0u64;
+    let mut price_entries = 0u64;
+    let n = outcome.node_count();
+    for i in 0..n {
+        for j in 0..n {
+            let (i, j) = (
+                bgpvcg_netgraph::AsId::new(i as u32),
+                bgpvcg_netgraph::AsId::new(j as u32),
+            );
+            if let Some(pair) = outcome.pair(i, j) {
+                pairs += 1;
+                price_entries += pair.prices().len() as u64;
+            }
+        }
+    }
+    telemetry.counter(metric::PAIRS_EXTRACTED).add(pairs);
+    telemetry
+        .counter(metric::PRICE_ENTRIES_EXTRACTED)
+        .add(price_entries);
 }
 
 /// Runs the pricing protocol on the asynchronous (threads + channels)

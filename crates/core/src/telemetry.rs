@@ -1,0 +1,27 @@
+//! Mechanism-level metric names.
+//!
+//! The protocol-layer `bgp_*` metrics live in
+//! [`bgpvcg_bgp::telemetry::metric`]; this module names the metrics the
+//! mechanism itself contributes — price extraction, payment settlement, and
+//! the strategyproofness harness — so every experiment binary's
+//! `--metrics-out` exposition uses one vocabulary. See
+//! `docs/OBSERVABILITY.md` for the full taxonomy.
+
+/// Mechanism metric names (`vcg_*` namespace).
+pub mod metric {
+    /// Routed `(source, destination)` pairs extracted from converged nodes.
+    pub const PAIRS_EXTRACTED: &str = "vcg_pairs_extracted_total";
+    /// Price entries `p^k_ij` extracted from converged nodes.
+    pub const PRICE_ENTRIES_EXTRACTED: &str = "vcg_price_entries_extracted_total";
+    /// Traffic-matrix flows settled into payments.
+    pub const FLOWS_SETTLED: &str = "vcg_flows_settled_total";
+    /// Packets those flows carried.
+    pub const PACKETS_SETTLED: &str = "vcg_packets_settled_total";
+    /// Total payments disbursed by settlements (saturating at `u64::MAX`).
+    pub const PAYMENTS_SETTLED: &str = "vcg_payments_settled_total";
+    /// Deviations evaluated by strategy sweeps.
+    pub const DEVIATIONS_EVALUATED: &str = "vcg_deviations_evaluated_total";
+    /// Deviations that strictly increased the liar's utility. Theorem 1
+    /// says this counter never moves; a nonzero value is a mechanism bug.
+    pub const PROFITABLE_DEVIATIONS: &str = "vcg_profitable_deviations_total";
+}

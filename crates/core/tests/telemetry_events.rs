@@ -1,0 +1,153 @@
+//! Cross-engine telemetry equivalence on the paper's Fig. 1.
+//!
+//! The two engines schedule message deliveries completely differently, so
+//! the *trajectories* of price relaxation (how many intermediate values a
+//! `p^k_ij` cell passes through, and at what stage) are legitimately
+//! schedule-dependent. What the mechanism guarantees — and what these tests
+//! pin — is the *fixpoint projection*: for every `(node, dest, k)` cell,
+//! the last `PriceRelaxed.new` value both engines trace is the same, and it
+//! equals the converged Theorem-1 price.
+
+use bgpvcg_core::telemetry::metric as vcg_metric;
+use bgpvcg_core::{protocol, vcg};
+use bgpvcg_netgraph::generators::structured::fig1;
+use bgpvcg_netgraph::AsId;
+use bgpvcg_telemetry::{Telemetry, TraceEvent, INFINITE};
+use std::collections::BTreeMap;
+
+/// Last traced value per `(node, dest, k)` cell, plus chain coherence: each
+/// cell's events must form a strictly improving chain starting at `∞`
+/// (`old₀ = ∞`, `oldᵢ₊₁ = newᵢ`, values strictly decreasing) — the paper's
+/// "prices relax monotonically downward from ∞".
+fn fixpoint_projection(events: &[TraceEvent]) -> BTreeMap<(u32, u32, u32), u64> {
+    let mut last: BTreeMap<(u32, u32, u32), u64> = BTreeMap::new();
+    for event in events {
+        if let TraceEvent::PriceRelaxed {
+            node,
+            dest,
+            k,
+            old,
+            new,
+            ..
+        } = event
+        {
+            let key = (*node, *dest, *k);
+            let expected_old = last.get(&key).copied().unwrap_or(INFINITE);
+            assert_eq!(
+                *old, expected_old,
+                "cell {key:?}: relaxation chain must link old to previous new"
+            );
+            assert!(
+                *new < *old,
+                "cell {key:?}: prices only relax downward ({old} -> {new})"
+            );
+            last.insert(key, *new);
+        }
+    }
+    last
+}
+
+#[test]
+fn sync_and_event_price_relaxations_project_to_the_same_fixpoint() {
+    let g = fig1();
+
+    let (sync_tel, sync_ring) = Telemetry::ring(1 << 16);
+    let sync_run = protocol::run_sync_telemetry(&g, &sync_tel).unwrap();
+    assert!(sync_run.report.converged);
+    let sync_prices = fixpoint_projection(&sync_ring.events());
+
+    let (event_tel, event_ring) = Telemetry::ring(1 << 16);
+    let (event_outcome, _) = protocol::run_async_telemetry(&g, &event_tel).unwrap();
+    let event_prices = fixpoint_projection(&event_ring.events());
+
+    assert_eq!(
+        sync_prices, event_prices,
+        "both engines must relax every price cell to the same fixpoint"
+    );
+    assert_eq!(sync_run.outcome, event_outcome);
+
+    // The traced fixpoint is the converged Theorem-1 price table: every
+    // extracted finite price appears as some cell's final traced value.
+    let reference = vcg::compute(&g).unwrap();
+    let n = g.node_count();
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            let Some(pair) = reference.pair(AsId::new(i), AsId::new(j)) else {
+                continue;
+            };
+            for &(k, price) in pair.prices() {
+                assert_eq!(
+                    sync_prices.get(&(i, j, k.raw())).copied(),
+                    price.finite(),
+                    "traced fixpoint for ({i} -> {j} via {k})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extraction_counters_record_the_outcome_shape() {
+    let g = fig1();
+    let telemetry = Telemetry::null();
+    let run = protocol::run_sync_telemetry(&g, &telemetry).unwrap();
+    let snap = telemetry.snapshot();
+    let n = g.node_count();
+    // Fig. 1 is biconnected: every ordered pair routes.
+    assert_eq!(
+        snap.counters[vcg_metric::PAIRS_EXTRACTED],
+        (n * (n - 1)) as u64
+    );
+    let price_entries: u64 = (0..n as u32)
+        .flat_map(|i| (0..n as u32).map(move |j| (i, j)))
+        .filter_map(|(i, j)| run.outcome.pair(AsId::new(i), AsId::new(j)))
+        .map(|pair| pair.prices().len() as u64)
+        .sum();
+    assert_eq!(
+        snap.counters[vcg_metric::PRICE_ENTRIES_EXTRACTED],
+        price_entries
+    );
+}
+
+#[test]
+fn settlement_and_sweep_wrappers_record_their_volume() {
+    use bgpvcg_core::accounting::PaymentLedger;
+    use bgpvcg_core::strategy;
+    use bgpvcg_netgraph::TrafficMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let g = fig1();
+    let telemetry = Telemetry::null();
+    let outcome = vcg::compute(&g).unwrap();
+    let traffic = TrafficMatrix::uniform(g.node_count(), 2);
+    let ledger = PaymentLedger::settle_with_telemetry(&outcome, &traffic, &telemetry).unwrap();
+    assert_eq!(
+        ledger,
+        PaymentLedger::settle(&outcome, &traffic).unwrap(),
+        "telemetry wrapper must not change settlement"
+    );
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counters[vcg_metric::FLOWS_SETTLED],
+        traffic.flows().count() as u64
+    );
+    assert_eq!(
+        snap.counters[vcg_metric::PAYMENTS_SETTLED],
+        u64::try_from(ledger.total_payments()).unwrap()
+    );
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let outcomes =
+        strategy::sweep_deviations_telemetry(&g, &traffic, 2, 10, &mut rng, &telemetry).unwrap();
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counters[vcg_metric::DEVIATIONS_EVALUATED],
+        outcomes.len() as u64
+    );
+    assert_eq!(
+        snap.counters[vcg_metric::PROFITABLE_DEVIATIONS],
+        0,
+        "Theorem 1: no deviation is profitable"
+    );
+}

@@ -1,0 +1,217 @@
+//! The typed trace-event vocabulary.
+//!
+//! Every convergence run narrates itself as a stream of these events, keyed
+//! by node / destination / stage. The JSONL encoding produced by
+//! [`TraceEvent::to_json`] is the wire form consumed by `cargo xtask obs`
+//! and validated against the golden schema in `trace-schema.json` (the
+//! `trace-schema` lint rule keeps the two in sync).
+//!
+//! Numeric conventions: AS identities are raw `u32` AS numbers; `stage` is
+//! the synchronous engine's 1-based stage counter (0 for pre-stage origin
+//! advertisements, and a per-run delivery sequence number on the
+//! asynchronous engine, which has no stages); costs and prices are raw
+//! `u64` values where `u64::MAX` encodes the protocol's `∞`.
+
+/// Raw encoding of an infinite cost/price (`Cost::INFINITE` upstream).
+pub const INFINITE: u64 = u64::MAX;
+
+/// One structured event in a convergence trace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEvent {
+    /// A synchronous stage began (deliveries from stage `stage - 1` are
+    /// about to be processed).
+    StageStart {
+        /// 1-based stage number.
+        stage: u64,
+    },
+    /// A node advertised a (new or changed) selected route.
+    RouteSelected {
+        /// The advertising AS.
+        node: u32,
+        /// The destination AS.
+        dest: u32,
+        /// Stage (or async sequence) of the advertisement.
+        stage: u64,
+        /// Number of ASes on the advertised path, endpoints included.
+        hops: u32,
+        /// Advertised transit cost of the path ([`INFINITE`] never occurs
+        /// for a selected route).
+        path_cost: u64,
+    },
+    /// A node's price entry for transit node `k` toward `dest` changed.
+    PriceRelaxed {
+        /// The AS holding the price entry.
+        node: u32,
+        /// The destination AS.
+        dest: u32,
+        /// The transit AS being priced.
+        k: u32,
+        /// Stage (or async sequence) of the change.
+        stage: u64,
+        /// Previous entry ([`INFINITE`] when not yet relaxed).
+        old: u64,
+        /// New entry.
+        new: u64,
+    },
+    /// A node advertised that it lost its route to `dest`.
+    Withdrawn {
+        /// The advertising AS.
+        node: u32,
+        /// The destination AS.
+        dest: u32,
+        /// Stage (or async sequence) of the withdrawal.
+        stage: u64,
+    },
+    /// The run reached quiescence: no queued messages anywhere.
+    Quiescent {
+        /// Last stage in which advertised state changed (the convergence
+        /// stage the paper bounds).
+        stage: u64,
+        /// Total messages delivered over the run.
+        messages: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's type tag, as it appears in the JSONL `type` field and in
+    /// the golden schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::StageStart { .. } => "StageStart",
+            TraceEvent::RouteSelected { .. } => "RouteSelected",
+            TraceEvent::PriceRelaxed { .. } => "PriceRelaxed",
+            TraceEvent::Withdrawn { .. } => "Withdrawn",
+            TraceEvent::Quiescent { .. } => "Quiescent",
+        }
+    }
+
+    /// The stage (or async sequence number) the event is keyed by.
+    pub fn stage(&self) -> u64 {
+        match *self {
+            TraceEvent::StageStart { stage }
+            | TraceEvent::RouteSelected { stage, .. }
+            | TraceEvent::PriceRelaxed { stage, .. }
+            | TraceEvent::Withdrawn { stage, .. }
+            | TraceEvent::Quiescent { stage, .. } => stage,
+        }
+    }
+
+    /// Encodes the event as one compact JSON object (no trailing newline).
+    /// All values are numbers except the `type` tag; field order is fixed,
+    /// so traces diff cleanly.
+    pub fn to_json(&self) -> String {
+        match *self {
+            TraceEvent::StageStart { stage } => {
+                format!("{{\"type\":\"StageStart\",\"stage\":{stage}}}")
+            }
+            TraceEvent::RouteSelected {
+                node,
+                dest,
+                stage,
+                hops,
+                path_cost,
+            } => format!(
+                "{{\"type\":\"RouteSelected\",\"node\":{node},\"dest\":{dest},\
+                 \"stage\":{stage},\"hops\":{hops},\"path_cost\":{path_cost}}}"
+            ),
+            TraceEvent::PriceRelaxed {
+                node,
+                dest,
+                k,
+                stage,
+                old,
+                new,
+            } => format!(
+                "{{\"type\":\"PriceRelaxed\",\"node\":{node},\"dest\":{dest},\
+                 \"k\":{k},\"stage\":{stage},\"old\":{old},\"new\":{new}}}"
+            ),
+            TraceEvent::Withdrawn { node, dest, stage } => format!(
+                "{{\"type\":\"Withdrawn\",\"node\":{node},\"dest\":{dest},\"stage\":{stage}}}"
+            ),
+            TraceEvent::Quiescent { stage, messages } => {
+                format!("{{\"type\":\"Quiescent\",\"stage\":{stage},\"messages\":{messages}}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let events = [
+            TraceEvent::StageStart { stage: 1 },
+            TraceEvent::RouteSelected {
+                node: 0,
+                dest: 1,
+                stage: 1,
+                hops: 2,
+                path_cost: 0,
+            },
+            TraceEvent::PriceRelaxed {
+                node: 0,
+                dest: 1,
+                k: 2,
+                stage: 1,
+                old: INFINITE,
+                new: 3,
+            },
+            TraceEvent::Withdrawn {
+                node: 0,
+                dest: 1,
+                stage: 2,
+            },
+            TraceEvent::Quiescent {
+                stage: 3,
+                messages: 42,
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "StageStart",
+                "RouteSelected",
+                "PriceRelaxed",
+                "Withdrawn",
+                "Quiescent"
+            ]
+        );
+        kinds.dedup();
+        assert_eq!(kinds.len(), 5);
+    }
+
+    #[test]
+    fn json_encoding_is_exact() {
+        let event = TraceEvent::PriceRelaxed {
+            node: 3,
+            dest: 5,
+            k: 4,
+            stage: 2,
+            old: INFINITE,
+            new: 7,
+        };
+        assert_eq!(
+            event.to_json(),
+            format!(
+                "{{\"type\":\"PriceRelaxed\",\"node\":3,\"dest\":5,\"k\":4,\
+                 \"stage\":2,\"old\":{INFINITE},\"new\":7}}"
+            )
+        );
+    }
+
+    #[test]
+    fn stage_accessor_covers_all_variants() {
+        assert_eq!(TraceEvent::StageStart { stage: 9 }.stage(), 9);
+        assert_eq!(
+            TraceEvent::Quiescent {
+                stage: 4,
+                messages: 0
+            }
+            .stage(),
+            4
+        );
+    }
+}

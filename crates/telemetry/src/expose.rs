@@ -1,0 +1,127 @@
+//! Metrics exposition: Prometheus text format and JSON.
+
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format (one
+/// `# TYPE` line per metric; histograms expand to cumulative `_bucket`
+/// series plus `_sum` and `_count`).
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds.iter().zip(&hist.buckets) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+/// Renders a snapshot as one JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{"name":{"bounds":[...],
+/// "buckets":[...],"sum":N,"count":N}}}`. Keys are sorted (BTreeMap order),
+/// so output is deterministic and diffable.
+pub fn json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    let mut first = true;
+    for (name, value) in &snapshot.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{name}\":{value}");
+    }
+    out.push_str("},\"gauges\":{");
+    first = true;
+    for (name, value) in &snapshot.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{name}\":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    first = true;
+    for (name, hist) in &snapshot.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{name}\":{{\"bounds\":{:?}", hist.bounds);
+        let _ = write!(out, ",\"buckets\":{:?}", hist.buckets);
+        let _ = write!(out, ",\"sum\":{},\"count\":{}}}", hist.sum, hist.count);
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry.counter("bgp_messages_total").add(12);
+        registry.gauge("bgp_stages_to_quiescence").set(4);
+        let h = registry.histogram_with_bounds("bgp_stage_wall_nanos", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines_and_cumulative_buckets() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE bgp_messages_total counter"));
+        assert!(text.contains("bgp_messages_total 12"));
+        assert!(text.contains("# TYPE bgp_stages_to_quiescence gauge"));
+        assert!(text.contains("bgp_stage_wall_nanos_bucket{le=\"10\"} 1"));
+        assert!(text.contains("bgp_stage_wall_nanos_bucket{le=\"100\"} 2"));
+        assert!(text.contains("bgp_stage_wall_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("bgp_stage_wall_nanos_sum 555"));
+        assert!(text.contains("bgp_stage_wall_nanos_count 3"));
+    }
+
+    #[test]
+    fn json_exposition_round_trips_through_the_parser() {
+        let rendered = json(&sample_snapshot());
+        let v = parse(&rendered).expect("exposition must be valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("bgp_messages_total"))
+                .and_then(crate::json::JsonValue::as_u64),
+            Some(12)
+        );
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("bgp_stage_wall_nanos"))
+            .expect("histogram present");
+        assert_eq!(
+            hist.get("count").and_then(crate::json::JsonValue::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let empty = MetricsSnapshot::default();
+        assert_eq!(prometheus_text(&empty), "");
+        assert!(parse(&json(&empty)).is_ok());
+    }
+}

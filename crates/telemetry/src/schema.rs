@@ -1,0 +1,291 @@
+//! The golden trace schema and its validator.
+//!
+//! `trace-schema.json` (embedded at compile time) is the contract between
+//! trace producers and every downstream consumer: one entry per
+//! [`TraceEvent`](crate::TraceEvent) variant listing its required fields
+//! and their numeric widths. `cargo xtask obs` validates emitted JSONL
+//! traces line by line against it, and the `trace-schema` lint rule keeps
+//! the fixture's coverage exhaustive when variants are added.
+
+use crate::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The embedded golden schema source.
+pub const GOLDEN_SCHEMA_JSON: &str = include_str!("../trace-schema.json");
+
+/// A parsed schema: event kind → (field name → width).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    events: BTreeMap<String, BTreeMap<String, FieldType>>,
+}
+
+/// Permitted field widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// Non-negative integer fitting in 32 bits (AS numbers, hop counts).
+    U32,
+    /// Non-negative integer fitting in 64 bits (stages, costs, prices —
+    /// `u64::MAX` encodes `∞`).
+    U64,
+}
+
+/// A schema-validation failure for one trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// The line is not valid JSON.
+    Json(crate::json::JsonError),
+    /// The line is valid JSON but not an object with a string `type`.
+    NotAnEvent,
+    /// The `type` tag names no schema event.
+    UnknownKind(String),
+    /// A required field is missing.
+    MissingField {
+        /// The event kind being validated.
+        kind: String,
+        /// The absent field.
+        field: String,
+    },
+    /// A field is present but has the wrong type or width.
+    BadField {
+        /// The event kind being validated.
+        kind: String,
+        /// The offending field.
+        field: String,
+    },
+    /// The event carries a field the schema does not know.
+    UnknownField {
+        /// The event kind being validated.
+        kind: String,
+        /// The unexpected field.
+        field: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Json(e) => write!(f, "{e}"),
+            SchemaError::NotAnEvent => {
+                write!(f, "line is not an object with a string `type` tag")
+            }
+            SchemaError::UnknownKind(kind) => write!(f, "unknown event kind `{kind}`"),
+            SchemaError::MissingField { kind, field } => {
+                write!(f, "{kind}: required field `{field}` is missing")
+            }
+            SchemaError::BadField { kind, field } => {
+                write!(f, "{kind}: field `{field}` has the wrong type/width")
+            }
+            SchemaError::UnknownField { kind, field } => {
+                write!(f, "{kind}: field `{field}` is not in the schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Loads the embedded golden schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded fixture is malformed — a build-time asset
+    /// error, caught by this crate's tests.
+    pub fn golden() -> Schema {
+        Schema::from_json(GOLDEN_SCHEMA_JSON).expect("embedded trace-schema.json must be valid")
+    }
+
+    /// Parses a schema document (the `trace-schema.json` format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(source: &str) -> Result<Schema, String> {
+        let doc = parse(source).map_err(|e| e.to_string())?;
+        let events_val = doc
+            .get("events")
+            .ok_or_else(|| "schema document needs an `events` object".to_string())?;
+        let JsonValue::Object(event_map) = events_val else {
+            return Err("`events` must be an object".to_string());
+        };
+        let mut events = BTreeMap::new();
+        for (kind, fields_val) in event_map {
+            let JsonValue::Object(field_map) = fields_val else {
+                return Err(format!("event `{kind}` must map fields to widths"));
+            };
+            let mut fields = BTreeMap::new();
+            for (field, width) in field_map {
+                let ty = match width.as_str() {
+                    Some("u32") => FieldType::U32,
+                    Some("u64") => FieldType::U64,
+                    _ => {
+                        return Err(format!(
+                            "event `{kind}` field `{field}` has unsupported width"
+                        ))
+                    }
+                };
+                fields.insert(field.clone(), ty);
+            }
+            events.insert(kind.clone(), fields);
+        }
+        if events.is_empty() {
+            return Err("schema defines no events".to_string());
+        }
+        Ok(Schema { events })
+    }
+
+    /// Every event kind the schema covers, sorted.
+    pub fn kinds(&self) -> Vec<&str> {
+        self.events.keys().map(String::as_str).collect()
+    }
+
+    /// Validates one JSONL trace line, returning the event kind on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SchemaError`] the line exhibits.
+    pub fn validate_line(&self, line: &str) -> Result<String, SchemaError> {
+        let value = parse(line).map_err(SchemaError::Json)?;
+        let JsonValue::Object(obj) = &value else {
+            return Err(SchemaError::NotAnEvent);
+        };
+        let Some(kind) = value.get("type").and_then(JsonValue::as_str) else {
+            return Err(SchemaError::NotAnEvent);
+        };
+        let Some(fields) = self.events.get(kind) else {
+            return Err(SchemaError::UnknownKind(kind.to_string()));
+        };
+        for (field, ty) in fields {
+            let Some(v) = obj.get(field) else {
+                return Err(SchemaError::MissingField {
+                    kind: kind.to_string(),
+                    field: field.clone(),
+                });
+            };
+            let ok = match ty {
+                FieldType::U32 => v.as_u64().is_some_and(|n| n <= u64::from(u32::MAX)),
+                FieldType::U64 => v.as_u64().is_some(),
+            };
+            if !ok {
+                return Err(SchemaError::BadField {
+                    kind: kind.to_string(),
+                    field: field.clone(),
+                });
+            }
+        }
+        for field in obj.keys() {
+            if field != "type" && !fields.contains_key(field) {
+                return Err(SchemaError::UnknownField {
+                    kind: kind.to_string(),
+                    field: field.clone(),
+                });
+            }
+        }
+        Ok(kind.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent, INFINITE};
+
+    #[test]
+    fn golden_schema_loads_and_covers_all_variants() {
+        let schema = Schema::golden();
+        assert_eq!(
+            schema.kinds(),
+            vec![
+                "PriceRelaxed",
+                "Quiescent",
+                "RouteSelected",
+                "StageStart",
+                "Withdrawn"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_event_variant_validates_against_the_golden_schema() {
+        let schema = Schema::golden();
+        let events = [
+            TraceEvent::StageStart { stage: 1 },
+            TraceEvent::RouteSelected {
+                node: 0,
+                dest: 1,
+                stage: 1,
+                hops: 3,
+                path_cost: 9,
+            },
+            TraceEvent::PriceRelaxed {
+                node: 0,
+                dest: 1,
+                k: 2,
+                stage: 2,
+                old: INFINITE,
+                new: 4,
+            },
+            TraceEvent::Withdrawn {
+                node: 0,
+                dest: 1,
+                stage: 3,
+            },
+            TraceEvent::Quiescent {
+                stage: 3,
+                messages: 20,
+            },
+        ];
+        for event in &events {
+            assert_eq!(
+                schema.validate_line(&event.to_json()).as_deref(),
+                Ok(event.kind()),
+                "{event:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        let schema = Schema::golden();
+        assert!(matches!(
+            schema.validate_line("not json"),
+            Err(SchemaError::Json(_))
+        ));
+        assert!(matches!(
+            schema.validate_line("[1]"),
+            Err(SchemaError::NotAnEvent)
+        ));
+        assert!(matches!(
+            schema.validate_line("{\"type\":\"Mystery\",\"stage\":1}"),
+            Err(SchemaError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            schema.validate_line("{\"type\":\"StageStart\"}"),
+            Err(SchemaError::MissingField { .. })
+        ));
+        assert!(matches!(
+            schema.validate_line("{\"type\":\"StageStart\",\"stage\":\"x\"}"),
+            Err(SchemaError::BadField { .. })
+        ));
+        assert!(matches!(
+            schema.validate_line("{\"type\":\"StageStart\",\"stage\":1,\"extra\":2}"),
+            Err(SchemaError::UnknownField { .. })
+        ));
+        // u32 fields reject values beyond 32 bits.
+        assert!(matches!(
+            schema.validate_line(
+                "{\"type\":\"Withdrawn\",\"node\":4294967296,\"dest\":1,\"stage\":1}"
+            ),
+            Err(SchemaError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_schemas() {
+        assert!(Schema::from_json("{}").is_err());
+        assert!(Schema::from_json("{\"events\":{}}").is_err());
+        assert!(Schema::from_json("{\"events\":{\"X\":{\"f\":\"u128\"}}}").is_err());
+        assert!(Schema::from_json("{\"events\":3}").is_err());
+    }
+}

@@ -4,16 +4,21 @@
 //! lint engine carries its own minimal lexer instead of depending on `syn`.
 //!
 //! Subcommands:
-//! - `lint`  — run the four protocol lint rules (see `rules`); exit 1 on any
+//! - `lint`  — run the five protocol lint rules (see `rules`); exit 1 on any
 //!   violation outside the `// lint:allow(reason)` allowlist.
 //! - `audit` — lint allowlist hygiene (stale / reason-less annotations),
 //!   verify the invariant-hook wiring is present, then run the test suite
 //!   with `--features invariant-checks` so the debug assertions execute.
 //!   `--static-only` skips the test run.
+//! - `obs`   — the observability pipeline: run the `obs_smoke` fixture with
+//!   `--trace-out`/`--metrics-out`, validate every trace line against the
+//!   golden schema, require full event-kind coverage, check both metric
+//!   expositions, and print the per-stage convergence summary. See
+//!   `docs/OBSERVABILITY.md`.
 //! - `ci`    — the full offline-tolerant pipeline: fmt check, lint, clippy
-//!   wall, workspace tests, invariant-checked tests. Steps whose external
-//!   tool is unavailable (no rustfmt/clippy component) are reported and
-//!   skipped rather than failed, so `ci` works in minimal containers.
+//!   wall, workspace tests, invariant-checked tests, obs. Steps whose
+//!   external tool is unavailable (no rustfmt/clippy component) are reported
+//!   and skipped rather than failed, so `ci` works in minimal containers.
 
 mod lexer;
 mod rules;
@@ -28,6 +33,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&root),
         Some("audit") => cmd_audit(&root, args.iter().any(|a| a == "--static-only")),
+        Some("obs") => cmd_obs(&root),
         Some("ci") => cmd_ci(&root),
         Some("help") | None => {
             print_help();
@@ -45,11 +51,14 @@ fn print_help() {
     println!(
         "cargo xtask <subcommand>\n\n\
          \tlint                run the protocol lint rules (no-panic, pub-docs,\n\
-         \t                    wire-golden, engine-hygiene)\n\
+         \t                    wire-golden, engine-hygiene, trace-schema)\n\
          \taudit [--static-only]\n\
          \t                    check allowlist hygiene + invariant-hook wiring,\n\
          \t                    then run tests with --features invariant-checks\n\
-         \tci                  fmt check, lint, clippy, tests, invariant tests\n\
+         \tobs                 run the traced smoke topology, validate the JSONL\n\
+         \t                    trace against the golden schema, check metric\n\
+         \t                    expositions, print the convergence summary\n\
+         \tci                  fmt check, lint, clippy, tests, invariant tests, obs\n\
          \thelp                this message"
     );
 }
@@ -109,15 +118,22 @@ fn collect_sources(root: &Path) -> (Vec<SourceFile>, Vec<Vec<String>>) {
     (files, raw_lines)
 }
 
+/// Reads the golden trace schema fixture for the trace-schema rule; `None`
+/// if it is missing (which the rule reports as a violation).
+fn trace_schema_text(root: &Path) -> Option<String> {
+    std::fs::read_to_string(root.join(rules::TRACE_SCHEMA)).ok()
+}
+
 fn cmd_lint(root: &Path) -> ExitCode {
     let (files, raw_lines) = collect_sources(root);
-    let violations = rules::run_all(&files, &raw_lines);
+    let schema = trace_schema_text(root);
+    let violations = rules::run_all(&files, &raw_lines, schema.as_deref());
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: clean ({} files, 4 rules, 0 violations)",
+            "xtask lint: clean ({} files, 5 rules, 0 violations)",
             files.len()
         );
         ExitCode::SUCCESS
@@ -143,7 +159,8 @@ fn cmd_audit(root: &Path, static_only: bool) -> ExitCode {
     let (files, raw_lines) = collect_sources(root);
     // Run the rules first so every live annotation is marked used; what
     // remains unused is stale.
-    let violations = rules::run_all(&files, &raw_lines);
+    let schema = trace_schema_text(root);
+    let violations = rules::run_all(&files, &raw_lines, schema.as_deref());
     let mut problems = rules::stale_allows(&files);
 
     for (rel, needle) in INVARIANT_HOOK_SITES {
@@ -243,6 +260,166 @@ fn run_step(root: &Path, label: &str, program: &str, args: &[&str], optional: bo
     }
 }
 
+/// The observability pipeline: run the traced smoke topology, validate
+/// every JSONL line against the golden schema, require full event-kind
+/// coverage, sanity-check both metric expositions, and print a per-stage
+/// convergence summary table. See `docs/OBSERVABILITY.md`.
+fn cmd_obs(root: &Path) -> ExitCode {
+    use bgpvcg_telemetry::{json, Schema};
+    use std::collections::BTreeMap;
+
+    let out_dir = root.join("target").join("obs");
+    if let Err(err) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("xtask obs: cannot create {}: {err}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let trace_path = out_dir.join("trace.jsonl");
+    let metrics_path = out_dir.join("metrics.json");
+    let trace_arg = trace_path.display().to_string();
+    let metrics_arg = metrics_path.display().to_string();
+    let ran = run_step(
+        root,
+        "obs smoke run",
+        "cargo",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "bgpvcg-bench",
+            "--bin",
+            "obs_smoke",
+            "--",
+            "--trace-out",
+            &trace_arg,
+            "--metrics-out",
+            &metrics_arg,
+        ],
+        false,
+    );
+    if !ran {
+        return ExitCode::FAILURE;
+    }
+
+    // Validate every trace line against the golden schema, and fold the
+    // stream into kind counts and a per-stage summary.
+    let trace = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("xtask obs: cannot read {}: {err}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = Schema::golden();
+    let mut kind_counts: BTreeMap<String, u64> = BTreeMap::new();
+    // stage -> [selected, relaxed, withdrawn]
+    let mut per_stage: BTreeMap<u64, [u64; 3]> = BTreeMap::new();
+    let mut bad_lines = 0usize;
+    let mut lines = 0usize;
+    for (idx, line) in trace.lines().enumerate() {
+        lines += 1;
+        let kind = match schema.validate_line(line) {
+            Ok(kind) => kind,
+            Err(err) => {
+                println!("{}:{}: [trace-schema] {err}", trace_path.display(), idx + 1);
+                bad_lines += 1;
+                continue;
+            }
+        };
+        let stage = json::parse(line)
+            .ok()
+            .and_then(|v| v.get("stage").and_then(json::JsonValue::as_u64))
+            .unwrap_or(0);
+        let slot = match kind.as_str() {
+            "RouteSelected" => Some(0),
+            "PriceRelaxed" => Some(1),
+            "Withdrawn" => Some(2),
+            _ => None,
+        };
+        if let Some(slot) = slot {
+            per_stage.entry(stage).or_insert([0; 3])[slot] += 1;
+        }
+        *kind_counts.entry(kind).or_insert(0) += 1;
+    }
+    println!(
+        "==> trace validation: {} line(s), {} invalid",
+        lines, bad_lines
+    );
+    let mut missing_kinds = 0usize;
+    for kind in schema.kinds() {
+        if kind_counts.get(kind).copied().unwrap_or(0) == 0 {
+            println!("==> event kind `{kind}` never appeared in the smoke trace");
+            missing_kinds += 1;
+        }
+    }
+
+    println!("\nper-stage convergence summary (stage 0 = origin/reaction broadcasts):");
+    println!("  stage | routes selected | prices relaxed | withdrawals");
+    for (stage, [selected, relaxed, withdrawn]) in &per_stage {
+        println!("  {stage:>5} | {selected:>15} | {relaxed:>14} | {withdrawn:>11}");
+    }
+
+    // Both expositions must exist and parse/scan plausibly.
+    let mut expo_problems = 0usize;
+    match std::fs::read_to_string(&metrics_path) {
+        Ok(text) => match json::parse(&text) {
+            Ok(value) => {
+                for counter in ["bgp_updates_sent_total", "bgp_price_relaxations_total"] {
+                    let present = value
+                        .get("counters")
+                        .and_then(|c| c.get(counter))
+                        .and_then(json::JsonValue::as_u64)
+                        .is_some_and(|v| v > 0);
+                    if !present {
+                        println!("==> metrics JSON: counter `{counter}` missing or zero");
+                        expo_problems += 1;
+                    }
+                }
+            }
+            Err(err) => {
+                println!("==> metrics JSON does not parse: {err}");
+                expo_problems += 1;
+            }
+        },
+        Err(err) => {
+            println!("==> cannot read {}: {err}", metrics_path.display());
+            expo_problems += 1;
+        }
+    }
+    let prom_path = metrics_path.with_extension("prom");
+    match std::fs::read_to_string(&prom_path) {
+        Ok(text) => {
+            for needle in [
+                "# TYPE bgp_messages_total counter",
+                "# TYPE bgp_stages_to_quiescence gauge",
+                "# TYPE bgp_stage_wall_nanos histogram",
+            ] {
+                if !text.contains(needle) {
+                    println!("==> Prometheus exposition is missing `{needle}`");
+                    expo_problems += 1;
+                }
+            }
+        }
+        Err(err) => {
+            println!("==> cannot read {}: {err}", prom_path.display());
+            expo_problems += 1;
+        }
+    }
+
+    if bad_lines == 0 && missing_kinds == 0 && expo_problems == 0 {
+        println!(
+            "\nxtask obs: trace schema-valid, all {} event kinds covered, expositions ok",
+            schema.kinds().len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nxtask obs: FAILED ({bad_lines} invalid line(s), {missing_kinds} uncovered kind(s), {expo_problems} exposition problem(s))"
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_ci(root: &Path) -> ExitCode {
     let mut ok = true;
     ok &= run_step(root, "format check", "cargo", &["fmt", "--check"], true);
@@ -276,6 +453,7 @@ fn cmd_ci(root: &Path) -> ExitCode {
         &["test", "-q", "--features", "invariant-checks"],
         false,
     );
+    ok &= cmd_obs(root) == ExitCode::SUCCESS;
     if ok {
         println!("xtask ci: all steps passed");
         ExitCode::SUCCESS

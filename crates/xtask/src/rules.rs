@@ -1,4 +1,4 @@
-//! The four protocol-specific lint rules layered on top of the
+//! The five protocol-specific lint rules layered on top of the
 //! `[workspace.lints]` wall (see DESIGN.md § "Static analysis & invariants"):
 //!
 //! 1. **no-panic** — no `unwrap()` / `expect()` / `panic!` family macros in
@@ -9,6 +9,9 @@
 //!    golden round-trip suite `crates/bgp/tests/wire_golden.rs`.
 //! 4. **engine-hygiene** — no `Ordering::Relaxed` and no bare
 //!    `thread::spawn` inside `crates/bgp/src/engine/`.
+//! 5. **trace-schema** — every `TraceEvent` variant is described by the
+//!    golden trace schema `crates/telemetry/trace-schema.json`, so a new
+//!    event kind cannot ship without `cargo xtask obs` validating it.
 
 use crate::lexer::{Allow, LexedFile};
 use std::path::{Path, PathBuf};
@@ -340,14 +343,64 @@ pub fn check_engine_hygiene(files: &[SourceFile], out: &mut Vec<Violation>) {
     }
 }
 
-/// Runs all four rules; `raw_lines[i]` are the unlexed lines of `files[i]`
-/// (needed by pub-docs to see doc comments, which the lexer blanks).
-pub fn run_all(files: &[SourceFile], raw_lines: &[Vec<String>]) -> Vec<Violation> {
+/// The telemetry event enum whose variants define the trace vocabulary.
+pub const TRACE_EVENT_FILE: &str = "crates/telemetry/src/event.rs";
+
+/// The golden trace schema fixture `cargo xtask obs` validates against.
+pub const TRACE_SCHEMA: &str = "crates/telemetry/trace-schema.json";
+
+/// Rule 5: every `TraceEvent` variant must be described (named as a JSON
+/// key) in the golden trace schema. `schema_text` is the fixture's content,
+/// read by the driver (it is JSON, not a lexed source file).
+pub fn check_trace_schema(
+    files: &[SourceFile],
+    schema_text: Option<&str>,
+    out: &mut Vec<Violation>,
+) {
+    let Some(schema) = schema_text else {
+        out.push(Violation {
+            rule: "trace-schema",
+            file: PathBuf::from(TRACE_SCHEMA),
+            line: 1,
+            message: "golden trace schema fixture is missing".into(),
+        });
+        return;
+    };
+    for file in files {
+        if file.rel_path != Path::new(TRACE_EVENT_FILE) {
+            continue;
+        }
+        for (enum_name, variant, line) in wire_enum_variants(file) {
+            if enum_name != "TraceEvent" {
+                continue;
+            }
+            let key = format!("\"{variant}\"");
+            if !schema.contains(&key) && !allowed(&file.lexed.allows, line - 1) {
+                out.push(Violation {
+                    rule: "trace-schema",
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!("`TraceEvent::{variant}` is not described by {TRACE_SCHEMA}"),
+                });
+            }
+        }
+    }
+}
+
+/// Runs all five rules; `raw_lines[i]` are the unlexed lines of `files[i]`
+/// (needed by pub-docs to see doc comments, which the lexer blanks), and
+/// `schema_text` is the golden trace schema's content if it exists.
+pub fn run_all(
+    files: &[SourceFile],
+    raw_lines: &[Vec<String>],
+    schema_text: Option<&str>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     check_no_panic(files, &mut out);
     check_pub_docs(files, raw_lines, &mut out);
     check_wire_golden(files, &mut out);
     check_engine_hygiene(files, &mut out);
+    check_trace_schema(files, schema_text, &mut out);
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
@@ -362,7 +415,8 @@ pub fn stale_allows(files: &[SourceFile]) -> Vec<Violation> {
             || WIRE_ENUM_FILES
                 .iter()
                 .any(|p| file.rel_path == Path::new(p))
-            || file.under(ENGINE_DIR);
+            || file.under(ENGINE_DIR)
+            || file.rel_path == Path::new(TRACE_EVENT_FILE);
         if !scanned {
             continue;
         }
@@ -483,6 +537,27 @@ mod tests {
         let mut out = Vec::new();
         check_engine_hygiene(&files, &mut out);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn trace_schema_finds_undescribed_variant() {
+        let files = vec![file(
+            "crates/telemetry/src/event.rs",
+            "/// E.\npub enum TraceEvent {\n    StageStart { stage: u64 },\n    Quiescent { stage: u64 },\n}",
+        )];
+        let schema = r#"{"version":1,"events":{"StageStart":{"stage":"u64"}}}"#;
+        let mut out = Vec::new();
+        check_trace_schema(&files, Some(schema), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("TraceEvent::Quiescent"));
+    }
+
+    #[test]
+    fn trace_schema_missing_fixture_is_itself_a_violation() {
+        let mut out = Vec::new();
+        check_trace_schema(&[], None, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "trace-schema");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Criterion microbench for a single stage of the synchronous engine —
+//! the unit of work the paper bounds (`max(d, d′)` of these per run) and
+//! the unit the dirty-set/worker-pool optimisations target.
+//!
+//! Each iteration builds a fresh engine and executes exactly one `step()`:
+//! the origin broadcast plus the first (densest) stage of receiving-node
+//! work. Construction is included deliberately — a `step()` on a reused
+//! engine would measure an ever-later (and ever-emptier) stage, so fresh
+//! construction is the only way to benchmark the same stage every time;
+//! compare plain vs pricing at the same `n` rather than absolute numbers.
+//!
+//! Run with: `cargo bench -p bgpvcg-bench --bench stage`
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_bgp::engine::SyncEngine;
+use bgpvcg_bgp::PlainBgpNode;
+use bgpvcg_core::PricingBgpNode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_plain_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plain_bgp_stage");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let g = Family::BarabasiAlbert.build(n, 61);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut engine = SyncEngine::new(g, PlainBgpNode::from_graph(g));
+                black_box(engine.step())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pricing_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pricing_bgp_stage");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let g = Family::BarabasiAlbert.build(n, 61);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut engine = SyncEngine::new(g, PricingBgpNode::from_graph(g));
+                black_box(engine.step())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plain_stage, bench_pricing_stage);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ impl ProtocolNode for FullTableNode {
     fn start(&mut self) -> Option<Update> {
         self.0.start().and_then(|_| self.0.full_table())
     }
-    fn handle(&mut self, updates: &[Update]) -> Option<Update> {
+    fn handle(&mut self, updates: &[std::sync::Arc<Update>]) -> Option<Update> {
         self.0.handle(updates).and_then(|_| self.0.full_table())
     }
     fn apply_event(&mut self, event: LocalEvent) -> Option<Update> {

@@ -1,4 +1,5 @@
-//! E14 (scale) — laptop-scale end-to-end runs of the full pricing protocol.
+//! E14 (scale) — laptop-scale end-to-end runs of the full pricing protocol,
+//! serial vs parallel, with a machine-readable bench trajectory.
 //!
 //! Not a paper claim per se, but the reproduction's calibration note rates
 //! the system "laptop-scale, fully working"; this experiment substantiates
@@ -6,15 +7,145 @@
 //! (generation → distributed pricing → verification against the
 //! centralized reference) up to 256 ASs on Internet-like topologies.
 //!
+//! Each configuration runs twice — once on the serial reference engine and
+//! once on the deterministic worker pool (`--workers`, default 4) — and the
+//! binary asserts the two runs are bit-for-bit identical before timing is
+//! even reported (see `docs/PERFORMANCE.md` for the determinism argument).
+//! Besides the human table, the run appends to the perf record: a
+//! machine-readable `BENCH_scale.json` at the repository root, validated in
+//! CI by `cargo xtask bench --smoke` against
+//! `crates/bench/bench-scale-schema.json`.
+//!
+//! Flags:
+//!
+//! * `--smoke` — small sizes (n ∈ {32, 64}) for CI; same schema.
+//! * `--out PATH` — where to write the JSON (default: repo-root
+//!   `BENCH_scale.json`).
+//! * `--workers K` — parallel worker count (default 4).
+//!
 //! Regenerate with: `cargo run --release -p bgpvcg-bench --bin e14_scale`
 
 use bgpvcg_bench::families::Family;
 use bgpvcg_bench::table::Table;
 use bgpvcg_core::{protocol, vcg};
+use std::path::PathBuf;
+use std::process::exit;
 use std::time::Instant;
 
+/// One family × size measurement, holding everything both report formats
+/// (table and JSON) need.
+struct Row {
+    family: &'static str,
+    n: usize,
+    links: usize,
+    stages: usize,
+    messages: usize,
+    bytes: usize,
+    serial_nanos: u128,
+    parallel_nanos: u128,
+    exact: bool,
+}
+
+impl Row {
+    /// Parallel speedup: serial wall-clock over parallel wall-clock.
+    fn speedup(&self) -> f64 {
+        self.serial_nanos as f64 / self.parallel_nanos as f64
+    }
+}
+
+struct Config {
+    smoke: bool,
+    out: PathBuf,
+    workers: usize,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: e14_scale [--smoke] [--out PATH] [--workers K]");
+    exit(2);
+}
+
+fn parse_args() -> Config {
+    // Default output is the repo root regardless of the invoking cwd.
+    let mut config = Config {
+        smoke: false,
+        out: PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_scale.json"
+        )),
+        workers: 4,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config.smoke = true,
+            "--out" => match args.next() {
+                Some(path) => config.out = PathBuf::from(path),
+                None => {
+                    eprintln!("`--out` requires a PATH argument");
+                    usage();
+                }
+            },
+            "--workers" => match args.next().and_then(|k| k.parse().ok()) {
+                Some(k) if k >= 1 => config.workers = k,
+                _ => {
+                    eprintln!("`--workers` requires a positive integer");
+                    usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown argument `{arg}`");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+/// Hand-written JSON emission (the workspace has no serde implementation);
+/// the shape is pinned by `crates/bench/bench-scale-schema.json` and
+/// validated by `cargo xtask bench`.
+fn render_json(config: &Config, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if config.smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!("  \"workers\": {},\n", config.workers));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"links\": {}, \"stages\": {}, \
+             \"messages\": {}, \"bytes\": {}, \"serial_nanos\": {}, \
+             \"parallel_nanos\": {}, \"speedup\": {:.4}, \"exact\": {}}}{}\n",
+            row.family,
+            row.n,
+            row.links,
+            row.stages,
+            row.messages,
+            row.bytes,
+            row.serial_nanos,
+            row.parallel_nanos,
+            row.speedup(),
+            row.exact,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
 fn main() {
+    let config = parse_args();
     println!("E14 — end-to-end scale on Internet-like topologies\n");
+    let sizes: &[usize] = if config.smoke {
+        &[32, 64]
+    } else {
+        &[64, 128, 192, 256]
+    };
+    let mut rows = Vec::new();
     let mut table = Table::new([
         "family",
         "n",
@@ -22,40 +153,72 @@ fn main() {
         "stages",
         "messages",
         "MiB on wire",
-        "protocol (s)",
+        "serial (s)",
+        "parallel (s)",
+        "speedup",
         "verify vs centralized (s)",
         "exact",
     ]);
     for family in [Family::BarabasiAlbert, Family::Hierarchy] {
-        for &n in &[64usize, 128, 192, 256] {
+        for &n in sizes {
             let g = family.build(n, 61);
+
             let t0 = Instant::now();
-            let run = protocol::run_sync(&g).expect("valid graph");
-            let protocol_time = t0.elapsed();
-            assert!(run.report.converged);
+            let serial = protocol::run_sync(&g).expect("valid graph");
+            let serial_time = t0.elapsed();
+            assert!(serial.report.converged);
+
+            let t0 = Instant::now();
+            let parallel = protocol::run_sync_parallel(&g, config.workers).expect("valid graph");
+            let parallel_time = t0.elapsed();
+
+            // Determinism gate: the worker pool must be bit-for-bit
+            // identical to the serial reference before timing counts.
+            assert_eq!(serial.report, parallel.report, "{} n={n}", family.name());
+            assert_eq!(serial.outcome, parallel.outcome, "{} n={n}", family.name());
 
             let t0 = Instant::now();
             let reference = vcg::compute(&g).unwrap();
-            let exact = run.outcome == reference;
+            let exact = serial.outcome == reference;
             let verify_time = t0.elapsed();
 
+            let row = Row {
+                family: family.name(),
+                n,
+                links: g.link_count(),
+                stages: serial.report.stages,
+                messages: serial.report.messages,
+                bytes: serial.report.bytes,
+                serial_nanos: serial_time.as_nanos(),
+                parallel_nanos: parallel_time.as_nanos(),
+                exact,
+            };
             table.row([
-                family.name().to_string(),
+                row.family.to_string(),
                 n.to_string(),
-                g.link_count().to_string(),
-                run.report.stages.to_string(),
-                run.report.messages.to_string(),
-                format!("{:.1}", run.report.bytes as f64 / (1024.0 * 1024.0)),
-                format!("{:.2}", protocol_time.as_secs_f64()),
+                row.links.to_string(),
+                row.stages.to_string(),
+                row.messages.to_string(),
+                format!("{:.1}", row.bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.2}", serial_time.as_secs_f64()),
+                format!("{:.2}", parallel_time.as_secs_f64()),
+                format!("{:.2}x", row.speedup()),
                 format!("{:.2}", verify_time.as_secs_f64()),
                 exact.to_string(),
             ]);
             assert!(exact, "{} n={n}", family.name());
+            rows.push(row);
         }
     }
     println!("{table}");
+    let json = render_json(&config, &rows);
+    std::fs::write(&config.out, json)
+        .unwrap_or_else(|err| panic!("cannot write {}: {err}", config.out.display()));
+    println!("\nwrote {}", config.out.display());
     println!(
         "\nVERDICT: the full pipeline (distributed pricing + centralized verification) runs \
-         to exact agreement at n = 256 in seconds on commodity hardware"
+         to exact agreement at n = 256 in seconds on commodity hardware; parallel runs are \
+         asserted bit-identical to serial (speedup is hardware-dependent — see \
+         docs/PERFORMANCE.md)"
     );
 }

@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::sync::{Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
@@ -38,7 +39,7 @@ pub struct EventReport {
 }
 
 enum Envelope {
-    Deliver(Box<Update>),
+    Deliver(Arc<Update>),
     Shutdown,
 }
 
@@ -88,8 +89,8 @@ impl EventInstruments {
 /// only the cross-sender interleaving is randomized.
 fn drain_random(
     rng: &mut StdRng,
-    buffered: &mut BTreeMap<AsId, VecDeque<Box<Update>>>,
-) -> Option<Box<Update>> {
+    buffered: &mut BTreeMap<AsId, VecDeque<Arc<Update>>>,
+) -> Option<Arc<Update>> {
     let nonempty: Vec<AsId> = buffered
         .iter()
         .filter(|(_, q)| !q.is_empty())
@@ -227,16 +228,15 @@ where
                     if let Some(ins) = instruments {
                         ins.on_broadcast(update, neighbor_txs.len() as u64);
                     }
+                    // One shared payload for all receiving links.
+                    let shared = Arc::new(update.clone());
                     for tx in &neighbor_txs {
                         // Increment BEFORE the send so the counter can never
                         // dip to zero while a message is in a channel.
                         in_flight.fetch_add(1, Ordering::SeqCst);
                         messages.fetch_add(1, Ordering::SeqCst);
                         entries.fetch_add(update.entry_count(), Ordering::SeqCst);
-                        if tx
-                            .send(Envelope::Deliver(Box::new(update.clone())))
-                            .is_err()
-                        {
+                        if tx.send(Envelope::Deliver(Arc::clone(&shared))).is_err() {
                             // Receiver exited early (a worker panicked and the
                             // run is doomed); compensate the token so the
                             // coordinator cannot hang waiting for quiescence.
@@ -251,8 +251,8 @@ where
 
                 // Per-sender sub-queues for the adversarial scheduler: FIFO
                 // within a sender, random service order across senders.
-                let mut buffered: BTreeMap<AsId, VecDeque<Box<Update>>> = BTreeMap::new();
-                let process = |node: &mut N, update: &Update| {
+                let mut buffered: BTreeMap<AsId, VecDeque<Arc<Update>>> = BTreeMap::new();
+                let process = |node: &mut N, update: &Arc<Update>| {
                     if let Some(out) = node.handle(std::slice::from_ref(update)) {
                         broadcast(&out);
                     }

@@ -1,4 +1,13 @@
 //! The synchronous-stage engine of the paper's Sect. 5.
+//!
+//! The hot path is incremental and allocation-free per stage: per-node
+//! inboxes are double-buffered `Vec<Arc<Update>>` queues whose capacity
+//! survives across stages, a dirty list names exactly the nodes with
+//! pending input, and one broadcast shares a single [`Arc`]'d payload
+//! across all receiving links. Stages can optionally run on a scoped
+//! worker pool ([`SyncEngine::with_parallelism`]) that is bit-for-bit
+//! identical to the serial reference path — see `docs/PERFORMANCE.md`
+//! for the architecture and the determinism argument.
 
 use super::invariants;
 use crate::dynamics::TopologyEvent;
@@ -10,6 +19,7 @@ use crate::wire;
 use bgpvcg_netgraph::{AsGraph, AsId};
 use bgpvcg_telemetry::{Telemetry, TraceEvent};
 use std::fmt;
+use std::sync::Arc;
 
 /// What one call to [`SyncEngine::run_to_convergence`] did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,6 +99,15 @@ impl fmt::Display for StageTrace {
     }
 }
 
+/// Everything one executed stage produced beyond its public [`StageTrace`]:
+/// the table-entry count for the run report and the stage's peak per-link
+/// message count.
+struct StageOutcome {
+    trace: StageTrace,
+    entries: usize,
+    link_max: usize,
+}
+
 /// The synchronous-stage engine: all nodes exchange routing tables in
 /// lock-step rounds, exactly the computational model of the paper's Sect. 5.
 ///
@@ -100,13 +119,33 @@ impl fmt::Display for StageTrace {
 /// The engine is generic over the node type so the plain BGP speaker and the
 /// pricing extension run on identical machinery and their traffic statistics
 /// are directly comparable.
+///
+/// Node recomputation within a stage is independent by construction (each
+/// `handle` reads only the node's own inbox, filled last stage), so stages
+/// can run on a worker pool — [`with_parallelism`](Self::with_parallelism) —
+/// while broadcasts are merged in ascending node order, keeping parallel
+/// runs bit-for-bit identical to serial ones.
 #[derive(Debug)]
 pub struct SyncEngine<N> {
     nodes: Vec<N>,
     /// Physical adjacency (kept here, mutable by topology events).
     adjacency: Vec<Vec<AsId>>,
-    /// Per-node inbox for the next stage.
-    inboxes: Vec<Vec<Update>>,
+    /// Per-node inbox for the next stage. One broadcast pushes one shared
+    /// `Arc` per receiving link, never a payload copy.
+    inboxes: Vec<Vec<Arc<Update>>>,
+    /// Double buffer for `inboxes`: holds the *current* stage's deliveries
+    /// while `inboxes` collects the next stage's. All slots are empty
+    /// between stages but keep their capacity, so steady-state stages
+    /// allocate nothing.
+    delivered: Vec<Vec<Arc<Update>>>,
+    /// Dirty list: indices of nodes with a non-empty inbox, i.e. exactly
+    /// the nodes the next stage must run. Maintained by `broadcast` /
+    /// `unicast` (a slot is pushed when it transitions empty → non-empty).
+    dirty: Vec<u32>,
+    /// Double buffer for `dirty`, empty between stages.
+    stage_dirty: Vec<u32>,
+    /// Worker threads per stage; 1 = the serial reference path.
+    workers: usize,
     /// Safety valve: abort after this many stages (default `8n + 64`).
     stage_limit: usize,
     started: bool,
@@ -137,11 +176,32 @@ impl<N: ProtocolNode> SyncEngine<N> {
             nodes,
             adjacency: graph.nodes().map(|k| graph.neighbors(k).to_vec()).collect(),
             inboxes: vec![Vec::new(); n],
+            delivered: vec![Vec::new(); n],
+            dirty: Vec::new(),
+            stage_dirty: Vec::new(),
+            workers: 1,
             stage_limit: 8 * n + 64,
             started: false,
             steps_executed: 0,
             instruments: None,
         }
+    }
+
+    /// Sets the number of worker threads a stage's node recomputation is
+    /// partitioned across (clamped to at least 1; 1 = the serial reference
+    /// path). Any value produces bit-identical runs — reports, fixpoints,
+    /// message streams, and telemetry all match the serial engine exactly,
+    /// because emitted updates are merged in ascending node order. See
+    /// `docs/PERFORMANCE.md` for the determinism argument.
+    #[must_use]
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured number of stage workers (1 = serial).
+    pub fn parallelism(&self) -> usize {
+        self.workers
     }
 
     /// Attaches observability: from now on every run narrates itself as
@@ -177,13 +237,18 @@ impl<N: ProtocolNode> SyncEngine<N> {
     }
 
     /// Queues `update` from `from` to every current neighbor of `from`,
-    /// returning (messages, entries, bytes) accounted.
-    fn broadcast(&mut self, from: AsId, update: &Update) -> (usize, usize, usize) {
-        let neighbors = self.adjacency[from.index()].clone();
+    /// returning (messages, entries, bytes) accounted. The payload is
+    /// shared: each receiving inbox gets an `Arc` clone, not a copy.
+    fn broadcast(&mut self, from: AsId, update: &Arc<Update>) -> (usize, usize, usize) {
         let size = wire::update_size(update);
+        let neighbors = &self.adjacency[from.index()];
         let mut messages = 0;
-        for to in neighbors {
-            self.inboxes[to.index()].push(update.clone());
+        for &to in neighbors {
+            let inbox = &mut self.inboxes[to.index()];
+            if inbox.is_empty() {
+                self.dirty.push(to.index() as u32);
+            }
+            inbox.push(Arc::clone(update));
             messages += 1;
         }
         (messages, messages * update.entry_count(), messages * size)
@@ -194,8 +259,130 @@ impl<N: ProtocolNode> SyncEngine<N> {
     fn unicast(&mut self, to: AsId, update: Update) -> (usize, usize, usize) {
         let size = wire::update_size(&update);
         let entries = update.entry_count();
-        self.inboxes[to.index()].push(update);
+        let inbox = &mut self.inboxes[to.index()];
+        if inbox.is_empty() {
+            self.dirty.push(to.index() as u32);
+        }
+        inbox.push(Arc::new(update));
         (1, entries, size)
+    }
+
+    /// Runs every node's `start()` hook, broadcasting the origin
+    /// advertisements (traced as stage 0, preceding stage 1). Returns the
+    /// (messages, entries, bytes) totals.
+    fn start_protocol(
+        &mut self,
+        instruments: &mut Option<RunInstruments>,
+    ) -> (usize, usize, usize) {
+        let mut totals = (0usize, 0usize, 0usize);
+        for idx in 0..self.nodes.len() {
+            if let Some(update) = self.nodes[idx].start() {
+                let update = Arc::new(update);
+                let from = AsId::new(idx as u32);
+                let (m, e, b) = self.broadcast(from, &update);
+                if let Some(ins) = instruments.as_mut() {
+                    ins.on_broadcast(&update, 0, m, e, b);
+                }
+                totals.0 += m;
+                totals.1 += e;
+                totals.2 += b;
+            }
+        }
+        totals
+    }
+
+    /// Executes one synchronous stage: swap the double-buffered queues,
+    /// run `handle` for every dirty node (serially or on the worker pool),
+    /// and broadcast the emitted updates in ascending node order.
+    ///
+    /// This is the engine's hot loop: it must not allocate per stage
+    /// beyond inbox growth toward the run's high-water mark (enforced by
+    /// the `stage-alloc` xtask lint rule on this function body).
+    fn run_stage(
+        &mut self,
+        stage: usize,
+        instruments: &mut Option<RunInstruments>,
+    ) -> StageOutcome {
+        let wall_start = instruments.as_ref().map(|ins| {
+            ins.telemetry().record(&TraceEvent::StageStart {
+                stage: stage as u64,
+            });
+            ins.telemetry().now_nanos()
+        });
+        // Swap the double buffers: `delivered`/`receiving` now hold this
+        // stage's input, while `inboxes`/`dirty` (emptied last stage,
+        // capacity retained) collect the next stage's.
+        std::mem::swap(&mut self.inboxes, &mut self.delivered);
+        std::mem::swap(&mut self.dirty, &mut self.stage_dirty);
+        let mut receiving = std::mem::take(&mut self.stage_dirty);
+        // Ascending node order: the broadcast order below is the engine's
+        // determinism contract (serial and parallel runs match exactly).
+        receiving.sort_unstable();
+        let mut trace = StageTrace {
+            stage,
+            receiving_nodes: receiving.len(),
+            changed_nodes: 0,
+            messages: 0,
+            bytes: 0,
+        };
+        let mut entries = 0usize;
+        let mut link_max = 0usize;
+        for &idx in &receiving {
+            link_max = link_max.max(self.delivered[idx as usize].len());
+        }
+        if self.workers > 1 && receiving.len() > 1 {
+            // Parallel path: handles run partitioned across the pool, the
+            // merged emissions come back sorted by node index, and the
+            // broadcasts below replay them in exactly the serial order.
+            let merged =
+                parallel_handle(&mut self.nodes, &self.delivered, &receiving, self.workers);
+            for (idx, emitted) in merged {
+                if let Some(update) = emitted {
+                    let update = Arc::new(update);
+                    trace.changed_nodes += 1;
+                    let (m, e, b) = self.broadcast(AsId::new(idx), &update);
+                    if let Some(ins) = instruments.as_mut() {
+                        ins.on_broadcast(&update, stage as u64, m, e, b);
+                    }
+                    trace.messages += m;
+                    entries += e;
+                    trace.bytes += b;
+                }
+            }
+        } else {
+            for &idx in &receiving {
+                let emitted = self.nodes[idx as usize].handle(&self.delivered[idx as usize]);
+                if let Some(update) = emitted {
+                    let update = Arc::new(update);
+                    trace.changed_nodes += 1;
+                    let (m, e, b) = self.broadcast(AsId::new(idx), &update);
+                    if let Some(ins) = instruments.as_mut() {
+                        ins.on_broadcast(&update, stage as u64, m, e, b);
+                    }
+                    trace.messages += m;
+                    entries += e;
+                    trace.bytes += b;
+                }
+            }
+        }
+        // Restore the reusable buffers: only the slots this stage actually
+        // used need clearing (everything else is already empty).
+        for &idx in &receiving {
+            self.delivered[idx as usize].clear();
+        }
+        receiving.clear();
+        self.stage_dirty = receiving;
+        if let (Some(ins), Some(start)) = (instruments.as_ref(), wall_start) {
+            let elapsed = ins.telemetry().now_nanos().saturating_sub(start);
+            ins.telemetry()
+                .histogram(metric::STAGE_WALL_NANOS)
+                .observe(elapsed);
+        }
+        StageOutcome {
+            trace,
+            entries,
+            link_max,
+        }
     }
 
     /// Runs stages until no node has pending input, starting the protocol
@@ -228,63 +415,18 @@ impl<N: ProtocolNode> SyncEngine<N> {
         let mut instruments = self.instruments.take();
         if !self.started {
             self.started = true;
-            for idx in 0..self.nodes.len() {
-                if let Some(update) = self.nodes[idx].start() {
-                    let from = AsId::new(idx as u32);
-                    let (m, e, b) = self.broadcast(from, &update);
-                    if let Some(ins) = instruments.as_mut() {
-                        ins.on_broadcast(&update, 0, m, e, b);
-                    }
-                }
-            }
+            let _ = self.start_protocol(&mut instruments);
             self.steps_executed = 0;
         }
-        if self.inboxes.iter().all(Vec::is_empty) {
+        if self.dirty.is_empty() {
             self.instruments = instruments;
             return None;
         }
         self.steps_executed += 1;
         let stage = self.steps_executed;
-        let wall_start = instruments.as_ref().map(|ins| {
-            ins.telemetry().record(&TraceEvent::StageStart {
-                stage: stage as u64,
-            });
-            ins.telemetry().now_nanos()
-        });
-        let n = self.nodes.len();
-        let mut delivered = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
-        let mut trace = StageTrace {
-            stage,
-            receiving_nodes: 0,
-            changed_nodes: 0,
-            messages: 0,
-            bytes: 0,
-        };
-        for (idx, slot) in delivered.iter_mut().enumerate() {
-            let inbox = std::mem::take(slot);
-            if inbox.is_empty() {
-                continue;
-            }
-            trace.receiving_nodes += 1;
-            if let Some(update) = self.nodes[idx].handle(&inbox) {
-                trace.changed_nodes += 1;
-                let from = AsId::new(idx as u32);
-                let (m, e, b) = self.broadcast(from, &update);
-                if let Some(ins) = instruments.as_mut() {
-                    ins.on_broadcast(&update, stage as u64, m, e, b);
-                }
-                trace.messages += m;
-                trace.bytes += b;
-            }
-        }
-        if let (Some(ins), Some(start)) = (instruments.as_ref(), wall_start) {
-            let elapsed = ins.telemetry().now_nanos().saturating_sub(start);
-            ins.telemetry()
-                .histogram(metric::STAGE_WALL_NANOS)
-                .observe(elapsed);
-        }
+        let outcome = self.run_stage(stage, &mut instruments);
         self.instruments = instruments;
-        Some(trace)
+        Some(outcome.trace)
     }
 
     /// Like [`run_to_convergence`](Self::run_to_convergence), but invokes
@@ -302,19 +444,10 @@ impl<N: ProtocolNode> SyncEngine<N> {
         let mut instruments = self.instruments.take();
         if !self.started {
             self.started = true;
-            for idx in 0..self.nodes.len() {
-                if let Some(update) = self.nodes[idx].start() {
-                    let from = AsId::new(idx as u32);
-                    let (m, e, b) = self.broadcast(from, &update);
-                    if let Some(ins) = instruments.as_mut() {
-                        // Origin advertisements precede stage 1 — stage 0.
-                        ins.on_broadcast(&update, 0, m, e, b);
-                    }
-                    report.messages += m;
-                    report.entries += e;
-                    report.bytes += b;
-                }
-            }
+            let (m, e, b) = self.start_protocol(&mut instruments);
+            report.messages += m;
+            report.entries += e;
+            report.bytes += b;
         }
 
         // `stages` reports the last stage in which some node's advertised
@@ -323,7 +456,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         // it is pure message drain, not computation, and the paper's
         // "converges within d stages" counts table changes.
         let mut executed = 0usize;
-        while self.inboxes.iter().any(|inbox| !inbox.is_empty()) {
+        while !self.dirty.is_empty() {
             if executed >= self.stage_limit {
                 report.converged = false;
                 invariants::convergence(&report, executed, self.stage_limit);
@@ -331,55 +464,16 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 return report;
             }
             executed += 1;
-            let wall_start = instruments.as_ref().map(|ins| {
-                ins.telemetry().record(&TraceEvent::StageStart {
-                    stage: executed as u64,
-                });
-                ins.telemetry().now_nanos()
-            });
-            let n = self.nodes.len();
-            let mut delivered = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
-            let mut stage_link_max = 0usize;
-            let mut trace = StageTrace {
-                stage: executed,
-                receiving_nodes: 0,
-                changed_nodes: 0,
-                messages: 0,
-                bytes: 0,
-            };
-            for (idx, slot) in delivered.iter_mut().enumerate() {
-                let inbox = std::mem::take(slot);
-                if inbox.is_empty() {
-                    continue;
-                }
-                trace.receiving_nodes += 1;
-                stage_link_max = stage_link_max.max(inbox.len());
-                if let Some(update) = self.nodes[idx].handle(&inbox) {
-                    trace.changed_nodes += 1;
-                    let from = AsId::new(idx as u32);
-                    let (m, e, b) = self.broadcast(from, &update);
-                    if let Some(ins) = instruments.as_mut() {
-                        ins.on_broadcast(&update, executed as u64, m, e, b);
-                    }
-                    report.messages += m;
-                    report.entries += e;
-                    report.bytes += b;
-                    trace.messages += m;
-                    trace.bytes += b;
-                }
-            }
-            if trace.changed_nodes > 0 {
+            let outcome = self.run_stage(executed, &mut instruments);
+            if outcome.trace.changed_nodes > 0 {
                 report.stages = executed;
             }
+            report.messages += outcome.trace.messages;
+            report.entries += outcome.entries;
+            report.bytes += outcome.trace.bytes;
             report.max_link_messages_per_stage =
-                report.max_link_messages_per_stage.max(stage_link_max);
-            if let (Some(ins), Some(start)) = (instruments.as_ref(), wall_start) {
-                let elapsed = ins.telemetry().now_nanos().saturating_sub(start);
-                ins.telemetry()
-                    .histogram(metric::STAGE_WALL_NANOS)
-                    .observe(elapsed);
-            }
-            observer(trace);
+                report.max_link_messages_per_stage.max(outcome.link_max);
+            observer(outcome.trace);
         }
         invariants::convergence(&report, executed, self.stage_limit);
         if let Some(ins) = instruments.as_ref() {
@@ -440,6 +534,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         let mut instruments = self.instruments.take();
         for (id, local) in event.local_views() {
             if let Some(update) = self.nodes[id.index()].apply_event(local) {
+                let update = Arc::new(update);
                 let (m, e, b) = self.broadcast(id, &update);
                 if let Some(ins) = instruments.as_mut() {
                     ins.on_broadcast(&update, 0, m, e, b);
@@ -478,6 +573,58 @@ impl<N: ProtocolNode> SyncEngine<N> {
     pub fn into_nodes(self) -> Vec<N> {
         self.nodes
     }
+}
+
+/// Runs `handle` for every receiving node, partitioned across a scoped
+/// worker pool, and returns the emissions sorted by node index so the
+/// caller's broadcast sequence replays the serial order exactly.
+///
+/// Each worker gets a *contiguous* run of the (ascending) receiving list,
+/// so the matching node shards can be carved with `split_at_mut` — safe
+/// disjoint `&mut` access, no locking and no `unsafe`. Handles only read
+/// the current stage's `delivered` buffers (filled last stage) and mutate
+/// their own node, so execution order across workers is immaterial; all
+/// observable ordering (broadcast and telemetry) happens on the caller's
+/// thread afterwards.
+fn parallel_handle<N: ProtocolNode>(
+    nodes: &mut [N],
+    delivered: &[Vec<Arc<Update>>],
+    receiving: &[u32],
+    workers: usize,
+) -> Vec<(u32, Option<Update>)> {
+    let chunk = receiving.len().div_ceil(workers).max(1);
+    let mut merged = Vec::with_capacity(receiving.len());
+    let (sender, collector) = crossbeam::channel::unbounded();
+    std::thread::scope(|scope| {
+        let mut rest = nodes;
+        let mut offset = 0usize; // index of `rest[0]` in the full node array
+        for run in receiving.chunks(chunk) {
+            let (Some(&first), Some(&last)) = (run.first(), run.last()) else {
+                continue; // unreachable: chunks() never yields an empty slice
+            };
+            let lo = first as usize;
+            let hi = last as usize;
+            let (_, tail) = rest.split_at_mut(lo - offset);
+            let (shard, tail) = tail.split_at_mut(hi - lo + 1);
+            rest = tail;
+            offset = hi + 1;
+            let tx = sender.clone();
+            scope.spawn(move || {
+                for &idx in run {
+                    let emitted = shard[idx as usize - lo].handle(&delivered[idx as usize]);
+                    // The collector outlives the scope, so this send
+                    // cannot fail while the pool runs.
+                    let _ = tx.send((idx, emitted));
+                }
+            });
+        }
+    });
+    drop(sender);
+    while let Ok(pair) = collector.try_recv() {
+        merged.push(pair);
+    }
+    merged.sort_unstable_by_key(|&(idx, _)| idx);
+    merged
 }
 
 #[cfg(test)]

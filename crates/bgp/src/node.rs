@@ -6,6 +6,7 @@ use crate::selector::RouteSelector;
 use crate::stats::StateSnapshot;
 use bgpvcg_netgraph::{AsGraph, AsId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The behaviour an AS must implement to be driven by either engine.
 ///
@@ -22,8 +23,10 @@ pub trait ProtocolNode: Send {
     fn start(&mut self) -> Option<Update>;
 
     /// Ingests a batch of UPDATEs delivered this stage and returns the
-    /// resulting broadcast, if anything changed.
-    fn handle(&mut self, updates: &[Update]) -> Option<Update>;
+    /// resulting broadcast, if anything changed. Updates arrive as shared
+    /// [`Arc`]s so the engines can fan one broadcast out to many inboxes
+    /// without copying the payload per link.
+    fn handle(&mut self, updates: &[Arc<Update>]) -> Option<Update>;
 
     /// Applies a local topology event and returns the resulting broadcast,
     /// if anything changed. For [`LocalEvent::LinkUp`] the engine delivers
@@ -133,7 +136,7 @@ impl ProtocolNode for PlainBgpNode {
         self.emit([self.selector.id()])
     }
 
-    fn handle(&mut self, updates: &[Update]) -> Option<Update> {
+    fn handle(&mut self, updates: &[Arc<Update>]) -> Option<Update> {
         let mut affected: BTreeSet<AsId> = BTreeSet::new();
         for update in updates {
             affected.extend(self.selector.ingest(update));
@@ -158,11 +161,11 @@ impl ProtocolNode for PlainBgpNode {
                 None // the engine sends `full_table` to the new neighbor
             }
             LocalEvent::CostChange(cost) => {
-                self.selector.set_declared_cost(cost);
-                // Every originated path entry carries the declared cost, so
-                // the entire advertised table changes.
-                let dests: Vec<AsId> = self.selector.destinations().collect();
-                self.emit(dests)
+                // Only the destinations whose table entry actually restamped
+                // are re-advertised — `set_declared_cost` reports them, and a
+                // no-op change (same cost) reports none.
+                let changed = self.selector.set_declared_cost(cost);
+                self.emit(changed)
             }
         }
     }
@@ -223,7 +226,7 @@ mod tests {
         let g = fig1();
         let mut d = PlainBgpNode::new(&g, Fig1::D);
         let mut z = PlainBgpNode::new(&g, Fig1::Z);
-        let z_origin = z.start().unwrap();
+        let z_origin = Arc::new(z.start().unwrap());
         let out = d.handle(&[z_origin]).expect("new route must be advertised");
         // D now advertises its route to Z (D, Z with cost 0) besides having
         // learned it.
@@ -243,7 +246,7 @@ mod tests {
         let g = fig1();
         let mut d = PlainBgpNode::new(&g, Fig1::D);
         let mut z = PlainBgpNode::new(&g, Fig1::Z);
-        let z_origin = z.start().unwrap();
+        let z_origin = Arc::new(z.start().unwrap());
         assert!(d.handle(std::slice::from_ref(&z_origin)).is_some());
         assert!(
             d.handle(&[z_origin]).is_none(),
@@ -256,7 +259,7 @@ mod tests {
         let g = fig1();
         let mut d = PlainBgpNode::new(&g, Fig1::D);
         let mut z = PlainBgpNode::new(&g, Fig1::Z);
-        d.handle(&[z.start().unwrap()]);
+        d.handle(&[Arc::new(z.start().unwrap())]);
         let table = d.full_table().unwrap();
         assert_eq!(table.entry_count(), 2); // D itself and Z
     }
@@ -266,7 +269,7 @@ mod tests {
         let g = fig1();
         let mut d = PlainBgpNode::new(&g, Fig1::D);
         let mut z = PlainBgpNode::new(&g, Fig1::Z);
-        d.handle(&[z.start().unwrap()]);
+        d.handle(&[Arc::new(z.start().unwrap())]);
         let out = d
             .apply_event(LocalEvent::LinkDown(Fig1::Z))
             .expect("losing the only route must produce a withdrawal");
@@ -295,7 +298,7 @@ mod tests {
         let g = fig1();
         let mut d = PlainBgpNode::new(&g, Fig1::D);
         let mut z = PlainBgpNode::new(&g, Fig1::Z);
-        d.handle(&[z.start().unwrap()]);
+        d.handle(&[Arc::new(z.start().unwrap())]);
         let snap = d.state();
         assert_eq!(snap.table_entries, 2);
         assert_eq!(snap.table_path_nodes, 1 + 2);

@@ -137,13 +137,21 @@ impl RouteSelector {
 
     /// Changes this node's declared cost (a strategic deviation or dynamic
     /// re-declaration). Every selected route's first path entry carries the
-    /// declared cost, so all of them are restamped; the caller must
-    /// re-advertise the full table afterwards.
-    pub fn set_declared_cost(&mut self, cost: Cost) {
-        self.declared_cost = cost;
-        for route in self.table.values_mut() {
-            route.path[0].cost = cost;
+    /// declared cost, so all of them are restamped; the returned set names
+    /// exactly the destinations whose table entry changed (empty for a
+    /// no-op re-declaration of the same cost), so the caller re-advertises
+    /// only those instead of rescanning the table.
+    pub fn set_declared_cost(&mut self, cost: Cost) -> BTreeSet<AsId> {
+        if cost == self.declared_cost {
+            return BTreeSet::new();
         }
+        self.declared_cost = cost;
+        let mut changed = BTreeSet::new();
+        for (dest, route) in &mut self.table {
+            route.path[0].cost = cost;
+            changed.insert(*dest);
+        }
+        changed
     }
 
     /// Current physical neighbors, ascending.
@@ -159,6 +167,26 @@ impl RouteSelector {
     /// The route `a` last advertised for `dest`, if any.
     pub fn rib(&self, a: AsId, dest: AsId) -> Option<&RouteInfo> {
         self.rib_in.get(&a)?.get(&dest)
+    }
+
+    /// The destinations neighbor `a` currently advertises, ascending. Empty
+    /// for non-neighbors. Used to scope recomputation after a link event to
+    /// the destinations the vanished Rib-In actually covered.
+    pub fn rib_destinations(&self, a: AsId) -> BTreeSet<AsId> {
+        self.rib_in
+            .get(&a)
+            .map(|routes| routes.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The Rib-In entries for `dest` across all current neighbors, ascending
+    /// by neighbor. This is the candidate set both route selection and the
+    /// pricing relaxation pass iterate; exposing it lets callers hoist the
+    /// per-neighbor lookup out of their inner loops.
+    pub fn rib_for(&self, dest: AsId) -> impl Iterator<Item = (AsId, &RouteInfo)> + '_ {
+        self.rib_in
+            .iter()
+            .filter_map(move |(&a, routes)| routes.get(&dest).map(|info| (a, info)))
     }
 
     /// The declared cost of neighbor `a` as learned from its advertisements
@@ -353,13 +381,21 @@ impl RouteSelector {
     }
 
     /// Handles the link to `a` going down: drops its Rib-In and re-decides
-    /// everything; returns destinations whose selection changed.
+    /// the destinations it covered; returns those whose selection changed.
+    ///
+    /// Removing neighbor `a` only removes candidates, and only for the
+    /// destinations `a` had advertised — every other destination's candidate
+    /// set (and therefore its selection) is untouched, so re-deciding the
+    /// dropped Rib-In's keys is equivalent to a full `decide_all` rescan.
     pub fn link_down(&mut self, a: AsId) -> BTreeSet<AsId> {
-        if self.rib_in.remove(&a).is_none() {
+        let Some(dropped) = self.rib_in.remove(&a) else {
             return BTreeSet::new();
-        }
+        };
         self.neighbor_vectors.remove(&a);
-        self.decide_all()
+        dropped
+            .into_keys()
+            .filter(|&dest| self.decide(dest))
+            .collect()
     }
 }
 

@@ -213,7 +213,7 @@ proptest! {
         let neighbors: Vec<AsId> = g.neighbors(AsId::new(0)).to_vec();
         for (idx, mut update) in updates.into_iter().enumerate() {
             update.from = neighbors[idx % neighbors.len()];
-            let _ = node.handle(std::slice::from_ref(&update));
+            let _ = node.handle(&[std::sync::Arc::new(update)]);
         }
         // The node remains functional afterwards: a legitimate origin
         // advertisement still works.
@@ -230,7 +230,7 @@ proptest! {
                 },
             }],
         };
-        let _ = node.handle(&[legit]);
+        let _ = node.handle(&[std::sync::Arc::new(legit)]);
         prop_assert!(node.selector().selected(origin).is_some());
     }
 }

@@ -99,7 +99,7 @@ pub fn audit_node(
                 sender_costs: Vec::new(),
                 advertisements: table.clone(),
             };
-            let _ = replay.handle(std::slice::from_ref(&update));
+            let _ = replay.handle(&[std::sync::Arc::new(update)]);
         }
     }
     let expected = converged_advertisements(&replay);

@@ -28,6 +28,7 @@ use bgpvcg_bgp::{
 };
 use bgpvcg_netgraph::{AsId, Cost};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A BGP speaker computing VCG prices under per-neighbor (receive-side)
 /// transit costs, by distributed margin relaxation.
@@ -112,7 +113,7 @@ impl NcPricingNode {
         if dest == me {
             return false;
         }
-        let Some(route) = self.selector.selected(dest).cloned() else {
+        let Some(route) = self.selector.selected(dest) else {
             return self.margins.remove(&dest).is_some();
         };
         if route.path.len() < 3 {
@@ -121,32 +122,31 @@ impl NcPricingNode {
         let transit = &route.path[1..route.path.len() - 1];
         let mut arr = vec![Cost::INFINITE; transit.len()];
         let my_route_cost = route.cost;
-        let neighbors: Vec<AsId> = self.selector.neighbors().collect();
 
-        for (pos, k_entry) in transit.iter().enumerate() {
-            let k = k_entry.node;
-            for &a in &neighbors {
+        // Neighbors outer, transit inner: the per-advertisement values
+        // (receive cost, shift) hoist out of the transit scan and the
+        // Rib-In is probed once per neighbor. The component-wise minimum
+        // is order-independent, so the array is identical either way.
+        for (a, info) in self.selector.rib_for(dest) {
+            // c_a(i): a's receive cost from us, from a's vector.
+            let Some(a_recv_from_me) = self.selector.recv_cost_from(a) else {
+                continue;
+            };
+            let RouteInfo::Reachable {
+                path_cost: a_route_cost,
+                ..
+            } = info
+            else {
+                continue;
+            };
+            let Some(shift) = (a_recv_from_me + *a_route_cost).checked_sub(my_route_cost) else {
+                continue;
+            };
+            for (pos, k_entry) in transit.iter().enumerate() {
+                let k = k_entry.node;
                 if a == k {
                     continue; // the link i–a is never on a k-avoiding path
                 }
-                // c_a(i): a's receive cost from us, from a's vector.
-                let Some(a_recv_from_me) = self.selector.recv_cost_from(a) else {
-                    continue;
-                };
-                let Some(info) = self.selector.rib(a, dest) else {
-                    continue;
-                };
-                let RouteInfo::Reachable {
-                    path_cost: a_route_cost,
-                    ..
-                } = info
-                else {
-                    continue;
-                };
-                let Some(shift) = (a_recv_from_me + *a_route_cost).checked_sub(my_route_cost)
-                else {
-                    continue;
-                };
                 let bound = if let Some(m) = info.price_of(k) {
                     // k is transit on a's path: compose margins.
                     m + shift
@@ -197,20 +197,6 @@ impl NcPricingNode {
         Update::if_nonempty(self.selector.id(), ads)
             .map(|u| u.with_sender_costs(self.vector.clone()))
     }
-
-    fn reprocess_all(&mut self) -> Option<Update> {
-        self.selector.decide_all();
-        let dests: BTreeSet<AsId> = self
-            .selector
-            .destinations()
-            .chain(self.margins.keys().copied())
-            .chain(self.advertised.keys().copied())
-            .collect();
-        for &dest in &dests {
-            self.refresh_margins(dest);
-        }
-        self.emit(dests)
-    }
 }
 
 impl ProtocolNode for NcPricingNode {
@@ -222,7 +208,7 @@ impl ProtocolNode for NcPricingNode {
         self.emit([self.selector.id()])
     }
 
-    fn handle(&mut self, updates: &[Update]) -> Option<Update> {
+    fn handle(&mut self, updates: &[Arc<Update>]) -> Option<Update> {
         let mut affected: BTreeSet<AsId> = BTreeSet::new();
         for update in updates {
             affected.extend(self.selector.ingest(update));
@@ -243,12 +229,20 @@ impl ProtocolNode for NcPricingNode {
                 if !self.selector.has_neighbor(neighbor) {
                     return None;
                 }
-                self.selector.link_down(neighbor);
-                // Losing a link invalidates the cost vector entry for it
-                // and every bound that flowed through it: start over.
+                // Only destinations the vanished Rib-In covered can change
+                // (bounds and candidates for `dest` come exclusively from
+                // rib entries for `dest`; a margin refresh recomputes from
+                // scratch off the current Rib-In) — same argument as the
+                // base `PricingBgpNode`.
+                let affected = self.selector.rib_destinations(neighbor);
+                self.selector.link_down(neighbor); // re-decides `affected`
+                                                   // The dead link's entry leaves our declared vector; it is
+                                                   // attached to whatever this emit (and later ones) sends.
                 self.vector.retain(|&(a, _)| a != neighbor);
-                self.margins.clear();
-                self.reprocess_all()
+                for &dest in &affected {
+                    self.refresh_margins(dest);
+                }
+                self.emit(affected)
             }
             LocalEvent::LinkUp(neighbor) => {
                 self.selector.link_up(neighbor);

@@ -18,6 +18,7 @@ use bgpvcg_bgp::{
 };
 use bgpvcg_netgraph::{AsGraph, AsId, Cost};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A BGP speaker extended with the paper's distributed VCG price
 /// computation.
@@ -113,7 +114,7 @@ impl PricingBgpNode {
         if dest == me {
             return false;
         }
-        let Some(route) = self.selector.selected(dest).cloned() else {
+        let Some(route) = self.selector.selected(dest) else {
             return self.prices.remove(&dest).is_some();
         };
         let transit: &[PathEntry] = &route.path[1..route.path.len() - 1];
@@ -124,7 +125,6 @@ impl PricingBgpNode {
         let mut arr = vec![Cost::INFINITE; transit.len()];
 
         let my_route_cost = route.cost;
-        let neighbors: Vec<AsId> = self.selector.neighbors().collect();
 
         // The paper states its relaxation as four cases by the neighbor's
         // position in the tree T(j) — parent (i), child (ii), unrelated
@@ -146,32 +146,34 @@ impl PricingBgpNode {
         // consistent advertisement plus our current route cost, and is
         // valid for every neighbor and every interleaving (the advertised
         // prices-plus-path-cost sum is grounded in real k-avoiding paths).
-        for (pos, k_entry) in transit.iter().enumerate() {
-            let k = k_entry.node;
-            for &a in &neighbors {
+        // Neighbors are the outer loop so the per-advertisement values
+        // (declared cost, shift) are hoisted out of the transit scan and the
+        // Rib-In is probed once per neighbor instead of once per
+        // `(transit, neighbor)` pair. The component-wise minimum is
+        // order-independent, so the array is identical either way.
+        for (a, info) in self.selector.rib_for(dest) {
+            let RouteInfo::Reachable {
+                path: a_path,
+                path_cost: a_route_cost,
+                ..
+            } = info
+            else {
+                continue;
+            };
+            let a_declared = a_path[0].cost;
+            // Shift shared by all cases; a transiently inconsistent
+            // Rib-In can make it negative, in which case the bound is
+            // skipped (it would have been invalid anyway).
+            let Some(shift) = (a_declared + *a_route_cost).checked_sub(my_route_cost) else {
+                continue;
+            };
+            for (pos, k_entry) in transit.iter().enumerate() {
+                let k = k_entry.node;
                 // Excluded case: the link i–a is never on a k-avoiding path
                 // when a IS k, so that neighbor offers no bound for k.
                 if a == k {
                     continue;
                 }
-                let Some(info) = self.selector.rib(a, dest) else {
-                    continue;
-                };
-                let RouteInfo::Reachable {
-                    path: a_path,
-                    path_cost: a_route_cost,
-                    ..
-                } = info
-                else {
-                    continue;
-                };
-                let a_declared = a_path[0].cost;
-                // Shift shared by all cases; a transiently inconsistent
-                // Rib-In can make it negative, in which case the bound is
-                // skipped (it would have been invalid anyway).
-                let Some(shift) = (a_declared + *a_route_cost).checked_sub(my_route_cost) else {
-                    continue;
-                };
                 let bound = if let Some(p) = info.price_of(k) {
                     // Cases (i)/(ii)/(iii): k is a transit node of a's
                     // advertised path, whose price array bounds the cost of
@@ -233,26 +235,6 @@ impl PricingBgpNode {
         }
         Update::if_nonempty(self.selector.id(), ads)
     }
-
-    /// Routing *and* pricing for every destination the node knows about —
-    /// used after topology events, which can invalidate either.
-    fn reprocess_all(&mut self) -> Option<Update> {
-        self.selector.decide_all();
-        let dests: BTreeSet<AsId> = self
-            .selector
-            .destinations()
-            .chain(self.prices.keys().copied())
-            .chain(self.advertised.keys().copied())
-            .collect();
-        for &dest in &dests {
-            self.refresh_prices(dest);
-        }
-        // Offer every destination to `emit`: its change suppression
-        // (comparing against the last advertisement) catches not only
-        // route/price changes but also restamped declared costs, which
-        // alter the advertisement without altering the route.
-        self.emit(dests)
-    }
 }
 
 impl ProtocolNode for PricingBgpNode {
@@ -264,7 +246,7 @@ impl ProtocolNode for PricingBgpNode {
         self.emit([self.selector.id()])
     }
 
-    fn handle(&mut self, updates: &[Update]) -> Option<Update> {
+    fn handle(&mut self, updates: &[Arc<Update>]) -> Option<Update> {
         let mut affected: BTreeSet<AsId> = BTreeSet::new();
         for update in updates {
             affected.extend(self.selector.ingest(update));
@@ -282,32 +264,37 @@ impl ProtocolNode for PricingBgpNode {
     fn apply_event(&mut self, event: LocalEvent) -> Option<Update> {
         match event {
             LocalEvent::LinkDown(neighbor) => {
-                // Dropping a neighbor can change routes *and* removes its
-                // bounds from every price relaxation, so everything is
-                // recomputed. Changed routes reset their arrays; unchanged
-                // routes keep theirs (their minima were achieved by paths
-                // that still exist... conservatively reset those too, since
-                // a bound may have come through the dead link).
                 if !self.selector.has_neighbor(neighbor) {
                     return None;
                 }
-                self.selector.link_down(neighbor);
-                // Clear all price arrays before the full reprocess: a
-                // refresh is a pure function of the Rib-In, and the failed
-                // link's entries have just been evicted from it.
-                self.prices.clear();
-                self.reprocess_all()
+                // Only the destinations the vanished Rib-In covered can
+                // change: both route selection and the relaxation draw
+                // their candidates/bounds for `dest` exclusively from rib
+                // entries *for `dest`*, and a refresh recomputes from
+                // scratch as a pure function of the current Rib-In — so
+                // every other destination's route and price array are
+                // provably unchanged and need no recompute (and the dead
+                // link's bounds are flushed exactly where they could
+                // exist).
+                let affected = self.selector.rib_destinations(neighbor);
+                self.selector.link_down(neighbor); // re-decides `affected`
+                for &dest in &affected {
+                    self.refresh_prices(dest);
+                }
+                self.emit(affected)
             }
             LocalEvent::LinkUp(neighbor) => {
                 self.selector.link_up(neighbor);
                 None // the engine sends `full_table` to the new neighbor
             }
             LocalEvent::CostChange(cost) => {
-                self.selector.set_declared_cost(cost);
-                // Own cost enters the case-(ii) bound and every originated
-                // path entry: start pricing over.
-                self.prices.clear();
-                self.reprocess_all()
+                // The declared cost never enters this node's *own*
+                // relaxation — the unified bound combines neighbor-
+                // advertised values with our route's transit cost only —
+                // so the price arrays are untouched. Re-advertise exactly
+                // the table entries whose first path entry restamped.
+                let changed = self.selector.set_declared_cost(cost);
+                self.emit(changed)
             }
         }
     }
@@ -376,7 +363,7 @@ mod tests {
         let g = fig1();
         let mut d = PricingBgpNode::new(&g, Fig1::D);
         let mut z = PricingBgpNode::new(&g, Fig1::Z);
-        d.handle(&[z.start().unwrap()]);
+        d.handle(&[Arc::new(z.start().unwrap())]);
         assert_eq!(d.prices(Fig1::Z), None, "no transit nodes, no prices");
         assert_eq!(d.price(Fig1::Z, Fig1::B), None);
     }
@@ -434,7 +421,7 @@ mod tests {
                 },
             }],
         };
-        x.handle(&[b_ad, a_ad]);
+        x.handle(&[Arc::new(b_ad), Arc::new(a_ad)]);
         // Selected route must be X,B,D,Z at cost 3.
         assert_eq!(x.selector().route_cost(Fig1::Z), Cost::new(3));
         assert_eq!(x.price(Fig1::Z, Fig1::B), Some(Cost::new(4)));
@@ -467,7 +454,7 @@ mod tests {
                 },
             }],
         };
-        x.handle(&[a_ad]);
+        x.handle(&[Arc::new(a_ad)]);
         assert_eq!(x.selector().route_cost(Fig1::Z), Cost::new(5));
         assert_eq!(x.prices(Fig1::Z).unwrap(), &[Cost::INFINITE]);
         // Then the better route via B arrives: the array must track the new
@@ -497,7 +484,7 @@ mod tests {
                 },
             }],
         };
-        x.handle(&[b_ad]);
+        x.handle(&[Arc::new(b_ad)]);
         assert_eq!(x.selector().route_cost(Fig1::Z), Cost::new(3));
         let arr = x.prices(Fig1::Z).unwrap();
         assert_eq!(arr.len(), 2);
@@ -534,7 +521,7 @@ mod tests {
                 },
             }],
         };
-        x.handle(&[b_ad]);
+        x.handle(&[Arc::new(b_ad)]);
         assert_eq!(x.state().price_entries, 2);
         // Each price entry carries one transit-node AS label cell.
         assert_eq!(x.state().price_path_nodes, 2);

@@ -73,6 +73,59 @@ pub fn run_sync(graph: &AsGraph) -> Result<PricingRun, MechanismError> {
     })
 }
 
+/// Like [`build_sync_engine`], but with a deterministic worker pool of
+/// `workers` stage threads (`1` selects the serial reference path). The
+/// parallel engine is bit-for-bit identical to the serial one — emitted
+/// updates are merged in node-index order before broadcast; see
+/// `docs/PERFORMANCE.md` for the determinism argument.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+pub fn build_sync_engine_parallel(
+    graph: &AsGraph,
+    workers: usize,
+) -> Result<SyncEngine<PricingBgpNode>, GraphError> {
+    Ok(build_sync_engine(graph)?.with_parallelism(workers))
+}
+
+/// Like [`run_sync`], but stages execute on `workers` threads. The result
+/// (outcome, report, and snapshots) is identical to the serial run for any
+/// worker count.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+///
+/// # Example
+///
+/// ```
+/// use bgpvcg_core::protocol;
+/// use bgpvcg_netgraph::generators::structured::fig1;
+///
+/// # fn main() -> Result<(), bgpvcg_core::MechanismError> {
+/// let g = fig1();
+/// let serial = protocol::run_sync(&g)?;
+/// let parallel = protocol::run_sync_parallel(&g, 4)?;
+/// assert_eq!(serial.outcome, parallel.outcome);
+/// assert_eq!(serial.report, parallel.report);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_sync_parallel(graph: &AsGraph, workers: usize) -> Result<PricingRun, MechanismError> {
+    let mut engine = build_sync_engine_parallel(graph, workers)?;
+    let report = engine.run_to_convergence();
+    let snapshots = engine.state_snapshots();
+    let outcome = outcome_from_nodes(&engine.into_nodes())?;
+    Ok(PricingRun {
+        outcome,
+        report,
+        snapshots,
+    })
+}
+
 /// Like [`run_sync`], but the run narrates itself through `telemetry`: the
 /// engine traces every stage and broadcast (the `bgp_*` metrics and the
 /// JSONL event stream), and the price extraction records the `vcg_*`
@@ -233,6 +286,22 @@ mod tests {
             run.outcome.price(Fig1::Y, Fig1::Z, Fig1::D),
             Some(Cost::new(9))
         );
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bit_for_bit() {
+        for seed in [3u64, 17, 61] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let costs = random_costs(20, 0, 9, &mut rng);
+            let g = barabasi_albert(costs, 2, &mut rng);
+            let serial = run_sync(&g).unwrap();
+            for workers in [2usize, 3, 8] {
+                let parallel = run_sync_parallel(&g, workers).unwrap();
+                assert_eq!(serial.outcome, parallel.outcome, "workers={workers}");
+                assert_eq!(serial.report, parallel.report, "workers={workers}");
+                assert_eq!(serial.snapshots, parallel.snapshots, "workers={workers}");
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! lint engine carries its own minimal lexer instead of depending on `syn`.
 //!
 //! Subcommands:
-//! - `lint`  — run the five protocol lint rules (see `rules`); exit 1 on any
+//! - `lint`  — run the six protocol lint rules (see `rules`); exit 1 on any
 //!   violation outside the `// lint:allow(reason)` allowlist.
 //! - `audit` — lint allowlist hygiene (stale / reason-less annotations),
 //!   verify the invariant-hook wiring is present, then run the test suite
@@ -15,8 +15,12 @@
 //!   golden schema, require full event-kind coverage, check both metric
 //!   expositions, and print the per-stage convergence summary. See
 //!   `docs/OBSERVABILITY.md`.
+//! - `bench` — the perf-record pipeline: run the E14 scale benchmark
+//!   (serial vs parallel, asserted bit-identical) and validate the emitted
+//!   `BENCH_scale.json` against the checked-in schema. `--smoke` runs small
+//!   sizes for CI. See `docs/PERFORMANCE.md`.
 //! - `ci`    — the full offline-tolerant pipeline: fmt check, lint, clippy
-//!   wall, workspace tests, invariant-checked tests, obs. Steps whose
+//!   wall, workspace tests, invariant-checked tests, obs, bench. Steps whose
 //!   external tool is unavailable (no rustfmt/clippy component) are reported
 //!   and skipped rather than failed, so `ci` works in minimal containers.
 
@@ -34,6 +38,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&root),
         Some("audit") => cmd_audit(&root, args.iter().any(|a| a == "--static-only")),
         Some("obs") => cmd_obs(&root),
+        Some("bench") => cmd_bench(&root, args.iter().any(|a| a == "--smoke")),
         Some("ci") => cmd_ci(&root),
         Some("help") | None => {
             print_help();
@@ -51,14 +56,21 @@ fn print_help() {
     println!(
         "cargo xtask <subcommand>\n\n\
          \tlint                run the protocol lint rules (no-panic, pub-docs,\n\
-         \t                    wire-golden, engine-hygiene, trace-schema)\n\
+         \t                    wire-golden, engine-hygiene, trace-schema,\n\
+         \t                    stage-alloc)\n\
          \taudit [--static-only]\n\
          \t                    check allowlist hygiene + invariant-hook wiring,\n\
          \t                    then run tests with --features invariant-checks\n\
          \tobs                 run the traced smoke topology, validate the JSONL\n\
          \t                    trace against the golden schema, check metric\n\
          \t                    expositions, print the convergence summary\n\
-         \tci                  fmt check, lint, clippy, tests, invariant tests, obs\n\
+         \tbench [--smoke]     run the E14 scale benchmark (serial vs parallel)\n\
+         \t                    and validate BENCH_scale.json against\n\
+         \t                    crates/bench/bench-scale-schema.json; --smoke\n\
+         \t                    runs small sizes into target/bench/ and also\n\
+         \t                    validates the checked-in trajectory file\n\
+         \tci                  fmt check, lint, clippy, tests, invariant tests,\n\
+         \t                    obs, bench --smoke\n\
          \thelp                this message"
     );
 }
@@ -133,7 +145,7 @@ fn cmd_lint(root: &Path) -> ExitCode {
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: clean ({} files, 5 rules, 0 violations)",
+            "xtask lint: clean ({} files, 6 rules, 0 violations)",
             files.len()
         );
         ExitCode::SUCCESS
@@ -420,6 +432,162 @@ fn cmd_obs(root: &Path) -> ExitCode {
     }
 }
 
+/// Path of the checked-in schema BENCH_scale.json must conform to.
+const BENCH_SCHEMA: &str = "crates/bench/bench-scale-schema.json";
+
+/// Checks one parsed JSON value against a schema type tag (see
+/// [`BENCH_SCHEMA`]'s `description` for the vocabulary).
+fn bench_type_ok(value: &bgpvcg_telemetry::json::JsonValue, ty: &str) -> bool {
+    use bgpvcg_telemetry::json::JsonValue;
+    match ty {
+        "uint" => matches!(value, JsonValue::UInt(_)),
+        "number" => matches!(value, JsonValue::UInt(_) | JsonValue::Float(_)),
+        "string" => matches!(value, JsonValue::String(_)),
+        "bool" => matches!(value, JsonValue::Bool(_)),
+        "array" => matches!(value, JsonValue::Array(_)),
+        _ => false,
+    }
+}
+
+/// Validates one BENCH_scale.json document against the checked-in schema:
+/// every `top` key present with its declared type, `rows` non-empty, and
+/// every row carrying every `row` key with its declared type. Returns the
+/// number of problems found (all printed).
+fn validate_bench_json(
+    label: &str,
+    text: &str,
+    schema: &bgpvcg_telemetry::json::JsonValue,
+) -> usize {
+    use bgpvcg_telemetry::json::{parse, JsonValue};
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(err) => {
+            println!("==> {label}: does not parse: {err}");
+            return 1;
+        }
+    };
+    let mut problems = 0usize;
+    let check_keys = |spec: Option<&JsonValue>, target: &JsonValue, what: &str| {
+        let Some(JsonValue::Object(spec)) = spec else {
+            println!("==> {label}: schema has no `{what}` object");
+            return 1usize;
+        };
+        let mut bad = 0usize;
+        for (key, ty) in spec {
+            let ty = ty.as_str().unwrap_or("");
+            match target.get(key) {
+                Some(value) if bench_type_ok(value, ty) => {}
+                Some(_) => {
+                    println!("==> {label}: {what} key `{key}` is not a {ty}");
+                    bad += 1;
+                }
+                None => {
+                    println!("==> {label}: {what} key `{key}` is missing");
+                    bad += 1;
+                }
+            }
+        }
+        bad
+    };
+    problems += check_keys(schema.get("top"), &doc, "top");
+    match doc.get("rows") {
+        Some(JsonValue::Array(rows)) if !rows.is_empty() => {
+            for row in rows {
+                problems += check_keys(schema.get("row"), row, "row");
+            }
+        }
+        Some(JsonValue::Array(_)) => {
+            println!("==> {label}: `rows` is empty");
+            problems += 1;
+        }
+        _ => {} // already reported by the `top` check
+    }
+    problems
+}
+
+/// The perf-record pipeline: run E14 (serial vs parallel — the binary
+/// itself asserts the two are bit-identical) and validate the emitted
+/// JSON against [`BENCH_SCHEMA`]. With `--smoke`, small sizes run into
+/// `target/bench/` and the checked-in repo-root `BENCH_scale.json` is
+/// validated as well, so CI catches both a broken emitter and a stale or
+/// hand-mangled trajectory file.
+fn cmd_bench(root: &Path, smoke: bool) -> ExitCode {
+    use bgpvcg_telemetry::json;
+
+    let schema_text = match std::fs::read_to_string(root.join(BENCH_SCHEMA)) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("xtask bench: cannot read {BENCH_SCHEMA}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = match json::parse(&schema_text) {
+        Ok(schema) => schema,
+        Err(err) => {
+            eprintln!("xtask bench: {BENCH_SCHEMA} does not parse: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let out_path = if smoke {
+        let out_dir = root.join("target").join("bench");
+        if let Err(err) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("xtask bench: cannot create {}: {err}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        out_dir.join("BENCH_scale.smoke.json")
+    } else {
+        root.join("BENCH_scale.json")
+    };
+    let out_arg = out_path.display().to_string();
+    let mut cargo_args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "bgpvcg-bench",
+        "--bin",
+        "e14_scale",
+        "--",
+        "--out",
+        &out_arg,
+    ];
+    if smoke {
+        cargo_args.push("--smoke");
+    }
+    if !run_step(root, "e14 scale run", "cargo", &cargo_args, false) {
+        return ExitCode::FAILURE;
+    }
+
+    let mut problems = 0usize;
+    match std::fs::read_to_string(&out_path) {
+        Ok(text) => problems += validate_bench_json("bench output", &text, &schema),
+        Err(err) => {
+            println!("==> cannot read {}: {err}", out_path.display());
+            problems += 1;
+        }
+    }
+    if smoke {
+        // The checked-in trajectory must stay schema-valid too.
+        let tracked = root.join("BENCH_scale.json");
+        match std::fs::read_to_string(&tracked) {
+            Ok(text) => problems += validate_bench_json("BENCH_scale.json", &text, &schema),
+            Err(err) => {
+                println!("==> cannot read {}: {err}", tracked.display());
+                problems += 1;
+            }
+        }
+    }
+
+    if problems == 0 {
+        println!("\nxtask bench: BENCH_scale.json schema-valid");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nxtask bench: FAILED ({problems} problem(s))");
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_ci(root: &Path) -> ExitCode {
     let mut ok = true;
     ok &= run_step(root, "format check", "cargo", &["fmt", "--check"], true);
@@ -454,6 +622,7 @@ fn cmd_ci(root: &Path) -> ExitCode {
         false,
     );
     ok &= cmd_obs(root) == ExitCode::SUCCESS;
+    ok &= cmd_bench(root, true) == ExitCode::SUCCESS;
     if ok {
         println!("xtask ci: all steps passed");
         ExitCode::SUCCESS

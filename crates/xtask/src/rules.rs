@@ -1,4 +1,4 @@
-//! The five protocol-specific lint rules layered on top of the
+//! The six protocol-specific lint rules layered on top of the
 //! `[workspace.lints]` wall (see DESIGN.md § "Static analysis & invariants"):
 //!
 //! 1. **no-panic** — no `unwrap()` / `expect()` / `panic!` family macros in
@@ -12,6 +12,12 @@
 //! 5. **trace-schema** — every `TraceEvent` variant is described by the
 //!    golden trace schema `crates/telemetry/trace-schema.json`, so a new
 //!    event kind cannot ship without `cargo xtask obs` validating it.
+//! 6. **stage-alloc** — no `Vec::new()` / `HashMap::new()` / `vec![`
+//!    allocation inside the stage-loop bodies of the synchronous engine
+//!    (`run_stage`, `parallel_handle` in `crates/bgp/src/engine/sync.rs`):
+//!    the per-stage buffers are reused by design (double-buffered inboxes
+//!    and dirty lists), and a fresh allocation per stage silently undoes
+//!    the PR-3 perf work.
 
 use crate::lexer::{Allow, LexedFile};
 use std::path::{Path, PathBuf};
@@ -387,7 +393,77 @@ pub fn check_trace_schema(
     }
 }
 
-/// Runs all five rules; `raw_lines[i]` are the unlexed lines of `files[i]`
+/// The engine file whose stage-loop bodies must not allocate.
+pub const STAGE_ENGINE_FILE: &str = "crates/bgp/src/engine/sync.rs";
+
+/// The functions forming the per-stage hot loop. Matched on the code line
+/// that introduces them, body tracked by brace depth (same technique as
+/// [`wire_enum_variants`]).
+const STAGE_LOOP_FNS: &[&str] = &["fn run_stage", "fn parallel_handle"];
+
+/// Allocation tokens banned inside the stage loop, with the reason shown
+/// on match.
+const STAGE_ALLOC_TOKENS: &[(&str, &str)] = &[
+    (
+        "Vec::new()",
+        "stage buffers are reused — preallocate and mem::take/swap instead",
+    ),
+    (
+        "HashMap::new()",
+        "stage buffers are reused — preallocate and mem::take/swap instead",
+    ),
+    (
+        "vec![",
+        "stage buffers are reused — preallocate and mem::take/swap instead",
+    ),
+];
+
+/// Rule 6: no per-stage allocation in the synchronous engine's hot loop.
+pub fn check_stage_alloc(files: &[SourceFile], out: &mut Vec<Violation>) {
+    for file in files {
+        if file.rel_path != Path::new(STAGE_ENGINE_FILE) {
+            continue;
+        }
+        let mut depth = 0i32;
+        // Depth at which the current stage-loop fn was introduced, if any.
+        let mut entry_depth: Option<i32> = None;
+        for (idx, line) in file.lexed.code_lines.iter().enumerate() {
+            if file.lexed.test_lines[idx] {
+                continue;
+            }
+            if entry_depth.is_none() {
+                if STAGE_LOOP_FNS.iter().any(|f| line.contains(f)) {
+                    entry_depth = Some(depth);
+                }
+            } else {
+                for (token, hint) in STAGE_ALLOC_TOKENS {
+                    if line.contains(token) && !allowed(&file.lexed.allows, idx) {
+                        out.push(Violation {
+                            rule: "stage-alloc",
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            message: format!("`{token}` in the stage loop: {hint}"),
+                        });
+                    }
+                }
+            }
+            for ch in line.chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if entry_depth == Some(depth) {
+                            entry_depth = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Runs all six rules; `raw_lines[i]` are the unlexed lines of `files[i]`
 /// (needed by pub-docs to see doc comments, which the lexer blanks), and
 /// `schema_text` is the golden trace schema's content if it exists.
 pub fn run_all(
@@ -401,6 +477,7 @@ pub fn run_all(
     check_wire_golden(files, &mut out);
     check_engine_hygiene(files, &mut out);
     check_trace_schema(files, schema_text, &mut out);
+    check_stage_alloc(files, &mut out);
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
@@ -558,6 +635,31 @@ mod tests {
         check_trace_schema(&[], None, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "trace-schema");
+    }
+
+    #[test]
+    fn stage_alloc_flags_allocation_in_stage_loop_only() {
+        let src = "fn run_stage(&mut self) {\n    let v = Vec::new();\n    let m = vec![0; 4];\n}\nfn elsewhere() {\n    let fine = Vec::new();\n}";
+        let files = vec![file("crates/bgp/src/engine/sync.rs", src)];
+        let mut out = Vec::new();
+        check_stage_alloc(&files, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![2, 3], "{out:?}");
+    }
+
+    #[test]
+    fn stage_alloc_respects_allow_and_other_files() {
+        let allowed_src = "fn parallel_handle() {\n    // lint:allow(one-off merge buffer, sized below)\n    let v = Vec::new();\n}";
+        let files = vec![
+            file("crates/bgp/src/engine/sync.rs", allowed_src),
+            file(
+                "crates/bgp/src/engine/event.rs",
+                "fn f() { let v = Vec::new(); }",
+            ),
+        ];
+        let mut out = Vec::new();
+        check_stage_alloc(&files, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -38,6 +38,9 @@ impl ProtocolNode for FullTableNode {
     fn full_table(&self) -> Option<Update> {
         self.0.full_table()
     }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
     fn state(&self) -> StateSnapshot {
         self.0.state()
     }

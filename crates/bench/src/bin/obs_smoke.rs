@@ -11,6 +11,10 @@
 //! 2. **Plain BGP**: the price-free protocol converges, then the D–Z link
 //!    fails; Z's transit routes through D flap away before alternatives
 //!    are learned. Exercises `Withdrawn`.
+//! 3. **Chaos**: the pricing protocol runs over seeded lossy channels with
+//!    one node crash/restart, self-stabilizing to the fault-free fixpoint.
+//!    Exercises `FaultInjected`, `Retransmit`, `SessionReset`, and
+//!    `NodeRestart`.
 //!
 //! A single invocation therefore emits every `TraceEvent` kind, which
 //! `cargo xtask obs` validates line by line against the golden schema in
@@ -21,6 +25,7 @@
 
 use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
+use bgpvcg_bgp::chaos::FaultPlan;
 use bgpvcg_bgp::engine::SyncEngine;
 use bgpvcg_bgp::telemetry::metric;
 use bgpvcg_bgp::{PlainBgpNode, TopologyEvent};
@@ -58,6 +63,18 @@ fn main() {
             .converged
     );
 
+    // Phase 3: pricing over seeded-faulty channels with a crash/restart;
+    // the run must self-stabilize to the fault-free fixpoint.
+    let fault_free = protocol::run_sync(&g).expect("Fig. 1 is biconnected");
+    let plan = FaultPlan::lossy(7, 12).with_crash(3, Fig1::D, 9);
+    let (chaos_outcome, chaos_report) =
+        protocol::run_chaos_telemetry(&g, plan, 5_000, &telemetry).expect("chaos run");
+    assert!(chaos_report.converged, "chaos run must quiesce");
+    assert_eq!(
+        chaos_outcome, fault_free.outcome,
+        "chaos run must self-stabilize to the fault-free fixpoint"
+    );
+
     let mut kind_counts: BTreeMap<&str, u64> = BTreeMap::new();
     for event in ring.events() {
         *kind_counts.entry(event.kind()).or_insert(0) += 1;
@@ -73,6 +90,7 @@ fn main() {
         "pricing: {} stages, {} messages; reconvergence: {} stages, {} messages",
         run.stages, run.messages, reconverge.stages, reconverge.messages
     );
+    println!("chaos: {chaos_report}");
     println!(
         "registry: {} updates, {} relaxations, {} withdrawals",
         snapshot.counters[metric::UPDATES_SENT],
@@ -87,6 +105,10 @@ fn main() {
         "PriceRelaxed",
         "Withdrawn",
         "Quiescent",
+        "FaultInjected",
+        "Retransmit",
+        "SessionReset",
+        "NodeRestart",
     ] {
         assert!(
             kind_counts.get(kind).copied().unwrap_or(0) > 0,

@@ -18,11 +18,28 @@ pub enum TopologyEvent {
     LinkUp(AsId, AsId),
     /// An AS re-declares its per-packet transit cost.
     CostChange(AsId, Cost),
+    /// An entire AS fails: every incident link drops and the node's
+    /// protocol state is lost (it will rejoin from scratch on
+    /// [`TopologyEvent::NodeUp`]). If the surviving topology is no longer
+    /// biconnected, the mechanism's prices become undefined — engines
+    /// surface that as [`GraphError::NotBiconnected`] through their
+    /// fallible event path instead of computing garbage.
+    ///
+    /// [`GraphError::NotBiconnected`]: bgpvcg_netgraph::GraphError
+    NodeDown(AsId),
+    /// A previously failed AS restarts with empty state: its parked links
+    /// come back and it relearns routes via session re-establishment.
+    NodeUp(AsId),
 }
 
 impl TopologyEvent {
     /// The nodes that directly observe this event, paired with what each
     /// observes.
+    ///
+    /// Node-level events return no views here: which neighbors observe a
+    /// crash depends on the *current* adjacency, which only the engine
+    /// knows — it expands `NodeDown`/`NodeUp` into per-neighbor
+    /// `LinkDown`/`LinkUp` views itself.
     pub fn local_views(&self) -> Vec<(AsId, LocalEvent)> {
         match *self {
             TopologyEvent::LinkDown(a, b) => {
@@ -32,6 +49,7 @@ impl TopologyEvent {
                 vec![(a, LocalEvent::LinkUp(b)), (b, LocalEvent::LinkUp(a))]
             }
             TopologyEvent::CostChange(k, cost) => vec![(k, LocalEvent::CostChange(cost))],
+            TopologyEvent::NodeDown(_) | TopologyEvent::NodeUp(_) => Vec::new(),
         }
     }
 }
@@ -67,6 +85,14 @@ mod tests {
             e.local_views(),
             vec![(AsId::new(5), LocalEvent::CostChange(Cost::new(9)))]
         );
+    }
+
+    #[test]
+    fn node_events_defer_views_to_the_engine() {
+        assert!(TopologyEvent::NodeDown(AsId::new(4))
+            .local_views()
+            .is_empty());
+        assert!(TopologyEvent::NodeUp(AsId::new(4)).local_views().is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! message, including any sends that processing triggered. The counter
 //! reading zero therefore proves global quiescence.
 
+use crate::chaos::FaultPlan;
 use crate::message::Update;
 use crate::node::ProtocolNode;
 use crate::telemetry::{metric, UpdateTracer};
@@ -151,7 +152,58 @@ pub fn run_event_driven_chaotic<N>(
 where
     N: ProtocolNode,
 {
-    run_event_driven_impl(graph, nodes, chaos, seed, None)
+    run_event_driven_impl(graph, nodes, chaos, seed, 0.0, 0.0, None)
+}
+
+/// Like [`run_event_driven`], but message handling is perturbed by the
+/// plan's *transport-survivable* faults: deliveries are duplicated with
+/// `duplicate_rate`, service of buffered messages is postponed with
+/// `delay_rate`, and the adversarial cross-sender scheduler randomizes the
+/// interleaving (reordering). All three are faults a reliable transport can
+/// exhibit, and the protocol absorbs them without a recovery layer:
+/// duplicates are idempotent under last-writer-wins Rib-In semantics, and
+/// per-sender FIFO — the one ordering TCP does guarantee and correctness
+/// does require — is preserved throughout.
+///
+/// The plan's loss-class faults (`drop_rate`, crashes, restarts, flaps,
+/// cuts) are deliberately **ignored** here: this engine models BGP over
+/// TCP, where nothing below the session layer loses messages. Losses are
+/// the business of the sequenced session layer in [`crate::chaos`], whose
+/// [`ChaosEngine`](crate::chaos::ChaosEngine) retransmits and
+/// re-establishes around them.
+///
+/// # Panics
+///
+/// Panics if a rate is outside `[0, 1)` or node count mismatches the
+/// graph.
+pub fn run_event_driven_faulty<N>(
+    graph: &AsGraph,
+    nodes: Vec<N>,
+    plan: &FaultPlan,
+) -> (Vec<N>, EventReport)
+where
+    N: ProtocolNode,
+{
+    assert!(
+        (0.0..1.0).contains(&plan.duplicate_rate) && (0.0..1.0).contains(&plan.delay_rate),
+        "fault rates must be in [0, 1)"
+    );
+    // Any fault needs the buffering scheduler; 0.5 is only a switch (see
+    // `run_event_driven_chaotic`), randomness comes from the plan's seed.
+    let chaos = if plan.duplicate_rate > 0.0 || plan.delay_rate > 0.0 {
+        0.5
+    } else {
+        0.0
+    };
+    run_event_driven_impl(
+        graph,
+        nodes,
+        chaos,
+        plan.seed,
+        plan.duplicate_rate,
+        plan.delay_rate,
+        None,
+    )
 }
 
 /// Like [`run_event_driven`], but narrates the run through `telemetry`:
@@ -171,7 +223,7 @@ pub fn run_event_driven_telemetry<N>(
 where
     N: ProtocolNode,
 {
-    run_event_driven_impl(graph, nodes, 0.0, 0, Some(telemetry))
+    run_event_driven_impl(graph, nodes, 0.0, 0, 0.0, 0.0, Some(telemetry))
 }
 
 fn run_event_driven_impl<N>(
@@ -179,6 +231,8 @@ fn run_event_driven_impl<N>(
     nodes: Vec<N>,
     chaos: f64,
     seed: u64,
+    duplicates: f64,
+    delays: f64,
     telemetry: Option<&Telemetry>,
 ) -> (Vec<N>, EventReport)
 where
@@ -252,10 +306,13 @@ where
                 // Per-sender sub-queues for the adversarial scheduler: FIFO
                 // within a sender, random service order across senders.
                 let mut buffered: BTreeMap<AsId, VecDeque<Arc<Update>>> = BTreeMap::new();
-                let process = |node: &mut N, update: &Arc<Update>| {
+                let handle_once = |node: &mut N, update: &Arc<Update>| {
                     if let Some(out) = node.handle(std::slice::from_ref(update)) {
                         broadcast(&out);
                     }
+                };
+                let process = |node: &mut N, update: &Arc<Update>| {
+                    handle_once(node, update);
                     // Decrement only after processing (and its sends) completed.
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                 };
@@ -278,10 +335,22 @@ where
                         Some(Envelope::Deliver(update)) => {
                             if let Some(rng) = scheduler.as_mut() {
                                 // Buffer, then service one random sender's
-                                // front (never `None`: we just pushed).
+                                // front (never `None`: we just pushed) —
+                                // unless a delay fault postpones service to a
+                                // later round (the timeout branch below
+                                // guarantees eventual progress).
                                 buffered.entry(update.from).or_default().push_back(update);
+                                if delays > 0.0 && rng.gen_bool(delays) {
+                                    continue;
+                                }
                                 if let Some(next) = drain_random(rng, &mut buffered) {
                                     process(&mut node, &next);
+                                    // A duplicate delivery: the same update
+                                    // handled again, which last-writer-wins
+                                    // Rib-In semantics must absorb silently.
+                                    if duplicates > 0.0 && rng.gen_bool(duplicates) {
+                                        handle_once(&mut node, &next);
+                                    }
                                 }
                             } else {
                                 process(&mut node, &update);
@@ -290,7 +359,8 @@ where
                         None => {
                             // Timeout with a local buffer: only the chaotic
                             // scheduler buffers, so without one this re-enters
-                            // recv() above.
+                            // recv() above. Delay faults never apply here, so
+                            // postponed messages cannot starve.
                             if let Some(rng) = scheduler.as_mut() {
                                 if let Some(next) = drain_random(rng, &mut buffered) {
                                     process(&mut node, &next);
@@ -421,6 +491,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn faulty_delivery_reaches_the_same_fixpoint() {
+        // Duplicates, delays, and adversarial reordering must all be
+        // absorbed without a recovery layer.
+        let mut rng = StdRng::seed_from_u64(29);
+        let costs = random_costs(12, 0, 9, &mut rng);
+        let g = erdos_renyi(costs, 0.35, &mut rng);
+        let (reference, _) = run_event_driven(&g, PlainBgpNode::from_graph(&g));
+        for seed in 0..3 {
+            let plan = crate::chaos::FaultPlan {
+                duplicate_rate: 0.25,
+                delay_rate: 0.25,
+                ..crate::chaos::FaultPlan::lossy(seed, 0)
+            };
+            let (faulty, _) = run_event_driven_faulty(&g, PlainBgpNode::from_graph(&g), &plan);
+            for (a, b) in reference.iter().zip(&faulty) {
+                for j in g.nodes() {
+                    assert_eq!(a.selector().route(j), b.selector().route(j), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates must be")]
+    fn faulty_rejects_out_of_range_rates() {
+        let g = fig1();
+        let plan = crate::chaos::FaultPlan {
+            duplicate_rate: 1.0,
+            ..crate::chaos::FaultPlan::quiet()
+        };
+        let _ = run_event_driven_faulty(&g, PlainBgpNode::from_graph(&g), &plan);
     }
 
     #[test]

@@ -7,6 +7,7 @@ mod invariants;
 mod sync;
 
 pub use event::{
-    run_event_driven, run_event_driven_chaotic, run_event_driven_telemetry, EventReport,
+    run_event_driven, run_event_driven_chaotic, run_event_driven_faulty,
+    run_event_driven_telemetry, EventReport,
 };
 pub use sync::{RunReport, StageTrace, SyncEngine};

@@ -10,13 +10,13 @@
 //! for the architecture and the determinism argument.
 
 use super::invariants;
-use crate::dynamics::TopologyEvent;
+use crate::dynamics::{LocalEvent, TopologyEvent};
 use crate::message::Update;
 use crate::node::ProtocolNode;
 use crate::stats::StateSnapshot;
 use crate::telemetry::{metric, RunInstruments};
 use crate::wire;
-use bgpvcg_netgraph::{AsGraph, AsId};
+use bgpvcg_netgraph::{AsGraph, AsId, Cost, GraphError};
 use bgpvcg_telemetry::{Telemetry, TraceEvent};
 use std::fmt;
 use std::sync::Arc;
@@ -142,6 +142,15 @@ pub struct SyncEngine<N> {
     /// the nodes the next stage must run. Maintained by `broadcast` /
     /// `unicast` (a slot is pushed when it transitions empty → non-empty).
     dirty: Vec<u32>,
+    /// `down[k]` marks node `k` as crashed: no incident links, no inbox,
+    /// protocol state already wiped (see [`TopologyEvent::NodeDown`]).
+    down: Vec<bool>,
+    /// The neighbor list each crashed node had when it went down, so
+    /// [`TopologyEvent::NodeUp`] can restore exactly those links. A link
+    /// whose far end is *also* down is handed over to that node's parked
+    /// list when this one restarts, so both-down links resurface when the
+    /// second endpoint comes back.
+    parked: Vec<Vec<AsId>>,
     /// Double buffer for `dirty`, empty between stages.
     stage_dirty: Vec<u32>,
     /// Worker threads per stage; 1 = the serial reference path.
@@ -178,6 +187,8 @@ impl<N: ProtocolNode> SyncEngine<N> {
             inboxes: vec![Vec::new(); n],
             delivered: vec![Vec::new(); n],
             dirty: Vec::new(),
+            down: vec![false; n],
+            parked: vec![Vec::new(); n],
             stage_dirty: Vec::new(),
             workers: 1,
             stage_limit: 8 * n + 64,
@@ -497,42 +508,244 @@ impl<N: ProtocolNode> SyncEngine<N> {
     ///
     /// # Panics
     ///
-    /// Panics if the event references unknown nodes, brings up an existing
-    /// link, or takes down a missing one.
+    /// Panics if the event is invalid in the current topology — see
+    /// [`try_apply_event`](Self::try_apply_event), the fallible variant
+    /// chaos harnesses use, for the exact conditions.
     pub fn apply_event(&mut self, event: TopologyEvent) -> RunReport {
+        match self.try_apply_event(event) {
+            Ok(report) => report,
+            // lint:allow(documented # Panics contract: the infallible API surfaces invalid events as programming errors)
+            Err(error) => panic!("cannot apply {event:?}: {error}"),
+        }
+    }
+
+    /// Returns `true` if node `k` is currently crashed
+    /// ([`TopologyEvent::NodeDown`] without a matching
+    /// [`TopologyEvent::NodeUp`] yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn is_down(&self, k: AsId) -> bool {
+        self.down[k.index()]
+    }
+
+    /// Checks that `event` can be applied to the current topology without
+    /// touching anything.
+    fn validate_event(&self, event: TopologyEvent) -> Result<(), GraphError> {
+        let in_range = |id: AsId| {
+            if id.index() < self.nodes.len() {
+                Ok(())
+            } else {
+                Err(GraphError::UnknownNode(id))
+            }
+        };
+        match event {
+            TopologyEvent::LinkDown(a, b) => {
+                in_range(a)?;
+                in_range(b)?;
+                if !self.adjacency[a.index()].contains(&b) {
+                    return Err(GraphError::MissingLink(a, b));
+                }
+                Ok(())
+            }
+            TopologyEvent::LinkUp(a, b) => {
+                in_range(a)?;
+                in_range(b)?;
+                if a == b {
+                    return Err(GraphError::SelfLoop(a));
+                }
+                for id in [a, b] {
+                    if self.down[id.index()] {
+                        return Err(GraphError::NodeOffline(id));
+                    }
+                }
+                if self.adjacency[a.index()].contains(&b) {
+                    return Err(GraphError::DuplicateLink(a, b));
+                }
+                Ok(())
+            }
+            TopologyEvent::CostChange(k, _) => {
+                in_range(k)?;
+                if self.down[k.index()] {
+                    return Err(GraphError::NodeOffline(k));
+                }
+                Ok(())
+            }
+            TopologyEvent::NodeDown(k) => {
+                in_range(k)?;
+                if self.down[k.index()] {
+                    return Err(GraphError::NodeOffline(k));
+                }
+                self.residual_biconnected(k, false)
+            }
+            TopologyEvent::NodeUp(k) => {
+                in_range(k)?;
+                if !self.down[k.index()] {
+                    return Err(GraphError::NodeOnline(k));
+                }
+                self.residual_biconnected(k, true)
+            }
+        }
+    }
+
+    /// Checks that the set of *live* nodes — with `toggle` additionally
+    /// removed (`bring_up == false`) or restored with its parked links
+    /// (`bring_up == true`) — still forms a biconnected graph, the
+    /// precondition for k-avoiding paths and hence VCG prices (paper,
+    /// Sect. 4). Costs are irrelevant to the check, so the scratch graph
+    /// uses zeros; surviving ids are renumbered densely.
+    fn residual_biconnected(&self, toggle: AsId, bring_up: bool) -> Result<(), GraphError> {
+        let n = self.nodes.len();
+        let included = |idx: usize| {
+            (!self.down[idx] && (bring_up || idx != toggle.index()))
+                || (bring_up && idx == toggle.index())
+        };
+        let mut remap = vec![u32::MAX; n];
+        let mut builder = AsGraph::builder();
+        let mut survivors = 0usize;
+        for (idx, slot) in remap.iter_mut().enumerate() {
+            if included(idx) {
+                *slot = builder.add_node(Cost::ZERO).index() as u32;
+                survivors += 1;
+            }
+        }
+        if survivors < 3 {
+            return Err(GraphError::TooSmall { nodes: survivors });
+        }
+        for idx in 0..n {
+            if remap[idx] == u32::MAX {
+                continue;
+            }
+            for &b in &self.adjacency[idx] {
+                if b.index() > idx && remap[b.index()] != u32::MAX {
+                    builder.add_link(AsId::new(remap[idx]), AsId::new(remap[b.index()]))?;
+                }
+            }
+        }
+        if bring_up {
+            // The restart restores exactly the parked links whose far end
+            // is live; a crashed node's adjacency above was empty.
+            for &a in &self.parked[toggle.index()] {
+                if remap[a.index()] != u32::MAX {
+                    builder.add_link(
+                        AsId::new(remap[toggle.index()]),
+                        AsId::new(remap[a.index()]),
+                    )?;
+                }
+            }
+        }
+        if builder.build().is_biconnected() {
+            Ok(())
+        } else {
+            Err(GraphError::NotBiconnected)
+        }
+    }
+
+    /// Applies a topology event and reconverges — the fallible twin of
+    /// [`apply_event`](Self::apply_event), used wherever invalid events
+    /// are *data* rather than programming errors (the chaos harness feeds
+    /// randomly generated schedules through this path).
+    ///
+    /// # Errors
+    ///
+    /// Returns — without mutating anything — [`GraphError::UnknownNode`]
+    /// for out-of-range ids, [`GraphError::MissingLink`] /
+    /// [`GraphError::DuplicateLink`] / [`GraphError::SelfLoop`] for
+    /// invalid link events, [`GraphError::NodeOffline`] /
+    /// [`GraphError::NodeOnline`] for events touching a node in the wrong
+    /// liveness state, and [`GraphError::NotBiconnected`] /
+    /// [`GraphError::TooSmall`] when a node removal (or a restart whose
+    /// surviving link set is too thin) would leave the live topology
+    /// without the biconnectivity VCG pricing requires — instead of
+    /// letting prices silently become undefined.
+    pub fn try_apply_event(&mut self, event: TopologyEvent) -> Result<RunReport, GraphError> {
+        self.validate_event(event)?;
         let mut report = RunReport {
             converged: true,
             ..RunReport::default()
         };
-        // Update the engine's own adjacency first.
+        // Update the engine's own topology state first (validated above).
+        // `restored` collects the links a NodeUp brings back; empty
+        // otherwise.
+        let mut restored: Vec<AsId> = Vec::new();
         match event {
             TopologyEvent::LinkDown(a, b) => {
-                let removed_a = {
-                    let adj = &mut self.adjacency[a.index()];
-                    let before = adj.len();
-                    adj.retain(|&x| x != b);
-                    adj.len() != before
-                };
-                assert!(removed_a, "link {a}–{b} does not exist");
+                self.adjacency[a.index()].retain(|&x| x != b);
                 self.adjacency[b.index()].retain(|&x| x != a);
             }
             TopologyEvent::LinkUp(a, b) => {
-                assert!(a != b, "no self links");
-                assert!(
-                    !self.adjacency[a.index()].contains(&b),
-                    "link {a}–{b} already exists"
-                );
                 self.adjacency[a.index()].push(b);
                 self.adjacency[a.index()].sort_unstable();
                 self.adjacency[b.index()].push(a);
                 self.adjacency[b.index()].sort_unstable();
             }
             TopologyEvent::CostChange(..) => {}
+            TopologyEvent::NodeDown(k) => {
+                let ki = k.index();
+                // Detach every incident link (both directions) and park
+                // the neighbor list for the eventual restart.
+                let neighbors = std::mem::take(&mut self.adjacency[ki]);
+                for &a in &neighbors {
+                    self.adjacency[a.index()].retain(|&x| x != k);
+                }
+                // Crash semantics: the node loses all protocol state now
+                // (its links too — it restarts with none until they are
+                // restored), and anything queued for it is gone with it.
+                self.nodes[ki].reset();
+                for &a in &neighbors {
+                    let _ = self.nodes[ki].apply_event(LocalEvent::LinkDown(a));
+                }
+                self.inboxes[ki].clear();
+                self.dirty.retain(|&idx| idx as usize != ki);
+                self.parked[ki] = neighbors;
+                self.down[ki] = true;
+            }
+            TopologyEvent::NodeUp(k) => {
+                let ki = k.index();
+                self.down[ki] = false;
+                let parked = std::mem::take(&mut self.parked[ki]);
+                for &a in &parked {
+                    if self.down[a.index()] {
+                        // The far end is still down: hand the link over to
+                        // its parked set so it returns when *that* node
+                        // restarts.
+                        if !self.parked[a.index()].contains(&k) {
+                            self.parked[a.index()].push(k);
+                        }
+                    } else {
+                        self.adjacency[ki].push(a);
+                        self.adjacency[a.index()].push(k);
+                        self.adjacency[a.index()].sort_unstable();
+                        restored.push(a);
+                    }
+                }
+                self.adjacency[ki].sort_unstable();
+            }
         }
         // Let the affected nodes react. Reaction broadcasts precede the
-        // reconvergence run's stage 1, so they trace at stage 0.
+        // reconvergence run's stage 1, so they trace at stage 0. Node-level
+        // events expand into per-neighbor link views here, because only the
+        // engine knows the adjacency in force when the node went down/up.
+        let views: Vec<(AsId, LocalEvent)> = match event {
+            TopologyEvent::NodeDown(k) => self.parked[k.index()]
+                .iter()
+                .map(|&a| (a, LocalEvent::LinkDown(k)))
+                .collect(),
+            TopologyEvent::NodeUp(k) => restored
+                .iter()
+                .flat_map(|&a| [(k, LocalEvent::LinkUp(a)), (a, LocalEvent::LinkUp(k))])
+                .collect(),
+            _ => event.local_views(),
+        };
         let mut instruments = self.instruments.take();
-        for (id, local) in event.local_views() {
+        if let (TopologyEvent::NodeUp(k), Some(ins)) = (event, instruments.as_ref()) {
+            ins.telemetry().record(&TraceEvent::NodeRestart {
+                stage: 0,
+                node: k.index() as u32,
+            });
+        }
+        for (id, local) in views {
             if let Some(update) = self.nodes[id.index()].apply_event(local) {
                 let update = Arc::new(update);
                 let (m, e, b) = self.broadcast(id, &update);
@@ -544,24 +757,29 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 report.bytes += b;
             }
         }
-        // Session establishment: on link-up both ends exchange full tables.
-        if let TopologyEvent::LinkUp(a, b) = event {
-            for (me, other) in [(a, b), (b, a)] {
-                if let Some(table) = self.nodes[me.index()].full_table() {
-                    let (m, e, bytes) = self.unicast(other, table);
-                    if let Some(ins) = instruments.as_mut() {
-                        ins.on_unicast(m, e, bytes);
-                    }
-                    report.messages += m;
-                    report.entries += e;
-                    report.bytes += bytes;
+        // Session establishment: every (re)activated link exchanges full
+        // tables in both directions — on restart the rejoining node's
+        // "table" is just its origin route, exactly a from-scratch join.
+        let established: Vec<(AsId, AsId)> = match event {
+            TopologyEvent::LinkUp(a, b) => vec![(a, b), (b, a)],
+            TopologyEvent::NodeUp(k) => restored.iter().flat_map(|&a| [(k, a), (a, k)]).collect(),
+            _ => Vec::new(),
+        };
+        for (me, other) in established {
+            if let Some(table) = self.nodes[me.index()].full_table() {
+                let (m, e, bytes) = self.unicast(other, table);
+                if let Some(ins) = instruments.as_mut() {
+                    ins.on_unicast(m, e, bytes);
                 }
+                report.messages += m;
+                report.entries += e;
+                report.bytes += bytes;
             }
         }
         self.instruments = instruments;
         let reconverge = self.run_to_convergence();
         report.absorb(reconverge);
-        report
+        Ok(report)
     }
 
     /// State snapshots of every node (for the E5 experiment), in AS order.
@@ -880,6 +1098,143 @@ mod tests {
         let g = fig1();
         let (mut engine, _) = converged_engine(&g);
         engine.apply_event(TopologyEvent::LinkDown(Fig1::X, Fig1::Z));
+    }
+
+    #[test]
+    fn node_down_withdraws_it_and_node_up_restores_the_fixpoint() {
+        use bgpvcg_netgraph::generators::structured::hypercube;
+        let g = hypercube(3, Cost::new(2));
+        let (mut engine, _) = converged_engine(&g);
+        let k = AsId::new(3);
+        let report = engine.apply_event(TopologyEvent::NodeDown(k));
+        assert!(report.converged);
+        assert!(engine.is_down(k));
+        for i in g.nodes().filter(|&i| i != k) {
+            assert_eq!(
+                engine.node(i).selector().route(k),
+                None,
+                "{i} must lose its route to the crashed node"
+            );
+            assert!(!engine.node(i).selector().has_neighbor(k));
+        }
+        // The crashed node itself is back to a blank slate.
+        assert_eq!(engine.node(k).selector().destinations().count(), 1);
+        let report = engine.apply_event(TopologyEvent::NodeUp(k));
+        assert!(report.converged);
+        assert!(!engine.is_down(k));
+        // Self-stabilization: the rejoined network reaches the same
+        // fixpoint as one that never crashed.
+        let (fresh, _) = converged_engine(&g);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(
+                    engine.node(i).selector().route(j),
+                    fresh.node(i).selector().route(j),
+                    "{i} -> {j} after crash + restart"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn biconnectivity_breaking_node_down_is_rejected_without_damage() {
+        let g = ring(6, Cost::new(1));
+        let (mut engine, _) = converged_engine(&g);
+        let err = engine
+            .try_apply_event(TopologyEvent::NodeDown(AsId::new(2)))
+            .unwrap_err();
+        assert_eq!(err, GraphError::NotBiconnected);
+        // Nothing was mutated: the engine is still quiescent on the old
+        // fixpoint and the "removed" node still routes.
+        assert!(!engine.is_down(AsId::new(2)));
+        let again = engine.run_to_convergence();
+        assert_eq!(again.messages, 0);
+        assert!(engine
+            .node(AsId::new(0))
+            .selector()
+            .route(AsId::new(2))
+            .is_some());
+    }
+
+    #[test]
+    fn liveness_mismatches_surface_typed_errors() {
+        use bgpvcg_netgraph::generators::structured::hypercube;
+        let g = hypercube(3, Cost::new(1));
+        let (mut engine, _) = converged_engine(&g);
+        let k = AsId::new(5);
+        assert_eq!(
+            engine.try_apply_event(TopologyEvent::NodeUp(k)),
+            Err(GraphError::NodeOnline(k)),
+            "bringing up a live node"
+        );
+        engine.try_apply_event(TopologyEvent::NodeDown(k)).unwrap();
+        assert_eq!(
+            engine.try_apply_event(TopologyEvent::NodeDown(k)),
+            Err(GraphError::NodeOffline(k)),
+            "crashing a crashed node"
+        );
+        assert_eq!(
+            engine.try_apply_event(TopologyEvent::CostChange(k, Cost::new(9))),
+            Err(GraphError::NodeOffline(k)),
+            "a crashed node cannot re-declare"
+        );
+        assert_eq!(
+            engine.try_apply_event(TopologyEvent::LinkUp(AsId::new(0), k)),
+            Err(GraphError::NodeOffline(k)),
+            "no new links to a crashed node"
+        );
+        assert_eq!(
+            engine.try_apply_event(TopologyEvent::NodeDown(AsId::new(99))),
+            Err(GraphError::UnknownNode(AsId::new(99)))
+        );
+    }
+
+    #[test]
+    fn both_down_links_resurface_when_the_second_endpoint_restarts() {
+        use bgpvcg_netgraph::generators::structured::hypercube;
+        let g = hypercube(3, Cost::new(3));
+        let (mut engine, _) = converged_engine(&g);
+        // 0 and 1 are adjacent in the hypercube; crash both, then restart
+        // in the same order — the 0–1 link is parked twice over and must
+        // come back with the second restart.
+        engine.apply_event(TopologyEvent::NodeDown(AsId::new(0)));
+        engine.apply_event(TopologyEvent::NodeDown(AsId::new(1)));
+        engine.apply_event(TopologyEvent::NodeUp(AsId::new(0)));
+        assert!(
+            !engine
+                .node(AsId::new(0))
+                .selector()
+                .has_neighbor(AsId::new(1)),
+            "far end still down: the link stays parked"
+        );
+        engine.apply_event(TopologyEvent::NodeUp(AsId::new(1)));
+        let (fresh, _) = converged_engine(&g);
+        for i in g.nodes() {
+            for j in g.nodes() {
+                assert_eq!(
+                    engine.node(i).selector().route(j),
+                    fresh.node(i).selector().route(j),
+                    "{i} -> {j} after double crash + restart"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_restart_is_traced() {
+        use bgpvcg_netgraph::generators::structured::hypercube;
+        let g = hypercube(3, Cost::new(2));
+        let (mut engine, _) = converged_engine(&g);
+        let (telemetry, sink) = Telemetry::ring(8192);
+        engine.attach_telemetry(&telemetry);
+        engine.apply_event(TopologyEvent::NodeDown(AsId::new(6)));
+        engine.apply_event(TopologyEvent::NodeUp(AsId::new(6)));
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::NodeRestart { node: 6, .. })),
+            "restart must be narrated"
+        );
     }
 
     #[test]

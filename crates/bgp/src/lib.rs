@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod engine;
 pub mod forwarding;
 pub mod telemetry;
@@ -55,8 +56,9 @@ mod node;
 mod selector;
 mod stats;
 
+pub use chaos::{ChaosEngine, ChaosReport, FaultPlan};
 pub use dynamics::{LocalEvent, TopologyEvent};
-pub use message::{PathEntry, RouteAdvertisement, RouteInfo, Update};
+pub use message::{Frame, FrameKind, PathEntry, RouteAdvertisement, RouteInfo, Update};
 pub use node::{PlainBgpNode, ProtocolNode};
 pub use selector::{RouteSelector, SelectedRoute};
 pub use stats::StateSnapshot;

@@ -151,6 +151,55 @@ impl fmt::Display for Update {
     }
 }
 
+/// A sequenced session frame: the unit the lossy-channel recovery layer
+/// (see the `chaos` module and `docs/ROBUSTNESS.md`) exchanges between
+/// neighbors instead of bare [`Update`]s.
+///
+/// Each direction of each link carries an independent stream identified by
+/// an `epoch` (bumped on every session (re)establishment, so state lost to
+/// a crash or hold-timer teardown can never be confused with the live
+/// stream) and a per-epoch `seq`. Every frame also piggybacks the sender's
+/// cumulative receive state for the reverse stream (`ack_epoch`/`ack`),
+/// which drives retransmission and regression detection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Epoch of the sender's stream toward the receiver.
+    pub epoch: u64,
+    /// Sequence number within `epoch`. [`FrameKind::Open`] always carries
+    /// seq 0; keepalives repeat the next unassigned seq without consuming
+    /// it.
+    pub seq: u64,
+    /// The epoch the sender currently accepts on the *reverse* stream
+    /// (0 = none accepted yet).
+    pub ack_epoch: u64,
+    /// Cumulative ack for the reverse stream: all seqs `< ack` of
+    /// `ack_epoch` were received in order.
+    pub ack: u64,
+    /// The payload.
+    pub kind: FrameKind,
+}
+
+/// Payload of a session [`Frame`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Establishes (or re-establishes) the sender's stream: the receiver
+    /// resets its per-neighbor receive state to this frame's epoch.
+    Open,
+    /// A sequenced routing UPDATE.
+    Data(Update),
+    /// Liveness probe carrying only ack state; sent when the stream has
+    /// been idle long enough that the peer's hold timer could fire.
+    Keepalive,
+}
+
+impl Frame {
+    /// `true` for frames that consume a sequence number (and therefore are
+    /// retransmitted until acknowledged).
+    pub fn is_sequenced(&self) -> bool {
+        !matches!(self.kind, FrameKind::Keepalive)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +272,32 @@ mod tests {
         let u = Update::if_nonempty(AsId::new(1), vec![ad]).unwrap();
         assert_eq!(u.entry_count(), 1);
         assert_eq!(u.from, AsId::new(1));
+    }
+
+    #[test]
+    fn only_keepalives_are_unsequenced() {
+        let base = Frame {
+            epoch: 1,
+            seq: 0,
+            ack_epoch: 0,
+            ack: 0,
+            kind: FrameKind::Open,
+        };
+        assert!(base.is_sequenced());
+        let data = Frame {
+            kind: FrameKind::Data(Update {
+                from: AsId::new(0),
+                sender_costs: Vec::new(),
+                advertisements: vec![],
+            }),
+            ..base.clone()
+        };
+        assert!(data.is_sequenced());
+        let keepalive = Frame {
+            kind: FrameKind::Keepalive,
+            ..base
+        };
+        assert!(!keepalive.is_sequenced());
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub trait ProtocolNode: Send {
     /// when a new session is established.
     fn full_table(&self) -> Option<Update>;
 
+    /// Forgets all learned state, returning the node to its
+    /// just-constructed condition — same id, declared cost, and current
+    /// link set, but empty RIBs and change-suppression memory. The chaos
+    /// harness calls this to model a crash followed by a restart; the node
+    /// relearns everything through session re-establishment afterwards.
+    fn reset(&mut self);
+
     /// Sizes of the node's protocol state, for the E5 experiment.
     fn state(&self) -> StateSnapshot;
 }
@@ -182,6 +189,11 @@ impl ProtocolNode for PlainBgpNode {
         Update::if_nonempty(self.selector.id(), ads)
     }
 
+    fn reset(&mut self) {
+        self.selector.reset();
+        self.advertised.clear();
+    }
+
     fn state(&self) -> StateSnapshot {
         let mut snapshot = StateSnapshot::default();
         for dest in self.selector.destinations() {
@@ -291,6 +303,23 @@ mod tests {
             .expect("cost change must re-advertise");
         let info = &out.advertisements[0].info;
         assert_eq!(info.path().unwrap()[0].cost, Cost::new(42));
+    }
+
+    #[test]
+    fn reset_restores_just_constructed_behaviour() {
+        let g = fig1();
+        let mut d = PlainBgpNode::new(&g, Fig1::D);
+        let mut z = PlainBgpNode::new(&g, Fig1::Z);
+        d.start();
+        let z_origin = Arc::new(z.start().unwrap());
+        d.handle(std::slice::from_ref(&z_origin));
+        d.reset();
+        // Learned route is gone; the node behaves exactly like a fresh one:
+        // start() re-advertises the origin, and re-delivery of Z's origin is
+        // a change again (the suppression memory was wiped).
+        assert_eq!(d.selector().route_cost(Fig1::Z), Cost::INFINITE);
+        assert!(d.start().is_some(), "restart re-advertises the origin");
+        assert!(d.handle(&[z_origin]).is_some());
     }
 
     #[test]

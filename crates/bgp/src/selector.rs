@@ -380,6 +380,20 @@ impl RouteSelector {
         self.rib_in.entry(a).or_default();
     }
 
+    /// Forgets everything learned from the network — Rib-In contents,
+    /// neighbor cost vectors, and every non-trivial table entry — returning
+    /// the selector to its just-constructed condition with the same id,
+    /// declared cost, and current neighbor set. This models a crash followed
+    /// by a restart: the process loses its RIBs but keeps its configuration
+    /// (who it is, what it charges, which links are physically attached).
+    pub fn reset(&mut self) {
+        for routes in self.rib_in.values_mut() {
+            routes.clear();
+        }
+        self.neighbor_vectors.clear();
+        self.table.retain(|dest, _| *dest == self.id);
+    }
+
     /// Handles the link to `a` going down: drops its Rib-In and re-decides
     /// the destinations it covered; returns those whose selection changed.
     ///
@@ -690,6 +704,29 @@ mod tests {
             }],
         };
         assert!(s.ingest(&empty).is_empty());
+    }
+
+    #[test]
+    fn reset_forgets_learned_state_but_keeps_identity() {
+        let mut s = selector();
+        let u = update(1, vec![ad(9, vec![entry(1, 3), entry(9, 2)], 0)])
+            .with_sender_costs(vec![(AsId::new(0), Cost::new(7))]);
+        s.ingest(&u);
+        s.decide_all();
+        assert!(s.selected(AsId::new(9)).is_some());
+        s.reset();
+        assert_eq!(s.id(), AsId::new(0));
+        assert_eq!(s.declared_cost(), Cost::new(5));
+        assert_eq!(
+            s.neighbors().collect::<Vec<_>>(),
+            vec![AsId::new(1), AsId::new(2)],
+            "physical links survive a restart"
+        );
+        assert!(s.selected(AsId::new(9)).is_none());
+        assert!(s.rib(AsId::new(1), AsId::new(9)).is_none());
+        assert!(s.neighbor_vector(AsId::new(1)).is_none());
+        assert_eq!(s.destinations().count(), 1, "only the trivial route");
+        assert_eq!(s.route_cost(AsId::new(0)), Cost::ZERO);
     }
 
     #[test]

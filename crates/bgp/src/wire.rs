@@ -29,10 +29,22 @@
 //! tag 2     := node u32 | cost u64       (TopologyEvent::CostChange)
 //! tag 3/4   := neighbor u32              (LocalEvent::LinkDown/LinkUp)
 //! tag 5     := cost u64                  (LocalEvent::CostChange)
+//! tag 6/7   := node u32                  (TopologyEvent::NodeDown/NodeUp)
+//! ```
+//!
+//! The lossy-channel recovery layer (see `chaos` and `docs/ROBUSTNESS.md`)
+//! wraps UPDATEs in sequenced session frames with their own magic:
+//!
+//! ```text
+//! frame     := magic "BF" | version u8 | kind u8
+//!            | epoch u64 | seq u64 | ack_epoch u64 | ack u64 | payload
+//! kind 0    := (no payload)              (FrameKind::Open)
+//! kind 1    := message                   (FrameKind::Data, embedded UPDATE)
+//! kind 2    := (no payload)              (FrameKind::Keepalive)
 //! ```
 
 use crate::dynamics::{LocalEvent, TopologyEvent};
-use crate::message::{PathEntry, RouteAdvertisement, RouteInfo, Update};
+use crate::message::{Frame, FrameKind, PathEntry, RouteAdvertisement, RouteInfo, Update};
 use bgpvcg_netgraph::{AsId, Cost};
 use std::error::Error;
 use std::fmt;
@@ -44,9 +56,13 @@ pub const COST_BYTES: usize = 8;
 /// Fixed per-message header: magic (2) + version (1) + sender (4) +
 /// sender-cost count (2) + entry count (2).
 pub const MESSAGE_HEADER_BYTES: usize = 11;
+/// Fixed per-session-frame header: magic (2) + version (1) + kind (1) +
+/// epoch (8) + seq (8) + ack_epoch (8) + ack (8).
+pub const FRAME_HEADER_BYTES: usize = 36;
 
 const MAGIC: [u8; 2] = *b"BV";
 const EVENT_MAGIC: [u8; 2] = *b"BE";
+const FRAME_MAGIC: [u8; 2] = *b"BF";
 const VERSION: u8 = 1;
 const KIND_WITHDRAWN: u8 = 0;
 const KIND_REACHABLE: u8 = 1;
@@ -56,6 +72,11 @@ const TAG_TOPO_COST_CHANGE: u8 = 2;
 const TAG_LOCAL_LINK_DOWN: u8 = 3;
 const TAG_LOCAL_LINK_UP: u8 = 4;
 const TAG_LOCAL_COST_CHANGE: u8 = 5;
+const TAG_TOPO_NODE_DOWN: u8 = 6;
+const TAG_TOPO_NODE_UP: u8 = 7;
+const FRAME_KIND_OPEN: u8 = 0;
+const FRAME_KIND_DATA: u8 = 1;
+const FRAME_KIND_KEEPALIVE: u8 = 2;
 /// On-wire sentinel for [`Cost::INFINITE`].
 const INFINITE_WIRE: u64 = u64::MAX;
 
@@ -71,6 +92,8 @@ pub enum DecodeError {
     BadKind(u8),
     /// An event tag byte named no known event variant.
     BadEventTag(u8),
+    /// A session-frame kind byte named no known frame kind.
+    BadFrameKind(u8),
     /// Trailing bytes followed a structurally complete message.
     TrailingBytes(usize),
 }
@@ -82,6 +105,7 @@ impl fmt::Display for DecodeError {
             DecodeError::BadHeader => write!(f, "bad magic or version"),
             DecodeError::BadKind(k) => write!(f, "unknown advertisement kind {k}"),
             DecodeError::BadEventTag(t) => write!(f, "unknown event tag {t}"),
+            DecodeError::BadFrameKind(k) => write!(f, "unknown frame kind {k}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing byte(s)"),
         }
     }
@@ -176,6 +200,14 @@ impl<'a> Reader<'a> {
             .try_into()
             .map_err(|_| DecodeError::Truncated)?;
         Ok(u32::from_le_bytes(bytes))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let bytes = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn cost(&mut self) -> Result<Cost, DecodeError> {
@@ -280,6 +312,16 @@ pub fn encode_topology_event(event: &TopologyEvent) -> Vec<u8> {
             put_cost(&mut out, cost);
             out
         }
+        TopologyEvent::NodeDown(node) => {
+            let mut out = event_frame(TAG_TOPO_NODE_DOWN);
+            out.extend_from_slice(&node.raw().to_le_bytes());
+            out
+        }
+        TopologyEvent::NodeUp(node) => {
+            let mut out = event_frame(TAG_TOPO_NODE_UP);
+            out.extend_from_slice(&node.raw().to_le_bytes());
+            out
+        }
     }
 }
 
@@ -332,6 +374,8 @@ pub fn decode_topology_event(buf: &[u8]) -> Result<TopologyEvent, DecodeError> {
         TAG_TOPO_LINK_DOWN => TopologyEvent::LinkDown(AsId::new(r.u32()?), AsId::new(r.u32()?)),
         TAG_TOPO_LINK_UP => TopologyEvent::LinkUp(AsId::new(r.u32()?), AsId::new(r.u32()?)),
         TAG_TOPO_COST_CHANGE => TopologyEvent::CostChange(AsId::new(r.u32()?), r.cost()?),
+        TAG_TOPO_NODE_DOWN => TopologyEvent::NodeDown(AsId::new(r.u32()?)),
+        TAG_TOPO_NODE_UP => TopologyEvent::NodeUp(AsId::new(r.u32()?)),
         other => return Err(DecodeError::BadEventTag(other)),
     };
     finish_frame(&r)?;
@@ -354,6 +398,75 @@ pub fn decode_local_event(buf: &[u8]) -> Result<LocalEvent, DecodeError> {
     };
     finish_frame(&r)?;
     Ok(event)
+}
+
+/// Serializes a sequenced session frame (recovery layer) to its wire form.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(VERSION);
+    out.push(match frame.kind {
+        FrameKind::Open => FRAME_KIND_OPEN,
+        FrameKind::Data(_) => FRAME_KIND_DATA,
+        FrameKind::Keepalive => FRAME_KIND_KEEPALIVE,
+    });
+    out.extend_from_slice(&frame.epoch.to_le_bytes());
+    out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.extend_from_slice(&frame.ack_epoch.to_le_bytes());
+    out.extend_from_slice(&frame.ack.to_le_bytes());
+    if let FrameKind::Data(update) = &frame.kind {
+        out.extend_from_slice(&encode_update(update));
+    }
+    out
+}
+
+/// Parses a wire session frame back into a [`Frame`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, bad header, an unknown frame
+/// kind, a malformed embedded UPDATE, or trailing bytes.
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(2)? != FRAME_MAGIC || r.u8()? != VERSION {
+        return Err(DecodeError::BadHeader);
+    }
+    let kind_tag = r.u8()?;
+    let epoch = r.u64()?;
+    let seq = r.u64()?;
+    let ack_epoch = r.u64()?;
+    let ack = r.u64()?;
+    let kind = match kind_tag {
+        FRAME_KIND_OPEN => {
+            finish_frame(&r)?;
+            FrameKind::Open
+        }
+        FRAME_KIND_DATA => {
+            let payload = r.take(buf.len() - r.pos)?;
+            FrameKind::Data(decode_update(payload)?)
+        }
+        FRAME_KIND_KEEPALIVE => {
+            finish_frame(&r)?;
+            FrameKind::Keepalive
+        }
+        other => return Err(DecodeError::BadFrameKind(other)),
+    };
+    Ok(Frame {
+        epoch,
+        seq,
+        ack_epoch,
+        ack,
+        kind,
+    })
+}
+
+/// Wire size of a session frame (its encoded length).
+pub fn frame_size(frame: &Frame) -> usize {
+    FRAME_HEADER_BYTES
+        + match &frame.kind {
+            FrameKind::Data(update) => update_size(update),
+            FrameKind::Open | FrameKind::Keepalive => 0,
+        }
 }
 
 /// Wire size of one table entry (its encoded length).
@@ -515,5 +628,92 @@ mod tests {
         };
         assert_eq!(encode_update(&update).len(), MESSAGE_HEADER_BYTES);
         assert_eq!(decode_update(&encode_update(&update)).unwrap(), update);
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame {
+                epoch: 3,
+                seq: 0,
+                ack_epoch: 2,
+                ack: 7,
+                kind: FrameKind::Open,
+            },
+            Frame {
+                epoch: 3,
+                seq: 1,
+                ack_epoch: 2,
+                ack: 7,
+                kind: FrameKind::Data(sample_update()),
+            },
+            Frame {
+                epoch: 3,
+                seq: 0,
+                ack_epoch: 2,
+                ack: 9,
+                kind: FrameKind::Keepalive,
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_and_report_their_size() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            assert_eq!(frame_size(&frame), bytes.len());
+            assert_eq!(decode_frame(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn frame_truncation_is_detected_at_every_length() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 0..bytes.len() {
+                let err = decode_frame(&bytes[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, DecodeError::Truncated | DecodeError::BadHeader),
+                    "cut at {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_corruption_is_rejected_with_typed_errors() {
+        let mut bytes = encode_frame(&sample_frames()[0]);
+        bytes[0] = b'X';
+        assert_eq!(decode_frame(&bytes).unwrap_err(), DecodeError::BadHeader);
+
+        let mut bytes = encode_frame(&sample_frames()[0]);
+        bytes[3] = 9; // kind byte
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            DecodeError::BadFrameKind(9)
+        );
+
+        let mut bytes = encode_frame(&sample_frames()[2]);
+        bytes.push(0xAB);
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            DecodeError::TrailingBytes(1)
+        );
+
+        // A Data frame whose embedded UPDATE is corrupted surfaces the
+        // inner decoder's typed error.
+        let mut bytes = encode_frame(&sample_frames()[1]);
+        bytes[FRAME_HEADER_BYTES] = b'X'; // embedded UPDATE magic
+        assert_eq!(decode_frame(&bytes).unwrap_err(), DecodeError::BadHeader);
+    }
+
+    #[test]
+    fn node_events_round_trip() {
+        for event in [
+            TopologyEvent::NodeDown(AsId::new(6)),
+            TopologyEvent::NodeUp(AsId::new(6)),
+        ] {
+            let bytes = encode_topology_event(&event);
+            assert_eq!(decode_topology_event(&bytes).unwrap(), event);
+        }
     }
 }

@@ -7,7 +7,8 @@
 //! mutually-consistent-but-new codecs.
 
 use bgpvcg_bgp::{
-    wire, LocalEvent, PathEntry, RouteAdvertisement, RouteInfo, TopologyEvent, Update,
+    wire, Frame, FrameKind, LocalEvent, PathEntry, RouteAdvertisement, RouteInfo, TopologyEvent,
+    Update,
 };
 use bgpvcg_netgraph::{AsId, Cost};
 
@@ -180,6 +181,134 @@ fn event_frames_reject_corruption() {
     let local = wire::encode_local_event(&LocalEvent::LinkUp(AsId::new(1)));
     assert!(wire::decode_topology_event(&local).is_err());
     assert!(wire::decode_local_event(&bytes).is_err());
+}
+
+/// One golden vector per node-liveness topology-event variant.
+#[test]
+fn golden_node_event_frames() {
+    let cases: Vec<(TopologyEvent, Vec<u8>)> = vec![
+        (
+            TopologyEvent::NodeDown(AsId::new(8)),
+            vec![
+                // magic "BE", version 1, tag 6
+                0x42, 0x45, 0x01, 0x06, //
+                // node = 8 (u32 LE)
+                0x08, 0x00, 0x00, 0x00,
+            ],
+        ),
+        (
+            TopologyEvent::NodeUp(AsId::new(9)),
+            vec![0x42, 0x45, 0x01, 0x07, 0x09, 0x00, 0x00, 0x00],
+        ),
+    ];
+    for (event, expected) in cases {
+        let bytes = wire::encode_topology_event(&event);
+        assert_eq!(bytes, expected, "layout changed for {event:?}");
+        assert_eq!(wire::decode_topology_event(&bytes).unwrap(), event);
+    }
+}
+
+/// Golden vectors for the session-frame header across all frame kinds: the
+/// recovery layer's wire format is interoperability surface exactly like
+/// the UPDATE layout.
+#[test]
+fn golden_session_frame_layout() {
+    let open = Frame {
+        epoch: 3,
+        seq: 0,
+        ack_epoch: 2,
+        ack: 5,
+        kind: FrameKind::Open,
+    };
+    let expected: Vec<u8> = vec![
+        // magic "BF", version 1, kind 0 (Open)
+        0x42, 0x46, 0x01, 0x00, //
+        // epoch = 3 (u64 LE)
+        0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // seq = 0
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // ack_epoch = 2
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // ack = 5
+        0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    ];
+    let bytes = wire::encode_frame(&open);
+    assert_eq!(bytes, expected, "frame layout changed — version-bump");
+    assert_eq!(bytes.len(), wire::FRAME_HEADER_BYTES);
+    assert_eq!(wire::decode_frame(&bytes).unwrap(), open);
+
+    // Keepalive: same header, kind byte 2, no payload.
+    let keepalive = Frame {
+        kind: FrameKind::Keepalive,
+        ..open.clone()
+    };
+    let ka_bytes = wire::encode_frame(&keepalive);
+    assert_eq!(ka_bytes[3], 0x02);
+    assert_eq!(&ka_bytes[4..], &bytes[4..]);
+    assert_eq!(wire::decode_frame(&ka_bytes).unwrap(), keepalive);
+
+    // Data: kind byte 1, the embedded UPDATE in its own (golden-pinned)
+    // layout directly after the header.
+    let data = Frame {
+        kind: FrameKind::Data(sample()),
+        ..open
+    };
+    let data_bytes = wire::encode_frame(&data);
+    assert_eq!(data_bytes[3], 0x01);
+    assert_eq!(
+        &data_bytes[wire::FRAME_HEADER_BYTES..],
+        wire::encode_update(&sample())
+    );
+    assert_eq!(wire::decode_frame(&data_bytes).unwrap(), data);
+    assert_eq!(wire::frame_size(&data), data_bytes.len());
+}
+
+/// Corrupted session frames decode to typed errors, never panics or
+/// misparses — the property the chaos harness's loss model relies on.
+#[test]
+fn session_frames_reject_corruption() {
+    let frame = Frame {
+        epoch: 1,
+        seq: 1,
+        ack_epoch: 1,
+        ack: 1,
+        kind: FrameKind::Data(sample()),
+    };
+    let bytes = wire::encode_frame(&frame);
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(wire::decode_frame(&bad_magic).is_err());
+
+    let mut bad_version = bytes.clone();
+    bad_version[2] = 0xFF;
+    assert!(wire::decode_frame(&bad_version).is_err());
+
+    let mut bad_kind = bytes.clone();
+    bad_kind[3] = 9;
+    assert!(matches!(
+        wire::decode_frame(&bad_kind),
+        Err(wire::DecodeError::BadFrameKind(9))
+    ));
+
+    for cut in 0..bytes.len() {
+        assert!(wire::decode_frame(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+
+    let mut trailing = wire::encode_frame(&Frame {
+        epoch: 1,
+        seq: 0,
+        ack_epoch: 0,
+        ack: 0,
+        kind: FrameKind::Open,
+    });
+    trailing.push(0);
+    assert!(wire::decode_frame(&trailing).is_err());
+
+    // A corrupted embedded UPDATE surfaces the inner decode error.
+    let mut bad_payload = bytes;
+    bad_payload[wire::FRAME_HEADER_BYTES] = b'X'; // breaks the "BV" magic
+    assert!(wire::decode_frame(&bad_payload).is_err());
 }
 
 #[test]

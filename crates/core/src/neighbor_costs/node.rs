@@ -268,6 +268,14 @@ impl ProtocolNode for NcPricingNode {
             .map(|u| u.with_sender_costs(self.vector.clone()))
     }
 
+    fn reset(&mut self) {
+        // The declared vector is configuration, not learned state: a
+        // restarted node still charges the same per-neighbor receive costs.
+        self.selector.reset();
+        self.margins.clear();
+        self.advertised.clear();
+    }
+
     fn state(&self) -> StateSnapshot {
         let mut snapshot = StateSnapshot::default();
         for dest in self.selector.destinations() {

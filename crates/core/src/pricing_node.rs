@@ -311,6 +311,12 @@ impl ProtocolNode for PricingBgpNode {
         Update::if_nonempty(self.selector.id(), ads)
     }
 
+    fn reset(&mut self) {
+        self.selector.reset();
+        self.prices.clear();
+        self.advertised.clear();
+    }
+
     fn state(&self) -> StateSnapshot {
         // Reuse the plain node's accounting for the shared structures...
         let mut snapshot = StateSnapshot::default();

@@ -9,8 +9,10 @@ use crate::errors::MechanismError;
 use crate::outcome::{PairOutcome, RoutingOutcome};
 use crate::pricing_node::PricingBgpNode;
 use crate::telemetry::metric;
+use bgpvcg_bgp::chaos::{ChaosEngine, ChaosReport, FaultPlan};
 use bgpvcg_bgp::engine::{
-    run_event_driven, run_event_driven_telemetry, EventReport, RunReport, SyncEngine,
+    run_event_driven, run_event_driven_faulty, run_event_driven_telemetry, EventReport, RunReport,
+    SyncEngine,
 };
 use bgpvcg_bgp::{ProtocolNode, StateSnapshot};
 use bgpvcg_netgraph::{AsGraph, GraphError};
@@ -209,6 +211,95 @@ pub fn run_async(graph: &AsGraph) -> Result<(RoutingOutcome, EventReport), Mecha
     Ok((outcome_from_nodes(&nodes)?, report))
 }
 
+/// Like [`run_async`], but deliveries are perturbed by the plan's
+/// transport-survivable faults (duplication, delay, adversarial
+/// reordering — loss-class faults are ignored; see
+/// [`run_event_driven_faulty`]). The outcome must still equal the
+/// fault-free one: the pricing fixpoint is unique and the faults preserve
+/// per-sender FIFO.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail, or [`MechanismError::MissingPrice`] if the run somehow quiesced
+/// short of the pricing fixpoint.
+///
+/// # Panics
+///
+/// Panics if a plan rate is outside `[0, 1)`.
+pub fn run_async_faulty(
+    graph: &AsGraph,
+    plan: &FaultPlan,
+) -> Result<(RoutingOutcome, EventReport), MechanismError> {
+    graph.validate_for_mechanism()?;
+    crate::invariants::mechanism_preconditions(graph);
+    let (nodes, report) = run_event_driven_faulty(graph, PricingBgpNode::from_graph(graph), plan);
+    Ok((outcome_from_nodes(&nodes)?, report))
+}
+
+/// Builds a chaos harness loaded with pricing nodes, without running it.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+pub fn build_chaos_engine(
+    graph: &AsGraph,
+    plan: FaultPlan,
+) -> Result<ChaosEngine<PricingBgpNode>, GraphError> {
+    graph.validate_for_mechanism()?;
+    crate::invariants::mechanism_preconditions(graph);
+    Ok(ChaosEngine::new(
+        graph,
+        PricingBgpNode::from_graph(graph),
+        plan,
+    ))
+}
+
+/// Runs the pricing protocol over seeded-faulty channels until the network
+/// self-stabilizes (or `max_stages` runs out), then extracts the outcome.
+///
+/// Once the plan's faults cease, the sequenced session layer recovers
+/// every lost exchange, so the extracted `(routes, prices)` must be
+/// *identical* to a fault-free run — the self-stabilization property the
+/// parity suite checks. See `docs/ROBUSTNESS.md`.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail, [`MechanismError::MissingPrice`] if the run was cut off before
+/// the pricing fixpoint (check [`ChaosReport::converged`]).
+pub fn run_chaos(
+    graph: &AsGraph,
+    plan: FaultPlan,
+    max_stages: u64,
+) -> Result<(RoutingOutcome, ChaosReport), MechanismError> {
+    let mut engine = build_chaos_engine(graph, plan)?;
+    let report = engine.run_to_stable(max_stages);
+    Ok((outcome_from_nodes(&engine.into_nodes())?, report))
+}
+
+/// Like [`run_chaos`], but narrated through `telemetry`: fault injections,
+/// retransmissions, session resets, and node restarts all trace, alongside
+/// the usual route/price events.
+///
+/// # Errors
+///
+/// As for [`run_chaos`].
+pub fn run_chaos_telemetry(
+    graph: &AsGraph,
+    plan: FaultPlan,
+    max_stages: u64,
+    telemetry: &Telemetry,
+) -> Result<(RoutingOutcome, ChaosReport), MechanismError> {
+    let mut engine = build_chaos_engine(graph, plan)?;
+    engine.attach_telemetry(telemetry);
+    let report = engine.run_to_stable(max_stages);
+    let outcome = outcome_from_nodes(&engine.into_nodes())?;
+    record_extraction(&outcome, telemetry);
+    Ok((outcome, report))
+}
+
 /// Extracts the distributed state of converged nodes into a
 /// [`RoutingOutcome`].
 ///
@@ -394,6 +485,45 @@ mod tests {
                 reference,
                 "seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn chaos_run_self_stabilizes_to_vcg_prices() {
+        let g = fig1();
+        let reference = vcg::compute(&g).unwrap();
+        for seed in 0..3 {
+            let (outcome, report) = run_chaos(&g, FaultPlan::lossy(seed, 16), 400).unwrap();
+            assert!(report.converged, "seed {seed}: {report}");
+            assert_eq!(outcome, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaos_run_with_crash_recovers_vcg_prices() {
+        let g = petersen(Cost::new(2));
+        let reference = vcg::compute(&g).unwrap();
+        let plan = FaultPlan::lossy(5, 24).with_crash(6, bgpvcg_netgraph::AsId::new(4), 14);
+        let (outcome, report) = run_chaos(&g, plan, 600).unwrap();
+        assert!(report.converged, "{report}");
+        assert_eq!(report.crashes, 1);
+        assert_eq!(outcome, reference);
+    }
+
+    #[test]
+    fn faulty_async_delivery_still_computes_vcg_prices() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let costs = random_costs(12, 1, 9, &mut rng);
+        let g = erdos_renyi(costs, 0.3, &mut rng);
+        let reference = vcg::compute(&g).unwrap();
+        for seed in 0..2 {
+            let plan = FaultPlan {
+                duplicate_rate: 0.2,
+                delay_rate: 0.2,
+                ..FaultPlan::lossy(seed, 0)
+            };
+            let (outcome, _) = run_async_faulty(&g, &plan).unwrap();
+            assert_eq!(outcome, reference, "seed {seed}");
         }
     }
 

@@ -15,6 +15,13 @@ pub enum GraphError {
     /// The link already exists (the model allows at most one link per AS
     /// pair, following the Griffin–Wilfong abstraction the paper adopts).
     DuplicateLink(AsId, AsId),
+    /// The link does not exist, so it cannot be removed or failed.
+    MissingLink(AsId, AsId),
+    /// The node is offline (already crashed/taken down), so the requested
+    /// operation has no subject.
+    NodeOffline(AsId),
+    /// The node is already online, so it cannot be brought up again.
+    NodeOnline(AsId),
     /// The graph is not biconnected, so lowest-cost k-avoiding paths — and
     /// therefore VCG prices — are undefined (paper, Sect. 4).
     NotBiconnected,
@@ -36,6 +43,11 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateLink(a, b) => {
                 write!(f, "link between {a} and {b} already exists")
             }
+            GraphError::MissingLink(a, b) => {
+                write!(f, "link between {a} and {b} does not exist")
+            }
+            GraphError::NodeOffline(id) => write!(f, "node {id} is offline"),
+            GraphError::NodeOnline(id) => write!(f, "node {id} is already online"),
             GraphError::NotBiconnected => write!(
                 f,
                 "graph is not biconnected, so k-avoiding paths and VCG prices are undefined"
@@ -66,6 +78,12 @@ mod tests {
                 GraphError::DuplicateLink(AsId::new(0), AsId::new(1)),
                 "already exists",
             ),
+            (
+                GraphError::MissingLink(AsId::new(0), AsId::new(1)),
+                "does not exist",
+            ),
+            (GraphError::NodeOffline(AsId::new(2)), "offline"),
+            (GraphError::NodeOnline(AsId::new(2)), "already online"),
             (GraphError::NotBiconnected, "biconnected"),
             (GraphError::TooSmall { nodes: 2 }, "2 node"),
             (GraphError::Disconnected, "not connected"),

@@ -70,6 +70,50 @@ pub enum TraceEvent {
         /// Total messages delivered over the run.
         messages: u64,
     },
+    /// A seeded chaos fault perturbed the message fabric (see the
+    /// `chaos` module of the BGP crate and `docs/ROBUSTNESS.md`).
+    FaultInjected {
+        /// Stage (or async sequence) of the injection.
+        stage: u64,
+        /// The AS whose traffic or state was hit (the sender, for
+        /// channel faults).
+        node: u32,
+        /// The receiving AS for channel faults; `u32::MAX` for node-level
+        /// faults (crash, restart).
+        peer: u32,
+        /// Fault code: 0 drop, 1 duplicate, 2 delay, 3 link flap,
+        /// 4 crash.
+        fault: u32,
+    },
+    /// A sender re-sent a sequenced frame that stayed unacknowledged past
+    /// the retransmit timer.
+    Retransmit {
+        /// Stage of the re-send.
+        stage: u64,
+        /// The retransmitting AS.
+        from: u32,
+        /// The neighbor the frame is addressed to.
+        to: u32,
+        /// Sequence number of the re-sent frame.
+        seq: u64,
+    },
+    /// A receiver reset its per-neighbor transport session (a new epoch
+    /// was accepted, or the hold timer tore the session down).
+    SessionReset {
+        /// Stage of the reset.
+        stage: u64,
+        /// The AS resetting its session state.
+        node: u32,
+        /// The neighbor the session belongs to.
+        peer: u32,
+    },
+    /// A crashed node rejoined the protocol with empty state.
+    NodeRestart {
+        /// Stage of the rejoin.
+        stage: u64,
+        /// The restarting AS.
+        node: u32,
+    },
 }
 
 impl TraceEvent {
@@ -82,6 +126,10 @@ impl TraceEvent {
             TraceEvent::PriceRelaxed { .. } => "PriceRelaxed",
             TraceEvent::Withdrawn { .. } => "Withdrawn",
             TraceEvent::Quiescent { .. } => "Quiescent",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::Retransmit { .. } => "Retransmit",
+            TraceEvent::SessionReset { .. } => "SessionReset",
+            TraceEvent::NodeRestart { .. } => "NodeRestart",
         }
     }
 
@@ -92,7 +140,11 @@ impl TraceEvent {
             | TraceEvent::RouteSelected { stage, .. }
             | TraceEvent::PriceRelaxed { stage, .. }
             | TraceEvent::Withdrawn { stage, .. }
-            | TraceEvent::Quiescent { stage, .. } => stage,
+            | TraceEvent::Quiescent { stage, .. }
+            | TraceEvent::FaultInjected { stage, .. }
+            | TraceEvent::Retransmit { stage, .. }
+            | TraceEvent::SessionReset { stage, .. }
+            | TraceEvent::NodeRestart { stage, .. } => stage,
         }
     }
 
@@ -131,6 +183,30 @@ impl TraceEvent {
             TraceEvent::Quiescent { stage, messages } => {
                 format!("{{\"type\":\"Quiescent\",\"stage\":{stage},\"messages\":{messages}}}")
             }
+            TraceEvent::FaultInjected {
+                stage,
+                node,
+                peer,
+                fault,
+            } => format!(
+                "{{\"type\":\"FaultInjected\",\"stage\":{stage},\"node\":{node},\
+                 \"peer\":{peer},\"fault\":{fault}}}"
+            ),
+            TraceEvent::Retransmit {
+                stage,
+                from,
+                to,
+                seq,
+            } => format!(
+                "{{\"type\":\"Retransmit\",\"stage\":{stage},\"from\":{from},\
+                 \"to\":{to},\"seq\":{seq}}}"
+            ),
+            TraceEvent::SessionReset { stage, node, peer } => format!(
+                "{{\"type\":\"SessionReset\",\"stage\":{stage},\"node\":{node},\"peer\":{peer}}}"
+            ),
+            TraceEvent::NodeRestart { stage, node } => {
+                format!("{{\"type\":\"NodeRestart\",\"stage\":{stage},\"node\":{node}}}")
+            }
         }
     }
 }
@@ -167,6 +243,24 @@ mod tests {
                 stage: 3,
                 messages: 42,
             },
+            TraceEvent::FaultInjected {
+                stage: 4,
+                node: 0,
+                peer: 1,
+                fault: 0,
+            },
+            TraceEvent::Retransmit {
+                stage: 5,
+                from: 0,
+                to: 1,
+                seq: 7,
+            },
+            TraceEvent::SessionReset {
+                stage: 6,
+                node: 1,
+                peer: 0,
+            },
+            TraceEvent::NodeRestart { stage: 7, node: 2 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
         assert_eq!(
@@ -176,11 +270,15 @@ mod tests {
                 "RouteSelected",
                 "PriceRelaxed",
                 "Withdrawn",
-                "Quiescent"
+                "Quiescent",
+                "FaultInjected",
+                "Retransmit",
+                "SessionReset",
+                "NodeRestart",
             ]
         );
         kinds.dedup();
-        assert_eq!(kinds.len(), 5);
+        assert_eq!(kinds.len(), 9);
     }
 
     #[test]

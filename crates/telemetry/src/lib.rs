@@ -12,7 +12,9 @@
 //!    [`expose::prometheus_text`] and [`expose::json`].
 //! 2. **Tracing** ([`TraceEvent`], [`TraceSink`]): a typed event stream
 //!    (`StageStart`, `RouteSelected`, `PriceRelaxed`, `Withdrawn`,
-//!    `Quiescent`) keyed by node/destination/stage, written as JSONL
+//!    `Quiescent`, plus the fault vocabulary `FaultInjected`,
+//!    `Retransmit`, `SessionReset`, `NodeRestart`) keyed by
+//!    node/destination/stage, written as JSONL
 //!    ([`JsonlSink`]) or kept in memory ([`RingBufferSink`]), and checked
 //!    against the golden schema in `trace-schema.json` ([`schema::Schema`]).
 //! 3. **Time** ([`Clock`]): injectable nanosecond sources so per-stage wall

@@ -197,9 +197,13 @@ mod tests {
         assert_eq!(
             schema.kinds(),
             vec![
+                "FaultInjected",
+                "NodeRestart",
                 "PriceRelaxed",
                 "Quiescent",
+                "Retransmit",
                 "RouteSelected",
+                "SessionReset",
                 "StageStart",
                 "Withdrawn"
             ]
@@ -235,6 +239,24 @@ mod tests {
                 stage: 3,
                 messages: 20,
             },
+            TraceEvent::FaultInjected {
+                stage: 4,
+                node: 0,
+                peer: u32::MAX,
+                fault: 4,
+            },
+            TraceEvent::Retransmit {
+                stage: 5,
+                from: 1,
+                to: 0,
+                seq: 12,
+            },
+            TraceEvent::SessionReset {
+                stage: 6,
+                node: 0,
+                peer: 1,
+            },
+            TraceEvent::NodeRestart { stage: 7, node: 0 },
         ];
         for event in &events {
             assert_eq!(

@@ -18,11 +18,17 @@
 //! - `bench` — the perf-record pipeline: run the E14 scale benchmark
 //!   (serial vs parallel, asserted bit-identical) and validate the emitted
 //!   `BENCH_scale.json` against the checked-in schema. `--smoke` runs small
-//!   sizes for CI. See `docs/PERFORMANCE.md`.
+//!   sizes for CI and also re-validates the checked-in `BENCH_chaos.json`.
+//!   See `docs/PERFORMANCE.md`.
+//! - `chaos` — the robustness pipeline: run the E19 chaos benchmark (every
+//!   run asserted bit-identical to the fault-free fixpoint) and validate
+//!   the emitted `BENCH_chaos.json` against the checked-in schema.
+//!   `--smoke` runs small sizes for CI. See `docs/ROBUSTNESS.md`.
 //! - `ci`    — the full offline-tolerant pipeline: fmt check, lint, clippy
-//!   wall, workspace tests, invariant-checked tests, obs, bench. Steps whose
-//!   external tool is unavailable (no rustfmt/clippy component) are reported
-//!   and skipped rather than failed, so `ci` works in minimal containers.
+//!   wall, workspace tests, invariant-checked tests, obs, bench, chaos.
+//!   Steps whose external tool is unavailable (no rustfmt/clippy component)
+//!   are reported and skipped rather than failed, so `ci` works in minimal
+//!   containers.
 
 mod lexer;
 mod rules;
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&root, args.iter().any(|a| a == "--static-only")),
         Some("obs") => cmd_obs(&root),
         Some("bench") => cmd_bench(&root, args.iter().any(|a| a == "--smoke")),
+        Some("chaos") => cmd_chaos(&root, args.iter().any(|a| a == "--smoke")),
         Some("ci") => cmd_ci(&root),
         Some("help") | None => {
             print_help();
@@ -68,9 +75,15 @@ fn print_help() {
          \t                    and validate BENCH_scale.json against\n\
          \t                    crates/bench/bench-scale-schema.json; --smoke\n\
          \t                    runs small sizes into target/bench/ and also\n\
-         \t                    validates the checked-in trajectory file\n\
+         \t                    validates the checked-in trajectory files\n\
+         \t                    (scale and chaos)\n\
+         \tchaos [--smoke]     run the E19 chaos benchmark (seeded faults,\n\
+         \t                    self-stabilization asserted) and validate\n\
+         \t                    BENCH_chaos.json against\n\
+         \t                    crates/bench/bench-chaos-schema.json; --smoke\n\
+         \t                    runs small sizes into target/bench/\n\
          \tci                  fmt check, lint, clippy, tests, invariant tests,\n\
-         \t                    obs, bench --smoke\n\
+         \t                    obs, bench --smoke, chaos --smoke\n\
          \thelp                this message"
     );
 }
@@ -435,6 +448,9 @@ fn cmd_obs(root: &Path) -> ExitCode {
 /// Path of the checked-in schema BENCH_scale.json must conform to.
 const BENCH_SCHEMA: &str = "crates/bench/bench-scale-schema.json";
 
+/// Path of the checked-in schema BENCH_chaos.json must conform to.
+const CHAOS_SCHEMA: &str = "crates/bench/bench-chaos-schema.json";
+
 /// Checks one parsed JSON value against a schema type tag (see
 /// [`BENCH_SCHEMA`]'s `description` for the vocabulary).
 fn bench_type_ok(value: &bgpvcg_telemetry::json::JsonValue, ty: &str) -> bool {
@@ -568,7 +584,7 @@ fn cmd_bench(root: &Path, smoke: bool) -> ExitCode {
         }
     }
     if smoke {
-        // The checked-in trajectory must stay schema-valid too.
+        // The checked-in trajectories must stay schema-valid too.
         let tracked = root.join("BENCH_scale.json");
         match std::fs::read_to_string(&tracked) {
             Ok(text) => problems += validate_bench_json("BENCH_scale.json", &text, &schema),
@@ -577,6 +593,7 @@ fn cmd_bench(root: &Path, smoke: bool) -> ExitCode {
                 problems += 1;
             }
         }
+        problems += validate_tracked_chaos(root);
     }
 
     if problems == 0 {
@@ -584,6 +601,109 @@ fn cmd_bench(root: &Path, smoke: bool) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!("\nxtask bench: FAILED ({problems} problem(s))");
+        ExitCode::FAILURE
+    }
+}
+
+/// Validates the checked-in repo-root `BENCH_chaos.json` against
+/// [`CHAOS_SCHEMA`]; returns the number of problems (all printed).
+fn validate_tracked_chaos(root: &Path) -> usize {
+    use bgpvcg_telemetry::json;
+
+    let schema_text = match std::fs::read_to_string(root.join(CHAOS_SCHEMA)) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("==> cannot read {CHAOS_SCHEMA}: {err}");
+            return 1;
+        }
+    };
+    let schema = match json::parse(&schema_text) {
+        Ok(schema) => schema,
+        Err(err) => {
+            println!("==> {CHAOS_SCHEMA} does not parse: {err}");
+            return 1;
+        }
+    };
+    let tracked = root.join("BENCH_chaos.json");
+    match std::fs::read_to_string(&tracked) {
+        Ok(text) => validate_bench_json("BENCH_chaos.json", &text, &schema),
+        Err(err) => {
+            println!("==> cannot read {}: {err}", tracked.display());
+            1
+        }
+    }
+}
+
+/// The robustness pipeline: run E19 (every run asserts chaos self-stabilizes
+/// to the bit-identical fault-free fixpoint before reporting) and validate
+/// the emitted JSON against [`CHAOS_SCHEMA`]. With `--smoke`, small sizes
+/// run into `target/bench/` and the checked-in repo-root `BENCH_chaos.json`
+/// is validated as well.
+fn cmd_chaos(root: &Path, smoke: bool) -> ExitCode {
+    use bgpvcg_telemetry::json;
+
+    let schema_text = match std::fs::read_to_string(root.join(CHAOS_SCHEMA)) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("xtask chaos: cannot read {CHAOS_SCHEMA}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = match json::parse(&schema_text) {
+        Ok(schema) => schema,
+        Err(err) => {
+            eprintln!("xtask chaos: {CHAOS_SCHEMA} does not parse: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let out_path = if smoke {
+        let out_dir = root.join("target").join("bench");
+        if let Err(err) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("xtask chaos: cannot create {}: {err}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        out_dir.join("BENCH_chaos.smoke.json")
+    } else {
+        root.join("BENCH_chaos.json")
+    };
+    let out_arg = out_path.display().to_string();
+    let mut cargo_args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "bgpvcg-bench",
+        "--bin",
+        "e19_chaos",
+        "--",
+        "--out",
+        &out_arg,
+    ];
+    if smoke {
+        cargo_args.push("--smoke");
+    }
+    if !run_step(root, "e19 chaos run", "cargo", &cargo_args, false) {
+        return ExitCode::FAILURE;
+    }
+
+    let mut problems = 0usize;
+    match std::fs::read_to_string(&out_path) {
+        Ok(text) => problems += validate_bench_json("chaos output", &text, &schema),
+        Err(err) => {
+            println!("==> cannot read {}: {err}", out_path.display());
+            problems += 1;
+        }
+    }
+    if smoke {
+        problems += validate_tracked_chaos(root);
+    }
+
+    if problems == 0 {
+        println!("\nxtask chaos: BENCH_chaos.json schema-valid");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nxtask chaos: FAILED ({problems} problem(s))");
         ExitCode::FAILURE
     }
 }
@@ -623,6 +743,7 @@ fn cmd_ci(root: &Path) -> ExitCode {
     );
     ok &= cmd_obs(root) == ExitCode::SUCCESS;
     ok &= cmd_bench(root, true) == ExitCode::SUCCESS;
+    ok &= cmd_chaos(root, true) == ExitCode::SUCCESS;
     if ok {
         println!("xtask ci: all steps passed");
         ExitCode::SUCCESS

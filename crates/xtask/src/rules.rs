@@ -12,6 +12,11 @@
 //! 5. **trace-schema** — every `TraceEvent` variant is described by the
 //!    golden trace schema `crates/telemetry/trace-schema.json`, so a new
 //!    event kind cannot ship without `cargo xtask obs` validating it.
+//!    Coverage extends to every *emission site*: any `TraceEvent::Kind`
+//!    construction anywhere in the workspace (the chaos harness's fault
+//!    events, the engines' stage events, …) must name a described kind, so
+//!    an allowlisted definition cannot smuggle an unvalidated kind into a
+//!    trace stream.
 //! 6. **stage-alloc** — no `Vec::new()` / `HashMap::new()` / `vec![`
 //!    allocation inside the stage-loop bodies of the synchronous engine
 //!    (`run_stage`, `parallel_handle` in `crates/bgp/src/engine/sync.rs`):
@@ -391,6 +396,46 @@ pub fn check_trace_schema(
             }
         }
     }
+    // Emission-site coverage: every `TraceEvent::Kind` construction in the
+    // workspace must name a schema-described kind.
+    for file in files {
+        if file.rel_path == Path::new(TRACE_EVENT_FILE) {
+            continue; // definitions handled above
+        }
+        for (idx, line) in file.lexed.code_lines.iter().enumerate() {
+            for variant in trace_event_mentions(line) {
+                let key = format!("\"{variant}\"");
+                if !schema.contains(&key) && !allowed(&file.lexed.allows, idx) {
+                    out.push(Violation {
+                        rule: "trace-schema",
+                        file: file.rel_path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "emission of `TraceEvent::{variant}` not described by {TRACE_SCHEMA}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Extracts every `Kind` out of `TraceEvent::Kind` mentions on one code
+/// line (CamelCase identifiers only, so paths like `TraceEvent::default()`
+/// or a bare `use …::TraceEvent;` do not match).
+fn trace_event_mentions(line: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    for (pos, _) in line.match_indices("TraceEvent::") {
+        let rest = &line[pos + "TraceEvent::".len()..];
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            found.push(ident);
+        }
+    }
+    found
 }
 
 /// The engine file whose stage-loop bodies must not allocate.
@@ -627,6 +672,20 @@ mod tests {
         check_trace_schema(&files, Some(schema), &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("TraceEvent::Quiescent"));
+    }
+
+    #[test]
+    fn trace_schema_flags_undescribed_emission_site() {
+        let files = vec![file(
+            "crates/bgp/src/chaos.rs",
+            "fn f(t: &Telemetry) {\n    t.record(&TraceEvent::FaultInjected { stage: 0 });\n    t.record(&TraceEvent::Mystery { stage: 0 });\n}",
+        )];
+        let schema = r#"{"version":1,"events":{"FaultInjected":{"stage":"u64"}}}"#;
+        let mut out = Vec::new();
+        check_trace_schema(&files, Some(schema), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("TraceEvent::Mystery"));
+        assert_eq!(out[0].line, 3);
     }
 
     #[test]

@@ -89,6 +89,8 @@ fn event_sequence_stays_exact() {
         TopologyEvent::LinkDown(Fig1::B, Fig1::D),
         TopologyEvent::CostChange(Fig1::A, Cost::new(1)),
         TopologyEvent::LinkUp(Fig1::B, Fig1::D),
+        TopologyEvent::NodeDown(Fig1::Y),
+        TopologyEvent::NodeUp(Fig1::Y),
         TopologyEvent::CostChange(Fig1::B, Cost::new(2)),
     ];
     for event in events {
@@ -98,6 +100,13 @@ fn event_sequence_stays_exact() {
             TopologyEvent::LinkDown(a, b) => current.without_link(a, b).unwrap(),
             TopologyEvent::LinkUp(a, b) => current.with_link(a, b).unwrap(),
             TopologyEvent::CostChange(k, c) => current.with_cost(k, c),
+            // While an AS is down some pairs are unroutable and the
+            // mechanism's outcome is not comparable against a fixed-size
+            // reference; verification resumes at `NodeUp`, which must
+            // restore the exact fixpoint of the never-crashed graph
+            // (self-stabilization).
+            TopologyEvent::NodeDown(_) => continue,
+            TopologyEvent::NodeUp(_) => current,
         };
         let nodes: Vec<_> = engine.nodes().cloned().collect();
         let outcome = protocol::outcome_from_nodes(&nodes).unwrap();

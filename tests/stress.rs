@@ -40,7 +40,7 @@ fn event_storm_stays_exact() {
     let mut guard = 0;
     while applied < 25 && guard < 500 {
         guard += 1;
-        let event = match rng.gen_range(0..3) {
+        let event = match rng.gen_range(0..4) {
             0 => {
                 let link = g.links()[rng.gen_range(0..g.link_count())];
                 let Ok(reduced) = g.without_link(link.a(), link.b()) else {
@@ -59,13 +59,28 @@ fn event_storm_stays_exact() {
                 }
                 TopologyEvent::LinkUp(a, b)
             }
-            _ => {
+            2 => {
                 let k = AsId::new(rng.gen_range(0..g.node_count() as u32));
                 let c = Cost::new(rng.gen_range(0..15));
                 if c == g.cost(k) {
                     continue;
                 }
                 TopologyEvent::CostChange(k, c)
+            }
+            _ => {
+                // Crash/restart round-trip: take a node down (if the
+                // survivors stay biconnected — otherwise the fallible
+                // path must reject it without damage) and bring it
+                // straight back, so the engine must reconverge to the
+                // full-graph fixpoint.
+                let k = AsId::new(rng.gen_range(0..g.node_count() as u32));
+                match engine.try_apply_event(TopologyEvent::NodeDown(k)) {
+                    Ok(down) => {
+                        assert!(down.converged, "NodeDown({k}) must reconverge");
+                        TopologyEvent::NodeUp(k)
+                    }
+                    Err(_) => continue,
+                }
             }
         };
         let report = engine.apply_event(event);
@@ -74,6 +89,10 @@ fn event_storm_stays_exact() {
             TopologyEvent::LinkDown(a, b) => g.without_link(a, b).unwrap(),
             TopologyEvent::LinkUp(a, b) => g.with_link(a, b).unwrap(),
             TopologyEvent::CostChange(k, c) => g.with_cost(k, c),
+            // The paired NodeDown already parked and restored the same
+            // links, so the reference topology is unchanged.
+            TopologyEvent::NodeUp(_) => g,
+            TopologyEvent::NodeDown(_) => unreachable!("storm applies crashes as down/up pairs"),
         };
         let nodes: Vec<_> = engine.nodes().cloned().collect();
         let outcome = protocol::outcome_from_nodes(&nodes).unwrap();

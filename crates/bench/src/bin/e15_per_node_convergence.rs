@@ -29,7 +29,7 @@ use bgpvcg_core::protocol;
 use bgpvcg_lcp::avoiding::AvoidanceTable;
 use bgpvcg_lcp::AllPairsLcp;
 use bgpvcg_telemetry::{RingBufferSink, TraceEvent, TraceSink};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 fn main() {
@@ -60,9 +60,9 @@ fn main() {
             let report = engine.run_to_convergence();
             assert!(report.converged, "{} n={n}", family.name());
             // last stage at which i's advertised price p^k_ij changed
-            let mut price_last: HashMap<(u32, u32, u32), usize> = HashMap::new();
+            let mut price_last: BTreeMap<(u32, u32, u32), usize> = BTreeMap::new();
             // last stage at which i's advertised route to j changed
-            let mut route_last: HashMap<(u32, u32), usize> = HashMap::new();
+            let mut route_last: BTreeMap<(u32, u32), usize> = BTreeMap::new();
             for event in ring.events() {
                 match event {
                     TraceEvent::PriceRelaxed {

@@ -459,9 +459,12 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     /// it has not been cut.
     fn live_link(&self, a: u32, b: u32) -> bool {
         let (lo, hi) = (a.min(b), a.max(b));
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.up[a as usize]
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             && self.up[b as usize]
             && !self.cut.contains(&(lo, hi))
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             && self.adjacency[a as usize].contains(&AsId::new(b))
     }
 
@@ -469,6 +472,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     /// kinds consume a seq and enter the retransmit buffer.
     fn send_frame(&mut self, from: u32, to: u32, kind: FrameKind) {
         let stage = self.stage;
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let session = self.sessions[from as usize].entry(to).or_default();
         let sequenced = !matches!(kind, FrameKind::Keepalive);
         let seq = session.send.next_seq;
@@ -548,6 +552,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         let epoch = self.epoch_counter;
         let stage = self.stage;
         {
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let session = self.sessions[from as usize].entry(to).or_default();
             session.send.established = true;
             session.send.epoch = epoch;
@@ -561,8 +566,10 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             // would trip the still-stale timer immediately).
             session.recv.last_heard = stage;
         }
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let _ = self.nodes[from as usize].apply_event(LocalEvent::LinkUp(AsId::new(to)));
         self.send_frame(from, to, FrameKind::Open);
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let table = self.nodes[from as usize].full_table();
         if let Some(table) = table {
             self.send_frame(from, to, FrameKind::Data(table));
@@ -581,6 +588,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             node: me,
             peer,
         });
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         if let Some(session) = self.sessions[me as usize].get_mut(&peer) {
             session.send.established = false;
             session.send.peer_acked = false;
@@ -590,6 +598,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             session.recv.buffer.clear();
             session.recv.last_heard = self.stage;
         }
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let out = self.nodes[me as usize].apply_event(LocalEvent::LinkDown(AsId::new(peer)));
         if let Some(update) = out {
             self.broadcast(me, update);
@@ -603,9 +612,11 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.observe_update(&update, self.stage);
         }
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let neighbors = self.adjacency[idx as usize].clone();
         for to in neighbors {
             let to = to.index() as u32;
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let established = self.sessions[idx as usize]
                 .get(&to)
                 .is_some_and(|s| s.send.established);
@@ -626,6 +637,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         let mut resets = 0u64;
         let mut opened = false;
         {
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let session = self.sessions[me as usize].entry(peer).or_default();
             session.recv.last_heard = stage;
             // Ack processing for our own stream toward `peer`.
@@ -669,6 +681,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                             match kind {
                                 FrameKind::Open => opened = true,
                                 FrameKind::Data(update) => {
+                                    // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                                     self.pending[me as usize].push(Arc::new(update));
                                 }
                                 FrameKind::Keepalive => {}
@@ -690,6 +703,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         if opened {
             // An accepted Open precedes all Data of its epoch, so the
             // neighbor is attached before any of its routes are ingested.
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let _ = self.nodes[me as usize].apply_event(LocalEvent::LinkUp(AsId::new(peer)));
             self.stage_active = true;
             // The peer restarting its stream means it (re)initialized its
@@ -698,10 +712,12 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             // full table on our own stream so its Rib-In refills; an Open
             // triggers only Data, never a counter-Open, so two nodes can
             // never ping-pong establishments.
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let established = self.sessions[me as usize]
                 .get(&peer)
                 .is_some_and(|s| s.send.established);
             if established {
+                // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                 if let Some(table) = self.nodes[me as usize].full_table() {
                     self.send_frame(me, peer, FrameKind::Data(table));
                 }
@@ -717,6 +733,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                 node: me,
                 peer,
             });
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let out = self.nodes[me as usize].apply_event(LocalEvent::LinkDown(AsId::new(peer)));
             if let Some(update) = out {
                 self.broadcast(me, update);
@@ -768,6 +785,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             let key = (ai.min(bi), ai.max(bi));
             if ai as usize >= self.nodes.len()
                 || bi as usize >= self.nodes.len()
+                // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                 || !self.adjacency[ai as usize].contains(&b)
                 || self.cut.contains(&key)
             {
@@ -814,6 +832,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     /// Neighbors are *not* told — their hold timers will notice.
     fn crash(&mut self, k: AsId) {
         let ki = k.index();
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.up[ki] = false;
         self.report.crashes += 1;
         self.stage_active = true;
@@ -823,9 +842,12 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             peer: fault::NODE_PEER,
             fault: fault::CRASH,
         });
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.nodes[ki].reset();
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let neighbors = self.adjacency[ki].clone();
         for a in neighbors {
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let _ = self.nodes[ki].apply_event(LocalEvent::LinkDown(a));
             for dir in [(ki as u32, a.index() as u32), (a.index() as u32, ki as u32)] {
                 if let Some(channel) = self.channels.get_mut(&dir) {
@@ -834,7 +856,9 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                 }
             }
         }
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.sessions[ki].clear();
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.pending[ki].clear();
     }
 
@@ -842,6 +866,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     /// stage's establishment pass.
     fn restart(&mut self, k: AsId) {
         let ki = k.index();
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.up[ki] = true;
         self.report.restarts += 1;
         self.stage_active = true;
@@ -853,7 +878,9 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         // link-less fresh node; the establishment pass this same stage
         // re-attaches neighbors and ships the full table. start() here
         // just primes the change-suppression memory with the origin.
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.nodes[ki].reset();
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let _ = self.nodes[ki].start();
     }
 
@@ -871,9 +898,11 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         // established send stream opens one (initial startup, post-restart
         // rejoin, post-hold repair).
         for from in 0..self.nodes.len() as u32 {
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             if !self.up[from as usize] {
                 continue;
             }
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let peers: Vec<u32> = self.adjacency[from as usize]
                 .iter()
                 .map(|a| a.index() as u32)
@@ -882,6 +911,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                 if !self.live_link(from, to) {
                     continue;
                 }
+                // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                 let established = self.sessions[from as usize]
                     .get(&to)
                     .is_some_and(|s| s.send.established);
@@ -911,6 +941,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                 due
             };
             for frame in due {
+                // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                 if !self.up[to as usize] {
                     self.report.frames_dropped += 1;
                     continue;
@@ -931,11 +962,14 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         // Handle pass: nodes ingest this stage's in-order Data payloads
         // and broadcast what changed.
         for idx in 0..self.nodes.len() as u32 {
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let updates = std::mem::take(&mut self.pending[idx as usize]);
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             if updates.is_empty() || !self.up[idx as usize] {
                 continue;
             }
             self.stage_active = true;
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let out = self.nodes[idx as usize].handle(&updates);
             if let Some(update) = out {
                 self.broadcast(idx, update);
@@ -944,12 +978,15 @@ impl<N: ProtocolNode> ChaosEngine<N> {
 
         // Timer pass: retransmits, hold expiry, keepalives.
         for me in 0..self.nodes.len() as u32 {
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             if !self.up[me as usize] {
                 continue;
             }
+            // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let peers: Vec<u32> = self.sessions[me as usize].keys().copied().collect();
             for peer in peers {
                 let (resend, expire, keepalive) = {
+                    // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                     let Some(session) = self.sessions[me as usize].get_mut(&peer) else {
                         continue;
                     };
@@ -993,6 +1030,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                         seq,
                     });
                     let frame = {
+                        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                         let Some(session) = self.sessions[me as usize].get_mut(&peer) else {
                             continue;
                         };

@@ -287,6 +287,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
     ) -> (usize, usize, usize) {
         let mut totals = (0usize, 0usize, 0usize);
         for idx in 0..self.nodes.len() {
+            // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
             if let Some(update) = self.nodes[idx].start() {
                 let update = Arc::new(update);
                 let from = AsId::new(idx as u32);
@@ -339,6 +340,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         let mut entries = 0usize;
         let mut link_max = 0usize;
         for &idx in &receiving {
+            // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
             link_max = link_max.max(self.delivered[idx as usize].len());
         }
         if self.workers > 1 && receiving.len() > 1 {
@@ -362,6 +364,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
             }
         } else {
             for &idx in &receiving {
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 let emitted = self.nodes[idx as usize].handle(&self.delivered[idx as usize]);
                 if let Some(update) = emitted {
                     let update = Arc::new(update);
@@ -379,6 +382,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         // Restore the reusable buffers: only the slots this stage actually
         // used need clearing (everything else is already empty).
         for &idx in &receiving {
+            // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
             self.delivered[idx as usize].clear();
         }
         receiving.clear();
@@ -598,6 +602,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
     fn residual_biconnected(&self, toggle: AsId, bring_up: bool) -> Result<(), GraphError> {
         let n = self.nodes.len();
         let included = |idx: usize| {
+            // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
             (!self.down[idx] && (bring_up || idx != toggle.index()))
                 || (bring_up && idx == toggle.index())
         };
@@ -614,11 +619,14 @@ impl<N: ProtocolNode> SyncEngine<N> {
             return Err(GraphError::TooSmall { nodes: survivors });
         }
         for idx in 0..n {
+            // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
             if remap[idx] == u32::MAX {
                 continue;
             }
+            // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
             for &b in &self.adjacency[idx] {
                 if b.index() > idx && remap[b.index()] != u32::MAX {
+                    // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                     builder.add_link(AsId::new(remap[idx]), AsId::new(remap[b.index()]))?;
                 }
             }
@@ -685,6 +693,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 let ki = k.index();
                 // Detach every incident link (both directions) and park
                 // the neighbor list for the eventual restart.
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 let neighbors = std::mem::take(&mut self.adjacency[ki]);
                 for &a in &neighbors {
                     self.adjacency[a.index()].retain(|&x| x != k);
@@ -692,18 +701,25 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 // Crash semantics: the node loses all protocol state now
                 // (its links too — it restarts with none until they are
                 // restored), and anything queued for it is gone with it.
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 self.nodes[ki].reset();
                 for &a in &neighbors {
+                    // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                     let _ = self.nodes[ki].apply_event(LocalEvent::LinkDown(a));
                 }
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 self.inboxes[ki].clear();
                 self.dirty.retain(|&idx| idx as usize != ki);
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 self.parked[ki] = neighbors;
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 self.down[ki] = true;
             }
             TopologyEvent::NodeUp(k) => {
                 let ki = k.index();
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 self.down[ki] = false;
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 let parked = std::mem::take(&mut self.parked[ki]);
                 for &a in &parked {
                     if self.down[a.index()] {
@@ -714,12 +730,14 @@ impl<N: ProtocolNode> SyncEngine<N> {
                             self.parked[a.index()].push(k);
                         }
                     } else {
+                        // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                         self.adjacency[ki].push(a);
                         self.adjacency[a.index()].push(k);
                         self.adjacency[a.index()].sort_unstable();
                         restored.push(a);
                     }
                 }
+                // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 self.adjacency[ki].sort_unstable();
             }
         }
@@ -829,6 +847,7 @@ fn parallel_handle<N: ProtocolNode>(
             let tx = sender.clone();
             scope.spawn(move || {
                 for &idx in run {
+                    // lint:allow(bounds: the split_at_mut partition puts every emitter index in lo..hi for its shard)
                     let emitted = shard[idx as usize - lo].handle(&delivered[idx as usize]);
                     // The collector outlives the scope, so this send
                     // cannot fail while the pool runs.

@@ -247,6 +247,7 @@ impl RouteSelector {
             if previous.as_ref() != self.neighbor_vectors.get(&update.from) {
                 // A changed cost vector re-prices every candidate through
                 // this neighbor.
+                // lint:allow(bounds: rib_in membership for update.from is checked at fn entry)
                 affected.extend(self.rib_in[&update.from].keys().copied());
             }
         }

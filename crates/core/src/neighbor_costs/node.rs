@@ -103,6 +103,7 @@ impl NcPricingNode {
         let margin = self.margins.get(&dest)?.get(pos).copied()?;
         // The path entry carries c_k(pred) for this path (restamped on
         // extension).
+        // lint:allow(bounds: pos is a position hit over transit itself)
         Some(transit[pos].cost + margin)
     }
 
@@ -156,7 +157,9 @@ impl NcPricingNode {
                 } else {
                     continue; // k is an endpoint of a's path (only k == dest)
                 };
+                // lint:allow(bounds: pos enumerates transit and arr is sized to transit len)
                 if bound < arr[pos] {
+                    // lint:allow(bounds: pos enumerates transit and arr is sized to transit len)
                     arr[pos] = bound;
                 }
             }

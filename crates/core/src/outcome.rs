@@ -77,6 +77,7 @@ impl RoutingOutcome {
     pub fn from_pairs(n: usize, pairs: Vec<Option<PairOutcome>>) -> Self {
         assert_eq!(pairs.len(), n * n, "pair table must be n × n");
         for i in 0..n {
+            // lint:allow(bounds: pairs len is asserted to be n * n on the line above)
             assert!(pairs[i * n + i].is_none(), "diagonal must be empty");
         }
         RoutingOutcome { n, pairs }

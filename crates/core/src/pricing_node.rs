@@ -190,7 +190,9 @@ impl PricingBgpNode {
                     // state; no bound.
                     continue;
                 };
+                // lint:allow(bounds: pos enumerates transit and arr is sized to transit len)
                 if bound < arr[pos] {
+                    // lint:allow(bounds: pos enumerates transit and arr is sized to transit len)
                     arr[pos] = bound;
                 }
             }

@@ -37,6 +37,8 @@
 //! assert_eq!(telemetry.snapshot().counters["bgp_messages_total"], 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod event;
 pub mod expose;

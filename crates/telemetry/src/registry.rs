@@ -71,6 +71,7 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(core.bounds.len());
+        // lint:allow(bounds: buckets is sized one past bounds len and idx never exceeds it)
         core.buckets[idx].fetch_add(1, Ordering::SeqCst);
         core.sum.fetch_add(value, Ordering::SeqCst);
         core.count.fetch_add(1, Ordering::SeqCst);

@@ -1,0 +1,454 @@
+//! A workspace call graph over the parsed item trees.
+//!
+//! Nodes are non-test functions; edges over-approximate "may call": a
+//! method call `.name(…)` resolves to every known method `name`, a path
+//! call `Type::name(…)` resolves to the named impl's method (or, when the
+//! qualifier is a module, to free functions in that module), and a bare
+//! call `name(…)` resolves to every free function `name`. Calls whose
+//! target is not defined in the workspace (std, vendored stand-ins) have
+//! no edge — their panic behavior is governed by the callee crates'
+//! documented contracts, not this analysis.
+//!
+//! Over-approximation is the right default for a *reachability* analysis:
+//! a spurious edge can only surface an extra path to audit (and annotate
+//! with `// lint:allow(reason)`), never hide a real one.
+
+use crate::parser::{FnItem, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+
+/// One call site extracted from a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name's last segment (`update_size`).
+    pub name: String,
+    /// `Some("wire")` for path calls `wire::update_size(…)`; `None` for
+    /// bare and method calls.
+    pub qualifier: Option<String>,
+    /// True for `.name(…)` receiver calls.
+    pub is_method: bool,
+}
+
+/// One function node in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Which source file the function lives in (index into the driver's
+    /// file list).
+    pub file: usize,
+    /// Workspace-relative path of that file.
+    pub rel_path: PathBuf,
+    /// The parsed item.
+    pub item: FnItem,
+    /// Outgoing call-site list (unresolved).
+    pub calls: Vec<CallSite>,
+}
+
+/// The assembled graph plus name-resolution indexes.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All non-test functions in the workspace.
+    pub nodes: Vec<FnNode>,
+    /// name → node indices of methods (fns with an owner) with that name.
+    methods: BTreeMap<String, Vec<usize>>,
+    /// name → node indices of free fns with that name.
+    free: BTreeMap<String, Vec<usize>>,
+    /// `Owner::name` → node indices.
+    qualified: BTreeMap<String, Vec<usize>>,
+    /// Every known impl/trait owner name (to tell `Type::f` from `mod::f`).
+    owners: BTreeSet<String>,
+    /// module-name → node indices of free fns whose file stem or inline
+    /// module path contains that name.
+    by_module: BTreeMap<String, Vec<usize>>,
+    /// Resolved adjacency, built once by [`CallGraph::build`].
+    edges: Vec<Vec<usize>>,
+}
+
+/// Rust keywords and control-flow words that look like calls (`if (…)`)
+/// but are not.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "as", "ref", "mut",
+    "else", "let", "impl", "dyn", "where", "break", "continue", "unsafe", "use", "pub", "crate",
+];
+
+impl CallGraph {
+    /// Builds the graph from every parsed file. `files[i]` is the parse of
+    /// the file at `paths[i]`; `is_test_file[i]` marks integration-test /
+    /// bench / example files whose fns never join the graph.
+    pub fn build(paths: &[PathBuf], files: &[ParsedFile], is_test_file: &[bool]) -> CallGraph {
+        let mut graph = CallGraph {
+            nodes: Vec::new(),
+            methods: BTreeMap::new(),
+            free: BTreeMap::new(),
+            qualified: BTreeMap::new(),
+            owners: BTreeSet::new(),
+            by_module: BTreeMap::new(),
+            edges: Vec::new(),
+        };
+        for (file_idx, (path, parsed)) in paths.iter().zip(files).enumerate() {
+            if is_test_file[file_idx] {
+                continue;
+            }
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            for item in &parsed.fns {
+                if item.is_test {
+                    continue;
+                }
+                let idx = graph.nodes.len();
+                if let Some(owner) = &item.owner {
+                    graph.owners.insert(owner.clone());
+                    graph
+                        .methods
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(idx);
+                    graph
+                        .qualified
+                        .entry(format!("{owner}::{}", item.name))
+                        .or_default()
+                        .push(idx);
+                } else {
+                    graph.free.entry(item.name.clone()).or_default().push(idx);
+                }
+                let mut mods: Vec<String> = vec![stem.clone()];
+                mods.extend(item.modules.iter().cloned());
+                for m in mods {
+                    graph.by_module.entry(m).or_default().push(idx);
+                }
+                graph.nodes.push(FnNode {
+                    file: file_idx,
+                    rel_path: path.clone(),
+                    item: item.clone(),
+                    calls: Vec::new(),
+                });
+            }
+        }
+        graph.edges = vec![Vec::new(); graph.nodes.len()];
+        graph
+    }
+
+    /// Extracts call sites from each node's body lines and resolves edges.
+    /// `code_lines[file]` are the lexed code-only lines of that file.
+    pub fn resolve(&mut self, code_lines: &[&[String]]) {
+        for idx in 0..self.nodes.len() {
+            let node = &self.nodes[idx];
+            let lines = code_lines[node.file];
+            let mut calls = Vec::new();
+            for (line_idx, line) in lines
+                .iter()
+                .enumerate()
+                .take(node.item.body_end + 1)
+                .skip(node.item.body_start)
+            {
+                // The body's first line still carries the tail of the
+                // signature (`fn name(args) {`): scanning it whole would
+                // read `name(` as a recursive call and resolve it to every
+                // same-named fn. Only the text after the opening brace is
+                // body.
+                let text = if line_idx == node.item.body_start {
+                    line.split_once('{').map_or("", |(_, rest)| rest)
+                } else {
+                    line.as_str()
+                };
+                extract_calls(text, &mut calls);
+            }
+            let mut targets = BTreeSet::new();
+            for call in &calls {
+                self.resolve_call(idx, call, &mut targets);
+            }
+            self.edges[idx] = targets.into_iter().collect();
+            self.nodes[idx].calls = calls;
+        }
+    }
+
+    /// Resolves one call site to target node indices (appended to `out`).
+    fn resolve_call(&self, caller: usize, call: &CallSite, out: &mut BTreeSet<usize>) {
+        match &call.qualifier {
+            Some(q) if q == "Self" || q == "self" => {
+                // Within the caller's own impl.
+                if let Some(owner) = &self.nodes[caller].item.owner {
+                    if let Some(hits) = self.qualified.get(&format!("{owner}::{}", call.name)) {
+                        out.extend(hits.iter().copied());
+                    }
+                }
+            }
+            Some(q) if self.owners.contains(q) => {
+                if let Some(hits) = self.qualified.get(&format!("{q}::{}", call.name)) {
+                    out.extend(hits.iter().copied());
+                }
+            }
+            Some(q) => {
+                // Module-qualified call: free fns in any module named `q`.
+                if let (Some(in_mod), Some(named)) =
+                    (self.by_module.get(q), self.free.get(&call.name))
+                {
+                    let in_mod: BTreeSet<usize> = in_mod.iter().copied().collect();
+                    out.extend(named.iter().copied().filter(|i| in_mod.contains(i)));
+                }
+            }
+            None if call.is_method => {
+                if let Some(hits) = self.methods.get(&call.name) {
+                    out.extend(hits.iter().copied());
+                }
+            }
+            None => {
+                if let Some(hits) = self.free.get(&call.name) {
+                    out.extend(hits.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Node indices matching an entry-point spec: `Owner::name` exact, or a
+    /// bare free-fn name.
+    pub fn entry_nodes(&self, spec: &str) -> Vec<usize> {
+        if spec.contains("::") {
+            self.qualified.get(spec).cloned().unwrap_or_default()
+        } else {
+            self.free.get(spec).cloned().unwrap_or_default()
+        }
+    }
+
+    /// BFS from `entries`, returning for each reached node the index of the
+    /// node it was first reached from (entry nodes map to themselves).
+    pub fn reach(&self, entries: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &e in entries {
+            if let std::collections::btree_map::Entry::Vacant(slot) = parent.entry(e) {
+                slot.insert(e);
+                queue.push_back(e);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            for &next in &self.edges[at] {
+                if let std::collections::btree_map::Entry::Vacant(slot) = parent.entry(next) {
+                    slot.insert(at);
+                    queue.push_back(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `entry → … → node` implied by a BFS parent map,
+    /// rendered as qualified names.
+    pub fn chain(&self, parent: &BTreeMap<usize, usize>, mut node: usize) -> String {
+        let mut names = vec![self.nodes[node].item.qualified()];
+        while let Some(&p) = parent.get(&node) {
+            if p == node {
+                break;
+            }
+            names.push(self.nodes[p].item.qualified());
+            node = p;
+        }
+        names.reverse();
+        if names.len() > 7 {
+            let skipped = names.len() - 6;
+            let tail = names.split_off(names.len() - 3);
+            names.truncate(3);
+            names.push(format!("… {skipped} more …"));
+            names.extend(tail);
+        }
+        names.join(" → ")
+    }
+}
+
+/// Scans one code-only line for call sites, appending to `out`.
+///
+/// Recognized shapes: `name(`, `a::b::name(`, `.name(`. Macro invocations
+/// (`name!(`) are skipped — the panic-family macros are handled as panic
+/// *sites*, not calls. Uppercase bare/path targets are tuple-struct or
+/// enum-variant constructors, which cannot panic, and are skipped too.
+pub fn extract_calls(line: &str, out: &mut Vec<CallSite>) {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        // An identifier-path run: idents joined by `::`.
+        let start = i;
+        let mut segments: Vec<&str> = Vec::new();
+        let mut seg_start = i;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                i += 1;
+            } else if c == b':' && bytes.get(i + 1) == Some(&b':') && i > seg_start {
+                if bytes.get(i + 2) == Some(&b'<') {
+                    break; // turbofish `name::<T>(` — handled below
+                }
+                segments.push(&line[seg_start..i]);
+                i += 2;
+                seg_start = i;
+            } else {
+                break;
+            }
+        }
+        if seg_start < i {
+            segments.push(&line[seg_start..i]);
+        }
+        let Some(&name) = segments.last() else {
+            continue;
+        };
+        // Generic turbofish between the path and the parens: `name::<T>(`.
+        let mut j = i;
+        if line[j..].starts_with("::<") {
+            let mut angle = 0i32;
+            for (off, ch) in line[j + 2..].char_indices() {
+                match ch {
+                    '<' => angle += 1,
+                    '>' => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j = j + 2 + off + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if line.as_bytes().get(j) != Some(&b'(') {
+            continue;
+        }
+        // `name!(` is a macro, not a call.
+        if bytes.get(i) == Some(&b'!') {
+            continue;
+        }
+        if NON_CALLS.contains(&name) {
+            continue;
+        }
+        let is_method = start > 0 && bytes[start - 1] == b'.';
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            continue; // constructor / variant, not a fn
+        }
+        let qualifier = if segments.len() >= 2 {
+            Some(segments[segments.len() - 2].to_string())
+        } else {
+            None
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            is_method,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn names(line: &str) -> Vec<(String, Option<String>, bool)> {
+        let mut out = Vec::new();
+        extract_calls(line, &mut out);
+        out.into_iter()
+            .map(|c| (c.name, c.qualifier, c.is_method))
+            .collect()
+    }
+
+    #[test]
+    fn call_shapes_are_extracted() {
+        assert_eq!(
+            names("let x = wire::update_size(update);"),
+            [("update_size".into(), Some("wire".into()), false)]
+        );
+        assert_eq!(
+            names("self.nodes[i].handle(&delivered[i]);"),
+            [("handle".into(), None, true)]
+        );
+        assert_eq!(names("free_fn(1, 2)"), [("free_fn".into(), None, false)]);
+    }
+
+    #[test]
+    fn macros_keywords_and_constructors_are_not_calls() {
+        assert!(names("panic!(\"boom\")").is_empty());
+        assert!(names("if (x) { }").is_empty());
+        assert!(names("Some(1); Err(2); RouteInfo::Withdrawn;").is_empty());
+        assert!(names("AsId::Variant(3)").is_empty());
+    }
+
+    #[test]
+    fn turbofish_calls_are_extracted() {
+        assert_eq!(
+            names("let v = collect::<Vec<u32>>(it);"),
+            [("collect".into(), None, false)]
+        );
+    }
+
+    fn graph_for(srcs: &[(&str, &str)]) -> CallGraph {
+        let lexed: Vec<_> = srcs.iter().map(|(_, s)| lex(s)).collect();
+        let parsed: Vec<_> = lexed.iter().map(parse).collect();
+        let paths: Vec<PathBuf> = srcs.iter().map(|(p, _)| PathBuf::from(p)).collect();
+        let is_test = vec![false; srcs.len()];
+        let mut graph = CallGraph::build(&paths, &parsed, &is_test);
+        let code: Vec<&[String]> = lexed.iter().map(|l| l.code_lines.as_slice()).collect();
+        graph.resolve(&code);
+        graph
+    }
+
+    #[test]
+    fn method_calls_resolve_to_all_impls_and_bfs_reaches() {
+        let graph = graph_for(&[
+            (
+                "crates/bgp/src/engine/sync.rs",
+                "impl Engine {\n  fn run_stage(&mut self) { self.nodes[0].handle(); }\n}",
+            ),
+            (
+                "crates/bgp/src/node.rs",
+                "impl PlainNode {\n  fn handle(&mut self) { helper(); }\n}\nfn helper() {}",
+            ),
+        ]);
+        let entries = graph.entry_nodes("Engine::run_stage");
+        assert_eq!(entries.len(), 1);
+        let reached = graph.reach(&entries);
+        let reached_names: Vec<String> = reached
+            .keys()
+            .map(|&i| graph.nodes[i].item.qualified())
+            .collect();
+        assert!(reached_names.contains(&"PlainNode::handle".to_string()));
+        assert!(reached_names.contains(&"helper".to_string()));
+        let helper = *graph.free.get("helper").and_then(|v| v.first()).unwrap();
+        assert_eq!(
+            graph.chain(&reached, helper),
+            "Engine::run_stage → PlainNode::handle → helper"
+        );
+    }
+
+    #[test]
+    fn module_qualified_calls_resolve_by_file_stem() {
+        let graph = graph_for(&[
+            (
+                "crates/bgp/src/engine/sync.rs",
+                "fn caller() { wire::update_size(); }",
+            ),
+            ("crates/bgp/src/wire.rs", "pub fn update_size() {}"),
+            ("crates/bgp/src/other.rs", "pub fn update_size() {}"),
+        ]);
+        let entries = graph.entry_nodes("caller");
+        let reached = graph.reach(&entries);
+        let reached_files: Vec<&str> = reached
+            .keys()
+            .map(|&i| graph.nodes[i].rel_path.to_str().unwrap())
+            .collect();
+        assert!(reached_files.contains(&"crates/bgp/src/wire.rs"));
+        assert!(!reached_files.contains(&"crates/bgp/src/other.rs"));
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_the_graph() {
+        let graph = graph_for(&[(
+            "crates/bgp/src/x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { live(); }\n}",
+        )]);
+        assert_eq!(graph.nodes.len(), 1);
+    }
+}

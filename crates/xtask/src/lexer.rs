@@ -50,6 +50,10 @@ pub fn lex(source: &str) -> LexedFile {
     let mut code_lines = Vec::new();
     let mut allows = Vec::new();
     let mut mode = Mode::Code;
+    // Doc comments (`///`, `//!`, `/**`, `/*!`) are documentation, not
+    // annotations: an allow-shaped string inside them (this file's own
+    // docs, for instance) must not register as a live allow.
+    let mut doc_comment = false;
     let mut line_no = 0usize;
 
     let bytes = source.as_bytes();
@@ -59,6 +63,7 @@ pub fn lex(source: &str) -> LexedFile {
         if b == b'\n' {
             if let Mode::LineComment = mode {
                 mode = Mode::Code;
+                doc_comment = false;
             }
             if let Some(reason) = parse_allow(&comment) {
                 allows.push(Allow {
@@ -77,10 +82,12 @@ pub fn lex(source: &str) -> LexedFile {
             Mode::Code => {
                 if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
                     mode = Mode::LineComment;
+                    doc_comment = matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!'));
                     code.push(' ');
                     i += 1;
                 } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
                     mode = Mode::BlockComment(1);
+                    doc_comment = matches!(bytes.get(i + 2), Some(&b'*') | Some(&b'!'));
                     code.push(' ');
                     i += 1;
                 } else if b == b'"' {
@@ -119,7 +126,9 @@ pub fn lex(source: &str) -> LexedFile {
                 }
             }
             Mode::LineComment => {
-                comment.push(b as char);
+                if !doc_comment {
+                    comment.push(b as char);
+                }
                 code.push(' ');
             }
             Mode::BlockComment(depth) => {
@@ -139,7 +148,11 @@ pub fn lex(source: &str) -> LexedFile {
                     code.push(' ');
                 }
                 if let Mode::BlockComment(_) = mode {
-                    comment.push(b as char);
+                    if !doc_comment {
+                        comment.push(b as char);
+                    }
+                } else {
+                    doc_comment = false;
                 }
             }
             Mode::Str => {
@@ -286,6 +299,15 @@ mod tests {
         assert!(!lexed.test_lines[0]);
         assert!(lexed.test_lines[3]);
         assert!(!lexed.test_lines[5]);
+    }
+
+    #[test]
+    fn doc_comments_do_not_register_allows() {
+        let src = "/// The `lint:allow(reason)` grammar.\n//! lint:allow(inner doc)\n/** lint:allow(block doc) */\nfoo(); // lint:allow(real one)";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1, "{:?}", lexed.allows);
+        assert_eq!(lexed.allows[0].line, 3);
+        assert_eq!(lexed.allows[0].reason, "real one");
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! The workspace static-analysis library behind `cargo xtask`.
+//!
+//! Std-only by design: the build environment has no registry access, so the
+//! engine carries its own minimal lexer ([`lexer`]), a small item-tree
+//! parser ([`parser`]), a workspace call graph ([`callgraph`]), the
+//! protocol lint rules ([`rules`]), and the parser-backed analyses
+//! ([`analysis`]: panic-reachability and the determinism lints) instead of
+//! depending on `syn` or `rust-analyzer`.
+//!
+//! The binary target (`main.rs`) is a thin driver over this library; the
+//! fixture self-tests under `tests/` exercise the library directly. See
+//! `docs/STATIC_ANALYSIS.md` for the rule catalogue and allowlist policy.
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod callgraph;
+pub mod lexer;
+pub mod parser;
+pub mod rules;

@@ -4,8 +4,12 @@
 //! lint engine carries its own minimal lexer instead of depending on `syn`.
 //!
 //! Subcommands:
-//! - `lint`  — run the six protocol lint rules (see `rules`); exit 1 on any
-//!   violation outside the `// lint:allow(reason)` allowlist.
+//! - `lint`  — run the seven protocol lint rules (see `xtask::rules`);
+//!   exit 1 on any violation outside the `// lint:allow(reason)` allowlist.
+//! - `analyze` — the parser-backed analyses (see `xtask::analysis`): build
+//!   the workspace call graph, walk panic-reachability from the engine
+//!   hot-path entry points, and run the determinism lints; prints
+//!   per-entry-point reachability statistics.
 //! - `audit` — lint allowlist hygiene (stale / reason-less annotations),
 //!   verify the invariant-hook wiring is present, then run the test suite
 //!   with `--features invariant-checks` so the debug assertions execute.
@@ -30,18 +34,17 @@
 //!   are reported and skipped rather than failed, so `ci` works in minimal
 //!   containers.
 
-mod lexer;
-mod rules;
-
-use rules::SourceFile;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use xtask::rules::{self, SourceFile};
+use xtask::{analysis, lexer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&root),
+        Some("analyze") => cmd_analyze(&root),
         Some("audit") => cmd_audit(&root, args.iter().any(|a| a == "--static-only")),
         Some("obs") => cmd_obs(&root),
         Some("bench") => cmd_bench(&root, args.iter().any(|a| a == "--smoke")),
@@ -64,7 +67,11 @@ fn print_help() {
         "cargo xtask <subcommand>\n\n\
          \tlint                run the protocol lint rules (no-panic, pub-docs,\n\
          \t                    wire-golden, engine-hygiene, trace-schema,\n\
-         \t                    stage-alloc)\n\
+         \t                    stage-alloc, unsafe-audit)\n\
+         \tanalyze             parser-backed analyses: panic-reachability over\n\
+         \t                    the workspace call graph from the engine entry\n\
+         \t                    points, plus the determinism lints (hashed-order\n\
+         \t                    leaks, wall-clock/RNG outside the clock seam)\n\
          \taudit [--static-only]\n\
          \t                    check allowlist hygiene + invariant-hook wiring,\n\
          \t                    then run tests with --features invariant-checks\n\
@@ -82,8 +89,9 @@ fn print_help() {
          \t                    BENCH_chaos.json against\n\
          \t                    crates/bench/bench-chaos-schema.json; --smoke\n\
          \t                    runs small sizes into target/bench/\n\
-         \tci                  fmt check, lint, clippy, tests, invariant tests,\n\
-         \t                    obs, bench --smoke, chaos --smoke\n\
+         \tci                  fmt check, lint, analyze, clippy, tests,\n\
+         \t                    invariant tests, obs, bench --smoke,\n\
+         \t                    chaos --smoke\n\
          \thelp                this message"
     );
 }
@@ -109,7 +117,9 @@ fn workspace_root() -> PathBuf {
 
 /// Collects every tracked `.rs` file the rules care about: crate sources,
 /// crate tests, and the root `src/`. Vendored stand-ins and `target/` are
-/// excluded — they are not protocol code.
+/// excluded — they are not protocol code — and so is the
+/// `crates/xtask/tests/fixtures/` corpus, whose bad files violate the
+/// rules on purpose (the self-tests lint them in isolation).
 fn collect_sources(root: &Path) -> (Vec<SourceFile>, Vec<Vec<String>>) {
     let mut files = Vec::new();
     let mut raw_lines = Vec::new();
@@ -124,7 +134,7 @@ fn collect_sources(root: &Path) -> (Vec<SourceFile>, Vec<Vec<String>>) {
             let path = entry.path();
             if path.is_dir() {
                 let name = entry.file_name();
-                if name != "target" && name != ".git" {
+                if name != "target" && name != ".git" && name != "fixtures" {
                     stack.push(path);
                 }
             } else if path.extension().is_some_and(|e| e == "rs") {
@@ -143,6 +153,64 @@ fn collect_sources(root: &Path) -> (Vec<SourceFile>, Vec<Vec<String>>) {
     (files, raw_lines)
 }
 
+/// Parses every collected file into its item tree (`trees[i]` matches
+/// `files[i]`), feeding the parser-backed rules and analyses.
+fn parse_trees(files: &[SourceFile]) -> Vec<xtask::parser::ParsedFile> {
+    files
+        .iter()
+        .map(|f| xtask::parser::parse(&f.lexed))
+        .collect()
+}
+
+/// Inventories `unsafe` usage in every vendored stand-in under `vendor/`
+/// for the unsafe-audit rule. Scans all lines (tests included): a vendored
+/// crate is third-party surface, so its unsafe count is all-or-nothing.
+fn collect_vendor(root: &Path) -> Vec<rules::VendorCrate> {
+    let mut out = Vec::new();
+    let vendor_dir = root.join("vendor");
+    let Ok(entries) = std::fs::read_dir(&vendor_dir) else {
+        return out;
+    };
+    let mut crates: Vec<_> = entries.flatten().filter(|e| e.path().is_dir()).collect();
+    crates.sort_by_key(|e| e.path());
+    for krate in crates {
+        let name = krate.file_name().to_string_lossy().into_owned();
+        let mut first_unsafe = None;
+        let mut stack = vec![krate.path()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            let mut entries: Vec<_> = entries.flatten().collect();
+            entries.sort_by_key(|e| e.path());
+            for entry in entries {
+                let path = entry.path();
+                if path.is_dir() {
+                    if entry.file_name() != "target" {
+                        stack.push(path);
+                    }
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    let Ok(source) = std::fs::read_to_string(&path) else {
+                        continue;
+                    };
+                    let lexed = lexer::lex(&source);
+                    for (idx, line) in lexed.code_lines.iter().enumerate() {
+                        let hit = line
+                            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                            .any(|w| w == "unsafe");
+                        if hit && first_unsafe.is_none() {
+                            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                            first_unsafe = Some((rel, idx + 1));
+                        }
+                    }
+                }
+            }
+        }
+        out.push(rules::VendorCrate { name, first_unsafe });
+    }
+    out
+}
+
 /// Reads the golden trace schema fixture for the trace-schema rule; `None`
 /// if it is missing (which the rule reports as a violation).
 fn trace_schema_text(root: &Path) -> Option<String> {
@@ -151,19 +219,49 @@ fn trace_schema_text(root: &Path) -> Option<String> {
 
 fn cmd_lint(root: &Path) -> ExitCode {
     let (files, raw_lines) = collect_sources(root);
+    let trees = parse_trees(&files);
+    let vendor = collect_vendor(root);
     let schema = trace_schema_text(root);
-    let violations = rules::run_all(&files, &raw_lines, schema.as_deref());
+    let violations = rules::run_all(&files, &raw_lines, &trees, schema.as_deref(), &vendor);
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: clean ({} files, 6 rules, 0 violations)",
+            "xtask lint: clean ({} files, 7 rules, 0 violations)",
             files.len()
         );
         ExitCode::SUCCESS
     } else {
         println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The parser-backed analyses: panic-reachability over the workspace call
+/// graph plus the determinism lints, with a per-entry-point reachability
+/// report. See `docs/STATIC_ANALYSIS.md`.
+fn cmd_analyze(root: &Path) -> ExitCode {
+    let (files, _raw_lines) = collect_sources(root);
+    let trees = parse_trees(&files);
+    let graph = analysis::build_graph(&files, &trees);
+    let violations = analysis::run_all(&files, &trees);
+    for v in &violations {
+        println!("{v}");
+    }
+    println!("\npanic-reachability: functions reached per entry point");
+    for (spec, reached) in analysis::reachability_stats(&graph) {
+        println!("  {reached:>4}  {spec}");
+    }
+    if violations.is_empty() {
+        println!(
+            "\nxtask analyze: clean ({} files, {} call-graph nodes, 0 findings)",
+            files.len(),
+            graph.nodes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("\nxtask analyze: {} finding(s)", violations.len());
         ExitCode::FAILURE
     }
 }
@@ -182,10 +280,13 @@ const INVARIANT_HOOK_SITES: &[(&str, &str)] = &[
 
 fn cmd_audit(root: &Path, static_only: bool) -> ExitCode {
     let (files, raw_lines) = collect_sources(root);
-    // Run the rules first so every live annotation is marked used; what
-    // remains unused is stale.
+    // Run the rules AND the analyses first so every live annotation is
+    // marked used; what remains unused is stale.
+    let trees = parse_trees(&files);
+    let vendor = collect_vendor(root);
     let schema = trace_schema_text(root);
-    let violations = rules::run_all(&files, &raw_lines, schema.as_deref());
+    let mut violations = rules::run_all(&files, &raw_lines, &trees, schema.as_deref(), &vendor);
+    violations.extend(analysis::run_all(&files, &trees));
     let mut problems = rules::stale_allows(&files);
 
     for (rel, needle) in INVARIANT_HOOK_SITES {
@@ -712,6 +813,7 @@ fn cmd_ci(root: &Path) -> ExitCode {
     let mut ok = true;
     ok &= run_step(root, "format check", "cargo", &["fmt", "--check"], true);
     ok &= cmd_lint(root) == ExitCode::SUCCESS;
+    ok &= cmd_analyze(root) == ExitCode::SUCCESS;
     ok &= cmd_audit(root, true) == ExitCode::SUCCESS;
     ok &= run_step(
         root,

@@ -1,30 +1,36 @@
-//! The six protocol-specific lint rules layered on top of the
-//! `[workspace.lints]` wall (see DESIGN.md § "Static analysis & invariants"):
+//! The protocol-specific lint rules layered on top of the
+//! `[workspace.lints]` wall (see `docs/STATIC_ANALYSIS.md` for the full
+//! catalogue, and DESIGN.md § "Static analysis & invariants"):
 //!
 //! 1. **no-panic** — no `unwrap()` / `expect()` / `panic!` family macros in
-//!    the protocol hot paths (`crates/bgp/src`, `crates/core/src`), outside
-//!    `#[cfg(test)]` items, unless annotated `// lint:allow(reason)`.
+//!    the protocol hot-path *directories* (`crates/bgp/src`,
+//!    `crates/core/src`), outside `#[cfg(test)]` items, unless annotated
+//!    `// lint:allow(reason)`. The call-graph analysis in
+//!    [`crate::analysis`] complements this directory wall with
+//!    reachability from the engine entry points (including indexing and
+//!    asserts, and crossing into other crates).
 //! 2. **pub-docs** — every public item carries a doc comment.
 //! 3. **wire-golden** — every wire-enum variant is exercised by name in the
 //!    golden round-trip suite `crates/bgp/tests/wire_golden.rs`.
 //! 4. **engine-hygiene** — no `Ordering::Relaxed` and no bare
 //!    `thread::spawn` inside `crates/bgp/src/engine/`.
-//! 5. **trace-schema** — every `TraceEvent` variant is described by the
-//!    golden trace schema `crates/telemetry/trace-schema.json`, so a new
-//!    event kind cannot ship without `cargo xtask obs` validating it.
-//!    Coverage extends to every *emission site*: any `TraceEvent::Kind`
-//!    construction anywhere in the workspace (the chaos harness's fault
-//!    events, the engines' stage events, …) must name a described kind, so
-//!    an allowlisted definition cannot smuggle an unvalidated kind into a
-//!    trace stream.
+//! 5. **trace-schema** — every `TraceEvent` variant (definition and every
+//!    emission site) is described by the golden trace schema
+//!    `crates/telemetry/trace-schema.json`.
 //! 6. **stage-alloc** — no `Vec::new()` / `HashMap::new()` / `vec![`
 //!    allocation inside the stage-loop bodies of the synchronous engine
-//!    (`run_stage`, `parallel_handle` in `crates/bgp/src/engine/sync.rs`):
-//!    the per-stage buffers are reused by design (double-buffered inboxes
-//!    and dirty lists), and a fresh allocation per stage silently undoes
-//!    the PR-3 perf work.
+//!    (`run_stage`, `parallel_handle`), whose buffers are reused by design.
+//! 7. **unsafe-audit** — every first-party crate root carries
+//!    `#![forbid(unsafe_code)]`, no first-party line uses `unsafe`, and
+//!    vendored stand-ins are unsafe-free unless enumerated (with a reason)
+//!    in [`VENDOR_UNSAFE_EXCEPTIONS`].
+//!
+//! Rules 3, 5, and 6 are parser-backed: enum variants and function body
+//! spans come from [`crate::parser`] item trees rather than ad-hoc brace
+//! tracking.
 
 use crate::lexer::{Allow, LexedFile};
+use crate::parser::ParsedFile;
 use std::path::{Path, PathBuf};
 
 /// One lint finding: rule, location, and the offending token.
@@ -72,7 +78,7 @@ impl SourceFile {
 /// Returns `true` when a violation on `line_idx` (0-based) is covered by an
 /// annotation on the same line or the line directly above; marks the
 /// annotation used so `audit` can flag stale ones.
-fn allowed(allows: &[Allow], line_idx: usize) -> bool {
+pub fn allowed(allows: &[Allow], line_idx: usize) -> bool {
     for allow in allows {
         if allow.line == line_idx || allow.line + 1 == line_idx {
             allow.used.set(true);
@@ -228,60 +234,9 @@ pub const WIRE_ENUM_FILES: &[&str] = &["crates/bgp/src/message.rs", "crates/bgp/
 /// The golden round-trip suite.
 pub const GOLDEN_TEST: &str = "crates/bgp/tests/wire_golden.rs";
 
-/// Extracts `(enum_name, variant, line)` triples from a lexed file's
-/// code-only lines by tracking `pub enum` blocks at brace depth 1.
-fn wire_enum_variants(file: &SourceFile) -> Vec<(String, String, usize)> {
-    let mut variants = Vec::new();
-    let mut current_enum: Option<String> = None;
-    let mut depth_at_entry = 0i32;
-    let mut depth = 0i32;
-    for (idx, line) in file.lexed.code_lines.iter().enumerate() {
-        if file.lexed.test_lines[idx] {
-            continue;
-        }
-        let trimmed = line.trim_start();
-        if current_enum.is_none() {
-            if let Some(rest) = trimmed.strip_prefix("pub enum ") {
-                let name: String = rest
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                if !name.is_empty() {
-                    current_enum = Some(name);
-                    depth_at_entry = depth;
-                }
-            }
-        } else if depth == depth_at_entry + 1 {
-            // Inside the enum body at variant level.
-            let ident: String = trimmed
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !ident.is_empty()
-                && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
-                && !trimmed.starts_with("pub ")
-            {
-                variants.push((current_enum.clone().unwrap_or_default(), ident, idx + 1));
-            }
-        }
-        for ch in line.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if current_enum.is_some() && depth == depth_at_entry {
-                        current_enum = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    variants
-}
-
 /// Rule 3: every wire-enum variant must appear by name in the golden suite.
-pub fn check_wire_golden(files: &[SourceFile], out: &mut Vec<Violation>) {
+/// Variant inventory comes from the parsed item trees.
+pub fn check_wire_golden(files: &[SourceFile], trees: &[ParsedFile], out: &mut Vec<Violation>) {
     let Some(golden) = files.iter().find(|f| f.rel_path == Path::new(GOLDEN_TEST)) else {
         out.push(Violation {
             rule: "wire-golden",
@@ -292,24 +247,29 @@ pub fn check_wire_golden(files: &[SourceFile], out: &mut Vec<Violation>) {
         return;
     };
     let golden_text = golden.lexed.code_lines.join("\n");
-    for file in files {
+    for (file, tree) in files.iter().zip(trees) {
         if !WIRE_ENUM_FILES
             .iter()
             .any(|p| file.rel_path == Path::new(p))
         {
             continue;
         }
-        for (enum_name, variant, line) in wire_enum_variants(file) {
-            let qualified = format!("{enum_name}::{variant}");
-            if !golden_text.contains(&qualified) && !allowed(&file.lexed.allows, line - 1) {
-                out.push(Violation {
-                    rule: "wire-golden",
-                    file: file.rel_path.clone(),
-                    line,
-                    message: format!(
-                        "`{qualified}` has no golden round-trip coverage in {GOLDEN_TEST}"
-                    ),
-                });
+        for item in &tree.enums {
+            if item.is_test || !item.is_pub {
+                continue;
+            }
+            for (variant, line) in &item.variants {
+                let qualified = format!("{}::{variant}", item.name);
+                if !golden_text.contains(&qualified) && !allowed(&file.lexed.allows, *line) {
+                    out.push(Violation {
+                        rule: "wire-golden",
+                        file: file.rel_path.clone(),
+                        line: line + 1,
+                        message: format!(
+                            "`{qualified}` has no golden round-trip coverage in {GOLDEN_TEST}"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -362,9 +322,11 @@ pub const TRACE_SCHEMA: &str = "crates/telemetry/trace-schema.json";
 
 /// Rule 5: every `TraceEvent` variant must be described (named as a JSON
 /// key) in the golden trace schema. `schema_text` is the fixture's content,
-/// read by the driver (it is JSON, not a lexed source file).
+/// read by the driver (it is JSON, not a lexed source file). Variant
+/// inventory comes from the parsed item trees.
 pub fn check_trace_schema(
     files: &[SourceFile],
+    trees: &[ParsedFile],
     schema_text: Option<&str>,
     out: &mut Vec<Violation>,
 ) {
@@ -377,22 +339,26 @@ pub fn check_trace_schema(
         });
         return;
     };
-    for file in files {
+    for (file, tree) in files.iter().zip(trees) {
         if file.rel_path != Path::new(TRACE_EVENT_FILE) {
             continue;
         }
-        for (enum_name, variant, line) in wire_enum_variants(file) {
-            if enum_name != "TraceEvent" {
+        for item in &tree.enums {
+            if item.name != "TraceEvent" || item.is_test {
                 continue;
             }
-            let key = format!("\"{variant}\"");
-            if !schema.contains(&key) && !allowed(&file.lexed.allows, line - 1) {
-                out.push(Violation {
-                    rule: "trace-schema",
-                    file: file.rel_path.clone(),
-                    line,
-                    message: format!("`TraceEvent::{variant}` is not described by {TRACE_SCHEMA}"),
-                });
+            for (variant, line) in &item.variants {
+                let key = format!("\"{variant}\"");
+                if !schema.contains(&key) && !allowed(&file.lexed.allows, *line) {
+                    out.push(Violation {
+                        rule: "trace-schema",
+                        file: file.rel_path.clone(),
+                        line: line + 1,
+                        message: format!(
+                            "`TraceEvent::{variant}` is not described by {TRACE_SCHEMA}"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -441,10 +407,9 @@ fn trace_event_mentions(line: &str) -> Vec<String> {
 /// The engine file whose stage-loop bodies must not allocate.
 pub const STAGE_ENGINE_FILE: &str = "crates/bgp/src/engine/sync.rs";
 
-/// The functions forming the per-stage hot loop. Matched on the code line
-/// that introduces them, body tracked by brace depth (same technique as
-/// [`wire_enum_variants`]).
-const STAGE_LOOP_FNS: &[&str] = &["fn run_stage", "fn parallel_handle"];
+/// The functions forming the per-stage hot loop, matched by bare name
+/// against the parsed item tree.
+const STAGE_LOOP_FNS: &[&str] = &["run_stage", "parallel_handle"];
 
 /// Allocation tokens banned inside the stage loop, with the reason shown
 /// on match.
@@ -464,23 +429,20 @@ const STAGE_ALLOC_TOKENS: &[(&str, &str)] = &[
 ];
 
 /// Rule 6: no per-stage allocation in the synchronous engine's hot loop.
-pub fn check_stage_alloc(files: &[SourceFile], out: &mut Vec<Violation>) {
-    for file in files {
+/// Body spans come from the parsed item trees.
+pub fn check_stage_alloc(files: &[SourceFile], trees: &[ParsedFile], out: &mut Vec<Violation>) {
+    for (file, tree) in files.iter().zip(trees) {
         if file.rel_path != Path::new(STAGE_ENGINE_FILE) {
             continue;
         }
-        let mut depth = 0i32;
-        // Depth at which the current stage-loop fn was introduced, if any.
-        let mut entry_depth: Option<i32> = None;
-        for (idx, line) in file.lexed.code_lines.iter().enumerate() {
-            if file.lexed.test_lines[idx] {
+        for item in &tree.fns {
+            if item.is_test || !STAGE_LOOP_FNS.contains(&item.name.as_str()) {
                 continue;
             }
-            if entry_depth.is_none() {
-                if STAGE_LOOP_FNS.iter().any(|f| line.contains(f)) {
-                    entry_depth = Some(depth);
-                }
-            } else {
+            for idx in item.body_start..=item.body_end {
+                let Some(line) = file.lexed.code_lines.get(idx) else {
+                    continue;
+                };
                 for (token, hint) in STAGE_ALLOC_TOKENS {
                     if line.contains(token) && !allowed(&file.lexed.allows, idx) {
                         out.push(Violation {
@@ -492,56 +454,139 @@ pub fn check_stage_alloc(files: &[SourceFile], out: &mut Vec<Violation>) {
                     }
                 }
             }
-            for ch in line.chars() {
-                match ch {
-                    '{' => depth += 1,
-                    '}' => {
-                        depth -= 1;
-                        if entry_depth == Some(depth) {
-                            entry_depth = None;
-                        }
-                    }
-                    _ => {}
-                }
-            }
         }
     }
 }
 
-/// Runs all six rules; `raw_lines[i]` are the unlexed lines of `files[i]`
-/// (needed by pub-docs to see doc comments, which the lexer blanks), and
-/// `schema_text` is the golden trace schema's content if it exists.
+/// Vendored crates that are allowed to contain `unsafe`, with the reviewed
+/// reason. Currently empty: every stand-in under `vendor/` is std-only
+/// safe Rust. A new vendored dependency that genuinely needs `unsafe`
+/// must be enumerated here — and the entry goes stale (reported by
+/// `audit`) the moment the unsafe code is removed.
+pub const VENDOR_UNSAFE_EXCEPTIONS: &[(&str, &str)] = &[];
+
+/// One vendored crate's unsafe inventory, collected by the driver.
+#[derive(Debug)]
+pub struct VendorCrate {
+    /// Directory name under `vendor/`.
+    pub name: String,
+    /// First `unsafe` occurrence (workspace-relative path, 1-based line),
+    /// if any.
+    pub first_unsafe: Option<(PathBuf, usize)>,
+}
+
+/// Crate-root files that must carry `#![forbid(unsafe_code)]`. The
+/// workspace `unsafe_code = "deny"` lint already covers rustc-visible
+/// code; the forbid makes the guarantee un-overridable per item.
+fn is_first_party_crate_root(path: &Path) -> bool {
+    let comps: Vec<&str> = path
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    matches!(
+        comps.as_slice(),
+        ["src", "lib.rs"] | ["crates", _, "src", "lib.rs"]
+    )
+}
+
+/// Rule 7: the unsafe audit. First-party crate roots must forbid unsafe
+/// code, no first-party line may use `unsafe`, and vendored crates must be
+/// unsafe-free unless enumerated in [`VENDOR_UNSAFE_EXCEPTIONS`].
+pub fn check_unsafe_audit(
+    files: &[SourceFile],
+    trees: &[ParsedFile],
+    vendor: &[VendorCrate],
+    out: &mut Vec<Violation>,
+) {
+    for (file, tree) in files.iter().zip(trees) {
+        if is_first_party_crate_root(&file.rel_path) && !tree.forbids_unsafe {
+            out.push(Violation {
+                rule: "unsafe-audit",
+                file: file.rel_path.clone(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+            });
+        }
+        for (idx, line) in file.lexed.code_lines.iter().enumerate() {
+            if file.lexed.test_lines[idx] {
+                continue;
+            }
+            let has_unsafe = line
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .any(|w| w == "unsafe");
+            if has_unsafe && !allowed(&file.lexed.allows, idx) {
+                out.push(Violation {
+                    rule: "unsafe-audit",
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    message: "`unsafe` in first-party code — the mechanism's guarantees are \
+                              proven over safe Rust only"
+                        .into(),
+                });
+            }
+        }
+    }
+    for v in vendor {
+        let excepted = VENDOR_UNSAFE_EXCEPTIONS.iter().any(|(n, _)| n == &v.name);
+        match (&v.first_unsafe, excepted) {
+            (Some((path, line)), false) => out.push(Violation {
+                rule: "unsafe-audit",
+                file: path.clone(),
+                line: *line,
+                message: format!(
+                    "vendored crate `{}` uses `unsafe` but is not enumerated in \
+                     VENDOR_UNSAFE_EXCEPTIONS",
+                    v.name
+                ),
+            }),
+            (None, true) => out.push(Violation {
+                rule: "unsafe-audit",
+                file: PathBuf::from(format!("vendor/{}", v.name)),
+                line: 1,
+                message: format!(
+                    "vendored crate `{}` is enumerated in VENDOR_UNSAFE_EXCEPTIONS but \
+                     contains no `unsafe` — remove the stale entry",
+                    v.name
+                ),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Runs all seven rules; `raw_lines[i]` are the unlexed lines of `files[i]`
+/// (needed by pub-docs to see doc comments, which the lexer blanks),
+/// `trees[i]` is the parsed item tree of `files[i]`, `schema_text` is the
+/// golden trace schema's content if it exists, and `vendor` is the
+/// vendored-crate unsafe inventory.
 pub fn run_all(
     files: &[SourceFile],
     raw_lines: &[Vec<String>],
+    trees: &[ParsedFile],
     schema_text: Option<&str>,
+    vendor: &[VendorCrate],
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     check_no_panic(files, &mut out);
     check_pub_docs(files, raw_lines, &mut out);
-    check_wire_golden(files, &mut out);
+    check_wire_golden(files, trees, &mut out);
     check_engine_hygiene(files, &mut out);
-    check_trace_schema(files, schema_text, &mut out);
-    check_stage_alloc(files, &mut out);
+    check_trace_schema(files, trees, schema_text, &mut out);
+    check_stage_alloc(files, trees, &mut out);
+    check_unsafe_audit(files, trees, vendor, &mut out);
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
 
 /// Annotations that suppressed nothing this run — reported by `audit` so
-/// the allowlist cannot rot.
+/// the allowlist cannot rot. Every collected file is scanned by at least
+/// one rule or analysis (determinism and unsafe-audit are workspace-wide),
+/// so staleness is checked everywhere. Callers must run both
+/// [`run_all`] and [`crate::analysis::run_all`] first so live annotations
+/// are marked used.
 pub fn stale_allows(files: &[SourceFile]) -> Vec<Violation> {
     let mut out = Vec::new();
     for file in files {
-        // Only directories some rule actually scans can have live allows.
-        let scanned = HOT_PATHS.iter().any(|d| file.under(d))
-            || WIRE_ENUM_FILES
-                .iter()
-                .any(|p| file.rel_path == Path::new(p))
-            || file.under(ENGINE_DIR)
-            || file.rel_path == Path::new(TRACE_EVENT_FILE);
-        if !scanned {
-            continue;
-        }
         for allow in &file.lexed.allows {
             if !allow.used.get() {
                 out.push(Violation {
@@ -572,12 +617,17 @@ pub fn stale_allows(files: &[SourceFile]) -> Vec<Violation> {
 mod tests {
     use super::*;
     use crate::lexer::lex;
+    use crate::parser::parse;
 
     fn file(path: &str, src: &str) -> SourceFile {
         SourceFile {
             rel_path: PathBuf::from(path),
             lexed: lex(src),
         }
+    }
+
+    fn trees(files: &[SourceFile]) -> Vec<ParsedFile> {
+        files.iter().map(|f| parse(&f.lexed)).collect()
     }
 
     #[test]
@@ -644,8 +694,9 @@ mod tests {
                 "fn t() { let _ = RouteInfo::Reachable { cost: 1 }; }",
             ),
         ];
+        let trees = trees(&files);
         let mut out = Vec::new();
-        check_wire_golden(&files, &mut out);
+        check_wire_golden(&files, &trees, &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("RouteInfo::Withdrawn"));
     }
@@ -667,9 +718,10 @@ mod tests {
             "crates/telemetry/src/event.rs",
             "/// E.\npub enum TraceEvent {\n    StageStart { stage: u64 },\n    Quiescent { stage: u64 },\n}",
         )];
+        let trees = trees(&files);
         let schema = r#"{"version":1,"events":{"StageStart":{"stage":"u64"}}}"#;
         let mut out = Vec::new();
-        check_trace_schema(&files, Some(schema), &mut out);
+        check_trace_schema(&files, &trees, Some(schema), &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("TraceEvent::Quiescent"));
     }
@@ -680,9 +732,10 @@ mod tests {
             "crates/bgp/src/chaos.rs",
             "fn f(t: &Telemetry) {\n    t.record(&TraceEvent::FaultInjected { stage: 0 });\n    t.record(&TraceEvent::Mystery { stage: 0 });\n}",
         )];
+        let trees = trees(&files);
         let schema = r#"{"version":1,"events":{"FaultInjected":{"stage":"u64"}}}"#;
         let mut out = Vec::new();
-        check_trace_schema(&files, Some(schema), &mut out);
+        check_trace_schema(&files, &trees, Some(schema), &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("TraceEvent::Mystery"));
         assert_eq!(out[0].line, 3);
@@ -691,7 +744,7 @@ mod tests {
     #[test]
     fn trace_schema_missing_fixture_is_itself_a_violation() {
         let mut out = Vec::new();
-        check_trace_schema(&[], None, &mut out);
+        check_trace_schema(&[], &[], None, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "trace-schema");
     }
@@ -700,8 +753,9 @@ mod tests {
     fn stage_alloc_flags_allocation_in_stage_loop_only() {
         let src = "fn run_stage(&mut self) {\n    let v = Vec::new();\n    let m = vec![0; 4];\n}\nfn elsewhere() {\n    let fine = Vec::new();\n}";
         let files = vec![file("crates/bgp/src/engine/sync.rs", src)];
+        let trees = trees(&files);
         let mut out = Vec::new();
-        check_stage_alloc(&files, &mut out);
+        check_stage_alloc(&files, &trees, &mut out);
         let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
         assert_eq!(lines, vec![2, 3], "{out:?}");
     }
@@ -716,8 +770,9 @@ mod tests {
                 "fn f() { let v = Vec::new(); }",
             ),
         ];
+        let trees = trees(&files);
         let mut out = Vec::new();
-        check_stage_alloc(&files, &mut out);
+        check_stage_alloc(&files, &trees, &mut out);
         assert!(out.is_empty(), "{out:?}");
     }
 
@@ -732,5 +787,53 @@ mod tests {
         let stale = stale_allows(&files);
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].rule, "stale-allow");
+    }
+
+    #[test]
+    fn unsafe_audit_requires_forbid_on_crate_roots() {
+        let files = vec![
+            file(
+                "crates/bgp/src/lib.rs",
+                "#![forbid(unsafe_code)]\nfn f() {}",
+            ),
+            file("crates/core/src/lib.rs", "fn f() {}"),
+            file("crates/core/src/other.rs", "fn f() {}"),
+        ];
+        let trees = trees(&files);
+        let mut out = Vec::new();
+        check_unsafe_audit(&files, &trees, &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, PathBuf::from("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn unsafe_audit_flags_unsafe_tokens_but_not_words_in_idents() {
+        let files = vec![file(
+            "crates/bgp/src/x.rs",
+            "fn f() { unsafe { g() } }\nfn unsafe_free_name() {}",
+        )];
+        let trees = trees(&files);
+        let mut out = Vec::new();
+        check_unsafe_audit(&files, &trees, &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_audit_vendor_exceptions_are_exact() {
+        let vendor = vec![
+            VendorCrate {
+                name: "sneaky".into(),
+                first_unsafe: Some((PathBuf::from("vendor/sneaky/src/lib.rs"), 3)),
+            },
+            VendorCrate {
+                name: "clean".into(),
+                first_unsafe: None,
+            },
+        ];
+        let mut out = Vec::new();
+        check_unsafe_audit(&[], &[], &vendor, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("sneaky"));
     }
 }

@@ -1,0 +1,33 @@
+//! Fixture: a stage engine that allocates per stage, leaks a thread,
+//! relaxes an ordering, panics on a hot path, and dips into unsafe.
+
+/// The stage engine.
+#[derive(Debug)]
+pub struct SyncEngine {
+    buffers: Vec<u32>,
+}
+
+impl SyncEngine {
+    /// Runs one stage, allocating fresh buffers every time.
+    pub fn run_stage(&mut self) -> u32 {
+        let staged: Vec<u32> = vec![0; self.buffers.len()];
+        let handle = std::thread::spawn(move || staged.len() as u32);
+        handle.join().unwrap()
+    }
+}
+
+/// Merges worker emissions into the caller's buffer.
+pub fn parallel_handle(merged: &mut Vec<u32>) {
+    let extra: Vec<u32> = Vec::new();
+    merged.extend(extra);
+}
+
+/// Bumps the stage counter without ordering guarantees.
+pub fn bump(counter: &std::sync::atomic::AtomicU32) {
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Reads the first buffer slot without a bounds check.
+pub fn first_unchecked(buffers: &[u32]) -> u32 {
+    unsafe { *buffers.get_unchecked(0) }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root that forgot to forbid unsafe code.
+
+pub mod chaos;
+pub mod message;
+pub mod node;

@@ -1,0 +1,10 @@
+//! Fixture: wire vocabulary that outgrew its golden suite.
+
+/// A BGP wire message.
+#[derive(Debug)]
+pub enum Message {
+    /// Route announcement.
+    Update,
+    /// New variant with no golden round-trip coverage.
+    Bogus,
+}

@@ -1,0 +1,22 @@
+//! Fixture: a node with an undocumented public helper and a stale allow.
+
+/// A best-route node.
+#[derive(Debug)]
+pub struct PlainBgpNode {
+    best: u64,
+}
+
+impl PlainBgpNode {
+    /// Handles a batch.
+    pub fn handle(&mut self, delivered: &[u64]) -> u64 {
+        self.best = delivered.first().copied().unwrap_or(self.best);
+        self.best
+    }
+}
+
+pub fn undocumented_helper() -> u32 {
+    7
+}
+
+// lint:allow(stale: this suppresses nothing and must be reported)
+const NODE_VERSION: u32 = 3;

@@ -1,0 +1,10 @@
+//! Fixture: a golden suite that lags the wire vocabulary.
+
+enum Message {
+    Update,
+}
+
+#[test]
+fn round_trips() {
+    let _ = Message::Update;
+}

@@ -1,0 +1,24 @@
+//! Fixture: a pricing node that reaches for ambient randomness.
+
+/// A VCG-pricing node.
+#[derive(Debug)]
+pub struct PricingBgpNode {
+    prices: Vec<u64>,
+}
+
+impl PricingBgpNode {
+    /// Handles a batch.
+    pub fn handle(&mut self, delivered: &[u64]) -> Option<u64> {
+        let sum: u64 = delivered.iter().sum();
+        self.refresh_prices(sum);
+        self.prices.last().copied()
+    }
+
+    /// Relaxes prices with an ambient RNG jitter.
+    pub fn refresh_prices(&mut self, candidate: u64) {
+        let jitter = rand::thread_rng().next_u64() % 2;
+        for slot in self.prices.iter_mut() {
+            *slot = (*slot).min(candidate + jitter);
+        }
+    }
+}

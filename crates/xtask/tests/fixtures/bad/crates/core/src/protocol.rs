@@ -1,0 +1,16 @@
+//! Fixture: a runner that leaks hash order, reads the wall clock on a
+//! hot path, and indexes without a guard.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Runs the protocol over every node in parallel.
+pub fn run_sync_parallel(nodes: &[u32]) -> HashMap<u32, u32> {
+    let started = Instant::now();
+    let mut merged = HashMap::new();
+    for (i, _) in nodes.iter().enumerate() {
+        let node = nodes[i + 1];
+        merged.insert(node, started.elapsed().subsec_nanos());
+    }
+    merged
+}

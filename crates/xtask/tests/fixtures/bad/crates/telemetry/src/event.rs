@@ -1,0 +1,10 @@
+//! Fixture: a trace vocabulary that outgrew its schema.
+
+/// A trace event.
+#[derive(Debug)]
+pub enum TraceEvent {
+    /// A stage began.
+    StageStart,
+    /// Mystery event the schema does not describe.
+    Mystery,
+}

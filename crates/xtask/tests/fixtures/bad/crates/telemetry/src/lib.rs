@@ -1,0 +1,5 @@
+//! Fixture: telemetry crate root.
+
+#![forbid(unsafe_code)]
+
+pub mod event;

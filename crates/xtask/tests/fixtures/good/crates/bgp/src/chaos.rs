@@ -1,0 +1,26 @@
+//! Fixture: the chaos session engine, with one consciously-accepted
+//! panic site proving the allowlist mechanism end to end.
+
+/// Chaos-mode engine with seeded fault injection.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    stable: bool,
+    ticks: u32,
+}
+
+impl ChaosEngine {
+    /// Advances one chaotic step.
+    pub fn step(&mut self) -> Result<bool, String> {
+        self.ticks = self.ticks.checked_add(1).ok_or("tick overflow")?;
+        // lint:allow(fixture: checked_rem by a nonzero constant is always Some)
+        let parity = self.ticks.checked_rem(2).unwrap();
+        self.stable = parity == 0;
+        Ok(self.stable)
+    }
+
+    /// Runs until the session stabilizes.
+    pub fn run_to_stable(&mut self) -> Result<u32, String> {
+        while !self.step()? {}
+        Ok(self.ticks)
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: topology dynamics vocabulary.
+
+/// A topology event.
+#[derive(Debug)]
+pub enum TopologyEvent {
+    /// A link fails.
+    LinkDown,
+}

@@ -1,0 +1,8 @@
+//! Fixture: a clean hot-path crate root.
+
+#![forbid(unsafe_code)]
+
+pub mod chaos;
+pub mod dynamics;
+pub mod message;
+pub mod node;

@@ -1,0 +1,19 @@
+//! Fixture: the plain BGP node.
+
+/// A best-route-selection node.
+#[derive(Debug)]
+pub struct PlainBgpNode {
+    best: Option<u64>,
+}
+
+impl PlainBgpNode {
+    /// Handles one delivered update batch.
+    pub fn handle(&mut self, delivered: &[u64]) -> Option<u64> {
+        let best = delivered.iter().copied().min()?;
+        if Some(best) < self.best.or(Some(u64::MAX)) {
+            self.best = Some(best);
+            return self.best;
+        }
+        None
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: the golden round-trip suite, covering every wire variant.
+
+enum Message {
+    Update,
+    Withdraw,
+}
+
+enum TopologyEvent {
+    LinkDown,
+}
+
+#[test]
+fn round_trips() {
+    let _ = (Message::Update, Message::Withdraw, TopologyEvent::LinkDown);
+}

@@ -1,0 +1,6 @@
+//! Fixture: pricing crate root.
+
+#![forbid(unsafe_code)]
+
+pub mod pricing_node;
+pub mod protocol;

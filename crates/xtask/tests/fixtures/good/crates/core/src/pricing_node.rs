@@ -1,0 +1,23 @@
+//! Fixture: the pricing node.
+
+/// A VCG-pricing node.
+#[derive(Debug)]
+pub struct PricingBgpNode {
+    prices: Vec<u64>,
+}
+
+impl PricingBgpNode {
+    /// Handles a delivered batch and may emit an update.
+    pub fn handle(&mut self, delivered: &[u64]) -> Option<u64> {
+        let sum: u64 = delivered.iter().sum();
+        self.refresh_prices(sum);
+        self.prices.last().copied()
+    }
+
+    /// Relaxes the per-transit price vector toward `candidate`.
+    pub fn refresh_prices(&mut self, candidate: u64) {
+        for slot in self.prices.iter_mut() {
+            *slot = (*slot).min(candidate);
+        }
+    }
+}

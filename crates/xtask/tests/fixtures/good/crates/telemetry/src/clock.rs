@@ -1,0 +1,9 @@
+//! Fixture: the injectable clock seam — the one file allowed to read
+//! wall clocks.
+
+use std::time::Instant;
+
+/// Nanoseconds since the given process-local epoch.
+pub fn now_nanos(epoch: Instant) -> u128 {
+    Instant::now().duration_since(epoch).as_nanos()
+}

@@ -1,0 +1,8 @@
+//! Fixture: the trace vocabulary, fully described by the schema.
+
+/// A trace event.
+#[derive(Debug)]
+pub enum TraceEvent {
+    /// A stage began.
+    StageStart,
+}

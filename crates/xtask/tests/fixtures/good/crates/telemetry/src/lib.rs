@@ -1,0 +1,6 @@
+//! Fixture: telemetry crate root.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod event;

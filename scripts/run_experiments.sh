@@ -2,7 +2,7 @@
 # Regenerates every experiment (E1..E17) in release mode, saving outputs
 # under results/. Fails if any experiment's verdict assertion trips.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 mkdir -p results
 experiments=(
   e1_worked_example e2_strategyproofness e3_bgp_convergence

@@ -132,7 +132,12 @@ impl BenchmarkGroup {
         let id = id.into();
         let mut bencher = Bencher::default();
         f(&mut bencher);
-        report(&self.name, &id.label, self.throughput, bencher.nanos_per_iter);
+        report(
+            &self.name,
+            &id.label,
+            self.throughput,
+            bencher.nanos_per_iter,
+        );
         self
     }
 
@@ -148,7 +153,12 @@ impl BenchmarkGroup {
     {
         let mut bencher = Bencher::default();
         f(&mut bencher, input);
-        report(&self.name, &id.label, self.throughput, bencher.nanos_per_iter);
+        report(
+            &self.name,
+            &id.label,
+            self.throughput,
+            bencher.nanos_per_iter,
+        );
         self
     }
 

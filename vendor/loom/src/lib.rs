@@ -1,0 +1,481 @@
+//! Offline stand-in for `loom`: an exhaustive-interleaving model checker.
+//!
+//! The real loom instruments `std::sync` primitives and replays a program
+//! under every legal memory-model exploration. This stand-in keeps the part
+//! the workspace needs — *exhaustive schedule exploration* — and drops the
+//! C11 memory-model machinery: model threads run as real OS threads, but a
+//! cooperative scheduler admits exactly one at a time, and every admission
+//! is a recorded decision. [`model`] (and the counting variant [`explore`])
+//! re-runs the closure under depth-first search over those decisions until
+//! every schedule has been executed once.
+//!
+//! Scheduling points are explicit: [`thread::spawn`] registers a thread,
+//! [`thread::yield_now`] yields, [`JoinHandle::join`] blocks, and the
+//! [`channel`] operations (`send` / `try_recv`) yield before touching the
+//! queue. Between two scheduling points a thread runs atomically, so the
+//! set of explored behaviors is every interleaving of those atomic
+//! segments — for two threads with `a` and `b` observable segments, all
+//! `C(a + b, a)` arrival orders are visited.
+//!
+//! [`channel`] mirrors the `vendor/crossbeam` surface the sync engine's
+//! worker pool uses (`unbounded()`, cloneable `Sender::send`,
+//! `Receiver::try_recv`), so the pool's shard/merge protocol can be
+//! restated under the model with the same code shape. Divergences from
+//! real loom/crossbeam, by design: channels never report disconnection
+//! (drain after joining, as the engine does), and there is no blocking
+//! `recv` — the engine never blocks on the collector either.
+//!
+//! [`JoinHandle::join`]: thread::JoinHandle::join
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Backstop against schedule-space blowups: `explore` panics rather than
+/// silently truncating if a model needs more executions than this.
+const MAX_EXECUTIONS: usize = 1_000_000;
+
+/// What a model thread is currently able to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// May be picked by the scheduler.
+    Runnable,
+    /// Waiting for the given thread id to finish (a `join`).
+    Blocked(usize),
+    /// Exited.
+    Finished,
+}
+
+/// One scheduler decision: which runnable thread was admitted, out of which
+/// candidates. DFS backtracks over `chosen` (an index into `enabled`).
+#[derive(Debug)]
+struct Decision {
+    chosen: usize,
+    enabled: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Thread id currently admitted to run.
+    current: usize,
+    threads: Vec<Run>,
+    /// Forced decision prefix replayed from the previous execution.
+    prefix: Vec<usize>,
+    /// Decisions taken this execution (replayed prefix included).
+    decisions: Vec<Decision>,
+    pos: usize,
+    /// Set when any model thread panics; waiters abort instead of hanging.
+    panicked: bool,
+}
+
+#[derive(Debug)]
+struct Execution {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>) -> Execution {
+        Execution {
+            state: Mutex::new(State {
+                current: 0,
+                threads: vec![Run::Runnable],
+                prefix,
+                decisions: Vec::new(),
+                pos: 0,
+                panicked: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn enabled(threads: &[Run]) -> Vec<usize> {
+        threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Run::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Admits the next thread (lock held). Replays the DFS prefix while it
+    /// lasts, then defaults to the lowest-id candidate; either way the
+    /// decision and its alternatives are recorded for backtracking.
+    fn pick_locked(&self, state: &mut State) {
+        let enabled = Self::enabled(&state.threads);
+        if enabled.is_empty() {
+            if state.threads.iter().all(|r| matches!(r, Run::Finished)) {
+                self.cv.notify_all();
+                return;
+            }
+            state.panicked = true;
+            self.cv.notify_all();
+            panic!("loom model deadlock: threads blocked but none runnable");
+        }
+        let chosen = if state.pos < state.prefix.len() {
+            state.prefix[state.pos]
+        } else {
+            0
+        };
+        state.pos += 1;
+        state.current = enabled[chosen];
+        state.decisions.push(Decision { chosen, enabled });
+        self.cv.notify_all();
+    }
+
+    fn wait_for_turn(&self, me: usize) {
+        let mut state = self.state.lock().expect("model state lock");
+        while state.current != me {
+            if state.panicked {
+                panic!("loom model aborted: a model thread panicked");
+            }
+            state = self.cv.wait(state).expect("model state lock");
+        }
+    }
+
+    /// A preemption point: hand the scheduler a decision, then wait until
+    /// it admits `me` again (possibly immediately — self is a candidate).
+    fn sched_point(&self, me: usize) {
+        {
+            let mut state = self.state.lock().expect("model state lock");
+            self.pick_locked(&mut state);
+        }
+        self.wait_for_turn(me);
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Execution>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+/// Runs `f` under every schedule. Panics (assertion failures included)
+/// propagate to the caller on the first failing schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn(),
+{
+    explore(f);
+}
+
+/// Like [`model`], but returns how many distinct schedules were executed.
+pub fn explore<F>(f: F) -> usize
+where
+    F: Fn(),
+{
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom model exceeded {MAX_EXECUTIONS} schedules; shrink the model"
+        );
+        let exec = Arc::new(Execution::new(prefix.clone()));
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), 0)));
+        let outcome = catch_unwind(AssertUnwindSafe(&f));
+        CTX.with(|c| *c.borrow_mut() = None);
+        finish_main(&exec, outcome.is_err());
+        if let Err(payload) = outcome {
+            resume_unwind(payload);
+        }
+        wait_all_finished(&exec);
+        match next_prefix(&exec) {
+            Some(next) => prefix = next,
+            None => return executions,
+        }
+    }
+}
+
+/// Marks the root thread finished and schedules any straggler threads the
+/// closure spawned but never joined, so every execution drains fully.
+fn finish_main(exec: &Execution, aborting: bool) {
+    let mut state = exec.state.lock().expect("model state lock");
+    state.threads[0] = Run::Finished;
+    if aborting {
+        state.panicked = true;
+        exec.cv.notify_all();
+        return;
+    }
+    exec.pick_locked(&mut state);
+}
+
+fn wait_all_finished(exec: &Execution) {
+    let mut state = exec.state.lock().expect("model state lock");
+    while !state.threads.iter().all(|r| matches!(r, Run::Finished)) {
+        state = exec.cv.wait(state).expect("model state lock");
+    }
+}
+
+/// DFS backtrack: flip the deepest decision that still has an untried
+/// alternative; `None` when the whole schedule tree is exhausted.
+fn next_prefix(exec: &Execution) -> Option<Vec<usize>> {
+    let state = exec.state.lock().expect("model state lock");
+    let decisions = &state.decisions;
+    let flip = decisions
+        .iter()
+        .rposition(|d| d.chosen + 1 < d.enabled.len())?;
+    let mut prefix: Vec<usize> = decisions[..flip].iter().map(|d| d.chosen).collect();
+    prefix.push(decisions[flip].chosen + 1);
+    Some(prefix)
+}
+
+pub mod thread {
+    //! Model threads: real OS threads admitted one at a time.
+
+    use super::{ctx, Arc, AssertUnwindSafe, Mutex, Run};
+
+    /// Handle to a model thread; [`join`](JoinHandle::join) is a blocking
+    /// scheduling point, as in `std`.
+    #[derive(Debug)]
+    pub struct JoinHandle<T> {
+        id: usize,
+        result: Arc<Mutex<Option<T>>>,
+    }
+
+    /// Spawns a model thread. Registration is atomic with the caller's
+    /// current segment: the child only runs once a scheduling point admits
+    /// it.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, _me) = ctx();
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let id = {
+            let mut state = exec.state.lock().expect("model state lock");
+            state.threads.push(Run::Runnable);
+            state.threads.len() - 1
+        };
+        let child_exec = Arc::clone(&exec);
+        let slot = Arc::clone(&result);
+        std::thread::spawn(move || {
+            super::CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&child_exec), id)));
+            child_exec.wait_for_turn(id);
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(f));
+            let mut state = child_exec.state.lock().expect("model state lock");
+            state.threads[id] = Run::Finished;
+            for r in state.threads.iter_mut() {
+                if *r == Run::Blocked(id) {
+                    *r = Run::Runnable;
+                }
+            }
+            match outcome {
+                Ok(value) => {
+                    *slot.lock().expect("result slot lock") = Some(value);
+                    child_exec.pick_locked(&mut state);
+                }
+                Err(_) => {
+                    state.panicked = true;
+                    child_exec.cv.notify_all();
+                }
+            }
+        });
+        JoinHandle { id, result }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks the calling model thread until the child exits.
+        ///
+        /// # Errors
+        ///
+        /// Never returns `Err` — a panicking child aborts the whole model —
+        /// but keeps `std`'s `Result` shape so call sites match real code.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (exec, me) = ctx();
+            loop {
+                let mut state = exec.state.lock().expect("model state lock");
+                if state.threads[self.id] == Run::Finished {
+                    break;
+                }
+                state.threads[me] = Run::Blocked(self.id);
+                exec.pick_locked(&mut state);
+                drop(state);
+                exec.wait_for_turn(me);
+            }
+            Ok(self
+                .result
+                .lock()
+                .expect("result slot lock")
+                .take()
+                .expect("joined model thread left a result"))
+        }
+    }
+
+    /// Explicit preemption point.
+    pub fn yield_now() {
+        let (exec, me) = ctx();
+        exec.sched_point(me);
+    }
+}
+
+pub mod channel {
+    //! Model twin of the `vendor/crossbeam` channel subset: every queue
+    //! operation is a scheduling point, so message arrival order is
+    //! explored exhaustively.
+
+    use super::{ctx, Arc, Mutex};
+    use std::collections::VecDeque;
+
+    pub use std::sync::mpsc::{SendError, TryRecvError};
+
+    #[derive(Debug)]
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// Cloneable sending half.
+    #[derive(Debug)]
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Yields to the scheduler, then enqueues `value` atomically.
+        ///
+        /// # Errors
+        ///
+        /// Never errors — model channels do not track disconnection.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let (exec, me) = ctx();
+            exec.sched_point(me);
+            self.0.queue.lock().expect("channel lock").push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Receiving half (single consumer by convention, as in the engine).
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> Receiver<T> {
+        /// Yields to the scheduler, then pops the head if present.
+        ///
+        /// # Errors
+        ///
+        /// `TryRecvError::Empty` when the queue is empty; model channels
+        /// never report `Disconnected`.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let (exec, me) = ctx();
+            exec.sched_point(me);
+            self.0
+                .queue
+                .lock()
+                .expect("channel lock")
+                .pop_front()
+                .ok_or(TryRecvError::Empty)
+        }
+    }
+
+    /// Creates an unbounded FIFO model channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn straight_line_code_runs_exactly_once() {
+        let runs = explore(|| {
+            let x = 1 + 1;
+            assert_eq!(x, 2);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn two_yielding_threads_cover_every_append_order() {
+        let orders: Arc<Mutex<BTreeSet<Vec<u8>>>> = Arc::new(Mutex::new(BTreeSet::new()));
+        let observed = Arc::clone(&orders);
+        model(move || {
+            let log: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = [b'a', b'b']
+                .into_iter()
+                .map(|tag| {
+                    let log = Arc::clone(&log);
+                    thread::spawn(move || {
+                        for _ in 0..2 {
+                            thread::yield_now();
+                            log.lock().expect("log lock").push(tag);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("model thread");
+            }
+            let order = log.lock().expect("log lock").clone();
+            observed.lock().expect("orders lock").insert(order);
+        });
+        // Two ordered pairs interleave in C(4, 2) = 6 ways; exhaustive
+        // search must witness every one of them.
+        let orders = orders.lock().expect("orders lock");
+        assert_eq!(orders.len(), 6);
+        for order in orders.iter() {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, b"aabb");
+        }
+    }
+
+    #[test]
+    fn channel_preserves_per_sender_fifo_under_all_schedules() {
+        model(|| {
+            let (tx, rx) = channel::unbounded();
+            let tx2 = tx.clone();
+            let a = thread::spawn(move || {
+                tx.send((0u8, 0u8)).expect("model send");
+                tx.send((0, 1)).expect("model send");
+            });
+            let b = thread::spawn(move || {
+                tx2.send((1u8, 0u8)).expect("model send");
+                tx2.send((1, 1)).expect("model send");
+            });
+            a.join().expect("model thread");
+            b.join().expect("model thread");
+            let mut last = [None::<u8>, None::<u8>];
+            while let Ok((sender, seq)) = rx.try_recv() {
+                let slot = &mut last[sender as usize];
+                assert!(*slot < Some(seq), "per-sender FIFO violated");
+                *slot = Some(seq);
+            }
+            assert_eq!(last, [Some(1), Some(1)]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "witnessed")]
+    fn failing_schedules_propagate_as_panics() {
+        model(|| {
+            let (tx, rx) = channel::unbounded();
+            let handle = thread::spawn(move || tx.send(7u8).expect("model send"));
+            // Whether the message is visible here depends on the schedule;
+            // exhaustive search must find the schedule where it is.
+            if rx.try_recv() == Ok(7) {
+                panic!("witnessed the early-delivery schedule");
+            }
+            handle.join().expect("model thread");
+        });
+    }
+}

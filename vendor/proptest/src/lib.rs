@@ -11,6 +11,9 @@
 //! - **No persistence.** `.proptest-regressions` files are ignored.
 //! - Generation runs on the vendored xoshiro `StdRng`, so the sampled
 //!   inputs differ from upstream proptest for the same seed.
+//! - `PROPTEST_CASES` **caps** every suite's case count (upstream only
+//!   reseats the default): the nightly Miri/TSan CI jobs rely on this to
+//!   cut suites that pin their own counts down to interpreter speed.
 
 pub mod test_runner {
     //! Case configuration, error vocabulary, and the deterministic RNG.
@@ -26,9 +29,21 @@ pub mod test_runner {
     }
 
     impl Config {
-        /// A config running `cases` accepted cases per property.
+        /// A config running `cases` accepted cases per property. The
+        /// `PROPTEST_CASES` environment variable, when set to a number,
+        /// acts as a *cap* on any requested count — slightly stronger
+        /// than upstream (where it only reseats the default), so that
+        /// interpreter/sanitizer CI runs can cut every suite down even
+        /// when a test pins its own case count.
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases }
+            let capped = match std::env::var("PROPTEST_CASES") {
+                Ok(v) => match v.parse::<u32>() {
+                    Ok(cap) => cases.min(cap.max(1)),
+                    Err(_) => cases,
+                },
+                Err(_) => cases,
+            };
+            Config { cases: capped }
         }
 
         /// Upper bound on generation attempts before the runner gives up
@@ -40,7 +55,7 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 64 }
+            Config::with_cases(64)
         }
     }
 
@@ -301,7 +316,9 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Fails the current case with a formatted message unless `cond` holds.

@@ -78,6 +78,8 @@ fn bench_wire_codec(c: &mut Criterion) {
                 },
             })
             .collect(),
+        id: 0,
+        causes: Vec::new(),
     };
     let bytes = wire::encode_update(&update);
     let mut group = c.benchmark_group("wire_codec");

@@ -77,7 +77,9 @@ fn main() {
                     TraceEvent::RouteSelected {
                         node, dest, stage, ..
                     }
-                    | TraceEvent::Withdrawn { node, dest, stage } => {
+                    | TraceEvent::Withdrawn {
+                        node, dest, stage, ..
+                    } => {
                         route_last.insert((node, dest), stage as usize);
                     }
                     _ => {}

@@ -30,6 +30,11 @@
 //!   scenarios), printing each full `ChaosReport`.
 //! * `--out PATH` — where to write the JSON (default: repo-root
 //!   `BENCH_chaos.json`).
+//! * `--flight-out PATH` — attach a divergence flight recorder to every
+//!   run: if a run ever exhausts the stage budget instead of stabilizing,
+//!   the last trace events and per-node session state are dumped to
+//!   `PATH` as a schema-valid post-mortem (see `docs/OBSERVABILITY.md`).
+//!   Converged runs leave no dump.
 //!
 //! Regenerate with: `cargo run --release -p bgpvcg-bench --bin e19_chaos`
 
@@ -72,10 +77,11 @@ struct Config {
     smoke: bool,
     seed: Option<u64>,
     out: PathBuf,
+    flight_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: e19_chaos [--smoke] [--seed S] [--out PATH]");
+    eprintln!("usage: e19_chaos [--smoke] [--seed S] [--out PATH] [--flight-out PATH]");
     exit(2);
 }
 
@@ -87,6 +93,7 @@ fn parse_args() -> Config {
             env!("CARGO_MANIFEST_DIR"),
             "/../../BENCH_chaos.json"
         )),
+        flight_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -103,6 +110,13 @@ fn parse_args() -> Config {
                 Some(path) => config.out = PathBuf::from(path),
                 None => {
                     eprintln!("`--out` requires a PATH argument");
+                    usage();
+                }
+            },
+            "--flight-out" => match args.next() {
+                Some(path) => config.flight_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("`--flight-out` requires a PATH argument");
                     usage();
                 }
             },
@@ -205,8 +219,28 @@ fn main() {
                 for scenario in ["lossy", "crash", "flap"] {
                     let link = g.links()[seed as usize % g.link_count()];
                     let plan = plan_for(scenario, seed, n, (link.a(), link.b()));
-                    let (outcome, report) =
-                        protocol::run_chaos(&g, plan, MAX_STAGES).expect("chaos run");
+                    let (outcome, report) = match &config.flight_out {
+                        // With a flight recorder attached, a stage-budget
+                        // overrun leaves a post-mortem dump before the
+                        // assert below aborts the sweep.
+                        Some(path) => {
+                            let mut engine =
+                                protocol::build_chaos_engine(&g, plan).expect("valid graph");
+                            engine.attach_flight_recorder(path, 256);
+                            let report = engine.run_to_stable(MAX_STAGES);
+                            assert!(
+                                report.converged,
+                                "{} n={n} seed={seed} {scenario}: did not quiesce \
+                                 (flight dump at {}): {report}",
+                                family.name(),
+                                path.display()
+                            );
+                            let outcome = protocol::outcome_from_nodes(&engine.into_nodes())
+                                .expect("converged nodes have priced routes");
+                            (outcome, report)
+                        }
+                        None => protocol::run_chaos(&g, plan, MAX_STAGES).expect("chaos run"),
+                    };
                     assert!(
                         report.converged,
                         "{} n={n} seed={seed} {scenario}: did not quiesce: {report}",

@@ -15,13 +15,19 @@
 //!    one node crash/restart, self-stabilizing to the fault-free fixpoint.
 //!    Exercises `FaultInjected`, `Retransmit`, `SessionReset`, and
 //!    `NodeRestart`.
+//! 4. **Flight recorder**: a pricing engine is deliberately stalled (stage
+//!    limit 1) with a divergence flight recorder attached; the dump it
+//!    leaves behind must validate against the flight schema. The artifact
+//!    lands at `--flight-out` if given, else in a temp dir it cleans up.
 //!
-//! A single invocation therefore emits every `TraceEvent` kind, which
+//! A single invocation therefore emits every `TraceEvent` kind — and every
+//! causal event carries its `cause`/`effect` provenance ids — which
 //! `cargo xtask obs` validates line by line against the golden schema in
 //! `crates/telemetry/trace-schema.json`.
 //!
 //! Run with: `cargo run -p bgpvcg-bench --bin obs_smoke -- \
-//!     --trace-out trace.jsonl --metrics-out metrics.json`
+//!     --trace-out trace.jsonl --metrics-out metrics.json \
+//!     --flight-out flight.json`
 
 use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
@@ -31,7 +37,7 @@ use bgpvcg_bgp::telemetry::metric;
 use bgpvcg_bgp::{PlainBgpNode, TopologyEvent};
 use bgpvcg_core::protocol;
 use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
-use bgpvcg_telemetry::{RingBufferSink, TraceSink};
+use bgpvcg_telemetry::{flight, RingBufferSink, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -75,6 +81,35 @@ fn main() {
         "chaos run must self-stabilize to the fault-free fixpoint"
     );
 
+    // Phase 4: stall a fresh pricing engine on purpose so the divergence
+    // flight recorder fires, and validate the artifact it leaves behind.
+    let (flight_path, flight_tmp) = match obs.flight_out() {
+        Some(path) => (path.to_path_buf(), None),
+        None => {
+            let dir = std::env::temp_dir().join(format!("bgpvcg-obs-smoke-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("flight temp dir");
+            (dir.join("flight.json"), Some(dir))
+        }
+    };
+    let mut stalled = protocol::build_sync_engine(&g).expect("Fig. 1 is biconnected");
+    stalled.attach_telemetry(&telemetry);
+    stalled.attach_flight_recorder(&flight_path, 64);
+    stalled.set_stage_limit(1); // Fig. 1 pricing needs ~7 stages
+    assert!(
+        !stalled.run_to_convergence().converged,
+        "stage limit 1 must abort the run"
+    );
+    let dump = std::fs::read_to_string(&flight_path).expect("stall must leave a flight dump");
+    flight::validate_dump(&dump).expect("flight dump validates against the golden schema");
+    println!(
+        "flight recorder: stalled run dumped {} bytes to {}",
+        dump.len(),
+        flight_path.display()
+    );
+    if let Some(dir) = flight_tmp {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     let mut kind_counts: BTreeMap<&str, u64> = BTreeMap::new();
     for event in ring.events() {
         *kind_counts.entry(event.kind()).or_insert(0) += 1;
@@ -115,8 +150,25 @@ fn main() {
             "smoke trace must contain at least one {kind} event"
         );
     }
+    // Causal provenance: every route/price/withdrawal event must carry a
+    // stamped effect id, and its cause must precede it in the monotone
+    // update-id order (0 = caused by the environment, not by an update).
+    let mut causal_events = 0u64;
+    for event in ring.events() {
+        let (cause, effect) = match event {
+            TraceEvent::RouteSelected { cause, effect, .. }
+            | TraceEvent::PriceRelaxed { cause, effect, .. }
+            | TraceEvent::Withdrawn { cause, effect, .. } => (cause, effect),
+            _ => continue,
+        };
+        causal_events += 1;
+        assert!(effect > 0, "causal events are stamped with an update id");
+        assert!(cause < effect, "causes precede their effects");
+    }
+    assert!(causal_events > 0, "smoke trace must contain causal events");
     println!(
-        "\nVERDICT: all {} trace event kinds emitted",
+        "\nVERDICT: all {} trace event kinds emitted; {causal_events} causal \
+         events carry cause/effect provenance",
         kind_counts.len()
     );
     obs.finish();

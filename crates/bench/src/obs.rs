@@ -7,6 +7,10 @@
 //! * `--metrics-out PATH` — at exit, write the final metrics snapshot as
 //!   JSON to `PATH` and as Prometheus text exposition to a sibling file
 //!   with the extension replaced by `.prom`.
+//! * `--flight-out PATH` — where a binary that wires up a divergence
+//!   flight recorder ([`bgpvcg_telemetry::flight`]) should dump the
+//!   last-events ring and state snapshot if a run overruns its stage
+//!   budget. Binaries that attach no recorder accept and ignore it.
 //!
 //! Without flags the binaries behave exactly as before: the registry still
 //! aggregates (the tables are printed from it), but nothing hits disk.
@@ -16,11 +20,12 @@ use bgpvcg_telemetry::{expose, Telemetry};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-/// Parsed `--trace-out` / `--metrics-out` flags plus the [`Telemetry`]
-/// handle they configure.
+/// Parsed `--trace-out` / `--metrics-out` / `--flight-out` flags plus the
+/// [`Telemetry`] handle they configure.
 #[derive(Debug)]
 pub struct ObsConfig {
     metrics_out: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
     telemetry: Telemetry,
 }
 
@@ -35,14 +40,19 @@ impl ObsConfig {
     fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut trace_out: Option<PathBuf> = None;
         let mut metrics_out: Option<PathBuf> = None;
+        let mut flight_out: Option<PathBuf> = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let slot = match arg.as_str() {
                 "--trace-out" => &mut trace_out,
                 "--metrics-out" => &mut metrics_out,
+                "--flight-out" => &mut flight_out,
                 _ => {
                     eprintln!("unknown argument `{arg}`");
-                    eprintln!("usage: <experiment> [--trace-out PATH] [--metrics-out PATH]");
+                    eprintln!(
+                        "usage: <experiment> [--trace-out PATH] \
+                         [--metrics-out PATH] [--flight-out PATH]"
+                    );
                     exit(2);
                 }
             };
@@ -61,8 +71,15 @@ impl ObsConfig {
         };
         ObsConfig {
             metrics_out,
+            flight_out,
             telemetry,
         }
+    }
+
+    /// Where a flight-recorder dump should land if a run diverges, when
+    /// the caller asked for one with `--flight-out`.
+    pub fn flight_out(&self) -> Option<&Path> {
+        self.flight_out.as_deref()
     }
 
     /// The telemetry handle every run in the binary should share, so the
@@ -106,6 +123,19 @@ mod tests {
             .record(&TraceEvent::StageStart { stage: 1 });
         config.finish(); // must not write anywhere
         assert!(config.metrics_out.is_none());
+        assert!(config.flight_out().is_none());
+    }
+
+    #[test]
+    fn flight_out_is_parsed_and_exposed() {
+        let config = ObsConfig::from_iter([
+            "--flight-out".to_string(),
+            "target/obs/flight.json".to_string(),
+        ]);
+        assert_eq!(
+            config.flight_out().unwrap().to_str().unwrap(),
+            "target/obs/flight.json"
+        );
     }
 
     #[test]

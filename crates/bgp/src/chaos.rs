@@ -54,11 +54,13 @@ use crate::node::ProtocolNode;
 use crate::telemetry::UpdateTracer;
 use crate::wire;
 use bgpvcg_netgraph::{AsGraph, AsId};
+use bgpvcg_telemetry::flight::{self, FlightRecorder, StateSnapshot};
 use bgpvcg_telemetry::{Telemetry, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Stages an unacknowledged frame waits before being retransmitted. Two
@@ -353,10 +355,18 @@ pub struct ChaosEngine<N> {
     rng: StdRng,
     /// Harness-global epoch allocator (monotone across crashes).
     epoch_counter: u64,
+    /// Monotone provenance counter for broadcast [`Update`]s (0 = never
+    /// broadcast). Session full-table syncs are deliberately unstamped:
+    /// they re-state environment-known state, so advertisements they cause
+    /// attribute to cause 0 like origin advertisements do.
+    update_seq: u64,
     stage: u64,
     report: ChaosReport,
     telemetry: Option<Telemetry>,
     tracer: Option<UpdateTracer>,
+    /// Attached divergence flight recorder, dumped when a run exhausts its
+    /// stage budget without stabilizing.
+    flight: Option<FlightRecorder>,
     /// Scratch: updates delivered in-order this stage, per node index.
     pending: Vec<Vec<Arc<Update>>>,
     /// Scratch: `true` while the current stage has observed recovery-layer
@@ -395,6 +405,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             plan,
             rng,
             epoch_counter: 0,
+            update_seq: 0,
             stage: 0,
             report: ChaosReport {
                 converged: true,
@@ -402,6 +413,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             },
             telemetry: None,
             tracer: None,
+            flight: None,
             pending: vec![Vec::new(); n],
             stage_active: false,
         }
@@ -413,6 +425,77 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.tracer = Some(UpdateTracer::new(telemetry));
         self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Attaches a divergence flight recorder: the most recent `capacity`
+    /// trace events are retained, and a run that exhausts its stage budget
+    /// without stabilizing dumps the tail plus per-node session snapshots
+    /// to `path` (see [`bgpvcg_telemetry::flight`]). Call after
+    /// [`attach_telemetry`](Self::attach_telemetry): the recorder tees off
+    /// whatever telemetry is attached at that point (and works standalone
+    /// on a detached engine).
+    pub fn attach_flight_recorder(&mut self, path: &Path, capacity: usize) {
+        let recorder = FlightRecorder::new(path.to_path_buf(), capacity);
+        let telemetry = match &self.telemetry {
+            Some(t) => t.tee(recorder.sink()),
+            None => Telemetry::new(recorder.sink()),
+        };
+        self.tracer = Some(UpdateTracer::new(&telemetry));
+        self.telemetry = Some(telemetry);
+        self.flight = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Writes the divergence dump after a budget exhaustion. Best-effort:
+    /// I/O errors are swallowed, the recorder being advisory.
+    fn dump_flight(&self) {
+        let Some(recorder) = &self.flight else {
+            return;
+        };
+        let mut snapshots: Vec<StateSnapshot> = self
+            .sessions
+            .iter()
+            .zip(&self.up)
+            .zip(&self.pending)
+            .enumerate()
+            .map(|(idx, ((sessions, &up), pending))| StateSnapshot {
+                node: idx as u32,
+                fields: vec![
+                    ("up", u64::from(up)),
+                    (
+                        "sessions_established",
+                        sessions.values().filter(|s| s.send.established).count() as u64,
+                    ),
+                    (
+                        "unacked_frames",
+                        sessions.values().map(|s| s.send.unacked.len() as u64).sum(),
+                    ),
+                    ("pending_updates", pending.len() as u64),
+                ],
+            })
+            .collect();
+        snapshots.truncate(64);
+        let frames_in_flight: u64 = self.channels.values().map(|c| c.queue.len() as u64).sum();
+        let _ = recorder.dump(
+            flight::REASON_NOT_STABILIZED,
+            self.stage,
+            &[
+                ("stages", self.report.stages),
+                ("messages", self.report.messages),
+                ("frames_dropped", self.report.frames_dropped),
+                ("retransmits", self.report.retransmits),
+                ("session_resets", self.report.session_resets),
+                ("holds_fired", self.report.holds_fired),
+                ("frames_in_flight", frames_in_flight),
+                ("updates_stamped", self.update_seq),
+                ("nodes", self.nodes.len() as u64),
+            ],
+            &snapshots,
+        );
     }
 
     /// Read access to a node.
@@ -606,8 +689,13 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     }
 
     /// Broadcasts `update` from node `idx` as sequenced Data frames to
-    /// every established session.
-    fn broadcast(&mut self, idx: u32, update: Update) {
+    /// every established session. The update is stamped with the next
+    /// provenance id here, *before* tracing and framing, so receivers see
+    /// the same id the tracer reported (frames carry the update by clone —
+    /// provenance never crosses the wire codec).
+    fn broadcast(&mut self, idx: u32, mut update: Update) {
+        self.update_seq += 1;
+        update.id = self.update_seq;
         self.stage_active = true;
         if let Some(tracer) = self.tracer.as_mut() {
             tracer.observe_update(&update, self.stage);
@@ -1093,6 +1181,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         }
         self.report.converged = false;
         self.finish(activity_end);
+        self.dump_flight();
         self.report
     }
 
@@ -1302,5 +1391,38 @@ mod tests {
                 .filter(|e| matches!(e, TraceEvent::Retransmit { .. }))
                 .count() as u64
         );
+    }
+
+    #[test]
+    fn exhausted_budget_dumps_a_schema_valid_flight_artifact() {
+        let g = fig1();
+        let dir = std::env::temp_dir().join(format!(
+            "bgpvcg-chaos-flight-{}-{:p}",
+            std::process::id(),
+            &g
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("chaos-flight.json");
+
+        let mut chaos = ChaosEngine::new(&g, PlainBgpNode::from_graph(&g), FaultPlan::quiet());
+        chaos.attach_flight_recorder(&path, 64);
+        // Three stages is not even enough to finish session establishment,
+        // so the run must exhaust its budget and dump.
+        let report = chaos.run_to_stable(3);
+        assert!(!report.converged);
+        let text = std::fs::read_to_string(&path).expect("flight artifact written");
+        flight::validate_dump(&text).expect("flight artifact validates");
+        assert!(text.contains(flight::REASON_NOT_STABILIZED));
+        assert!(text.contains("\"sessions_established\""));
+        assert!(text.contains("\"frames_in_flight\""));
+
+        // A converged run must not leave a dump behind.
+        std::fs::remove_file(&path).expect("remove stalled dump");
+        let mut ok = ChaosEngine::new(&g, PlainBgpNode::from_graph(&g), FaultPlan::quiet());
+        ok.attach_flight_recorder(&path, 64);
+        let report = ok.run_to_stable(200);
+        assert!(report.converged, "{report}");
+        assert!(!path.exists(), "converged run must not dump");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -71,9 +71,13 @@ impl EventInstruments {
         }
     }
 
-    /// Accounts one broadcast reaching `links` neighbors.
-    fn on_broadcast(&self, update: &Update, links: u64) {
+    /// Accounts one broadcast reaching `links` neighbors, stamping the
+    /// update's provenance id with the broadcast sequence number (the same
+    /// value standing in for the stage, so effect ids in an async trace are
+    /// exactly the event's `stage` key).
+    fn on_broadcast(&self, update: &mut Update, links: u64) {
         let stage = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        update.id = stage;
         self.tracer
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -278,18 +282,18 @@ where
             };
 
             handles.push(s.spawn(move || {
-                let broadcast = |update: &Update| {
+                let broadcast = |mut update: Update| {
                     if let Some(ins) = instruments {
-                        ins.on_broadcast(update, neighbor_txs.len() as u64);
+                        ins.on_broadcast(&mut update, neighbor_txs.len() as u64);
                     }
                     // One shared payload for all receiving links.
-                    let shared = Arc::new(update.clone());
+                    let shared = Arc::new(update);
                     for tx in &neighbor_txs {
                         // Increment BEFORE the send so the counter can never
                         // dip to zero while a message is in a channel.
                         in_flight.fetch_add(1, Ordering::SeqCst);
                         messages.fetch_add(1, Ordering::SeqCst);
-                        entries.fetch_add(update.entry_count(), Ordering::SeqCst);
+                        entries.fetch_add(shared.entry_count(), Ordering::SeqCst);
                         if tx.send(Envelope::Deliver(Arc::clone(&shared))).is_err() {
                             // Receiver exited early (a worker panicked and the
                             // run is doomed); compensate the token so the
@@ -299,7 +303,7 @@ where
                     }
                 };
                 if let Some(update) = node.start() {
-                    broadcast(&update);
+                    broadcast(update);
                 }
                 in_flight.fetch_sub(1, Ordering::SeqCst); // release the start token
 
@@ -308,7 +312,7 @@ where
                 let mut buffered: BTreeMap<AsId, VecDeque<Arc<Update>>> = BTreeMap::new();
                 let handle_once = |node: &mut N, update: &Arc<Update>| {
                     if let Some(out) = node.handle(std::slice::from_ref(update)) {
-                        broadcast(&out);
+                        broadcast(out);
                     }
                 };
                 let process = |node: &mut N, update: &Arc<Update>| {

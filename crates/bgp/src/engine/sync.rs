@@ -17,8 +17,10 @@ use crate::stats::StateSnapshot;
 use crate::telemetry::{metric, RunInstruments};
 use crate::wire;
 use bgpvcg_netgraph::{AsGraph, AsId, Cost, GraphError};
+use bgpvcg_telemetry::flight::{self, FlightRecorder, StateSnapshot as FlightSnapshot};
 use bgpvcg_telemetry::{Telemetry, TraceEvent};
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// What one call to [`SyncEngine::run_to_convergence`] did.
@@ -160,10 +162,20 @@ pub struct SyncEngine<N> {
     started: bool,
     /// Stage counter for the step-wise API.
     steps_executed: usize,
+    /// Monotone provenance counter: every broadcast [`Update`] is stamped
+    /// with the next id (in ascending node order, which is also the merge
+    /// order of the parallel path — so serial and parallel runs assign
+    /// identical ids). 0 is reserved for the environment; see
+    /// [`Update::id`].
+    update_seq: u64,
     /// Attached observability instruments (None = zero overhead). Taken out
     /// of the engine for the duration of each run loop so broadcasts can
     /// borrow `self` mutably while the instruments record.
     instruments: Option<RunInstruments>,
+    /// Attached divergence flight recorder: a bounded tail of the event
+    /// stream, dumped as one JSON artifact when a run exceeds the stage
+    /// limit.
+    flight: Option<FlightRecorder>,
 }
 
 impl<N: ProtocolNode> SyncEngine<N> {
@@ -194,8 +206,18 @@ impl<N: ProtocolNode> SyncEngine<N> {
             stage_limit: 8 * n + 64,
             started: false,
             steps_executed: 0,
+            update_seq: 0,
             instruments: None,
+            flight: None,
         }
+    }
+
+    /// Stamps `update` with the next provenance id. The counter is
+    /// engine-local, so co-resident engines replaying the same run emit
+    /// identical id streams (the parallel-parity suite relies on this).
+    fn stamp(&mut self, update: &mut Update) {
+        self.update_seq += 1;
+        update.id = self.update_seq;
     }
 
     /// Sets the number of worker threads a stage's node recomputation is
@@ -221,6 +243,70 @@ impl<N: ProtocolNode> SyncEngine<N> {
     /// engines pay nothing.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.instruments = Some(RunInstruments::new(telemetry));
+    }
+
+    /// Attaches a divergence flight recorder: the most recent `capacity`
+    /// trace events are retained in memory, and if a run exceeds the stage
+    /// limit the tail plus per-node state snapshots are dumped to `path`
+    /// as one schema-valid JSON artifact (see
+    /// [`bgpvcg_telemetry::flight`]). Call after
+    /// [`attach_telemetry`](Self::attach_telemetry): the recorder tees off
+    /// whatever telemetry is attached at that point (and works standalone
+    /// on a detached engine).
+    pub fn attach_flight_recorder(&mut self, path: &Path, capacity: usize) {
+        let recorder = FlightRecorder::new(path.to_path_buf(), capacity);
+        let telemetry = match self.instruments.take() {
+            Some(ins) => ins.telemetry().tee(recorder.sink()),
+            None => Telemetry::new(recorder.sink()),
+        };
+        self.instruments = Some(RunInstruments::new(&telemetry));
+        self.flight = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Writes the divergence dump after a stage-limit abort. Best-effort:
+    /// the recorder is advisory and must not take a failing run further
+    /// down, so I/O errors are swallowed.
+    fn dump_flight(&self, executed: usize, report: &RunReport) {
+        let Some(recorder) = &self.flight else {
+            return;
+        };
+        let mut snapshots: Vec<FlightSnapshot> = self
+            .inboxes
+            .iter()
+            .zip(&self.adjacency)
+            .zip(&self.down)
+            .enumerate()
+            .map(|(idx, ((inbox, neighbors), &down))| FlightSnapshot {
+                node: idx as u32,
+                fields: vec![
+                    ("inbox_depth", inbox.len() as u64),
+                    ("neighbors", neighbors.len() as u64),
+                    ("down", u64::from(down)),
+                ],
+            })
+            .collect();
+        // Bound the artifact on huge topologies; the run summary still
+        // carries the totals.
+        snapshots.truncate(64);
+        let _ = recorder.dump(
+            flight::REASON_STAGE_LIMIT,
+            executed as u64,
+            &[
+                ("stage_limit", self.stage_limit as u64),
+                ("stages_with_changes", report.stages as u64),
+                ("messages", report.messages as u64),
+                ("entries", report.entries as u64),
+                ("dirty_nodes", self.dirty.len() as u64),
+                ("updates_stamped", self.update_seq),
+                ("nodes", self.nodes.len() as u64),
+            ],
+            &snapshots,
+        );
     }
 
     /// Number of nodes.
@@ -288,7 +374,8 @@ impl<N: ProtocolNode> SyncEngine<N> {
         let mut totals = (0usize, 0usize, 0usize);
         for idx in 0..self.nodes.len() {
             // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
-            if let Some(update) = self.nodes[idx].start() {
+            if let Some(mut update) = self.nodes[idx].start() {
+                self.stamp(&mut update);
                 let update = Arc::new(update);
                 let from = AsId::new(idx as u32);
                 let (m, e, b) = self.broadcast(from, &update);
@@ -350,7 +437,8 @@ impl<N: ProtocolNode> SyncEngine<N> {
             let merged =
                 parallel_handle(&mut self.nodes, &self.delivered, &receiving, self.workers);
             for (idx, emitted) in merged {
-                if let Some(update) = emitted {
+                if let Some(mut update) = emitted {
+                    self.stamp(&mut update);
                     let update = Arc::new(update);
                     trace.changed_nodes += 1;
                     let (m, e, b) = self.broadcast(AsId::new(idx), &update);
@@ -366,7 +454,8 @@ impl<N: ProtocolNode> SyncEngine<N> {
             for &idx in &receiving {
                 // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
                 let emitted = self.nodes[idx as usize].handle(&self.delivered[idx as usize]);
-                if let Some(update) = emitted {
+                if let Some(mut update) = emitted {
+                    self.stamp(&mut update);
                     let update = Arc::new(update);
                     trace.changed_nodes += 1;
                     let (m, e, b) = self.broadcast(AsId::new(idx), &update);
@@ -476,6 +565,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 report.converged = false;
                 invariants::convergence(&report, executed, self.stage_limit);
                 self.instruments = instruments;
+                self.dump_flight(executed, &report);
                 return report;
             }
             executed += 1;
@@ -764,7 +854,8 @@ impl<N: ProtocolNode> SyncEngine<N> {
             });
         }
         for (id, local) in views {
-            if let Some(update) = self.nodes[id.index()].apply_event(local) {
+            if let Some(mut update) = self.nodes[id.index()].apply_event(local) {
+                self.stamp(&mut update);
                 let update = Arc::new(update);
                 let (m, e, b) = self.broadcast(id, &update);
                 if let Some(ins) = instruments.as_mut() {
@@ -1050,6 +1141,10 @@ mod tests {
         engine.set_stage_limit(1000);
         let report = engine.run_to_convergence();
         assert!(report.converged);
+        assert!(
+            engine.flight_recorder().is_none(),
+            "no recorder was attached"
+        );
         let lcp = AllPairsLcp::compute(&g);
         for i in g.nodes() {
             assert_eq!(
@@ -1057,6 +1152,37 @@ mod tests {
                 lcp.route(i, AsId::new(0))
             );
         }
+    }
+
+    #[test]
+    fn stalled_run_dumps_a_schema_valid_flight_artifact() {
+        let g = ring(9, Cost::new(1));
+        let dir = std::env::temp_dir().join(format!(
+            "bgpvcg-sync-flight-{}-{:p}",
+            std::process::id(),
+            &g
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("flight.json");
+        let mut engine = SyncEngine::new(&g, PlainBgpNode::from_graph(&g));
+        engine.attach_telemetry(&Telemetry::null());
+        engine.attach_flight_recorder(&path, 64);
+        engine.set_stage_limit(1);
+        let report = engine.run_to_convergence();
+        assert!(!report.converged);
+        let text = std::fs::read_to_string(&path).expect("stall must leave a dump");
+        flight::validate_dump(&text).expect("dump validates against the golden schema");
+        assert!(text.contains(flight::REASON_STAGE_LIMIT));
+        assert!(
+            text.contains("\"inbox_depth\""),
+            "snapshots carry engine state"
+        );
+        // A converged follow-up run leaves no fresh dump behind.
+        std::fs::remove_file(&path).expect("remove dump");
+        engine.set_stage_limit(1000);
+        assert!(engine.run_to_convergence().converged);
+        assert!(!path.exists(), "converged runs do not dump");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

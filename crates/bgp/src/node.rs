@@ -111,9 +111,24 @@ impl PlainBgpNode {
     }
 
     /// Builds the outgoing update for the given destinations, comparing
-    /// against what was last advertised; records what is sent.
+    /// against what was last advertised; records what is sent. Environment
+    /// paths (start, local events) pass no cause map, so every entry's
+    /// provenance stays cause 0.
     fn emit(&mut self, dests: impl IntoIterator<Item = AsId>) -> Option<Update> {
+        self.emit_caused(dests, &BTreeMap::new())
+    }
+
+    /// [`emit`](Self::emit) with provenance: `causes` maps each destination
+    /// to the [`Update::id`] of the inbound update that made it change, and
+    /// the emitted update's `causes` vector is built in lockstep with its
+    /// advertisements.
+    fn emit_caused(
+        &mut self,
+        dests: impl IntoIterator<Item = AsId>,
+        causes: &BTreeMap<AsId, u64>,
+    ) -> Option<Update> {
         let mut ads = Vec::new();
+        let mut ad_causes = Vec::new();
         for dest in dests {
             let info = self.advertisement_for(dest);
             let changed = match self.advertised.get(&dest) {
@@ -128,9 +143,12 @@ impl PlainBgpNode {
                     destination: dest,
                     info,
                 });
+                ad_causes.push(causes.get(&dest).copied().unwrap_or(0));
             }
         }
-        Update::if_nonempty(self.selector.id(), ads)
+        let mut update = Update::if_nonempty(self.selector.id(), ads)?;
+        update.causes = ad_causes;
+        Some(update)
     }
 }
 
@@ -145,8 +163,14 @@ impl ProtocolNode for PlainBgpNode {
 
     fn handle(&mut self, updates: &[Arc<Update>]) -> Option<Update> {
         let mut affected: BTreeSet<AsId> = BTreeSet::new();
+        // Provenance: each affected destination is attributed to the last
+        // inbound update (in inbox order) whose ingestion touched it.
+        let mut causes: BTreeMap<AsId, u64> = BTreeMap::new();
         for update in updates {
-            affected.extend(self.selector.ingest(update));
+            for dest in self.selector.ingest(update) {
+                causes.insert(dest, update.id);
+                affected.insert(dest);
+            }
         }
         let mut changed = BTreeSet::new();
         for dest in affected {
@@ -154,7 +178,7 @@ impl ProtocolNode for PlainBgpNode {
                 changed.insert(dest);
             }
         }
-        self.emit(changed)
+        self.emit_caused(changed, &causes)
     }
 
     fn apply_event(&mut self, event: LocalEvent) -> Option<Update> {

@@ -452,6 +452,8 @@ mod tests {
             from: AsId::new(from),
             sender_costs: Vec::new(),
             advertisements: ads,
+            id: 0,
+            causes: Vec::new(),
         }
     }
 
@@ -639,6 +641,8 @@ mod tests {
             from: AsId::new(1),
             sender_costs: u2.sender_costs,
             advertisements: vec![],
+            id: 0,
+            causes: Vec::new(),
         };
         let affected = s.ingest(&u2);
         assert!(affected.contains(&AsId::new(9)), "{affected:?}");
@@ -689,6 +693,8 @@ mod tests {
                     prices: vec![Cost::new(1)],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         assert!(s.ingest(&overpriced).is_empty());
         // Empty path.
@@ -703,6 +709,8 @@ mod tests {
                     prices: vec![],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         assert!(s.ingest(&empty).is_empty());
     }

@@ -83,8 +83,10 @@ impl UpdateTracer {
     /// previously-advertised routes.
     pub fn observe_update(&mut self, update: &Update, stage: u64) {
         let node = update.from.raw();
-        for ad in &update.advertisements {
+        let effect = update.id;
+        for (i, ad) in update.advertisements.iter().enumerate() {
             let dest = ad.destination.raw();
+            let cause = update.cause_of(i);
             match &ad.info {
                 RouteInfo::Reachable {
                     path,
@@ -104,6 +106,8 @@ impl UpdateTracer {
                             stage,
                             hops: path.len() as u32,
                             path_cost: cost_raw(*path_cost),
+                            cause,
+                            effect,
                         });
                     }
                     // Transit nodes are path[1..len-1], in path order —
@@ -123,6 +127,8 @@ impl UpdateTracer {
                                     stage,
                                     old,
                                     new,
+                                    cause,
+                                    effect,
                                 });
                             }
                         }
@@ -131,8 +137,13 @@ impl UpdateTracer {
                 RouteInfo::Withdrawn => {
                     self.routes.remove(&(node, dest));
                     self.routes_withdrawn.inc();
-                    self.telemetry
-                        .record(&TraceEvent::Withdrawn { node, dest, stage });
+                    self.telemetry.record(&TraceEvent::Withdrawn {
+                        node,
+                        dest,
+                        stage,
+                        cause,
+                        effect,
+                    });
                 }
             }
         }
@@ -211,7 +222,7 @@ mod tests {
         }
     }
 
-    fn priced_update(prices: Vec<Cost>) -> Update {
+    fn priced_update(prices: Vec<Cost>, id: u64, cause: u64) -> Update {
         Update {
             from: AsId::new(0),
             sender_costs: Vec::new(),
@@ -223,6 +234,8 @@ mod tests {
                     prices,
                 },
             }],
+            id,
+            causes: vec![cause],
         }
     }
 
@@ -230,11 +243,11 @@ mod tests {
     fn price_changes_diff_against_infinity_then_previous_value() {
         let (telemetry, ring) = Telemetry::ring(64);
         let mut tracer = UpdateTracer::new(&telemetry);
-        tracer.observe_update(&priced_update(vec![Cost::new(5), Cost::INFINITE]), 1);
+        tracer.observe_update(&priced_update(vec![Cost::new(5), Cost::INFINITE], 1, 0), 1);
         // Second advertisement relaxes the ∞ entry and lowers the first.
-        tracer.observe_update(&priced_update(vec![Cost::new(4), Cost::new(7)]), 2);
+        tracer.observe_update(&priced_update(vec![Cost::new(4), Cost::new(7)], 2, 1), 2);
         // Re-advertising identical prices is silent on the price stream.
-        tracer.observe_update(&priced_update(vec![Cost::new(4), Cost::new(7)]), 3);
+        tracer.observe_update(&priced_update(vec![Cost::new(4), Cost::new(7)], 3, 2), 3);
         let relaxations: Vec<_> = ring
             .events()
             .into_iter()
@@ -249,7 +262,9 @@ mod tests {
                     k: 1,
                     stage: 1,
                     old: INFINITE,
-                    new: 5
+                    new: 5,
+                    cause: 0,
+                    effect: 1
                 },
                 TraceEvent::PriceRelaxed {
                     node: 0,
@@ -257,7 +272,9 @@ mod tests {
                     k: 1,
                     stage: 2,
                     old: 5,
-                    new: 4
+                    new: 4,
+                    cause: 1,
+                    effect: 2
                 },
                 TraceEvent::PriceRelaxed {
                     node: 0,
@@ -265,7 +282,9 @@ mod tests {
                     k: 2,
                     stage: 2,
                     old: INFINITE,
-                    new: 7
+                    new: 7,
+                    cause: 1,
+                    effect: 2
                 },
             ],
             "∞ entries never trace; finite changes trace once each"
@@ -287,6 +306,8 @@ mod tests {
                 destination: AsId::new(2),
                 info: RouteInfo::Withdrawn,
             }],
+            id: 6,
+            causes: vec![5],
         };
         tracer.observe_update(&update, 9);
         assert_eq!(
@@ -294,7 +315,9 @@ mod tests {
             vec![TraceEvent::Withdrawn {
                 node: 4,
                 dest: 2,
-                stage: 9
+                stage: 9,
+                cause: 5,
+                effect: 6
             }]
         );
         assert_eq!(telemetry.snapshot().counters[metric::ROUTES_WITHDRAWN], 1);

@@ -280,6 +280,10 @@ pub fn decode_update(buf: &[u8]) -> Result<Update, DecodeError> {
         from,
         sender_costs,
         advertisements,
+        // Provenance metadata is observability-only: it never crosses the
+        // wire, so decoded updates come back unstamped.
+        id: 0,
+        causes: Vec::new(),
     })
 }
 
@@ -531,6 +535,8 @@ mod tests {
                     },
                 },
             ],
+            id: 0,
+            causes: Vec::new(),
         }
     }
 
@@ -625,6 +631,8 @@ mod tests {
             from: AsId::new(0),
             sender_costs: Vec::new(),
             advertisements: vec![],
+            id: 0,
+            causes: Vec::new(),
         };
         assert_eq!(encode_update(&update).len(), MESSAGE_HEADER_BYTES);
         assert_eq!(decode_update(&encode_update(&update)).unwrap(), update);

@@ -14,7 +14,7 @@ use bgpvcg_bgp::engine::SyncEngine;
 use bgpvcg_bgp::{PlainBgpNode, TopologyEvent};
 use bgpvcg_netgraph::generators::{erdos_renyi, make_biconnected, random_costs};
 use bgpvcg_netgraph::AsGraph;
-use bgpvcg_telemetry::{RingBufferSink, Telemetry};
+use bgpvcg_telemetry::{CausalDag, RingBufferSink, Telemetry};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +83,27 @@ fn assert_parity(
         "ordered telemetry event stream, workers={}",
         workers
     );
+    // The causal provenance DAGs rebuilt from the two streams must be
+    // bit-identical too — parallel merge preserves the serial update-id
+    // assignment, so cause/effect edges cannot drift between executions.
+    let serial_dags = CausalDag::from_events(&serial_ring.events());
+    let par_dags = CausalDag::from_events(&par_ring.events());
+    prop_assert_eq!(&serial_dags, &par_dags, "causal DAGs, workers={}", workers);
+    if event.is_none() {
+        // A fresh convergence run must also be a *valid* DAG: acyclic,
+        // origin-rooted, depth bounded by the reported stages. (After a
+        // topology event the reconvergence segment legitimately cites
+        // causes from the previous segment, so validity is only asserted
+        // for the fresh run.)
+        for dag in &serial_dags {
+            if let Err(err) = dag.validate() {
+                return Err(TestCaseError::fail(format!("workers={workers}: {err}")));
+            }
+            if let Err(err) = dag.validate_origin_roots() {
+                return Err(TestCaseError::fail(format!("workers={workers}: {err}")));
+            }
+        }
+    }
     let serial_snap = serial_tel.snapshot();
     let par_snap = par_tel.snapshot();
     prop_assert_eq!(

@@ -170,6 +170,8 @@ fn update_strategy() -> impl Strategy<Value = Update> {
             from: AsId::new(from),
             sender_costs,
             advertisements,
+            id: 0,
+            causes: Vec::new(),
         })
 }
 
@@ -288,6 +290,8 @@ proptest! {
                     prices: vec![],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         let _ = node.handle(&[std::sync::Arc::new(legit)]);
         prop_assert!(node.selector().selected(origin).is_some());

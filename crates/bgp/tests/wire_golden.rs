@@ -39,6 +39,8 @@ fn sample() -> Update {
                 info: RouteInfo::Withdrawn,
             },
         ],
+        id: 0,
+        causes: Vec::new(),
     }
 }
 
@@ -318,6 +320,8 @@ fn header_constant_matches_layout() {
         from: AsId::new(0),
         sender_costs: vec![],
         advertisements: vec![],
+        id: 0,
+        causes: Vec::new(),
     };
     assert_eq!(
         wire::encode_update(&empty).len(),

@@ -98,6 +98,8 @@ pub fn audit_node(
                 from: *neighbor,
                 sender_costs: Vec::new(),
                 advertisements: table.clone(),
+                id: 0,
+                causes: Vec::new(),
             };
             let _ = replay.handle(&[std::sync::Arc::new(update)]);
         }

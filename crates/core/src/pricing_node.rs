@@ -218,9 +218,23 @@ impl PricingBgpNode {
     }
 
     /// Emits changed advertisements, mirroring
-    /// [`bgpvcg_bgp::PlainBgpNode`]'s change-suppression rule.
+    /// [`bgpvcg_bgp::PlainBgpNode`]'s change-suppression rule. Environment
+    /// paths (start, local events) pass no cause map, so provenance stays
+    /// cause 0.
     fn emit(&mut self, dests: impl IntoIterator<Item = AsId>) -> Option<Update> {
+        self.emit_caused(dests, &BTreeMap::new())
+    }
+
+    /// [`emit`](Self::emit) with provenance: the emitted update's `causes`
+    /// vector is built in lockstep with its advertisements from the
+    /// per-destination cause map `handle` assembled.
+    fn emit_caused(
+        &mut self,
+        dests: impl IntoIterator<Item = AsId>,
+        causes: &BTreeMap<AsId, u64>,
+    ) -> Option<Update> {
         let mut ads = Vec::new();
+        let mut ad_causes = Vec::new();
         for dest in dests {
             let info = self.advertisement_for(dest);
             let changed = match self.advertised.get(&dest) {
@@ -233,9 +247,12 @@ impl PricingBgpNode {
                     destination: dest,
                     info,
                 });
+                ad_causes.push(causes.get(&dest).copied().unwrap_or(0));
             }
         }
-        Update::if_nonempty(self.selector.id(), ads)
+        let mut update = Update::if_nonempty(self.selector.id(), ads)?;
+        update.causes = ad_causes;
+        Some(update)
     }
 }
 
@@ -250,8 +267,14 @@ impl ProtocolNode for PricingBgpNode {
 
     fn handle(&mut self, updates: &[Arc<Update>]) -> Option<Update> {
         let mut affected: BTreeSet<AsId> = BTreeSet::new();
+        // Provenance: each affected destination is attributed to the last
+        // inbound update (in inbox order) whose ingestion touched it.
+        let mut causes: BTreeMap<AsId, u64> = BTreeMap::new();
         for update in updates {
-            affected.extend(self.selector.ingest(update));
+            for dest in self.selector.ingest(update) {
+                causes.insert(dest, update.id);
+                affected.insert(dest);
+            }
         }
         let mut out = BTreeSet::new();
         for &dest in &affected {
@@ -260,7 +283,7 @@ impl ProtocolNode for PricingBgpNode {
                 out.insert(dest);
             }
         }
-        self.emit(out)
+        self.emit_caused(out, &causes)
     }
 
     fn apply_event(&mut self, event: LocalEvent) -> Option<Update> {
@@ -407,6 +430,8 @@ mod tests {
                     prices: vec![Cost::INFINITE],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         let a_ad = Update {
             from: Fig1::A,
@@ -428,6 +453,8 @@ mod tests {
                     prices: vec![],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         x.handle(&[Arc::new(b_ad), Arc::new(a_ad)]);
         // Selected route must be X,B,D,Z at cost 3.
@@ -461,6 +488,8 @@ mod tests {
                     prices: vec![],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         x.handle(&[Arc::new(a_ad)]);
         assert_eq!(x.selector().route_cost(Fig1::Z), Cost::new(5));
@@ -491,6 +520,8 @@ mod tests {
                     prices: vec![Cost::INFINITE],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         x.handle(&[Arc::new(b_ad)]);
         assert_eq!(x.selector().route_cost(Fig1::Z), Cost::new(3));
@@ -528,6 +559,8 @@ mod tests {
                     prices: vec![Cost::INFINITE],
                 },
             }],
+            id: 0,
+            causes: Vec::new(),
         };
         x.handle(&[Arc::new(b_ad)]);
         assert_eq!(x.state().price_entries, 2);

@@ -37,6 +37,12 @@ pub enum TraceEvent {
         /// Advertised transit cost of the path ([`INFINITE`] never occurs
         /// for a selected route).
         path_cost: u64,
+        /// Provenance id of the inbound update that triggered this
+        /// advertisement (0 = environment: origin advertisement, topology
+        /// event, or session full-table sync).
+        cause: u64,
+        /// Provenance id of the update carrying this advertisement.
+        effect: u64,
     },
     /// A node's price entry for transit node `k` toward `dest` changed.
     PriceRelaxed {
@@ -52,6 +58,11 @@ pub enum TraceEvent {
         old: u64,
         /// New entry.
         new: u64,
+        /// Provenance id of the inbound update that triggered this
+        /// relaxation (0 = environment).
+        cause: u64,
+        /// Provenance id of the update carrying the relaxed price.
+        effect: u64,
     },
     /// A node advertised that it lost its route to `dest`.
     Withdrawn {
@@ -61,6 +72,11 @@ pub enum TraceEvent {
         dest: u32,
         /// Stage (or async sequence) of the withdrawal.
         stage: u64,
+        /// Provenance id of the inbound update that triggered this
+        /// withdrawal (0 = environment).
+        cause: u64,
+        /// Provenance id of the update carrying this withdrawal.
+        effect: u64,
     },
     /// The run reached quiescence: no queued messages anywhere.
     Quiescent {
@@ -150,11 +166,14 @@ impl TraceEvent {
 
     /// Encodes the event as one compact JSON object (no trailing newline).
     /// All values are numbers except the `type` tag; field order is fixed,
-    /// so traces diff cleanly.
+    /// so traces diff cleanly. Every variant is routed through one escaped
+    /// key/value writer ([`EventJson`]) so an encoding can never drift from
+    /// the golden schema one variant at a time.
     pub fn to_json(&self) -> String {
+        let mut w = EventJson::new(self.kind());
         match *self {
             TraceEvent::StageStart { stage } => {
-                format!("{{\"type\":\"StageStart\",\"stage\":{stage}}}")
+                w.field("stage", stage);
             }
             TraceEvent::RouteSelected {
                 node,
@@ -162,10 +181,17 @@ impl TraceEvent {
                 stage,
                 hops,
                 path_cost,
-            } => format!(
-                "{{\"type\":\"RouteSelected\",\"node\":{node},\"dest\":{dest},\
-                 \"stage\":{stage},\"hops\":{hops},\"path_cost\":{path_cost}}}"
-            ),
+                cause,
+                effect,
+            } => {
+                w.field("node", u64::from(node));
+                w.field("dest", u64::from(dest));
+                w.field("stage", stage);
+                w.field("hops", u64::from(hops));
+                w.field("path_cost", path_cost);
+                w.field("cause", cause);
+                w.field("effect", effect);
+            }
             TraceEvent::PriceRelaxed {
                 node,
                 dest,
@@ -173,42 +199,139 @@ impl TraceEvent {
                 stage,
                 old,
                 new,
-            } => format!(
-                "{{\"type\":\"PriceRelaxed\",\"node\":{node},\"dest\":{dest},\
-                 \"k\":{k},\"stage\":{stage},\"old\":{old},\"new\":{new}}}"
-            ),
-            TraceEvent::Withdrawn { node, dest, stage } => format!(
-                "{{\"type\":\"Withdrawn\",\"node\":{node},\"dest\":{dest},\"stage\":{stage}}}"
-            ),
+                cause,
+                effect,
+            } => {
+                w.field("node", u64::from(node));
+                w.field("dest", u64::from(dest));
+                w.field("k", u64::from(k));
+                w.field("stage", stage);
+                w.field("old", old);
+                w.field("new", new);
+                w.field("cause", cause);
+                w.field("effect", effect);
+            }
+            TraceEvent::Withdrawn {
+                node,
+                dest,
+                stage,
+                cause,
+                effect,
+            } => {
+                w.field("node", u64::from(node));
+                w.field("dest", u64::from(dest));
+                w.field("stage", stage);
+                w.field("cause", cause);
+                w.field("effect", effect);
+            }
             TraceEvent::Quiescent { stage, messages } => {
-                format!("{{\"type\":\"Quiescent\",\"stage\":{stage},\"messages\":{messages}}}")
+                w.field("stage", stage);
+                w.field("messages", messages);
             }
             TraceEvent::FaultInjected {
                 stage,
                 node,
                 peer,
                 fault,
-            } => format!(
-                "{{\"type\":\"FaultInjected\",\"stage\":{stage},\"node\":{node},\
-                 \"peer\":{peer},\"fault\":{fault}}}"
-            ),
+            } => {
+                w.field("stage", stage);
+                w.field("node", u64::from(node));
+                w.field("peer", u64::from(peer));
+                w.field("fault", u64::from(fault));
+            }
             TraceEvent::Retransmit {
                 stage,
                 from,
                 to,
                 seq,
-            } => format!(
-                "{{\"type\":\"Retransmit\",\"stage\":{stage},\"from\":{from},\
-                 \"to\":{to},\"seq\":{seq}}}"
-            ),
-            TraceEvent::SessionReset { stage, node, peer } => format!(
-                "{{\"type\":\"SessionReset\",\"stage\":{stage},\"node\":{node},\"peer\":{peer}}}"
-            ),
+            } => {
+                w.field("stage", stage);
+                w.field("from", u64::from(from));
+                w.field("to", u64::from(to));
+                w.field("seq", seq);
+            }
+            TraceEvent::SessionReset { stage, node, peer } => {
+                w.field("stage", stage);
+                w.field("node", u64::from(node));
+                w.field("peer", u64::from(peer));
+            }
             TraceEvent::NodeRestart { stage, node } => {
-                format!("{{\"type\":\"NodeRestart\",\"stage\":{stage},\"node\":{node}}}")
+                w.field("stage", stage);
+                w.field("node", u64::from(node));
             }
         }
+        w.finish()
     }
+}
+
+/// The single JSONL object writer behind [`TraceEvent::to_json`]: opens
+/// with the escaped `type` tag, appends `"key":value` pairs (every event
+/// field is an unsigned integer), and closes the object. Keys and the tag
+/// pass through one escaping routine, so no per-variant format string can
+/// drift from `trace-schema.json` on its own.
+struct EventJson {
+    out: String,
+}
+
+impl EventJson {
+    fn new(kind: &str) -> EventJson {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"type\":");
+        push_json_string(&mut out, kind);
+        EventJson { out }
+    }
+
+    fn field(&mut self, key: &str, value: u64) {
+        self.out.push(',');
+        push_json_string(&mut self.out, key);
+        self.out.push(':');
+        // u64 formatting never needs escaping; itoa-style inline keeps the
+        // writer allocation-light.
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        let mut v = value;
+        loop {
+            i -= 1;
+            // lint:allow(bounds: u64 has at most 20 decimal digits, so i stays in range)
+            buf[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        for &digit in &buf[i..] {
+            self.out.push(digit as char);
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -225,6 +348,8 @@ mod tests {
                 stage: 1,
                 hops: 2,
                 path_cost: 0,
+                cause: 0,
+                effect: 1,
             },
             TraceEvent::PriceRelaxed {
                 node: 0,
@@ -233,11 +358,15 @@ mod tests {
                 stage: 1,
                 old: INFINITE,
                 new: 3,
+                cause: 1,
+                effect: 2,
             },
             TraceEvent::Withdrawn {
                 node: 0,
                 dest: 1,
                 stage: 2,
+                cause: 2,
+                effect: 3,
             },
             TraceEvent::Quiescent {
                 stage: 3,
@@ -290,13 +419,29 @@ mod tests {
             stage: 2,
             old: INFINITE,
             new: 7,
+            cause: 11,
+            effect: 12,
         };
         assert_eq!(
             event.to_json(),
             format!(
                 "{{\"type\":\"PriceRelaxed\",\"node\":3,\"dest\":5,\"k\":4,\
-                 \"stage\":2,\"old\":{INFINITE},\"new\":7}}"
+                 \"stage\":2,\"old\":{INFINITE},\"new\":7,\"cause\":11,\"effect\":12}}"
             )
+        );
+    }
+
+    #[test]
+    fn writer_escapes_strings_and_formats_extremes() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\n\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\n\\u0001\"");
+        let zero = TraceEvent::StageStart { stage: 0 }.to_json();
+        assert_eq!(zero, "{\"type\":\"StageStart\",\"stage\":0}");
+        let max = TraceEvent::StageStart { stage: u64::MAX }.to_json();
+        assert_eq!(
+            max,
+            format!("{{\"type\":\"StageStart\",\"stage\":{}}}", u64::MAX)
         );
     }
 

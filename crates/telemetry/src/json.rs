@@ -52,6 +52,89 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Re-serializes the value as compact JSON. Object keys come out in
+    /// normalized ([`BTreeMap`]) order, so `parse(x).render()` is a
+    /// canonical form of `x` — what the flight-recorder validator feeds
+    /// back through the line schema.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::UInt(v) => {
+                let mut buf = [0u8; 20];
+                let mut i = buf.len();
+                let mut v = *v;
+                loop {
+                    i -= 1;
+                    buf[i] = b'0' + (v % 10) as u8;
+                    v /= 10;
+                    if v == 0 {
+                        break;
+                    }
+                }
+                for &digit in &buf[i..] {
+                    out.push(digit as char);
+                }
+            }
+            JsonValue::Float(v) => {
+                let text = format!("{v}");
+                out.push_str(&text);
+                // Integral floats like 2.0 format as "2"; restore the
+                // fraction marker so a rendered Float never re-parses as a
+                // UInt (negatives already carry their sign).
+                if text.bytes().all(|b| b.is_ascii_digit()) {
+                    out.push_str(".0");
+                }
+            }
+            JsonValue::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::String(key.clone()).render_into(out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Where and why parsing failed.
@@ -332,5 +415,28 @@ mod tests {
     fn whitespace_is_tolerated() {
         let v = parse("  { \"k\" : [ 1 , 2 ] }  ").unwrap();
         assert!(v.get("k").is_some());
+    }
+
+    #[test]
+    fn render_round_trips_canonical_values() {
+        for text in [
+            "{\"a\":[1,true,null,\"x\\n\"],\"b\":{\"c\":2}}",
+            "{\"stage\":18446744073709551615}",
+            "[]",
+            "\"\\\"quoted\\\"\"",
+        ] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.render(), text, "already-canonical text is fixed");
+            assert_eq!(parse(&v.render()).unwrap(), v, "render re-parses");
+        }
+    }
+
+    #[test]
+    fn render_keeps_floats_floats() {
+        let v = JsonValue::Float(2.0);
+        assert_eq!(v.render(), "2.0");
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        assert_eq!(JsonValue::Float(-3.0).render(), "-3");
+        assert_eq!(JsonValue::Float(2.5).render(), "2.5");
     }
 }

@@ -5,7 +5,7 @@
 //! deliberately **std-only** — the workspace's vendored serde is a no-op
 //! stand-in, so every wire format here is hand-rolled and self-validated.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! 1. **Metrics** ([`MetricsRegistry`]): named counters, gauges, and
 //!    histograms with atomic updates, exposed via
@@ -17,7 +17,13 @@
 //!    node/destination/stage, written as JSONL
 //!    ([`JsonlSink`]) or kept in memory ([`RingBufferSink`]), and checked
 //!    against the golden schema in `trace-schema.json` ([`schema::Schema`]).
-//! 3. **Time** ([`Clock`]): injectable nanosecond sources so per-stage wall
+//! 3. **Provenance** ([`causal::CausalDag`]): the causal `(cause, effect)`
+//!    ids carried by route/price events rebuilt into per-run convergence
+//!    DAGs — acyclicity and root validation, critical-path extraction,
+//!    amplification and price-churn attribution — plus the divergence
+//!    flight recorder ([`flight::FlightRecorder`]) that dumps the tail of
+//!    a stalled run as one schema-valid JSON artifact.
+//! 4. **Time** ([`Clock`]): injectable nanosecond sources so per-stage wall
 //!    time can be measured for real ([`SystemClock`]) or scripted in tests
 //!    ([`ManualClock`]).
 //!
@@ -39,16 +45,20 @@
 
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod clock;
 pub mod event;
 pub mod expose;
+pub mod flight;
 pub mod json;
 pub mod registry;
 pub mod schema;
 pub mod sink;
 
+pub use causal::{CausalDag, CausalError, CausalSummary};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use event::{TraceEvent, INFINITE};
+pub use flight::{FlightRecorder, StateSnapshot};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEFAULT_NANOS_BOUNDS,

@@ -221,6 +221,8 @@ mod tests {
                 stage: 1,
                 hops: 3,
                 path_cost: 9,
+                cause: 0,
+                effect: 1,
             },
             TraceEvent::PriceRelaxed {
                 node: 0,
@@ -229,11 +231,15 @@ mod tests {
                 stage: 2,
                 old: INFINITE,
                 new: 4,
+                cause: 1,
+                effect: 2,
             },
             TraceEvent::Withdrawn {
                 node: 0,
                 dest: 1,
                 stage: 3,
+                cause: 2,
+                effect: 3,
             },
             TraceEvent::Quiescent {
                 stage: 3,
@@ -297,9 +303,15 @@ mod tests {
         // u32 fields reject values beyond 32 bits.
         assert!(matches!(
             schema.validate_line(
-                "{\"type\":\"Withdrawn\",\"node\":4294967296,\"dest\":1,\"stage\":1}"
+                "{\"type\":\"Withdrawn\",\"node\":4294967296,\"dest\":1,\"stage\":1,\
+                 \"cause\":0,\"effect\":1}"
             ),
             Err(SchemaError::BadField { .. })
+        ));
+        // Causal events without provenance ids are schema violations.
+        assert!(matches!(
+            schema.validate_line("{\"type\":\"Withdrawn\",\"node\":4,\"dest\":1,\"stage\":1}"),
+            Err(SchemaError::MissingField { field, .. }) if field == "cause"
         ));
     }
 

@@ -170,6 +170,8 @@ mod tests {
             stage,
             old: INFINITE,
             new: stage,
+            cause: 0,
+            effect: stage,
         }
     }
 

@@ -17,21 +17,29 @@
 //! - `obs`   — the observability pipeline: run the `obs_smoke` fixture with
 //!   `--trace-out`/`--metrics-out`, validate every trace line against the
 //!   golden schema, require full event-kind coverage, check both metric
-//!   expositions, and print the per-stage convergence summary. See
+//!   expositions, and print the per-stage convergence summary. `--causal`
+//!   additionally runs the traced E3 sweep, rebuilds the causal provenance
+//!   DAG of every run segment (acyclicity, origin-root, and
+//!   critical-path-vs-stages validation), and writes a schema-validated
+//!   causal summary to `target/obs/causal.json`. See
 //!   `docs/OBSERVABILITY.md`.
 //! - `bench` — the perf-record pipeline: run the E14 scale benchmark
 //!   (serial vs parallel, asserted bit-identical) and validate the emitted
 //!   `BENCH_scale.json` against the checked-in schema. `--smoke` runs small
 //!   sizes for CI and also re-validates the checked-in `BENCH_chaos.json`.
-//!   See `docs/PERFORMANCE.md`.
+//!   `--compare` regenerates the full trajectory into `target/bench/` and
+//!   diffs it field-by-field against the committed baseline (timing fields
+//!   exempt, per the schema's `timing` list). See `docs/PERFORMANCE.md`.
 //! - `chaos` — the robustness pipeline: run the E19 chaos benchmark (every
 //!   run asserted bit-identical to the fault-free fixpoint) and validate
 //!   the emitted `BENCH_chaos.json` against the checked-in schema.
-//!   `--smoke` runs small sizes for CI. See `docs/ROBUSTNESS.md`.
+//!   `--smoke` runs small sizes for CI; `--compare` diffs a fresh full
+//!   trajectory against the committed baseline. See `docs/ROBUSTNESS.md`.
 //! - `ci`    — the full offline-tolerant pipeline: fmt check, lint, clippy
-//!   wall, workspace tests, invariant-checked tests, obs, bench, chaos.
-//!   Steps whose external tool is unavailable (no rustfmt/clippy component)
-//!   are reported and skipped rather than failed, so `ci` works in minimal
+//!   wall, workspace tests, invariant-checked tests, obs --causal,
+//!   bench --smoke --compare, chaos --smoke --compare. Steps whose
+//!   external tool is unavailable (no rustfmt/clippy component) are
+//!   reported and skipped rather than failed, so `ci` works in minimal
 //!   containers.
 
 use std::path::{Path, PathBuf};
@@ -46,9 +54,17 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&root),
         Some("analyze") => cmd_analyze(&root),
         Some("audit") => cmd_audit(&root, args.iter().any(|a| a == "--static-only")),
-        Some("obs") => cmd_obs(&root),
-        Some("bench") => cmd_bench(&root, args.iter().any(|a| a == "--smoke")),
-        Some("chaos") => cmd_chaos(&root, args.iter().any(|a| a == "--smoke")),
+        Some("obs") => cmd_obs(&root, args.iter().any(|a| a == "--causal")),
+        Some("bench") => cmd_bench(
+            &root,
+            args.iter().any(|a| a == "--smoke"),
+            args.iter().any(|a| a == "--compare"),
+        ),
+        Some("chaos") => cmd_chaos(
+            &root,
+            args.iter().any(|a| a == "--smoke"),
+            args.iter().any(|a| a == "--compare"),
+        ),
         Some("ci") => cmd_ci(&root),
         Some("help") | None => {
             print_help();
@@ -75,23 +91,33 @@ fn print_help() {
          \taudit [--static-only]\n\
          \t                    check allowlist hygiene + invariant-hook wiring,\n\
          \t                    then run tests with --features invariant-checks\n\
-         \tobs                 run the traced smoke topology, validate the JSONL\n\
+         \tobs [--causal]      run the traced smoke topology, validate the JSONL\n\
          \t                    trace against the golden schema, check metric\n\
-         \t                    expositions, print the convergence summary\n\
-         \tbench [--smoke]     run the E14 scale benchmark (serial vs parallel)\n\
+         \t                    expositions, print the convergence summary;\n\
+         \t                    --causal also runs the traced E3 sweep, validates\n\
+         \t                    every run's causal provenance DAG (acyclic,\n\
+         \t                    stage-0 roots, critical path <= stages) and\n\
+         \t                    writes target/obs/causal.json\n\
+         \tbench [--smoke] [--compare]\n\
+         \t                    run the E14 scale benchmark (serial vs parallel)\n\
          \t                    and validate BENCH_scale.json against\n\
          \t                    crates/bench/bench-scale-schema.json; --smoke\n\
          \t                    runs small sizes into target/bench/ and also\n\
          \t                    validates the checked-in trajectory files\n\
-         \t                    (scale and chaos)\n\
-         \tchaos [--smoke]     run the E19 chaos benchmark (seeded faults,\n\
+         \t                    (scale and chaos); --compare regenerates the\n\
+         \t                    full trajectory and diffs it against the\n\
+         \t                    committed baseline (timing fields exempt)\n\
+         \tchaos [--smoke] [--compare]\n\
+         \t                    run the E19 chaos benchmark (seeded faults,\n\
          \t                    self-stabilization asserted) and validate\n\
          \t                    BENCH_chaos.json against\n\
          \t                    crates/bench/bench-chaos-schema.json; --smoke\n\
-         \t                    runs small sizes into target/bench/\n\
+         \t                    runs small sizes into target/bench/; --compare\n\
+         \t                    diffs a fresh full trajectory against the\n\
+         \t                    committed baseline\n\
          \tci                  fmt check, lint, analyze, clippy, tests,\n\
-         \t                    invariant tests, obs, bench --smoke,\n\
-         \t                    chaos --smoke\n\
+         \t                    invariant tests, obs --causal,\n\
+         \t                    bench --smoke --compare, chaos --smoke --compare\n\
          \thelp                this message"
     );
 }
@@ -389,8 +415,10 @@ fn run_step(root: &Path, label: &str, program: &str, args: &[&str], optional: bo
 /// The observability pipeline: run the traced smoke topology, validate
 /// every JSONL line against the golden schema, require full event-kind
 /// coverage, sanity-check both metric expositions, and print a per-stage
-/// convergence summary table. See `docs/OBSERVABILITY.md`.
-fn cmd_obs(root: &Path) -> ExitCode {
+/// convergence summary table. With `causal`, additionally run the traced
+/// E3 sweep and validate + summarize its causal provenance DAGs (see
+/// [`run_causal`]). See `docs/OBSERVABILITY.md`.
+fn cmd_obs(root: &Path, causal: bool) -> ExitCode {
     use bgpvcg_telemetry::{json, Schema};
     use std::collections::BTreeMap;
 
@@ -532,18 +560,124 @@ fn cmd_obs(root: &Path) -> ExitCode {
         }
     }
 
-    if bad_lines == 0 && missing_kinds == 0 && expo_problems == 0 {
+    let causal_problems = if causal { run_causal(root) } else { 0 };
+
+    if bad_lines == 0 && missing_kinds == 0 && expo_problems == 0 && causal_problems == 0 {
         println!(
-            "\nxtask obs: trace schema-valid, all {} event kinds covered, expositions ok",
-            schema.kinds().len()
+            "\nxtask obs: trace schema-valid, all {} event kinds covered, expositions ok{}",
+            schema.kinds().len(),
+            if causal { ", causal DAGs valid" } else { "" }
         );
         ExitCode::SUCCESS
     } else {
         println!(
-            "\nxtask obs: FAILED ({bad_lines} invalid line(s), {missing_kinds} uncovered kind(s), {expo_problems} exposition problem(s))"
+            "\nxtask obs: FAILED ({bad_lines} invalid line(s), {missing_kinds} uncovered kind(s), {expo_problems} exposition problem(s), {causal_problems} causal problem(s))"
         );
         ExitCode::FAILURE
     }
+}
+
+/// The causal half of the observability pipeline: run the full traced E3
+/// convergence sweep, rebuild one provenance DAG per run segment, validate
+/// each (acyclic by monotone ids, roots are stage-0 origin advertisements,
+/// critical path bounded by the reported stage count), and write the
+/// schema-validated summary document to `target/obs/causal.json`. Returns
+/// the number of problems found (all printed).
+fn run_causal(root: &Path) -> usize {
+    use bgpvcg_telemetry::causal::{self, CausalDag};
+
+    let out_dir = root.join("target").join("obs");
+    if let Err(err) = std::fs::create_dir_all(&out_dir) {
+        println!("==> causal: cannot create {}: {err}", out_dir.display());
+        return 1;
+    }
+    let trace_path = out_dir.join("causal-trace.jsonl");
+    let trace_arg = trace_path.display().to_string();
+    if !run_step(
+        root,
+        "causal e3 run",
+        "cargo",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "bgpvcg-bench",
+            "--bin",
+            "e3_bgp_convergence",
+            "--",
+            "--trace-out",
+            &trace_arg,
+        ],
+        false,
+    ) {
+        return 1;
+    }
+    let trace = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("==> causal: cannot read {}: {err}", trace_path.display());
+            return 1;
+        }
+    };
+    let dags = match CausalDag::from_jsonl(&trace) {
+        Ok(dags) => dags,
+        Err(err) => {
+            println!("==> causal: trace does not build a DAG: {err}");
+            return 1;
+        }
+    };
+    let mut problems = 0usize;
+    if dags.is_empty() {
+        println!("==> causal: trace produced no run segments");
+        problems += 1;
+    }
+    let mut summaries = Vec::with_capacity(dags.len());
+    for (idx, dag) in dags.iter().enumerate() {
+        if let Err(err) = dag.validate() {
+            println!("==> causal: segment {idx}: {err}");
+            problems += 1;
+        }
+        if let Err(err) = dag.validate_origin_roots() {
+            println!("==> causal: segment {idx}: {err}");
+            problems += 1;
+        }
+        summaries.push(dag.summary());
+    }
+    let doc = causal::summaries_to_json(&summaries);
+    if let Err(err) = causal::validate_summary_json(&doc) {
+        println!("==> causal: summary document invalid: {err}");
+        problems += 1;
+    }
+    let summary_path = out_dir.join("causal.json");
+    if let Err(err) = std::fs::write(&summary_path, &doc) {
+        println!("==> causal: cannot write {}: {err}", summary_path.display());
+        problems += 1;
+    }
+
+    println!("\ncausal provenance ({} run segment(s)):", summaries.len());
+    println!("  segment | updates | links | roots | depth | stages | heaviest AS");
+    for (idx, s) in summaries.iter().enumerate() {
+        let stages = s.reported_stages.map_or("-".to_string(), |v| v.to_string());
+        let heaviest = s
+            .top_amplifiers
+            .first()
+            .map_or("-".to_string(), |(node, caused)| {
+                format!("{node} ({caused} caused)")
+            });
+        println!(
+            "  {idx:>7} | {:>7} | {:>5} | {:>5} | {:>5} | {stages:>6} | {heaviest}",
+            s.updates, s.links, s.roots, s.max_depth
+        );
+    }
+    if let Some(deepest) = summaries.iter().max_by_key(|s| s.max_depth) {
+        println!(
+            "  deepest causal chain: {} hop(s) through updates {:?}",
+            deepest.max_depth, deepest.critical_path
+        );
+    }
+    println!("  summary written to {}", summary_path.display());
+    problems
 }
 
 /// Path of the checked-in schema BENCH_scale.json must conform to.
@@ -622,13 +756,162 @@ fn validate_bench_json(
     problems
 }
 
+/// Diffs a freshly generated trajectory against the committed baseline.
+/// Every schema-declared field — top-level keys and each row's — must match
+/// the baseline exactly, except the row fields the schema lists under
+/// `timing` (environment-dependent nanosecond measurements and their
+/// ratios). Exactness flags (`exact`) and count fields are thus pinned: a
+/// protocol change that shifts stage/message/byte counts fails the diff
+/// until the baseline is regenerated deliberately. Returns the number of
+/// mismatches (all printed).
+fn compare_bench_json(
+    label: &str,
+    fresh_text: &str,
+    baseline_text: &str,
+    schema: &bgpvcg_telemetry::json::JsonValue,
+) -> usize {
+    use bgpvcg_telemetry::json::{parse, JsonValue};
+    let (fresh, baseline) = match (parse(fresh_text), parse(baseline_text)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (Err(err), _) => {
+            println!("==> {label}: fresh output does not parse: {err}");
+            return 1;
+        }
+        (_, Err(err)) => {
+            println!("==> {label}: baseline does not parse: {err}");
+            return 1;
+        }
+    };
+    let timing: Vec<&str> = match schema.get("timing") {
+        Some(JsonValue::Array(entries)) => entries.iter().filter_map(JsonValue::as_str).collect(),
+        _ => {
+            println!("==> {label}: schema has no `timing` exemption list");
+            return 1;
+        }
+    };
+    let mut problems = 0usize;
+    let render = |v: Option<&JsonValue>| v.map(JsonValue::render);
+    if let Some(JsonValue::Object(top)) = schema.get("top") {
+        for key in top.keys().filter(|k| k.as_str() != "rows") {
+            let (f, b) = (render(fresh.get(key)), render(baseline.get(key)));
+            if f != b {
+                println!(
+                    "==> {label}: top key `{key}` differs: fresh {} vs baseline {}",
+                    f.unwrap_or_else(|| "<missing>".into()),
+                    b.unwrap_or_else(|| "<missing>".into())
+                );
+                problems += 1;
+            }
+        }
+    }
+    let (Some(JsonValue::Array(fresh_rows)), Some(JsonValue::Array(baseline_rows))) =
+        (fresh.get("rows"), baseline.get("rows"))
+    else {
+        println!("==> {label}: both documents need a `rows` array");
+        return problems + 1;
+    };
+    if fresh_rows.len() != baseline_rows.len() {
+        println!(
+            "==> {label}: row count differs: fresh {} vs baseline {}",
+            fresh_rows.len(),
+            baseline_rows.len()
+        );
+        return problems + 1;
+    }
+    let Some(JsonValue::Object(row_spec)) = schema.get("row") else {
+        println!("==> {label}: schema has no `row` object");
+        return problems + 1;
+    };
+    for (idx, (f_row, b_row)) in fresh_rows.iter().zip(baseline_rows).enumerate() {
+        for key in row_spec.keys() {
+            if timing.contains(&key.as_str()) {
+                continue;
+            }
+            let (f, b) = (render(f_row.get(key)), render(b_row.get(key)));
+            if f != b {
+                println!(
+                    "==> {label}: row {idx} key `{key}` differs: fresh {} vs baseline {}",
+                    f.unwrap_or_else(|| "<missing>".into()),
+                    b.unwrap_or_else(|| "<missing>".into())
+                );
+                problems += 1;
+            }
+        }
+    }
+    problems
+}
+
+/// Runs one benchmark binary in full (non-smoke) mode into
+/// `target/bench/<name>.fresh.json` and diffs the result against the
+/// committed repo-root baseline via [`compare_bench_json`]. Returns the
+/// number of problems (all printed).
+fn compare_against_baseline(
+    root: &Path,
+    bin: &str,
+    baseline_name: &str,
+    schema: &bgpvcg_telemetry::json::JsonValue,
+) -> usize {
+    let out_dir = root.join("target").join("bench");
+    if let Err(err) = std::fs::create_dir_all(&out_dir) {
+        println!("==> compare: cannot create {}: {err}", out_dir.display());
+        return 1;
+    }
+    let fresh_path = out_dir.join(format!("{baseline_name}.fresh.json"));
+    let fresh_arg = fresh_path.display().to_string();
+    if !run_step(
+        root,
+        &format!("{bin} full run (compare)"),
+        "cargo",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "bgpvcg-bench",
+            "--bin",
+            bin,
+            "--",
+            "--out",
+            &fresh_arg,
+        ],
+        false,
+    ) {
+        return 1;
+    }
+    let label = format!("{baseline_name}.json compare");
+    let fresh_text = match std::fs::read_to_string(&fresh_path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("==> {label}: cannot read {}: {err}", fresh_path.display());
+            return 1;
+        }
+    };
+    let baseline_path = root.join(format!("{baseline_name}.json"));
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!(
+                "==> {label}: cannot read {}: {err}",
+                baseline_path.display()
+            );
+            return 1;
+        }
+    };
+    let problems = compare_bench_json(&label, &fresh_text, &baseline_text, schema);
+    if problems == 0 {
+        println!("==> {label}: fresh run matches the committed baseline (timing exempt)");
+    }
+    problems
+}
+
 /// The perf-record pipeline: run E14 (serial vs parallel — the binary
 /// itself asserts the two are bit-identical) and validate the emitted
 /// JSON against [`BENCH_SCHEMA`]. With `--smoke`, small sizes run into
 /// `target/bench/` and the checked-in repo-root `BENCH_scale.json` is
 /// validated as well, so CI catches both a broken emitter and a stale or
-/// hand-mangled trajectory file.
-fn cmd_bench(root: &Path, smoke: bool) -> ExitCode {
+/// hand-mangled trajectory file. With `--compare`, a fresh full trajectory
+/// is diffed field-by-field against the committed baseline (timing exempt).
+fn cmd_bench(root: &Path, smoke: bool, compare: bool) -> ExitCode {
     use bgpvcg_telemetry::json;
 
     let schema_text = match std::fs::read_to_string(root.join(BENCH_SCHEMA)) {
@@ -696,6 +979,9 @@ fn cmd_bench(root: &Path, smoke: bool) -> ExitCode {
         }
         problems += validate_tracked_chaos(root);
     }
+    if compare {
+        problems += compare_against_baseline(root, "e14_scale", "BENCH_scale", &schema);
+    }
 
     if problems == 0 {
         println!("\nxtask bench: BENCH_scale.json schema-valid");
@@ -739,8 +1025,10 @@ fn validate_tracked_chaos(root: &Path) -> usize {
 /// to the bit-identical fault-free fixpoint before reporting) and validate
 /// the emitted JSON against [`CHAOS_SCHEMA`]. With `--smoke`, small sizes
 /// run into `target/bench/` and the checked-in repo-root `BENCH_chaos.json`
-/// is validated as well.
-fn cmd_chaos(root: &Path, smoke: bool) -> ExitCode {
+/// is validated as well. With `--compare`, a fresh full trajectory is
+/// diffed field-by-field against the committed baseline (every chaos field
+/// is a deterministic count, so nothing is exempt).
+fn cmd_chaos(root: &Path, smoke: bool, compare: bool) -> ExitCode {
     use bgpvcg_telemetry::json;
 
     let schema_text = match std::fs::read_to_string(root.join(CHAOS_SCHEMA)) {
@@ -799,6 +1087,9 @@ fn cmd_chaos(root: &Path, smoke: bool) -> ExitCode {
     if smoke {
         problems += validate_tracked_chaos(root);
     }
+    if compare {
+        problems += compare_against_baseline(root, "e19_chaos", "BENCH_chaos", &schema);
+    }
 
     if problems == 0 {
         println!("\nxtask chaos: BENCH_chaos.json schema-valid");
@@ -843,9 +1134,9 @@ fn cmd_ci(root: &Path) -> ExitCode {
         &["test", "-q", "--features", "invariant-checks"],
         false,
     );
-    ok &= cmd_obs(root) == ExitCode::SUCCESS;
-    ok &= cmd_bench(root, true) == ExitCode::SUCCESS;
-    ok &= cmd_chaos(root, true) == ExitCode::SUCCESS;
+    ok &= cmd_obs(root, true) == ExitCode::SUCCESS;
+    ok &= cmd_bench(root, true, true) == ExitCode::SUCCESS;
+    ok &= cmd_chaos(root, true, true) == ExitCode::SUCCESS;
     if ok {
         println!("xtask ci: all steps passed");
         ExitCode::SUCCESS

@@ -16,7 +16,9 @@
 //!    `thread::spawn` inside `crates/bgp/src/engine/`.
 //! 5. **trace-schema** — every `TraceEvent` variant (definition and every
 //!    emission site) is described by the golden trace schema
-//!    `crates/telemetry/trace-schema.json`.
+//!    `crates/telemetry/trace-schema.json`; additionally, every
+//!    construction of a causal kind ([`CAUSAL_EVENT_KINDS`]) must thread
+//!    explicit `cause`/`effect` provenance ids.
 //! 6. **stage-alloc** — no `Vec::new()` / `HashMap::new()` / `vec![`
 //!    allocation inside the stage-loop bodies of the synchronous engine
 //!    (`run_stage`, `parallel_handle`), whose buffers are reused by design.
@@ -383,7 +385,97 @@ pub fn check_trace_schema(
                 }
             }
         }
+        check_causal_provenance(file, out);
     }
+}
+
+/// Trace kinds that carry causal provenance. Every construction of one of
+/// these must thread explicit `cause`/`effect` ids — a site that drops them
+/// breaks the convergence DAG (`bgpvcg_telemetry::causal`) silently.
+pub const CAUSAL_EVENT_KINDS: &[&str] = &["RouteSelected", "PriceRelaxed", "Withdrawn"];
+
+/// The provenance half of rule 5: every causal-kind construction site must
+/// name both `cause` and `effect`. Spans destructuring with `..` are
+/// patterns — they consume events rather than emit them — and are exempt;
+/// a pattern that binds every field names the ids anyway.
+fn check_causal_provenance(file: &SourceFile, out: &mut Vec<Violation>) {
+    for idx in 0..file.lexed.code_lines.len() {
+        let line = &file.lexed.code_lines[idx];
+        for (pos, _) in line.match_indices("TraceEvent::") {
+            let rest = &line[pos + "TraceEvent::".len()..];
+            let ident: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !CAUSAL_EVENT_KINDS.contains(&ident.as_str()) {
+                continue;
+            }
+            let after = pos + "TraceEvent::".len() + ident.len();
+            let Some(span) = brace_span(&file.lexed.code_lines, idx, after) else {
+                continue; // bare path mention, not a construction
+            };
+            if span.contains("..") {
+                continue; // destructuring pattern
+            }
+            let names = |field: &str| {
+                span.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .any(|w| w == field)
+            };
+            if (!names("cause") || !names("effect")) && !allowed(&file.lexed.allows, idx) {
+                out.push(Violation {
+                    rule: "trace-schema",
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "emission of `TraceEvent::{ident}` must thread `cause`/`effect` \
+                         provenance ids"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Collects the text of the brace-balanced span opening at the first `{`
+/// after column `after` on `code_lines[idx]` (spanning lines as needed, up
+/// to a 64-line cap against malformed input); `None` when the next
+/// non-whitespace character is not `{`.
+fn brace_span(code_lines: &[String], idx: usize, after: usize) -> Option<String> {
+    let mut span = String::new();
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (n, line) in code_lines.iter().enumerate().skip(idx).take(64) {
+        let text = if n == idx {
+            &line[after..]
+        } else {
+            line.as_str()
+        };
+        for c in text.chars() {
+            if !opened {
+                if c.is_whitespace() {
+                    continue;
+                }
+                if c != '{' {
+                    return None;
+                }
+                opened = true;
+                depth = 1;
+                continue;
+            }
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(span);
+                    }
+                }
+                c => span.push(c),
+            }
+        }
+        span.push(' ');
+    }
+    None
 }
 
 /// Extracts every `Kind` out of `TraceEvent::Kind` mentions on one code
@@ -739,6 +831,32 @@ mod tests {
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("TraceEvent::Mystery"));
         assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn trace_schema_requires_provenance_on_causal_emissions() {
+        let schema = r#"{"version":1,"events":{"RouteSelected":{},"Withdrawn":{}}}"#;
+        // Multi-line construction missing the ids: fires.
+        let files = vec![file(
+            "crates/bgp/src/telemetry.rs",
+            "fn f(t: &Telemetry) {\n    t.record(&TraceEvent::RouteSelected {\n        node: 1,\n        dest: 2,\n        stage: 0,\n    });\n}",
+        )];
+        let trees_ = trees(&files);
+        let mut out = Vec::new();
+        check_trace_schema(&files, &trees_, Some(schema), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("provenance"), "{out:?}");
+        assert_eq!(out[0].line, 2);
+
+        // Construction threading both ids, and a `..` pattern: silent.
+        let files = vec![file(
+            "crates/bgp/src/telemetry.rs",
+            "fn f(t: &Telemetry) {\n    t.record(&TraceEvent::RouteSelected {\n        node: 1, dest: 2, stage: 0, cause: 0, effect: 7,\n    });\n    if matches!(e, TraceEvent::Withdrawn { .. }) {}\n}",
+        )];
+        let trees_ = trees(&files);
+        let mut out = Vec::new();
+        check_trace_schema(&files, &trees_, Some(schema), &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Fixture: a causal event emitted without its provenance ids.
+
+/// Emits a route selection that forgot to thread `cause`/`effect`.
+pub fn observe_selection(t: &Telemetry) {
+    t.record(&TraceEvent::RouteSelected {
+        node: 1,
+        dest: 2,
+        stage: 0,
+    });
+}

@@ -1,0 +1,21 @@
+//! Fixture: causal emission sites thread full provenance.
+
+/// Emits a route selection carrying its `cause`/`effect` ids.
+pub fn observe_selection(t: &Telemetry) {
+    t.record(&TraceEvent::RouteSelected {
+        node: 1,
+        dest: 2,
+        stage: 0,
+        cause: 0,
+        effect: 1,
+    });
+}
+
+/// Consumes events; destructuring patterns are exempt from the
+/// provenance requirement.
+pub fn count_selections(events: &[TraceEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::RouteSelected { .. }))
+        .count()
+}

@@ -168,6 +168,7 @@ fn bad_corpus_fires_at_the_planted_sites() {
         ("wire-golden", "crates/bgp/src/message.rs"),  // Message::Bogus uncovered
         ("engine-hygiene", "crates/bgp/src/engine/sync.rs"), // thread::spawn + Relaxed
         ("trace-schema", "crates/telemetry/src/event.rs"), // TraceEvent::Mystery
+        ("trace-schema", "crates/bgp/src/telemetry.rs"), // RouteSelected without cause/effect
         ("stage-alloc", "crates/bgp/src/engine/sync.rs"), // vec![ and Vec::new()
         ("unsafe-audit", "crates/bgp/src/lib.rs"),     // missing #![forbid(unsafe_code)]
         ("unsafe-audit", "crates/bgp/src/engine/sync.rs"), // unsafe block

@@ -72,7 +72,8 @@ fn bench_wire_codec(c: &mut Criterion) {
                             node: AsId::new(dest.wrapping_add(h) % 1000),
                             cost: Cost::new(u64::from(h)),
                         })
-                        .collect(),
+                        .collect::<Vec<_>>()
+                        .into(),
                     path_cost: Cost::new(10),
                     prices: vec![Cost::new(7); 3],
                 },

@@ -66,7 +66,10 @@ fn tamper(kind: &str, ads: &mut Vec<RouteAdvertisement>, rng: &mut StdRng) -> bo
                 if let RouteInfo::Reachable { path, prices, .. } = &mut ad.info {
                     if path.len() >= 3 {
                         // Claim a direct-ish route by deleting a transit hop.
-                        path.remove(1);
+                        // Shared paths are immutable: rebuild without it.
+                        let mut entries = path.to_vec();
+                        entries.remove(1);
+                        *path = entries.into();
                         prices.clear();
                         return true;
                     }

@@ -41,10 +41,12 @@
 use bgpvcg_bench::families::Family;
 use bgpvcg_bench::table::Table;
 use bgpvcg_bgp::chaos::FaultPlan;
+use bgpvcg_bgp::{wire, ProtocolNode};
 use bgpvcg_core::protocol;
 use bgpvcg_netgraph::AsId;
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Instant;
 
 /// Stage budget per run; self-stabilization lands far below this.
 const MAX_STAGES: u64 = 5_000;
@@ -62,6 +64,8 @@ struct Row {
     stages: u64,
     recovery_stages: u64,
     messages: u64,
+    bytes_v2: u64,
+    encode_nanos: u128,
     frames_dropped: u64,
     frames_duplicated: u64,
     frames_delayed: u64,
@@ -161,6 +165,7 @@ fn render_json(config: &Config, rows: &[Row]) -> String {
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"n\": {}, \"seed\": {}, \"scenario\": \"{}\", \
              \"stages\": {}, \"recovery_stages\": {}, \"messages\": {}, \
+             \"bytes_v2\": {}, \"encode_nanos\": {}, \
              \"frames_dropped\": {}, \"frames_duplicated\": {}, \"frames_delayed\": {}, \
              \"retransmits\": {}, \"session_resets\": {}, \"holds_fired\": {}, \
              \"crashes\": {}, \"restarts\": {}, \"exact\": {}}}{}\n",
@@ -171,6 +176,8 @@ fn render_json(config: &Config, rows: &[Row]) -> String {
             row.stages,
             row.recovery_stages,
             row.messages,
+            row.bytes_v2,
+            row.encode_nanos,
             row.frames_dropped,
             row.frames_duplicated,
             row.frames_delayed,
@@ -219,33 +226,42 @@ fn main() {
                 for scenario in ["lossy", "crash", "flap"] {
                     let link = g.links()[seed as usize % g.link_count()];
                     let plan = plan_for(scenario, seed, n, (link.a(), link.b()));
-                    let (outcome, report) = match &config.flight_out {
+                    let mut engine = protocol::build_chaos_engine(&g, plan).expect("valid graph");
+                    if let Some(path) = &config.flight_out {
                         // With a flight recorder attached, a stage-budget
                         // overrun leaves a post-mortem dump before the
                         // assert below aborts the sweep.
-                        Some(path) => {
-                            let mut engine =
-                                protocol::build_chaos_engine(&g, plan).expect("valid graph");
-                            engine.attach_flight_recorder(path, 256);
-                            let report = engine.run_to_stable(MAX_STAGES);
-                            assert!(
-                                report.converged,
-                                "{} n={n} seed={seed} {scenario}: did not quiesce \
-                                 (flight dump at {}): {report}",
-                                family.name(),
-                                path.display()
-                            );
-                            let outcome = protocol::outcome_from_nodes(&engine.into_nodes())
-                                .expect("converged nodes have priced routes");
-                            (outcome, report)
-                        }
-                        None => protocol::run_chaos(&g, plan, MAX_STAGES).expect("chaos run"),
-                    };
+                        engine.attach_flight_recorder(path, 256);
+                    }
+                    let report = engine.run_to_stable(MAX_STAGES);
                     assert!(
                         report.converged,
-                        "{} n={n} seed={seed} {scenario}: did not quiesce: {report}",
-                        family.name()
+                        "{} n={n} seed={seed} {scenario}: did not quiesce{}: {report}",
+                        family.name(),
+                        config
+                            .flight_out
+                            .as_ref()
+                            .map(|p| format!(" (flight dump at {})", p.display()))
+                            .unwrap_or_default()
                     );
+                    let nodes = engine.into_nodes();
+
+                    // Encode-cost microfigure: v2-encode every node's full
+                    // stabilized table through one reused scratch buffer.
+                    let mut scratch = Vec::new();
+                    let mut encoded = 0usize;
+                    // lint:allow(bench wall-clock timing is the measurement itself, not protocol state)
+                    let t0 = Instant::now();
+                    for node in &nodes {
+                        if let Some(tbl) = node.full_table() {
+                            encoded += wire::update_size_v2_with(&mut scratch, &tbl);
+                        }
+                    }
+                    let encode_nanos = t0.elapsed().as_nanos();
+                    assert!(encoded > 0);
+
+                    let outcome = protocol::outcome_from_nodes(&nodes)
+                        .expect("converged nodes have priced routes");
                     let exact = outcome == reference;
                     assert!(
                         exact,
@@ -276,6 +292,8 @@ fn main() {
                         stages: report.stages,
                         recovery_stages: report.recovery_stages,
                         messages: report.messages,
+                        bytes_v2: report.bytes_v2,
+                        encode_nanos,
                         frames_dropped: report.frames_dropped,
                         frames_duplicated: report.frames_duplicated,
                         frames_delayed: report.frames_delayed,

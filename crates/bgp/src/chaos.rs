@@ -228,8 +228,12 @@ pub struct ChaosReport {
     pub stages: u64,
     /// Frames delivered (keepalives included).
     pub messages: u64,
-    /// Bytes delivered under the [`wire`] frame model.
+    /// Bytes delivered under the [`wire`] v1 frame model (the historical
+    /// baseline column).
     pub bytes: u64,
+    /// Bytes the same frame stream occupies under the v2 varint/delta
+    /// encoding ([`wire::frame_size_v2_with`]).
+    pub bytes_v2: u64,
     /// Frames silently dropped by the fault layer (flap/cut losses
     /// included).
     pub frames_dropped: u64,
@@ -261,10 +265,11 @@ impl fmt::Display for ChaosReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} stages ({} recovery), {} frames, {} dropped, {} retransmits, {} resets, {} holds{}",
+            "{} stages ({} recovery), {} frames ({} v2 bytes), {} dropped, {} retransmits, {} resets, {} holds{}",
             self.stages,
             self.recovery_stages,
             self.messages,
+            self.bytes_v2,
             self.frames_dropped,
             self.retransmits,
             self.session_resets,
@@ -372,6 +377,9 @@ pub struct ChaosEngine<N> {
     /// Scratch: `true` while the current stage has observed recovery-layer
     /// or protocol activity (used by the stabilization detector).
     stage_active: bool,
+    /// Reusable scratch buffer for v2 byte accounting — one encoder per
+    /// engine, zero per-frame allocations.
+    scratch: Vec<u8>,
 }
 
 impl<N: ProtocolNode> ChaosEngine<N> {
@@ -416,6 +424,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             flight: None,
             pending: vec![Vec::new(); n],
             stage_active: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -510,6 +519,14 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     /// Iterates over all nodes in AS order.
     pub fn nodes(&self) -> impl Iterator<Item = &N> {
         self.nodes.iter()
+    }
+
+    /// Enables or disables price-delta advertisement emission on every
+    /// node. Session-resync full-table resends stay full either way.
+    pub fn set_delta_encoding(&mut self, on: bool) {
+        for node in &mut self.nodes {
+            node.configure_delta_encoding(on);
+        }
     }
 
     /// `true` if node `k` is currently crashed.
@@ -720,6 +737,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     fn receive(&mut self, me: u32, peer: u32, frame: Frame) {
         self.report.messages += 1;
         self.report.bytes += wire::frame_size(&frame) as u64;
+        self.report.bytes_v2 += wire::frame_size_v2_with(&mut self.scratch, &frame) as u64;
         let stage = self.stage;
         let mut reestablish = false;
         let mut resets = 0u64;

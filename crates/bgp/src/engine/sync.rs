@@ -35,8 +35,12 @@ pub struct RunReport {
     pub messages: usize,
     /// Routing-table entries carried by all delivered messages.
     pub entries: usize,
-    /// Total bytes under the [`wire`] model.
+    /// Total bytes under the [`wire`] model (v1 fixed-width encoding —
+    /// the historical baseline column).
     pub bytes: usize,
+    /// Total bytes under the v2 varint/delta encoding
+    /// ([`wire::encode_update_v2_into`]) of the same message stream.
+    pub bytes_v2: usize,
     /// Peak messages delivered on any single link in any single stage.
     pub max_link_messages_per_stage: usize,
     /// `false` if the engine hit its stage limit before quiescing (a
@@ -50,6 +54,7 @@ impl RunReport {
         self.messages += other.messages;
         self.entries += other.entries;
         self.bytes += other.bytes;
+        self.bytes_v2 += other.bytes_v2;
         self.max_link_messages_per_stage = self
             .max_link_messages_per_stage
             .max(other.max_link_messages_per_stage);
@@ -61,11 +66,12 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} stages, {} messages, {} entries, {} bytes{}",
+            "{} stages, {} messages, {} entries, {} bytes ({} v2){}",
             self.stages,
             self.messages,
             self.entries,
             self.bytes,
+            self.bytes_v2,
             if self.converged {
                 ""
             } else {
@@ -107,6 +113,9 @@ impl fmt::Display for StageTrace {
 struct StageOutcome {
     trace: StageTrace,
     entries: usize,
+    /// v2-encoded bytes this stage (the public [`StageTrace`] keeps the v1
+    /// `bytes` column for display stability).
+    bytes_v2: usize,
     link_max: usize,
 }
 
@@ -155,6 +164,10 @@ pub struct SyncEngine<N> {
     parked: Vec<Vec<AsId>>,
     /// Double buffer for `dirty`, empty between stages.
     stage_dirty: Vec<u32>,
+    /// Reusable scratch buffer for v2 byte accounting: every broadcast's
+    /// v2 size is measured by encoding into this one buffer, so the hot
+    /// path performs zero per-message encoder allocations.
+    scratch: Vec<u8>,
     /// Worker threads per stage; 1 = the serial reference path.
     workers: usize,
     /// Safety valve: abort after this many stages (default `8n + 64`).
@@ -202,6 +215,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
             down: vec![false; n],
             parked: vec![Vec::new(); n],
             stage_dirty: Vec::new(),
+            scratch: Vec::new(),
             workers: 1,
             stage_limit: 8 * n + 64,
             started: false,
@@ -333,11 +347,23 @@ impl<N: ProtocolNode> SyncEngine<N> {
         self.stage_limit = limit;
     }
 
+    /// Enables or disables price-delta advertisement emission on every
+    /// node (see [`ProtocolNode::configure_delta_encoding`]). Deltas are
+    /// on by default; the equivalence suite turns them off to prove the
+    /// compressed stream reaches the identical fixpoint.
+    pub fn set_delta_encoding(&mut self, on: bool) {
+        for node in &mut self.nodes {
+            node.configure_delta_encoding(on);
+        }
+    }
+
     /// Queues `update` from `from` to every current neighbor of `from`,
-    /// returning (messages, entries, bytes) accounted. The payload is
-    /// shared: each receiving inbox gets an `Arc` clone, not a copy.
-    fn broadcast(&mut self, from: AsId, update: &Arc<Update>) -> (usize, usize, usize) {
+    /// returning (messages, entries, bytes, bytes_v2) accounted. The
+    /// payload is shared: each receiving inbox gets an `Arc` clone, not a
+    /// copy.
+    fn broadcast(&mut self, from: AsId, update: &Arc<Update>) -> (usize, usize, usize, usize) {
         let size = wire::update_size(update);
+        let size_v2 = wire::update_size_v2_with(&mut self.scratch, update);
         let neighbors = &self.adjacency[from.index()];
         let mut messages = 0;
         for &to in neighbors {
@@ -348,43 +374,50 @@ impl<N: ProtocolNode> SyncEngine<N> {
             inbox.push(Arc::clone(update));
             messages += 1;
         }
-        (messages, messages * update.entry_count(), messages * size)
+        (
+            messages,
+            messages * update.entry_count(),
+            messages * size,
+            messages * size_v2,
+        )
     }
 
     /// Delivers `update` to `to` only (used for session establishment on
     /// link-up).
-    fn unicast(&mut self, to: AsId, update: Update) -> (usize, usize, usize) {
+    fn unicast(&mut self, to: AsId, update: Update) -> (usize, usize, usize, usize) {
         let size = wire::update_size(&update);
+        let size_v2 = wire::update_size_v2_with(&mut self.scratch, &update);
         let entries = update.entry_count();
         let inbox = &mut self.inboxes[to.index()];
         if inbox.is_empty() {
             self.dirty.push(to.index() as u32);
         }
         inbox.push(Arc::new(update));
-        (1, entries, size)
+        (1, entries, size, size_v2)
     }
 
     /// Runs every node's `start()` hook, broadcasting the origin
     /// advertisements (traced as stage 0, preceding stage 1). Returns the
-    /// (messages, entries, bytes) totals.
+    /// (messages, entries, bytes, bytes_v2) totals.
     fn start_protocol(
         &mut self,
         instruments: &mut Option<RunInstruments>,
-    ) -> (usize, usize, usize) {
-        let mut totals = (0usize, 0usize, 0usize);
+    ) -> (usize, usize, usize, usize) {
+        let mut totals = (0usize, 0usize, 0usize, 0usize);
         for idx in 0..self.nodes.len() {
             // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
             if let Some(mut update) = self.nodes[idx].start() {
                 self.stamp(&mut update);
                 let update = Arc::new(update);
                 let from = AsId::new(idx as u32);
-                let (m, e, b) = self.broadcast(from, &update);
+                let (m, e, b, b2) = self.broadcast(from, &update);
                 if let Some(ins) = instruments.as_mut() {
                     ins.on_broadcast(&update, 0, m, e, b);
                 }
                 totals.0 += m;
                 totals.1 += e;
                 totals.2 += b;
+                totals.3 += b2;
             }
         }
         totals
@@ -425,6 +458,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
             bytes: 0,
         };
         let mut entries = 0usize;
+        let mut bytes_v2 = 0usize;
         let mut link_max = 0usize;
         for &idx in &receiving {
             // lint:allow(bounds: per-node engine buffers are sized n at construction and indices stay below n)
@@ -441,13 +475,14 @@ impl<N: ProtocolNode> SyncEngine<N> {
                     self.stamp(&mut update);
                     let update = Arc::new(update);
                     trace.changed_nodes += 1;
-                    let (m, e, b) = self.broadcast(AsId::new(idx), &update);
+                    let (m, e, b, b2) = self.broadcast(AsId::new(idx), &update);
                     if let Some(ins) = instruments.as_mut() {
                         ins.on_broadcast(&update, stage as u64, m, e, b);
                     }
                     trace.messages += m;
                     entries += e;
                     trace.bytes += b;
+                    bytes_v2 += b2;
                 }
             }
         } else {
@@ -458,13 +493,14 @@ impl<N: ProtocolNode> SyncEngine<N> {
                     self.stamp(&mut update);
                     let update = Arc::new(update);
                     trace.changed_nodes += 1;
-                    let (m, e, b) = self.broadcast(AsId::new(idx), &update);
+                    let (m, e, b, b2) = self.broadcast(AsId::new(idx), &update);
                     if let Some(ins) = instruments.as_mut() {
                         ins.on_broadcast(&update, stage as u64, m, e, b);
                     }
                     trace.messages += m;
                     entries += e;
                     trace.bytes += b;
+                    bytes_v2 += b2;
                 }
             }
         }
@@ -485,6 +521,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         StageOutcome {
             trace,
             entries,
+            bytes_v2,
             link_max,
         }
     }
@@ -548,10 +585,11 @@ impl<N: ProtocolNode> SyncEngine<N> {
         let mut instruments = self.instruments.take();
         if !self.started {
             self.started = true;
-            let (m, e, b) = self.start_protocol(&mut instruments);
+            let (m, e, b, b2) = self.start_protocol(&mut instruments);
             report.messages += m;
             report.entries += e;
             report.bytes += b;
+            report.bytes_v2 += b2;
         }
 
         // `stages` reports the last stage in which some node's advertised
@@ -576,6 +614,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
             report.messages += outcome.trace.messages;
             report.entries += outcome.entries;
             report.bytes += outcome.trace.bytes;
+            report.bytes_v2 += outcome.bytes_v2;
             report.max_link_messages_per_stage =
                 report.max_link_messages_per_stage.max(outcome.link_max);
             observer(outcome.trace);
@@ -857,13 +896,14 @@ impl<N: ProtocolNode> SyncEngine<N> {
             if let Some(mut update) = self.nodes[id.index()].apply_event(local) {
                 self.stamp(&mut update);
                 let update = Arc::new(update);
-                let (m, e, b) = self.broadcast(id, &update);
+                let (m, e, b, b2) = self.broadcast(id, &update);
                 if let Some(ins) = instruments.as_mut() {
                     ins.on_broadcast(&update, 0, m, e, b);
                 }
                 report.messages += m;
                 report.entries += e;
                 report.bytes += b;
+                report.bytes_v2 += b2;
             }
         }
         // Session establishment: every (re)activated link exchanges full
@@ -876,13 +916,14 @@ impl<N: ProtocolNode> SyncEngine<N> {
         };
         for (me, other) in established {
             if let Some(table) = self.nodes[me.index()].full_table() {
-                let (m, e, bytes) = self.unicast(other, table);
+                let (m, e, bytes, bytes_v2) = self.unicast(other, table);
                 if let Some(ins) = instruments.as_mut() {
                     ins.on_unicast(m, e, bytes);
                 }
                 report.messages += m;
                 report.entries += e;
                 report.bytes += bytes;
+                report.bytes_v2 += bytes_v2;
             }
         }
         self.instruments = instruments;

@@ -58,7 +58,7 @@ mod stats;
 
 pub use chaos::{ChaosEngine, ChaosReport, FaultPlan};
 pub use dynamics::{LocalEvent, TopologyEvent};
-pub use message::{Frame, FrameKind, PathEntry, RouteAdvertisement, RouteInfo, Update};
+pub use message::{Frame, FrameKind, PathEntry, RouteAdvertisement, RouteInfo, SharedPath, Update};
 pub use node::{PlainBgpNode, ProtocolNode};
 pub use selector::{RouteSelector, SelectedRoute};
 pub use stats::StateSnapshot;

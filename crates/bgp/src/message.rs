@@ -3,6 +3,8 @@
 use bgpvcg_netgraph::{AsId, Cost};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// One node of an advertised AS path, annotated with the cost that node
 /// declared.
@@ -19,8 +21,87 @@ pub struct PathEntry {
     pub cost: Cost,
 }
 
-/// The routing payload for one destination: either a usable path or an
-/// explicit withdrawal.
+/// An immutable, reference-counted AS path with a cached content hash.
+///
+/// Paths are built once per route *selection* and then shared by handle:
+/// the selector's table, every retained adj-RIB-in copy, and every outgoing
+/// advertisement hold the same `Arc<[PathEntry]>`, so re-advertising a
+/// route clones a pointer instead of a `Vec`. The cached FNV-1a-64 hash
+/// identifies the path on the wire (see
+/// [`RouteInfo::PriceDelta::base_path_hash`]) and makes repeated equality
+/// checks cheap: pointer equality first, then hash, then contents.
+#[derive(Debug, Clone)]
+pub struct SharedPath {
+    entries: Arc<[PathEntry]>,
+    hash: u64,
+}
+
+impl SharedPath {
+    /// The cached FNV-1a-64 hash of the path contents (node ids and
+    /// declared costs). Two equal paths always hash equal; collisions
+    /// between different paths are possible in principle, which is why the
+    /// delta-advertisement protocol treats a hash match as *necessary*,
+    /// never as proof (the session layer already guarantees the receiver's
+    /// retained path is byte-identical to the sender's).
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// FNV-1a-64 over the path's wire-relevant content: each entry's AS number
+/// as 4 little-endian bytes followed by its raw cost as 8 little-endian
+/// bytes (`∞` as `u64::MAX`, matching the v1 wire sentinel).
+fn fnv1a_path(entries: &[PathEntry]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for entry in entries {
+        for byte in (entry.node.index() as u32).to_le_bytes() {
+            eat(byte);
+        }
+        for byte in entry.cost.finite().unwrap_or(u64::MAX).to_le_bytes() {
+            eat(byte);
+        }
+    }
+    hash
+}
+
+impl From<Vec<PathEntry>> for SharedPath {
+    fn from(entries: Vec<PathEntry>) -> SharedPath {
+        let hash = fnv1a_path(&entries);
+        SharedPath {
+            entries: entries.into(),
+            hash,
+        }
+    }
+}
+
+impl Deref for SharedPath {
+    type Target = [PathEntry];
+
+    fn deref(&self) -> &[PathEntry] {
+        &self.entries
+    }
+}
+
+impl PartialEq for SharedPath {
+    fn eq(&self, other: &SharedPath) -> bool {
+        // Shared handles are the common case; the cached hash rejects most
+        // genuine differences before the content walk.
+        Arc::ptr_eq(&self.entries, &other.entries)
+            || (self.hash == other.hash && self.entries == other.entries)
+    }
+}
+
+impl Eq for SharedPath {}
+
+/// The routing payload for one destination: a usable path, a compressed
+/// price-only delta against the previously advertised path, or an explicit
+/// withdrawal.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RouteInfo {
     /// The advertiser has a route; fields describe it.
@@ -28,7 +109,7 @@ pub enum RouteInfo {
         /// AS path from the advertiser (first entry) to the destination
         /// (last entry), each annotated with its declared cost. The
         /// advertiser's own entry carries its own declared cost.
-        path: Vec<PathEntry>,
+        path: SharedPath,
         /// Transit cost `c(advertiser, destination)` of the path (sum of
         /// intermediate nodes' declared costs).
         path_cost: Cost,
@@ -37,6 +118,24 @@ pub enum RouteInfo {
         /// plain BGP and for routes without transit nodes. `∞` entries are
         /// prices not yet relaxed to a finite bound.
         prices: Vec<Cost>,
+    },
+    /// A compressed re-advertisement: the selected path (and its cost) are
+    /// unchanged since this advertiser's previous advertisement for the
+    /// destination — only the listed price entries relaxed. The receiver
+    /// patches its retained adj-RIB-in copy in place; on any mismatch
+    /// (no retained route, or a retained path whose [`SharedPath::hash64`]
+    /// differs from `base_path_hash`) the delta is dropped and the next
+    /// full advertisement — which session resynchronization always sends —
+    /// restores the state. This is the paper's Sect. 6 monotone-relaxation
+    /// common case: after routes settle, every subsequent update changes
+    /// only price cells.
+    PriceDelta {
+        /// [`SharedPath::hash64`] of the unchanged base path the entries
+        /// apply to.
+        base_path_hash: u64,
+        /// `(index, new_value)` patches into the retained `prices` array,
+        /// in ascending index order.
+        entries: Vec<(u16, Cost)>,
     },
     /// The advertiser no longer has any route to the destination.
     Withdrawn,
@@ -47,7 +146,7 @@ impl RouteInfo {
     pub fn path(&self) -> Option<&[PathEntry]> {
         match self {
             RouteInfo::Reachable { path, .. } => Some(path),
-            RouteInfo::Withdrawn => None,
+            RouteInfo::PriceDelta { .. } | RouteInfo::Withdrawn => None,
         }
     }
 
@@ -55,7 +154,7 @@ impl RouteInfo {
     pub fn path_cost(&self) -> Option<Cost> {
         match self {
             RouteInfo::Reachable { path_cost, .. } => Some(*path_cost),
-            RouteInfo::Withdrawn => None,
+            RouteInfo::PriceDelta { .. } | RouteInfo::Withdrawn => None,
         }
     }
 
@@ -77,6 +176,51 @@ impl RouteInfo {
         let transit = &path[1..path.len() - 1];
         let pos = transit.iter().position(|e| e.node == k)?;
         prices.get(pos).copied()
+    }
+
+    /// Compresses `next` into a [`RouteInfo::PriceDelta`] against `prev`
+    /// when only price entries changed: both must be reachable over the
+    /// *same* path (shared-handle or content equality) with the same path
+    /// cost and price-array length, and at least one price cell must
+    /// differ. Returns `None` whenever a full advertisement is required —
+    /// the caller falls back to sending `next` as-is.
+    pub fn delta_from(prev: &RouteInfo, next: &RouteInfo) -> Option<RouteInfo> {
+        let (
+            RouteInfo::Reachable {
+                path: prev_path,
+                path_cost: prev_cost,
+                prices: prev_prices,
+            },
+            RouteInfo::Reachable {
+                path: next_path,
+                path_cost: next_cost,
+                prices: next_prices,
+            },
+        ) = (prev, next)
+        else {
+            return None;
+        };
+        if prev_path != next_path
+            || prev_cost != next_cost
+            || prev_prices.len() != next_prices.len()
+            || next_prices.len() > usize::from(u16::MAX)
+        {
+            return None;
+        }
+        let entries: Vec<(u16, Cost)> = prev_prices
+            .iter()
+            .zip(next_prices)
+            .enumerate()
+            .filter(|(_, (old, new))| old != new)
+            .map(|(idx, (_, new))| (idx as u16, *new))
+            .collect();
+        if entries.is_empty() {
+            return None;
+        }
+        Some(RouteInfo::PriceDelta {
+            base_path_hash: next_path.hash64(),
+            entries,
+        })
     }
 }
 
@@ -232,7 +376,7 @@ mod tests {
     fn reachable() -> RouteInfo {
         // Path 0 -> 4 -> 3 -> 2 with transit nodes 4 (cost 2) and 3 (cost 1).
         RouteInfo::Reachable {
-            path: vec![entry(0, 2), entry(4, 2), entry(3, 1), entry(2, 4)],
+            path: vec![entry(0, 2), entry(4, 2), entry(3, 1), entry(2, 4)].into(),
             path_cost: Cost::new(3),
             prices: vec![Cost::new(4), Cost::new(3)],
         }
@@ -257,6 +401,18 @@ mod tests {
     }
 
     #[test]
+    fn price_delta_has_no_path() {
+        let info = RouteInfo::PriceDelta {
+            base_path_hash: 7,
+            entries: vec![(0, Cost::new(5))],
+        };
+        assert_eq!(info.path(), None);
+        assert_eq!(info.path_cost(), None);
+        assert!(!info.contains(AsId::new(0)));
+        assert_eq!(info.price_of(AsId::new(0)), None);
+    }
+
+    #[test]
     fn price_of_transit_nodes() {
         let info = reachable();
         assert_eq!(info.price_of(AsId::new(4)), Some(Cost::new(4)));
@@ -272,12 +428,65 @@ mod tests {
     #[test]
     fn price_of_on_short_paths() {
         let info = RouteInfo::Reachable {
-            path: vec![entry(1, 5), entry(2, 4)],
+            path: vec![entry(1, 5), entry(2, 4)].into(),
             path_cost: Cost::ZERO,
             prices: vec![],
         };
         assert_eq!(info.price_of(AsId::new(1)), None);
         assert_eq!(info.price_of(AsId::new(2)), None);
+    }
+
+    #[test]
+    fn shared_paths_compare_by_content() {
+        let a: SharedPath = vec![entry(0, 2), entry(4, 2)].into();
+        let b: SharedPath = vec![entry(0, 2), entry(4, 2)].into();
+        let c: SharedPath = vec![entry(0, 2), entry(4, 3)].into();
+        assert_eq!(a, a.clone(), "shared handles are equal");
+        assert_eq!(a, b, "separate builds of the same path are equal");
+        assert_eq!(a.hash64(), b.hash64());
+        assert_ne!(a, c);
+        assert_ne!(a.hash64(), c.hash64(), "FNV separates these contents");
+    }
+
+    #[test]
+    fn delta_from_compresses_price_only_changes() {
+        let prev = reachable();
+        let RouteInfo::Reachable {
+            path, path_cost, ..
+        } = prev.clone()
+        else {
+            unreachable!()
+        };
+        let next = RouteInfo::Reachable {
+            path: path.clone(),
+            path_cost,
+            prices: vec![Cost::new(4), Cost::new(2)],
+        };
+        let delta = RouteInfo::delta_from(&prev, &next).expect("one price cell relaxed");
+        assert_eq!(
+            delta,
+            RouteInfo::PriceDelta {
+                base_path_hash: path.hash64(),
+                entries: vec![(1, Cost::new(2))],
+            }
+        );
+    }
+
+    #[test]
+    fn delta_from_requires_identical_route_shape() {
+        let prev = reachable();
+        // Unchanged info: nothing to send as a delta.
+        assert_eq!(RouteInfo::delta_from(&prev, &prev.clone()), None);
+        // Path changed: full advertisement required.
+        let rerouted = RouteInfo::Reachable {
+            path: vec![entry(0, 2), entry(5, 1), entry(2, 4)].into(),
+            path_cost: Cost::new(1),
+            prices: vec![Cost::new(3)],
+        };
+        assert_eq!(RouteInfo::delta_from(&prev, &rerouted), None);
+        // Withdrawals never compress.
+        assert_eq!(RouteInfo::delta_from(&prev, &RouteInfo::Withdrawn), None);
+        assert_eq!(RouteInfo::delta_from(&RouteInfo::Withdrawn, &prev), None);
     }
 
     #[test]

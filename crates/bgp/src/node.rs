@@ -47,6 +47,12 @@ pub trait ProtocolNode: Send {
 
     /// Sizes of the node's protocol state, for the E5 experiment.
     fn state(&self) -> StateSnapshot;
+
+    /// Enables or disables price-delta advertisement emission (wire v2's
+    /// compression hook). Default: no-op, for node types without the
+    /// optimization; implementors with an adj-RIB-out forward this to
+    /// their `set_delta_encoding` inherent method.
+    fn configure_delta_encoding(&mut self, _on: bool) {}
 }
 
 /// A plain lowest-cost-path BGP speaker: route selection and advertisement,
@@ -67,7 +73,15 @@ pub trait ProtocolNode: Send {
 pub struct PlainBgpNode {
     selector: RouteSelector,
     /// What we last advertised per destination, so we only send changes.
+    /// Always holds the *full* route state — when a compressed
+    /// [`RouteInfo::PriceDelta`] goes out on the wire, this map still
+    /// records the reassembled `Reachable` it stands for.
     advertised: BTreeMap<AsId, RouteInfo>,
+    /// Whether change advertisements may be compressed to
+    /// [`RouteInfo::PriceDelta`] when only prices moved. On by default;
+    /// plain BGP carries no prices, so the flag is inert here and exists
+    /// for API symmetry with the pricing node.
+    delta_encoding: bool,
 }
 
 impl PlainBgpNode {
@@ -80,7 +94,15 @@ impl PlainBgpNode {
         PlainBgpNode {
             selector: RouteSelector::new(id, graph.cost(id), graph.neighbors(id).iter().copied()),
             advertised: BTreeMap::new(),
+            delta_encoding: true,
         }
+    }
+
+    /// Enables or disables [`RouteInfo::PriceDelta`] compression of change
+    /// advertisements (on by default). The delta-stream equivalence
+    /// proptests run both settings and assert identical fixpoints.
+    pub fn set_delta_encoding(&mut self, on: bool) {
+        self.delta_encoding = on;
     }
 
     /// Creates one node per AS of the graph, in AS order — ready to hand to
@@ -138,10 +160,21 @@ impl PlainBgpNode {
                 None => !matches!(info, RouteInfo::Withdrawn),
             };
             if changed {
-                self.advertised.insert(dest, info.clone());
+                // When only price entries moved on an unchanged path (the
+                // monotone-relaxation common case), send a compressed delta
+                // against the previously advertised route; the receiver
+                // patches its retained copy. `advertised` always records
+                // the full state the wire form stands for.
+                let wire_info = self
+                    .advertised
+                    .get(&dest)
+                    .filter(|_| self.delta_encoding)
+                    .and_then(|prev| RouteInfo::delta_from(prev, &info))
+                    .unwrap_or_else(|| info.clone());
+                self.advertised.insert(dest, info);
                 ads.push(RouteAdvertisement {
                     destination: dest,
-                    info,
+                    info: wire_info,
                 });
                 ad_causes.push(causes.get(&dest).copied().unwrap_or(0));
             }
@@ -155,6 +188,10 @@ impl PlainBgpNode {
 impl ProtocolNode for PlainBgpNode {
     fn id(&self) -> AsId {
         self.selector.id()
+    }
+
+    fn configure_delta_encoding(&mut self, on: bool) {
+        self.set_delta_encoding(on);
     }
 
     fn start(&mut self) -> Option<Update> {

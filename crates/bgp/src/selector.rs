@@ -1,6 +1,6 @@
 //! Route selection: the per-node path-vector decision process.
 
-use crate::message::{PathEntry, RouteInfo, Update};
+use crate::message::{PathEntry, RouteInfo, SharedPath, Update};
 use bgpvcg_lcp::Route;
 use bgpvcg_netgraph::{AsId, Cost};
 use std::collections::{BTreeMap, BTreeSet};
@@ -8,12 +8,16 @@ use std::fmt;
 
 /// A selected routing-table entry: the chosen path (cost-annotated) and its
 /// transit cost.
+///
+/// The path is a [`SharedPath`]: the same interned handle flows into every
+/// advertisement built from this entry, so re-advertising an unchanged
+/// route never copies path bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectedRoute {
     /// The path from this node (first entry) to the destination (last
     /// entry), each node annotated with its declared cost as learned from
     /// advertisements.
-    pub path: Vec<PathEntry>,
+    pub path: SharedPath,
     /// Transit cost of the path.
     pub cost: Cost,
 }
@@ -42,7 +46,9 @@ impl SelectedRoute {
 /// dropped here once instead of defended against everywhere.
 fn well_formed(from: AsId, destination: AsId, info: &RouteInfo) -> bool {
     let RouteInfo::Reachable { path, prices, .. } = info else {
-        return true; // withdrawals carry no structure
+        // Withdrawals carry no structure; price deltas are validated
+        // against the retained route at application time (see `ingest`).
+        return true;
     };
     let (Some(first), Some(last)) = (path.first(), path.last()) else {
         return false;
@@ -58,16 +64,23 @@ fn well_formed(from: AsId, destination: AsId, info: &RouteInfo) -> bool {
 }
 
 /// Compares two candidate routes under the deterministic route order
-/// `(transit cost, hop count, lexicographic AS path)`.
-fn candidate_cmp(a: &SelectedRoute, b: &SelectedRoute) -> std::cmp::Ordering {
-    a.cost
-        .cmp(&b.cost)
-        .then_with(|| a.path.len().cmp(&b.path.len()))
+/// `(transit cost, hop count, lexicographic AS path)`. Candidates are
+/// compared as plain `(path, cost)` pairs so selection never has to intern
+/// a losing path.
+fn candidate_cmp(
+    a_path: &[PathEntry],
+    a_cost: Cost,
+    b_path: &[PathEntry],
+    b_cost: Cost,
+) -> std::cmp::Ordering {
+    a_cost
+        .cmp(&b_cost)
+        .then_with(|| a_path.len().cmp(&b_path.len()))
         .then_with(|| {
-            a.path
+            a_path
                 .iter()
                 .map(|e| e.node)
-                .cmp(b.path.iter().map(|e| e.node))
+                .cmp(b_path.iter().map(|e| e.node))
         })
 }
 
@@ -112,7 +125,8 @@ impl RouteSelector {
                 path: vec![PathEntry {
                     node: id,
                     cost: declared_cost,
-                }],
+                }]
+                .into(),
                 cost: Cost::ZERO,
             },
         );
@@ -148,7 +162,12 @@ impl RouteSelector {
         self.declared_cost = cost;
         let mut changed = BTreeSet::new();
         for (dest, route) in &mut self.table {
-            route.path[0].cost = cost;
+            // Interned paths are immutable: restamping the declared cost
+            // mints a fresh handle (re-declaration is rare; sharing wins on
+            // the per-stage re-advertisement path).
+            let mut entries = route.path.to_vec();
+            entries[0].cost = cost;
+            route.path = entries.into();
             changed.insert(*dest);
         }
         changed
@@ -262,6 +281,41 @@ impl RouteSelector {
                         affected.insert(ad.destination);
                     }
                 }
+                RouteInfo::PriceDelta {
+                    base_path_hash,
+                    entries,
+                } => {
+                    // Patch the retained full advertisement in place. Any
+                    // mismatch — no retained route, a path other than the
+                    // one the delta was computed against, or an out-of-range
+                    // price index — drops the delta silently: the sender's
+                    // next full advertisement (session resynchronization
+                    // always sends one) restores the state.
+                    let Some(RouteInfo::Reachable { path, prices, .. }) =
+                        routes.get_mut(&ad.destination)
+                    else {
+                        continue;
+                    };
+                    if path.hash64() != *base_path_hash
+                        || entries
+                            .iter()
+                            .any(|&(idx, _)| usize::from(idx) >= prices.len())
+                    {
+                        continue;
+                    }
+                    let mut touched = false;
+                    for &(idx, value) in entries {
+                        // lint:allow(bounds: every idx range-checked above)
+                        let cell = &mut prices[usize::from(idx)];
+                        if *cell != value {
+                            *cell = value;
+                            touched = true;
+                        }
+                    }
+                    if touched {
+                        affected.insert(ad.destination);
+                    }
+                }
                 reachable => {
                     // Drop structurally malformed advertisements instead of
                     // trusting them: a misbehaving or buggy neighbor must
@@ -290,7 +344,11 @@ impl RouteSelector {
         if dest == self.id {
             return false; // the trivial route is permanent
         }
-        let mut best: Option<SelectedRoute> = None;
+        // Candidates stay plain `(path, cost)` pairs; only the winning
+        // route — and only when it differs from the table entry — is
+        // interned into a SharedPath, so the content hash is computed once
+        // per actual route change, never per candidate.
+        let mut best: Option<(Vec<PathEntry>, Cost)> = None;
         for (a, routes) in &self.rib_in {
             let Some(info) = routes.get(&dest) else {
                 continue;
@@ -331,27 +389,33 @@ impl RouteSelector {
                 // advertiser's entry is restamped for the new predecessor.
                 full_path[1].cost = added;
             }
-            let candidate = SelectedRoute {
-                path: full_path,
-                cost: *path_cost + added,
-            };
+            let candidate_cost = *path_cost + added;
             let better = match &best {
                 None => true,
-                Some(b) => candidate_cmp(&candidate, b) == std::cmp::Ordering::Less,
+                Some((best_path, best_cost)) => {
+                    candidate_cmp(&full_path, candidate_cost, best_path, *best_cost)
+                        == std::cmp::Ordering::Less
+                }
             };
             if better {
-                best = Some(candidate);
+                best = Some((full_path, candidate_cost));
             }
         }
         let changed = match (&best, self.table.get(&dest)) {
-            (Some(new), Some(old)) => new != old,
+            (Some((path, cost)), Some(old)) => *cost != old.cost || path[..] != old.path[..],
             (None, None) => false,
             _ => true,
         };
         if changed {
             match best {
-                Some(route) => {
-                    self.table.insert(dest, route);
+                Some((path, cost)) => {
+                    self.table.insert(
+                        dest,
+                        SelectedRoute {
+                            path: path.into(),
+                            cost,
+                        },
+                    );
                 }
                 None => {
                     self.table.remove(&dest);
@@ -440,7 +504,7 @@ mod tests {
         RouteAdvertisement {
             destination: AsId::new(dest),
             info: RouteInfo::Reachable {
-                path,
+                path: path.into(),
                 path_cost: Cost::new(cost),
                 prices: vec![],
             },
@@ -688,7 +752,7 @@ mod tests {
             advertisements: vec![crate::message::RouteAdvertisement {
                 destination: AsId::new(9),
                 info: RouteInfo::Reachable {
-                    path: vec![entry(1, 1), entry(9, 2)],
+                    path: vec![entry(1, 1), entry(9, 2)].into(),
                     path_cost: Cost::ZERO,
                     prices: vec![Cost::new(1)],
                 },
@@ -704,7 +768,7 @@ mod tests {
             advertisements: vec![crate::message::RouteAdvertisement {
                 destination: AsId::new(9),
                 info: RouteInfo::Reachable {
-                    path: vec![],
+                    path: Vec::new().into(),
                     path_cost: Cost::ZERO,
                     prices: vec![],
                 },
@@ -746,5 +810,82 @@ mod tests {
         assert_eq!(first, BTreeSet::from([AsId::new(1)]));
         let second = s.decide_all();
         assert!(second.is_empty());
+    }
+
+    /// A priced full advertisement from neighbor 1 for destination 9
+    /// (transit node 4), retained so deltas have a base to patch.
+    fn priced_base(s: &mut RouteSelector) -> crate::message::SharedPath {
+        let path: crate::message::SharedPath = vec![entry(1, 1), entry(4, 2), entry(9, 0)].into();
+        let full = Update {
+            from: AsId::new(1),
+            sender_costs: vec![],
+            advertisements: vec![RouteAdvertisement {
+                destination: AsId::new(9),
+                info: RouteInfo::Reachable {
+                    path: path.clone(),
+                    path_cost: Cost::new(2),
+                    prices: vec![Cost::new(7)],
+                },
+            }],
+            id: 0,
+            causes: Vec::new(),
+        };
+        assert!(!s.ingest(&full).is_empty());
+        path
+    }
+
+    fn delta_update(hash: u64, entries: Vec<(u16, Cost)>) -> Update {
+        Update {
+            from: AsId::new(1),
+            sender_costs: vec![],
+            advertisements: vec![RouteAdvertisement {
+                destination: AsId::new(9),
+                info: RouteInfo::PriceDelta {
+                    base_path_hash: hash,
+                    entries,
+                },
+            }],
+            id: 0,
+            causes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn price_delta_patches_retained_route() {
+        let mut s = selector();
+        let path = priced_base(&mut s);
+        let affected = s.ingest(&delta_update(path.hash64(), vec![(0, Cost::new(4))]));
+        assert_eq!(affected, BTreeSet::from([AsId::new(9)]));
+        let patched = s.rib(AsId::new(1), AsId::new(9)).unwrap();
+        assert_eq!(patched.price_of(AsId::new(4)), Some(Cost::new(4)));
+        assert_eq!(
+            patched.path_cost(),
+            Some(Cost::new(2)),
+            "path and cost survive the patch"
+        );
+        // A delta repeating the current value changes nothing.
+        let again = s.ingest(&delta_update(path.hash64(), vec![(0, Cost::new(4))]));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn price_delta_mismatches_are_dropped() {
+        let mut s = selector();
+        let path = priced_base(&mut s);
+        // Wrong base hash: the retained route must stay untouched.
+        assert!(s
+            .ingest(&delta_update(path.hash64() ^ 1, vec![(0, Cost::new(4))]))
+            .is_empty());
+        // Out-of-range price index.
+        assert!(s
+            .ingest(&delta_update(path.hash64(), vec![(5, Cost::new(4))]))
+            .is_empty());
+        let retained = s.rib(AsId::new(1), AsId::new(9)).unwrap();
+        assert_eq!(retained.price_of(AsId::new(4)), Some(Cost::new(7)));
+        // No retained route at all (fresh selector).
+        let mut fresh = selector();
+        assert!(fresh
+            .ingest(&delta_update(path.hash64(), vec![(0, Cost::new(4))]))
+            .is_empty());
     }
 }

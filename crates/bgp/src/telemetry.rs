@@ -134,6 +134,39 @@ impl UpdateTracer {
                         }
                     }
                 }
+                RouteInfo::PriceDelta { entries, .. } => {
+                    // A delta re-states the retained path and patches price
+                    // cells. The shadow route maps each price index `i` to
+                    // transit node `path[i + 1]`; a delta only ever follows
+                    // a full advertisement over the same session, so the
+                    // shadow is present — if it is not (defensive), the
+                    // cells cannot be attributed and the ad is skipped.
+                    let Some(shadow) = self.routes.get(&(node, dest)) else {
+                        continue;
+                    };
+                    for &(index, price) in entries {
+                        let Some(&(transit, _)) = shadow.get(usize::from(index) + 1) else {
+                            continue;
+                        };
+                        let key = (node, dest, transit);
+                        let new = cost_raw(price);
+                        let old = self.prices.get(&key).copied().unwrap_or(INFINITE);
+                        if new != old {
+                            self.prices.insert(key, new);
+                            self.price_relaxations.inc();
+                            self.telemetry.record(&TraceEvent::PriceRelaxed {
+                                node,
+                                dest,
+                                k: transit,
+                                stage,
+                                old,
+                                new,
+                                cause,
+                                effect,
+                            });
+                        }
+                    }
+                }
                 RouteInfo::Withdrawn => {
                     self.routes.remove(&(node, dest));
                     self.routes_withdrawn.inc();
@@ -229,7 +262,7 @@ mod tests {
             advertisements: vec![RouteAdvertisement {
                 destination: AsId::new(3),
                 info: RouteInfo::Reachable {
-                    path: vec![entry(0, 1), entry(1, 2), entry(2, 1), entry(3, 4)],
+                    path: vec![entry(0, 1), entry(1, 2), entry(2, 1), entry(3, 4)].into(),
                     path_cost: Cost::new(3),
                     prices,
                 },

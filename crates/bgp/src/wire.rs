@@ -3,28 +3,50 @@
 //! The paper measures communication in "number of routing tables exchanged
 //! and the size of those tables". Rather than estimating sizes from a
 //! model, this module actually serializes messages to a compact
-//! length-prefixed binary format (4-byte AS numbers as in BGP-4, 8-byte
-//! costs, explicit `∞` sentinel) and the engines account the encoded
+//! length-prefixed binary format and the engines account the encoded
 //! length. Encoding and decoding round-trip exactly — tested here and by
 //! property tests — so the byte counts in experiments E5/E6/E11 are real.
 //!
-//! Layout (all integers little-endian):
+//! Two message versions share one decoder, dispatched on the version byte:
+//!
+//! **v1** (fixed-width, all integers little-endian; 4-byte AS numbers as in
+//! BGP-4, 8-byte costs, explicit `∞` sentinel):
 //!
 //! ```text
-//! message   := magic "BV" | version u8 | from u32
+//! message   := magic "BV" | version 1 | from u32
 //!            | sender_cost_len u16 | (node u32, cost u64)*
 //!            | count u16 | advert*
-//! advert    := dest u32 | kind u8            (0 = withdrawn, 1 = reachable)
+//! advert    := dest u32 | kind u8    (0 = withdrawn, 1 = reachable, 2 = delta)
 //! reachable += path_len u16 | (node u32, cost u64)* | path_cost u64
 //!            | prices_len u16 | price u64*
+//! delta     += base_path_hash u64 | entries_len u16 | (index u16, price u64)*
+//! ```
+//!
+//! **v2** (variable-width): unsigned LEB128 varints (`uvarint`, at most 10
+//! bytes, canonical — overlong encodings are rejected), AS ids inside a
+//! path delta-coded against their predecessor as zigzag varints, and costs
+//! as `vcost` — `uvarint(0)` is the explicit `∞` sentinel, a finite cost
+//! `c` encodes as `uvarint(c + 1)`:
+//!
+//! ```text
+//! message   := magic "BV" | version 2 | from uvarint
+//!            | sender_cost_len uvarint | (node uvarint, vcost)*
+//!            | count uvarint | advert*
+//! advert    := dest uvarint | kind u8  (0 = withdrawn, 1 = reachable, 2 = delta)
+//! reachable += path_len uvarint
+//!            | node₀ uvarint, vcost    (first entry: absolute AS id)
+//!            | (zigzag(nodeᵢ − nodeᵢ₋₁) uvarint, vcost)*
+//!            | path_cost vcost | prices_len uvarint | vcost*
+//! delta     += base_path_hash u64 (fixed 8 LE) | entries_len uvarint
+//!            | (index uvarint, vcost)*
 //! ```
 //!
 //! Topology-dynamics events (experiment E10 replays recorded traces of
 //! them) have their own control frame, distinguished from UPDATEs by the
-//! magic:
+//! magic (v1-only — they never ride the hot path):
 //!
 //! ```text
-//! event     := magic "BE" | version u8 | tag u8 | payload
+//! event     := magic "BE" | version 1 | tag u8 | payload
 //! tag 0/1   := a u32 | b u32             (TopologyEvent::LinkDown/LinkUp)
 //! tag 2     := node u32 | cost u64       (TopologyEvent::CostChange)
 //! tag 3/4   := neighbor u32              (LocalEvent::LinkDown/LinkUp)
@@ -33,11 +55,14 @@
 //! ```
 //!
 //! The lossy-channel recovery layer (see `chaos` and `docs/ROBUSTNESS.md`)
-//! wraps UPDATEs in sequenced session frames with their own magic:
+//! wraps UPDATEs in sequenced session frames with their own magic. Like
+//! messages, frames come in v1 (fixed u64 counters) and v2 (uvarint
+//! counters, v2 payload):
 //!
 //! ```text
 //! frame     := magic "BF" | version u8 | kind u8
-//!            | epoch u64 | seq u64 | ack_epoch u64 | ack u64 | payload
+//!            | epoch | seq | ack_epoch | ack | payload
+//!              (v1: four u64 LE; v2: four uvarint)
 //! kind 0    := (no payload)              (FrameKind::Open)
 //! kind 1    := message                   (FrameKind::Data, embedded UPDATE)
 //! kind 2    := (no payload)              (FrameKind::Keepalive)
@@ -49,14 +74,14 @@ use bgpvcg_netgraph::{AsId, Cost};
 use std::error::Error;
 use std::fmt;
 
-/// Bytes per AS number on the wire (BGP-4 uses 4-byte AS numbers).
+/// Bytes per AS number on the v1 wire (BGP-4 uses 4-byte AS numbers).
 pub const AS_NUMBER_BYTES: usize = 4;
-/// Bytes per declared cost or price.
+/// Bytes per declared cost or price on the v1 wire.
 pub const COST_BYTES: usize = 8;
-/// Fixed per-message header: magic (2) + version (1) + sender (4) +
+/// Fixed v1 per-message header: magic (2) + version (1) + sender (4) +
 /// sender-cost count (2) + entry count (2).
 pub const MESSAGE_HEADER_BYTES: usize = 11;
-/// Fixed per-session-frame header: magic (2) + version (1) + kind (1) +
+/// Fixed v1 per-session-frame header: magic (2) + version (1) + kind (1) +
 /// epoch (8) + seq (8) + ack_epoch (8) + ack (8).
 pub const FRAME_HEADER_BYTES: usize = 36;
 
@@ -64,8 +89,10 @@ const MAGIC: [u8; 2] = *b"BV";
 const EVENT_MAGIC: [u8; 2] = *b"BE";
 const FRAME_MAGIC: [u8; 2] = *b"BF";
 const VERSION: u8 = 1;
+const VERSION_V2: u8 = 2;
 const KIND_WITHDRAWN: u8 = 0;
 const KIND_REACHABLE: u8 = 1;
+const KIND_PRICE_DELTA: u8 = 2;
 const TAG_TOPO_LINK_DOWN: u8 = 0;
 const TAG_TOPO_LINK_UP: u8 = 1;
 const TAG_TOPO_COST_CHANGE: u8 = 2;
@@ -77,7 +104,7 @@ const TAG_TOPO_NODE_UP: u8 = 7;
 const FRAME_KIND_OPEN: u8 = 0;
 const FRAME_KIND_DATA: u8 = 1;
 const FRAME_KIND_KEEPALIVE: u8 = 2;
-/// On-wire sentinel for [`Cost::INFINITE`].
+/// On-wire sentinel for [`Cost::INFINITE`] (v1 fixed-width costs).
 const INFINITE_WIRE: u64 = u64::MAX;
 
 /// Errors decoding a wire message.
@@ -88,12 +115,16 @@ pub enum DecodeError {
     Truncated,
     /// The magic bytes or version byte did not match.
     BadHeader,
-    /// An advertisement kind byte was neither withdrawn nor reachable.
+    /// An advertisement kind byte named no known kind.
     BadKind(u8),
     /// An event tag byte named no known event variant.
     BadEventTag(u8),
     /// A session-frame kind byte named no known frame kind.
     BadFrameKind(u8),
+    /// A v2 varint was overlong, overflowed 64 bits, or reconstructed a
+    /// value outside its field's range (e.g. a delta-coded AS id beyond
+    /// `u32`).
+    BadVarint,
     /// Trailing bytes followed a structurally complete message.
     TrailingBytes(usize),
 }
@@ -106,6 +137,7 @@ impl fmt::Display for DecodeError {
             DecodeError::BadKind(k) => write!(f, "unknown advertisement kind {k}"),
             DecodeError::BadEventTag(t) => write!(f, "unknown event tag {t}"),
             DecodeError::BadFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::BadVarint => write!(f, "malformed varint"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing byte(s)"),
         }
     }
@@ -115,6 +147,36 @@ impl Error for DecodeError {}
 
 fn put_cost(out: &mut Vec<u8>, cost: Cost) {
     out.extend_from_slice(&cost.finite().unwrap_or(INFINITE_WIRE).to_le_bytes());
+}
+
+/// Appends an unsigned LEB128 varint (canonical: no trailing zero groups).
+fn put_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a v2 cost: `0` is the `∞` sentinel, a finite cost `c` encodes
+/// as `c + 1` (finite raw costs top out at `u64::MAX − 1`, so the shift
+/// never overflows and the two ranges never collide).
+fn put_vcost(out: &mut Vec<u8>, cost: Cost) {
+    put_uvarint(out, cost.finite().map_or(0, |c| c + 1));
+}
+
+/// Zigzag-maps a signed delta into the unsigned varint domain.
+fn zigzag64(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag64`].
+fn unzigzag64(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
 }
 
 fn encode_advertisement(out: &mut Vec<u8>, ad: &RouteAdvertisement) {
@@ -128,7 +190,7 @@ fn encode_advertisement(out: &mut Vec<u8>, ad: &RouteAdvertisement) {
         } => {
             out.push(KIND_REACHABLE);
             out.extend_from_slice(&(path.len() as u16).to_le_bytes());
-            for entry in path {
+            for entry in path.iter() {
                 out.extend_from_slice(&entry.node.raw().to_le_bytes());
                 put_cost(out, entry.cost);
             }
@@ -138,10 +200,22 @@ fn encode_advertisement(out: &mut Vec<u8>, ad: &RouteAdvertisement) {
                 put_cost(out, p);
             }
         }
+        RouteInfo::PriceDelta {
+            base_path_hash,
+            entries,
+        } => {
+            out.push(KIND_PRICE_DELTA);
+            out.extend_from_slice(&base_path_hash.to_le_bytes());
+            out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+            for &(index, price) in entries {
+                out.extend_from_slice(&index.to_le_bytes());
+                put_cost(out, price);
+            }
+        }
     }
 }
 
-/// Serializes an UPDATE to its wire form.
+/// Serializes an UPDATE to its v1 wire form.
 ///
 /// # Panics
 ///
@@ -166,6 +240,88 @@ pub fn encode_update(update: &Update) -> Vec<u8> {
     out
 }
 
+/// Appends one v2 table entry to `out` without allocating.
+fn encode_advertisement_v2(out: &mut Vec<u8>, ad: &RouteAdvertisement) {
+    put_uvarint(out, u64::from(ad.destination.raw()));
+    match &ad.info {
+        RouteInfo::Withdrawn => out.push(KIND_WITHDRAWN),
+        RouteInfo::Reachable {
+            path,
+            path_cost,
+            prices,
+        } => {
+            out.push(KIND_REACHABLE);
+            put_uvarint(out, path.len() as u64);
+            let mut prev: Option<u32> = None;
+            for entry in path.iter() {
+                let raw = entry.node.raw();
+                match prev {
+                    // The first node travels absolute; neighbors in a path
+                    // tend to be numerically close, so subsequent ids
+                    // zigzag-delta down to one or two bytes.
+                    None => put_uvarint(out, u64::from(raw)),
+                    Some(p) => put_uvarint(out, zigzag64(i64::from(raw) - i64::from(p))),
+                }
+                prev = Some(raw);
+                put_vcost(out, entry.cost);
+            }
+            put_vcost(out, *path_cost);
+            put_uvarint(out, prices.len() as u64);
+            for &p in prices {
+                put_vcost(out, p);
+            }
+        }
+        RouteInfo::PriceDelta {
+            base_path_hash,
+            entries,
+        } => {
+            out.push(KIND_PRICE_DELTA);
+            // The hash is uniformly distributed: varint-coding it would
+            // cost 10 bytes, fixed-width costs 8.
+            out.extend_from_slice(&base_path_hash.to_le_bytes());
+            put_uvarint(out, entries.len() as u64);
+            for &(index, price) in entries {
+                put_uvarint(out, u64::from(index));
+                put_vcost(out, price);
+            }
+        }
+    }
+}
+
+/// Appends an UPDATE's v2 wire form to `out` — the zero-allocation encode
+/// entry point the engines' byte accounting drives with a reused scratch
+/// buffer.
+pub fn encode_update_v2_into(out: &mut Vec<u8>, update: &Update) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION_V2);
+    put_uvarint(out, u64::from(update.from.raw()));
+    put_uvarint(out, update.sender_costs.len() as u64);
+    for &(node, cost) in &update.sender_costs {
+        put_uvarint(out, u64::from(node.raw()));
+        put_vcost(out, cost);
+    }
+    put_uvarint(out, update.advertisements.len() as u64);
+    for ad in &update.advertisements {
+        encode_advertisement_v2(out, ad);
+    }
+}
+
+/// Serializes an UPDATE to its v2 wire form (allocating convenience
+/// wrapper over [`encode_update_v2_into`]).
+pub fn encode_update_v2(update: &Update) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MESSAGE_HEADER_BYTES + update.advertisements.len() * 8);
+    encode_update_v2_into(&mut out, update);
+    out
+}
+
+/// v2 wire size of an UPDATE, measured by encoding into the caller's
+/// scratch buffer (cleared first, capacity retained across calls).
+pub fn update_size_v2_with(scratch: &mut Vec<u8>, update: &Update) -> usize {
+    scratch.clear();
+    encode_update_v2_into(scratch, update);
+    scratch.len()
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -180,6 +336,10 @@ impl<'a> Reader<'a> {
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
@@ -211,30 +371,59 @@ impl<'a> Reader<'a> {
     }
 
     fn cost(&mut self) -> Result<Cost, DecodeError> {
-        let bytes = self
-            .take(8)?
-            .try_into()
-            .map_err(|_| DecodeError::Truncated)?;
-        let raw = u64::from_le_bytes(bytes);
+        let raw = self.u64()?;
         Ok(if raw == INFINITE_WIRE {
             Cost::INFINITE
         } else {
             Cost::new(raw)
         })
     }
+
+    /// Reads a canonical unsigned LEB128 varint: at most 10 bytes, no
+    /// trailing zero continuation groups, final group within 64 bits.
+    fn uvarint(&mut self) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            if shift > 0 && byte == 0 {
+                // A zero group means a shorter canonical encoding existed.
+                return Err(DecodeError::BadVarint);
+            }
+            if shift == 63 && byte > 1 {
+                // The 10th group holds only the top bit of a u64.
+                return Err(DecodeError::BadVarint);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(DecodeError::BadVarint)
+    }
+
+    /// A varint constrained to `u32` (AS numbers).
+    fn uvarint_u32(&mut self) -> Result<u32, DecodeError> {
+        u32::try_from(self.uvarint()?).map_err(|_| DecodeError::BadVarint)
+    }
+
+    /// A varint used as an element count; conversion to `usize` cannot
+    /// fail on supported targets, but the bound is checked anyway.
+    fn uvarint_len(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.uvarint()?).map_err(|_| DecodeError::BadVarint)
+    }
+
+    /// A v2 cost: `0` is `∞`, otherwise the finite cost shifted by one.
+    fn vcost(&mut self) -> Result<Cost, DecodeError> {
+        let raw = self.uvarint()?;
+        Ok(if raw == 0 {
+            Cost::INFINITE
+        } else {
+            Cost::new(raw - 1)
+        })
+    }
 }
 
-/// Parses a wire message back into an [`Update`].
-///
-/// # Errors
-///
-/// Returns a [`DecodeError`] on truncation, bad header, unknown
-/// advertisement kinds, or trailing bytes.
-pub fn decode_update(buf: &[u8]) -> Result<Update, DecodeError> {
-    let mut r = Reader { buf, pos: 0 };
-    if r.take(2)? != MAGIC || r.u8()? != VERSION {
-        return Err(DecodeError::BadHeader);
-    }
+fn decode_update_v1(r: &mut Reader<'_>) -> Result<Update, DecodeError> {
     let from = AsId::new(r.u32()?);
     let sender_cost_len = r.u16()?;
     let mut sender_costs = Vec::with_capacity(usize::from(sender_cost_len));
@@ -264,17 +453,28 @@ pub fn decode_update(buf: &[u8]) -> Result<Update, DecodeError> {
                     prices.push(r.cost()?);
                 }
                 RouteInfo::Reachable {
-                    path,
+                    path: path.into(),
                     path_cost,
                     prices,
+                }
+            }
+            KIND_PRICE_DELTA => {
+                let base_path_hash = r.u64()?;
+                let entries_len = r.u16()?;
+                let mut entries = Vec::with_capacity(usize::from(entries_len));
+                for _ in 0..entries_len {
+                    let index = r.u16()?;
+                    let price = r.cost()?;
+                    entries.push((index, price));
+                }
+                RouteInfo::PriceDelta {
+                    base_path_hash,
+                    entries,
                 }
             }
             other => return Err(DecodeError::BadKind(other)),
         };
         advertisements.push(RouteAdvertisement { destination, info });
-    }
-    if r.pos != buf.len() {
-        return Err(DecodeError::TrailingBytes(buf.len() - r.pos));
     }
     Ok(Update {
         from,
@@ -285,6 +485,106 @@ pub fn decode_update(buf: &[u8]) -> Result<Update, DecodeError> {
         id: 0,
         causes: Vec::new(),
     })
+}
+
+fn decode_update_v2(r: &mut Reader<'_>) -> Result<Update, DecodeError> {
+    let from = AsId::new(r.uvarint_u32()?);
+    let sender_cost_len = r.uvarint_len()?;
+    // Length claims come off the wire: cap pre-allocation by the bytes
+    // actually present so a corrupt count cannot balloon memory.
+    let mut sender_costs = Vec::with_capacity(sender_cost_len.min(r.remaining()));
+    for _ in 0..sender_cost_len {
+        let node = AsId::new(r.uvarint_u32()?);
+        let cost = r.vcost()?;
+        sender_costs.push((node, cost));
+    }
+    let count = r.uvarint_len()?;
+    let mut advertisements = Vec::with_capacity(count.min(r.remaining()));
+    for _ in 0..count {
+        let destination = AsId::new(r.uvarint_u32()?);
+        let info = match r.u8()? {
+            KIND_WITHDRAWN => RouteInfo::Withdrawn,
+            KIND_REACHABLE => {
+                let path_len = r.uvarint_len()?;
+                let mut path = Vec::with_capacity(path_len.min(r.remaining()));
+                let mut prev: Option<u32> = None;
+                for _ in 0..path_len {
+                    let raw = match prev {
+                        None => r.uvarint_u32()?,
+                        Some(p) => {
+                            let delta = unzigzag64(r.uvarint()?);
+                            i64::from(p)
+                                .checked_add(delta)
+                                .and_then(|v| u32::try_from(v).ok())
+                                .ok_or(DecodeError::BadVarint)?
+                        }
+                    };
+                    prev = Some(raw);
+                    let cost = r.vcost()?;
+                    path.push(PathEntry {
+                        node: AsId::new(raw),
+                        cost,
+                    });
+                }
+                let path_cost = r.vcost()?;
+                let prices_len = r.uvarint_len()?;
+                let mut prices = Vec::with_capacity(prices_len.min(r.remaining()));
+                for _ in 0..prices_len {
+                    prices.push(r.vcost()?);
+                }
+                RouteInfo::Reachable {
+                    path: path.into(),
+                    path_cost,
+                    prices,
+                }
+            }
+            KIND_PRICE_DELTA => {
+                let base_path_hash = r.u64()?;
+                let entries_len = r.uvarint_len()?;
+                let mut entries = Vec::with_capacity(entries_len.min(r.remaining()));
+                for _ in 0..entries_len {
+                    let index = u16::try_from(r.uvarint()?).map_err(|_| DecodeError::BadVarint)?;
+                    let price = r.vcost()?;
+                    entries.push((index, price));
+                }
+                RouteInfo::PriceDelta {
+                    base_path_hash,
+                    entries,
+                }
+            }
+            other => return Err(DecodeError::BadKind(other)),
+        };
+        advertisements.push(RouteAdvertisement { destination, info });
+    }
+    Ok(Update {
+        from,
+        sender_costs,
+        advertisements,
+        id: 0,
+        causes: Vec::new(),
+    })
+}
+
+/// Parses a wire message (either version) back into an [`Update`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, bad header, unknown
+/// advertisement kinds, malformed varints, or trailing bytes.
+pub fn decode_update(buf: &[u8]) -> Result<Update, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(2)? != MAGIC {
+        return Err(DecodeError::BadHeader);
+    }
+    let update = match r.u8()? {
+        VERSION => decode_update_v1(&mut r)?,
+        VERSION_V2 => decode_update_v2(&mut r)?,
+        _ => return Err(DecodeError::BadHeader),
+    };
+    if r.pos != buf.len() {
+        return Err(DecodeError::TrailingBytes(buf.len() - r.pos));
+    }
+    Ok(update)
 }
 
 fn event_frame(tag: u8) -> Vec<u8> {
@@ -404,16 +704,21 @@ pub fn decode_local_event(buf: &[u8]) -> Result<LocalEvent, DecodeError> {
     Ok(event)
 }
 
-/// Serializes a sequenced session frame (recovery layer) to its wire form.
+fn frame_kind_byte(kind: &FrameKind) -> u8 {
+    match kind {
+        FrameKind::Open => FRAME_KIND_OPEN,
+        FrameKind::Data(_) => FRAME_KIND_DATA,
+        FrameKind::Keepalive => FRAME_KIND_KEEPALIVE,
+    }
+}
+
+/// Serializes a sequenced session frame (recovery layer) to its v1 wire
+/// form.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_BYTES);
     out.extend_from_slice(&FRAME_MAGIC);
     out.push(VERSION);
-    out.push(match frame.kind {
-        FrameKind::Open => FRAME_KIND_OPEN,
-        FrameKind::Data(_) => FRAME_KIND_DATA,
-        FrameKind::Keepalive => FRAME_KIND_KEEPALIVE,
-    });
+    out.push(frame_kind_byte(&frame.kind));
     out.extend_from_slice(&frame.epoch.to_le_bytes());
     out.extend_from_slice(&frame.seq.to_le_bytes());
     out.extend_from_slice(&frame.ack_epoch.to_le_bytes());
@@ -424,7 +729,38 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out
 }
 
-/// Parses a wire session frame back into a [`Frame`].
+/// Appends a session frame's v2 wire form (varint counters, v2 payload)
+/// to `out` without allocating.
+pub fn encode_frame_v2_into(out: &mut Vec<u8>, frame: &Frame) {
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(VERSION_V2);
+    out.push(frame_kind_byte(&frame.kind));
+    put_uvarint(out, frame.epoch);
+    put_uvarint(out, frame.seq);
+    put_uvarint(out, frame.ack_epoch);
+    put_uvarint(out, frame.ack);
+    if let FrameKind::Data(update) = &frame.kind {
+        encode_update_v2_into(out, update);
+    }
+}
+
+/// Serializes a session frame to its v2 wire form (allocating convenience
+/// wrapper over [`encode_frame_v2_into`]).
+pub fn encode_frame_v2(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_frame_v2_into(&mut out, frame);
+    out
+}
+
+/// v2 wire size of a session frame, measured by encoding into the
+/// caller's scratch buffer (cleared first, capacity retained).
+pub fn frame_size_v2_with(scratch: &mut Vec<u8>, frame: &Frame) -> usize {
+    scratch.clear();
+    encode_frame_v2_into(scratch, frame);
+    scratch.len()
+}
+
+/// Parses a wire session frame (either version) back into a [`Frame`].
 ///
 /// # Errors
 ///
@@ -432,20 +768,28 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 /// kind, a malformed embedded UPDATE, or trailing bytes.
 pub fn decode_frame(buf: &[u8]) -> Result<Frame, DecodeError> {
     let mut r = Reader { buf, pos: 0 };
-    if r.take(2)? != FRAME_MAGIC || r.u8()? != VERSION {
+    if r.take(2)? != FRAME_MAGIC {
+        return Err(DecodeError::BadHeader);
+    }
+    let version = r.u8()?;
+    if version != VERSION && version != VERSION_V2 {
         return Err(DecodeError::BadHeader);
     }
     let kind_tag = r.u8()?;
-    let epoch = r.u64()?;
-    let seq = r.u64()?;
-    let ack_epoch = r.u64()?;
-    let ack = r.u64()?;
+    let (epoch, seq, ack_epoch, ack) = if version == VERSION {
+        (r.u64()?, r.u64()?, r.u64()?, r.u64()?)
+    } else {
+        (r.uvarint()?, r.uvarint()?, r.uvarint()?, r.uvarint()?)
+    };
     let kind = match kind_tag {
         FRAME_KIND_OPEN => {
             finish_frame(&r)?;
             FrameKind::Open
         }
         FRAME_KIND_DATA => {
+            // The embedded UPDATE carries its own version byte; a v2 frame
+            // can legally carry a v1 payload (and vice versa) during a
+            // version transition.
             let payload = r.take(buf.len() - r.pos)?;
             FrameKind::Data(decode_update(payload)?)
         }
@@ -464,7 +808,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame, DecodeError> {
     })
 }
 
-/// Wire size of a session frame (its encoded length).
+/// v1 wire size of a session frame (its encoded length), computed
+/// arithmetically without encoding.
 pub fn frame_size(frame: &Frame) -> usize {
     FRAME_HEADER_BYTES
         + match &frame.kind {
@@ -473,14 +818,25 @@ pub fn frame_size(frame: &Frame) -> usize {
         }
 }
 
-/// Wire size of one table entry (its encoded length).
+/// v1 wire size of one table entry (its encoded length), computed
+/// arithmetically without encoding — every v1 field is fixed-width.
 pub fn advertisement_size(ad: &RouteAdvertisement) -> usize {
-    let mut buf = Vec::new();
-    encode_advertisement(&mut buf, ad);
-    buf.len()
+    AS_NUMBER_BYTES
+        + 1
+        + match &ad.info {
+            RouteInfo::Withdrawn => 0,
+            RouteInfo::Reachable { path, prices, .. } => {
+                2 + path.len() * (AS_NUMBER_BYTES + COST_BYTES)
+                    + COST_BYTES
+                    + 2
+                    + prices.len() * COST_BYTES
+            }
+            RouteInfo::PriceDelta { entries, .. } => 8 + 2 + entries.len() * (2 + COST_BYTES),
+        }
 }
 
-/// Wire size of a whole UPDATE message (its encoded length).
+/// v1 wire size of a whole UPDATE message (its encoded length), computed
+/// arithmetically without encoding.
 pub fn update_size(update: &Update) -> usize {
     MESSAGE_HEADER_BYTES
         + update.sender_costs.len() * (AS_NUMBER_BYTES + COST_BYTES)
@@ -503,15 +859,25 @@ mod tests {
     }
 
     fn reachable_ad(path_len: usize, price_len: usize) -> RouteAdvertisement {
-        let path = (0..path_len)
+        let path: Vec<PathEntry> = (0..path_len)
             .map(|i| entry(i as u32, i as u64 + 1))
             .collect();
         RouteAdvertisement {
             destination: AsId::new(99),
             info: RouteInfo::Reachable {
-                path,
+                path: path.into(),
                 path_cost: Cost::new(17),
                 prices: vec![Cost::new(5); price_len],
+            },
+        }
+    }
+
+    fn delta_ad() -> RouteAdvertisement {
+        RouteAdvertisement {
+            destination: AsId::new(42),
+            info: RouteInfo::PriceDelta {
+                base_path_hash: 0xDEAD_BEEF_0BAD_F00D,
+                entries: vec![(0, Cost::new(3)), (2, Cost::INFINITE)],
             },
         }
     }
@@ -529,7 +895,7 @@ mod tests {
                 RouteAdvertisement {
                     destination: AsId::new(11),
                     info: RouteInfo::Reachable {
-                        path: vec![entry(11, 0)],
+                        path: vec![entry(11, 0)].into(),
                         path_cost: Cost::ZERO,
                         prices: vec![Cost::INFINITE],
                     },
@@ -540,6 +906,23 @@ mod tests {
         }
     }
 
+    /// The sample plus a price-delta entry and a descending path (negative
+    /// zigzag deltas) — every v2 construct in one message.
+    fn sample_update_v2() -> Update {
+        let mut update = sample_update();
+        update.advertisements.push(delta_ad());
+        update.advertisements.push(RouteAdvertisement {
+            destination: AsId::new(1),
+            info: RouteInfo::Reachable {
+                path: vec![entry(9, 2), entry(4, 1), entry(1, 0)].into(),
+                path_cost: Cost::new(1),
+                prices: vec![Cost::new(2)],
+            },
+        });
+        update.sender_costs = vec![(AsId::new(2), Cost::new(5)), (AsId::new(8), Cost::INFINITE)];
+        update
+    }
+
     #[test]
     fn round_trip_is_exact() {
         let update = sample_update();
@@ -548,13 +931,57 @@ mod tests {
     }
 
     #[test]
+    fn v1_round_trip_carries_price_deltas() {
+        let mut update = sample_update();
+        update.advertisements.push(delta_ad());
+        let bytes = encode_update(&update);
+        assert_eq!(decode_update(&bytes).unwrap(), update);
+        assert_eq!(update_size(&update), bytes.len());
+    }
+
+    #[test]
+    fn v2_round_trip_is_exact() {
+        let update = sample_update_v2();
+        let bytes = encode_update_v2(&update);
+        assert_eq!(decode_update(&bytes).unwrap(), update);
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1() {
+        let update = sample_update_v2();
+        assert!(
+            encode_update_v2(&update).len() < encode_update(&update).len(),
+            "varint + delta coding must shrink the sample"
+        );
+    }
+
+    #[test]
+    fn v2_size_equals_encoded_length_and_scratch_is_reused() {
+        let mut scratch = Vec::new();
+        let update = sample_update_v2();
+        assert_eq!(
+            update_size_v2_with(&mut scratch, &update),
+            encode_update_v2(&update).len()
+        );
+        let capacity = scratch.capacity();
+        // A second measurement reuses the grown buffer.
+        assert_eq!(
+            update_size_v2_with(&mut scratch, &update),
+            encode_update_v2(&update).len()
+        );
+        assert_eq!(scratch.capacity(), capacity);
+    }
+
+    #[test]
     fn infinite_prices_survive_the_wire() {
         let update = sample_update();
-        let decoded = decode_update(&encode_update(&update)).unwrap();
-        let RouteInfo::Reachable { prices, .. } = &decoded.advertisements[2].info else {
-            panic!("third entry is reachable");
-        };
-        assert_eq!(prices, &[Cost::INFINITE]);
+        for bytes in [encode_update(&update), encode_update_v2(&update)] {
+            let decoded = decode_update(&bytes).unwrap();
+            let RouteInfo::Reachable { prices, .. } = &decoded.advertisements[2].info else {
+                panic!("third entry is reachable");
+            };
+            assert_eq!(prices, &[Cost::INFINITE]);
+        }
     }
 
     #[test]
@@ -565,24 +992,32 @@ mod tests {
 
     #[test]
     fn truncation_is_detected_at_every_length() {
-        let bytes = encode_update(&sample_update());
-        for cut in 0..bytes.len() {
-            let err = decode_update(&bytes[..cut]).unwrap_err();
-            assert!(
-                matches!(err, DecodeError::Truncated | DecodeError::BadHeader),
-                "cut at {cut}: {err:?}"
-            );
+        for bytes in [
+            encode_update(&sample_update()),
+            encode_update_v2(&sample_update_v2()),
+        ] {
+            for cut in 0..bytes.len() {
+                let err = decode_update(&bytes[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, DecodeError::Truncated | DecodeError::BadHeader),
+                    "cut at {cut}: {err:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = encode_update(&sample_update());
-        bytes.push(0xAB);
-        assert_eq!(
-            decode_update(&bytes).unwrap_err(),
-            DecodeError::TrailingBytes(1)
-        );
+        for mut bytes in [
+            encode_update(&sample_update()),
+            encode_update_v2(&sample_update_v2()),
+        ] {
+            bytes.push(0xAB);
+            assert_eq!(
+                decode_update(&bytes).unwrap_err(),
+                DecodeError::TrailingBytes(1)
+            );
+        }
     }
 
     #[test]
@@ -597,6 +1032,84 @@ mod tests {
         let kind_pos = MESSAGE_HEADER_BYTES + 4;
         bytes[kind_pos] = 9;
         assert_eq!(decode_update(&bytes).unwrap_err(), DecodeError::BadKind(9));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = encode_update(&sample_update());
+        bytes[2] = 3;
+        assert_eq!(decode_update(&bytes).unwrap_err(), DecodeError::BadHeader);
+    }
+
+    #[test]
+    fn varint_edge_values_round_trip() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, value);
+            assert!(buf.len() <= 10);
+            let mut r = Reader { buf: &buf, pos: 0 };
+            assert_eq!(r.uvarint().unwrap(), value, "value {value}");
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn overlong_and_overflowing_varints_are_rejected() {
+        // 0x80 0x00 is a two-byte encoding of 0: overlong.
+        let mut r = Reader {
+            buf: &[0x80, 0x00],
+            pos: 0,
+        };
+        assert_eq!(r.uvarint().unwrap_err(), DecodeError::BadVarint);
+        // Ten continuation groups followed by anything: more than 64 bits.
+        let mut r = Reader {
+            buf: &[0xFF; 11],
+            pos: 0,
+        };
+        assert_eq!(r.uvarint().unwrap_err(), DecodeError::BadVarint);
+        // 10th group with a payload beyond the top bit of a u64.
+        let mut buf = vec![0xFF; 9];
+        buf.push(0x02);
+        let mut r = Reader { buf: &buf, pos: 0 };
+        assert_eq!(r.uvarint().unwrap_err(), DecodeError::BadVarint);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag64(zigzag64(v)), v);
+        }
+    }
+
+    #[test]
+    fn out_of_range_path_delta_is_rejected() {
+        // Path of two nodes where the second's delta walks below zero.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION_V2);
+        put_uvarint(&mut bytes, 7); // from
+        put_uvarint(&mut bytes, 0); // sender costs
+        put_uvarint(&mut bytes, 1); // one advertisement
+        put_uvarint(&mut bytes, 9); // dest
+        bytes.push(KIND_REACHABLE);
+        put_uvarint(&mut bytes, 2); // path_len
+        put_uvarint(&mut bytes, 5); // first node = 5
+        put_vcost(&mut bytes, Cost::new(1));
+        put_uvarint(&mut bytes, zigzag64(-6)); // 5 - 6 = -1: out of range
+        put_vcost(&mut bytes, Cost::new(1));
+        put_vcost(&mut bytes, Cost::ZERO); // path_cost
+        put_uvarint(&mut bytes, 0); // prices
+        assert_eq!(decode_update(&bytes).unwrap_err(), DecodeError::BadVarint);
     }
 
     #[test]
@@ -674,15 +1187,30 @@ mod tests {
     }
 
     #[test]
+    fn v2_frames_round_trip_and_report_their_size() {
+        let mut scratch = Vec::new();
+        for frame in sample_frames() {
+            let bytes = encode_frame_v2(&frame);
+            assert_eq!(frame_size_v2_with(&mut scratch, &frame), bytes.len());
+            assert_eq!(decode_frame(&bytes).unwrap(), frame);
+            assert!(
+                bytes.len() <= encode_frame(&frame).len(),
+                "v2 never exceeds v1 for protocol-generated frames"
+            );
+        }
+    }
+
+    #[test]
     fn frame_truncation_is_detected_at_every_length() {
         for frame in sample_frames() {
-            let bytes = encode_frame(&frame);
-            for cut in 0..bytes.len() {
-                let err = decode_frame(&bytes[..cut]).unwrap_err();
-                assert!(
-                    matches!(err, DecodeError::Truncated | DecodeError::BadHeader),
-                    "cut at {cut}: {err:?}"
-                );
+            for bytes in [encode_frame(&frame), encode_frame_v2(&frame)] {
+                for cut in 0..bytes.len() {
+                    let err = decode_frame(&bytes[..cut]).unwrap_err();
+                    assert!(
+                        matches!(err, DecodeError::Truncated | DecodeError::BadHeader),
+                        "cut at {cut}: {err:?}"
+                    );
+                }
             }
         }
     }
@@ -693,24 +1221,36 @@ mod tests {
         bytes[0] = b'X';
         assert_eq!(decode_frame(&bytes).unwrap_err(), DecodeError::BadHeader);
 
-        let mut bytes = encode_frame(&sample_frames()[0]);
-        bytes[3] = 9; // kind byte
-        assert_eq!(
-            decode_frame(&bytes).unwrap_err(),
-            DecodeError::BadFrameKind(9)
-        );
+        for mut bytes in [
+            encode_frame(&sample_frames()[0]),
+            encode_frame_v2(&sample_frames()[0]),
+        ] {
+            bytes[3] = 9; // kind byte
+            assert_eq!(
+                decode_frame(&bytes).unwrap_err(),
+                DecodeError::BadFrameKind(9)
+            );
+        }
 
-        let mut bytes = encode_frame(&sample_frames()[2]);
-        bytes.push(0xAB);
-        assert_eq!(
-            decode_frame(&bytes).unwrap_err(),
-            DecodeError::TrailingBytes(1)
-        );
+        for mut bytes in [
+            encode_frame(&sample_frames()[2]),
+            encode_frame_v2(&sample_frames()[2]),
+        ] {
+            bytes.push(0xAB);
+            assert_eq!(
+                decode_frame(&bytes).unwrap_err(),
+                DecodeError::TrailingBytes(1)
+            );
+        }
 
         // A Data frame whose embedded UPDATE is corrupted surfaces the
         // inner decoder's typed error.
         let mut bytes = encode_frame(&sample_frames()[1]);
         bytes[FRAME_HEADER_BYTES] = b'X'; // embedded UPDATE magic
+        assert_eq!(decode_frame(&bytes).unwrap_err(), DecodeError::BadHeader);
+
+        let mut bytes = encode_frame(&sample_frames()[1]);
+        bytes[2] = 3; // unknown frame version
         assert_eq!(decode_frame(&bytes).unwrap_err(), DecodeError::BadHeader);
     }
 

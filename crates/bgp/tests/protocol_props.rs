@@ -151,9 +151,17 @@ fn update_strategy() -> impl Strategy<Value = Update> {
             proptest::collection::vec(cost.clone(), 0..6),
         )
             .prop_map(|(path, path_cost, prices)| RouteInfo::Reachable {
-                path,
+                path: path.into(),
                 path_cost,
                 prices,
+            }),
+        1 => (
+            any::<u64>(),
+            proptest::collection::vec((any::<u16>(), cost.clone()), 0..6),
+        )
+            .prop_map(|(base_path_hash, entries)| RouteInfo::PriceDelta {
+                base_path_hash,
+                entries,
             }),
     ];
     let advertisement = (0u32..10_000, info).prop_map(|(dest, info)| RouteAdvertisement {
@@ -187,10 +195,42 @@ proptest! {
         prop_assert_eq!(wire::decode_update(&bytes).unwrap(), update);
     }
 
-    /// Decoding never panics on arbitrary bytes (it may error).
+    /// The v2 varint/delta codec round-trips every representable update,
+    /// and the scratch-buffer size measurement is the encoded length.
+    #[test]
+    fn wire_codec_v2_round_trips(update in update_strategy()) {
+        let mut scratch = Vec::new();
+        let bytes = wire::encode_update_v2(&update);
+        prop_assert_eq!(wire::update_size_v2_with(&mut scratch, &update), bytes.len());
+        prop_assert_eq!(wire::decode_update(&bytes).unwrap(), update);
+    }
+
+    /// Decoding never panics on arbitrary bytes (it may error). The one
+    /// decoder dispatches on the version byte, so this fuzzes v1 headers,
+    /// v2 headers, and garbage alike.
     #[test]
     fn wire_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = wire::decode_update(&bytes);
+    }
+
+    /// Bit-flipped v2 messages decode to a typed error or a self-consistent
+    /// update — never a panic (varint overlong/overflow paths included).
+    #[test]
+    fn wire_v2_survives_bit_flips(
+        update in update_strategy(),
+        flips in proptest::collection::vec((0usize..4096, 0u32..8), 1..8),
+    ) {
+        let mut bytes = wire::encode_update_v2(&update);
+        for (pos, bit) in flips {
+            let idx = pos % bytes.len();
+            bytes[idx] ^= 1 << bit;
+        }
+        if let Ok(decoded) = wire::decode_update(&bytes) {
+            prop_assert_eq!(
+                wire::decode_update(&wire::encode_update_v2(&decoded)).unwrap(),
+                decoded
+            );
+        }
     }
 }
 
@@ -224,6 +264,16 @@ proptest! {
         prop_assert_eq!(wire::decode_frame(&bytes).unwrap(), frame);
     }
 
+    /// The v2 frame codec (varint counters, v2 payload) round-trips every
+    /// representable session frame through the shared decoder.
+    #[test]
+    fn frame_codec_v2_round_trips(frame in frame_strategy()) {
+        let mut scratch = Vec::new();
+        let bytes = wire::encode_frame_v2(&frame);
+        prop_assert_eq!(wire::frame_size_v2_with(&mut scratch, &frame), bytes.len());
+        prop_assert_eq!(wire::decode_frame(&bytes).unwrap(), frame);
+    }
+
     /// Frame decoding never panics on arbitrary bytes — a chaos-corrupted
     /// channel yields typed errors, not crashes.
     #[test]
@@ -231,14 +281,20 @@ proptest! {
         let _ = wire::decode_frame(&bytes);
     }
 
-    /// Bit-flipped valid frames decode to a typed error or to some valid
-    /// frame — never a panic, never a misparse that round-trip-fails.
+    /// Bit-flipped valid frames (both wire versions) decode to a typed
+    /// error or to some valid frame — never a panic, never a misparse that
+    /// round-trip-fails.
     #[test]
     fn frame_decoder_survives_bit_flips(
         frame in frame_strategy(),
+        v2 in any::<bool>(),
         flips in proptest::collection::vec((0usize..4096, 0u32..8), 1..8),
     ) {
-        let mut bytes = wire::encode_frame(&frame);
+        let mut bytes = if v2 {
+            wire::encode_frame_v2(&frame)
+        } else {
+            wire::encode_frame(&frame)
+        };
         for (pos, bit) in flips {
             let idx = pos % bytes.len();
             bytes[idx] ^= 1 << bit;
@@ -285,7 +341,7 @@ proptest! {
             advertisements: vec![RouteAdvertisement {
                 destination: origin,
                 info: RouteInfo::Reachable {
-                    path: vec![PathEntry { node: origin, cost: Cost::new(1) }],
+                    path: vec![PathEntry { node: origin, cost: Cost::new(1) }].into(),
                     path_cost: Cost::ZERO,
                     prices: vec![],
                 },

@@ -29,7 +29,8 @@ fn sample() -> Update {
                             node: AsId::new(2),
                             cost: Cost::new(4),
                         },
-                    ],
+                    ]
+                    .into(),
                     path_cost: Cost::ZERO,
                     prices: vec![Cost::INFINITE],
                 },
@@ -88,6 +89,171 @@ fn golden_bytes_decode_back() {
     let bytes = wire::encode_update(&update);
     assert_eq!(wire::decode_update(&bytes).unwrap(), update);
     assert_eq!(wire::update_size(&update), bytes.len());
+}
+
+/// The v1 byte vector above is frozen interoperability surface: a decoder
+/// from any later release must keep accepting it verbatim, independent of
+/// what the current encoder produces.
+#[test]
+fn v1_compat_corpus_still_decodes() {
+    let corpus: Vec<u8> = vec![
+        0x42, 0x56, 0x01, //
+        0x07, 0x00, 0x00, 0x00, //
+        0x01, 0x00, //
+        0x03, 0x00, 0x00, 0x00, //
+        0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        0x02, 0x00, //
+        0x02, 0x00, 0x00, 0x00, 0x01, //
+        0x02, 0x00, //
+        0x07, 0x00, 0x00, 0x00, //
+        0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        0x02, 0x00, 0x00, 0x00, //
+        0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        0x01, 0x00, //
+        0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, //
+        0x09, 0x00, 0x00, 0x00, 0x00,
+    ];
+    assert_eq!(wire::decode_update(&corpus).unwrap(), sample());
+}
+
+/// A v2 sample exercising every advertisement kind: a full (reachable)
+/// route, a withdrawal, and a price delta.
+fn sample_v2() -> Update {
+    let mut update = sample();
+    update.advertisements.push(RouteAdvertisement {
+        destination: AsId::new(4),
+        info: RouteInfo::PriceDelta {
+            base_path_hash: 0x0102_0304_0506_0708,
+            entries: vec![(1, Cost::new(6)), (3, Cost::INFINITE)],
+        },
+    });
+    update
+}
+
+/// Pins the v2 byte layout: varint header fields, delta-coded path AS ids,
+/// `vcost` (∞ → 0, finite c → c+1), and the fixed 8-byte delta base hash.
+#[test]
+fn golden_byte_layout_v2() {
+    let bytes = wire::encode_update_v2(&sample_v2());
+    let expected: Vec<u8> = vec![
+        // magic "BV", version 2
+        0x42, 0x56, 0x02, //
+        // from = 7 (uvarint)
+        0x07, //
+        // sender_costs: len = 1, (node 3, vcost(5) = 6)
+        0x01, 0x03, 0x06, //
+        // advertisement count = 3
+        0x03, //
+        // ad 1: dest = 2, kind = reachable(1), path len = 2
+        0x02, 0x01, 0x02, //
+        // entry (7, 1): absolute node 7, vcost(1) = 2
+        0x07, 0x02, //
+        // entry (2, 4): zigzag(2 - 7) = 9, vcost(4) = 5
+        0x09, 0x05, //
+        // path_cost: vcost(0) = 1
+        0x01, //
+        // prices: len = 1, vcost(∞) = 0
+        0x01, 0x00, //
+        // ad 2: dest = 9, kind = withdrawn(0)
+        0x09, 0x00, //
+        // ad 3: dest = 4, kind = delta(2)
+        0x04, 0x02, //
+        // base_path_hash = 0x0102030405060708 (fixed u64 LE)
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, //
+        // entries: len = 2, (index 1, vcost(6) = 7), (index 3, vcost(∞) = 0)
+        0x02, 0x01, 0x07, 0x03, 0x00,
+    ];
+    assert_eq!(
+        bytes, expected,
+        "v2 wire layout changed — version-bump the format"
+    );
+}
+
+#[test]
+fn golden_v2_bytes_decode_back() {
+    let update = sample_v2();
+    let bytes = wire::encode_update_v2(&update);
+    assert_eq!(wire::decode_update(&bytes).unwrap(), update);
+    let mut scratch = Vec::new();
+    assert_eq!(
+        wire::update_size_v2_with(&mut scratch, &update),
+        bytes.len()
+    );
+}
+
+/// The v1 encoding of a price-delta advertisement is itself golden-pinned:
+/// v1 peers gained the delta kind in the same release that introduced v2.
+#[test]
+fn golden_v1_price_delta_layout() {
+    let update = Update {
+        from: AsId::new(7),
+        sender_costs: vec![],
+        advertisements: vec![RouteAdvertisement {
+            destination: AsId::new(4),
+            info: RouteInfo::PriceDelta {
+                base_path_hash: 0x0102_0304_0506_0708,
+                entries: vec![(1, Cost::new(6)), (3, Cost::INFINITE)],
+            },
+        }],
+        id: 0,
+        causes: Vec::new(),
+    };
+    let expected: Vec<u8> = vec![
+        // magic "BV", version 1, from = 7, no sender costs, count = 1
+        0x42, 0x56, 0x01, //
+        0x07, 0x00, 0x00, 0x00, //
+        0x00, 0x00, //
+        0x01, 0x00, //
+        // dest = 4, kind = delta(2)
+        0x04, 0x00, 0x00, 0x00, 0x02, //
+        // base_path_hash (u64 LE)
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, //
+        // entries: len = 2 (u16)
+        0x02, 0x00, //
+        // (index 1, cost 6)
+        0x01, 0x00, 0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+        // (index 3, INFINITE)
+        0x03, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+    ];
+    let bytes = wire::encode_update(&update);
+    assert_eq!(bytes, expected, "v1 delta layout changed — version-bump");
+    assert_eq!(wire::decode_update(&bytes).unwrap(), update);
+    assert_eq!(wire::update_size(&update), bytes.len());
+}
+
+/// Corrupted v2 messages decode to typed errors, never panics or
+/// misparses — including varint-specific failure modes v1 cannot have.
+#[test]
+fn v2_messages_reject_corruption() {
+    let bytes = wire::encode_update_v2(&sample_v2());
+
+    for cut in 0..bytes.len() {
+        assert!(wire::decode_update(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(wire::decode_update(&trailing).is_err());
+
+    // Rewrite the second path entry's zigzag delta (index 13, currently
+    // zigzag(-5) = 9) to zigzag(-8) = 15: node₀ = 7, so the reconstructed
+    // AS id would be -1 — out of range, a typed varint error.
+    let mut bad_delta = bytes.clone();
+    assert_eq!(bad_delta[13], 0x09);
+    bad_delta[13] = 0x0F;
+    assert_eq!(
+        wire::decode_update(&bad_delta),
+        Err(wire::DecodeError::BadVarint)
+    );
+
+    // An unknown future version is a header error, not a misparse.
+    let mut bad_version = bytes;
+    bad_version[2] = 3;
+    assert_eq!(
+        wire::decode_update(&bad_version),
+        Err(wire::DecodeError::BadHeader)
+    );
 }
 
 /// One golden vector per topology-event variant: the exact control-frame
@@ -310,6 +476,96 @@ fn session_frames_reject_corruption() {
     // A corrupted embedded UPDATE surfaces the inner decode error.
     let mut bad_payload = bytes;
     bad_payload[wire::FRAME_HEADER_BYTES] = b'X'; // breaks the "BV" magic
+    assert!(wire::decode_frame(&bad_payload).is_err());
+}
+
+/// Golden vectors for the v2 session-frame header: varint counters and a
+/// v2-encoded payload after the kind byte.
+#[test]
+fn golden_v2_session_frame_layout() {
+    let open = Frame {
+        epoch: 3,
+        seq: 0,
+        ack_epoch: 300,
+        ack: 5,
+        kind: FrameKind::Open,
+    };
+    let expected: Vec<u8> = vec![
+        // magic "BF", version 2, kind 0 (Open)
+        0x42, 0x46, 0x02, 0x00, //
+        // epoch = 3, seq = 0 (uvarint)
+        0x03, 0x00, //
+        // ack_epoch = 300 (uvarint: 0xAC 0x02)
+        0xAC, 0x02, //
+        // ack = 5
+        0x05,
+    ];
+    let bytes = wire::encode_frame_v2(&open);
+    assert_eq!(bytes, expected, "v2 frame layout changed — version-bump");
+    assert_eq!(wire::decode_frame(&bytes).unwrap(), open);
+    let mut scratch = Vec::new();
+    assert_eq!(wire::frame_size_v2_with(&mut scratch, &open), bytes.len());
+
+    // Data: the v2-encoded UPDATE rides directly after the header.
+    let data = Frame {
+        kind: FrameKind::Data(sample_v2()),
+        ..open
+    };
+    let data_bytes = wire::encode_frame_v2(&data);
+    assert_eq!(data_bytes[3], 0x01);
+    assert_eq!(&data_bytes[9..], wire::encode_update_v2(&sample_v2()));
+    assert_eq!(wire::decode_frame(&data_bytes).unwrap(), data);
+}
+
+/// Corrupted v2 session frames decode to typed errors — the chaos
+/// harness's loss model depends on this exactly as for v1.
+#[test]
+fn v2_session_frames_reject_corruption() {
+    let frame = Frame {
+        epoch: 1,
+        seq: 1,
+        ack_epoch: 1,
+        ack: 1,
+        kind: FrameKind::Data(sample_v2()),
+    };
+    let bytes = wire::encode_frame_v2(&frame);
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(wire::decode_frame(&bad_magic).is_err());
+
+    let mut bad_version = bytes.clone();
+    bad_version[2] = 3;
+    assert_eq!(
+        wire::decode_frame(&bad_version),
+        Err(wire::DecodeError::BadHeader)
+    );
+
+    let mut bad_kind = bytes.clone();
+    bad_kind[3] = 9;
+    assert!(matches!(
+        wire::decode_frame(&bad_kind),
+        Err(wire::DecodeError::BadFrameKind(9))
+    ));
+
+    for cut in 0..bytes.len() {
+        assert!(wire::decode_frame(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+
+    // An overlong (non-canonical) varint counter is a typed varint error.
+    let overlong: Vec<u8> = vec![
+        0x42, 0x46, 0x02, 0x00, // header, Open
+        0x80, 0x00, // epoch = 0 encoded in two bytes: overlong
+        0x00, 0x00, 0x00, // seq, ack_epoch, ack
+    ];
+    assert_eq!(
+        wire::decode_frame(&overlong),
+        Err(wire::DecodeError::BadVarint)
+    );
+
+    // A corrupted embedded v2 UPDATE surfaces the inner decode error.
+    let mut bad_payload = bytes;
+    bad_payload[9] = b'X'; // breaks the embedded "BV" magic
     assert!(wire::decode_frame(&bad_payload).is_err());
 }
 

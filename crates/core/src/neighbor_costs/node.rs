@@ -56,7 +56,14 @@ pub struct NcPricingNode {
     /// rationale as the base `PricingBgpNode`).
     margins: BTreeMap<AsId, Vec<Cost>>,
     /// Last advertised state per destination, for change suppression.
+    /// Always holds the *full* route state — when a compressed
+    /// [`RouteInfo::PriceDelta`] goes out on the wire, this map records the
+    /// reassembled `Reachable` it stands for.
     advertised: BTreeMap<AsId, RouteInfo>,
+    /// Whether change advertisements may be compressed to
+    /// [`RouteInfo::PriceDelta`] when only margin entries relaxed on an
+    /// unchanged selected path. On by default.
+    delta_encoding: bool,
 }
 
 impl NcPricingNode {
@@ -75,7 +82,15 @@ impl NcPricingNode {
             vector: graph.cost_vector(id),
             margins: BTreeMap::new(),
             advertised: BTreeMap::new(),
+            delta_encoding: true,
         }
+    }
+
+    /// Enables or disables [`RouteInfo::PriceDelta`] compression of change
+    /// advertisements (on by default). The delta-stream equivalence
+    /// proptests run both settings and assert identical fixpoints.
+    pub fn set_delta_encoding(&mut self, on: bool) {
+        self.delta_encoding = on;
     }
 
     /// One node per AS, in AS order.
@@ -190,10 +205,18 @@ impl NcPricingNode {
                 None => !matches!(info, RouteInfo::Withdrawn),
             };
             if changed {
-                self.advertised.insert(dest, info.clone());
+                // Margin-only movement on an unchanged path compresses to a
+                // delta exactly like the base model's price relaxation.
+                let wire_info = self
+                    .advertised
+                    .get(&dest)
+                    .filter(|_| self.delta_encoding)
+                    .and_then(|prev| RouteInfo::delta_from(prev, &info))
+                    .unwrap_or_else(|| info.clone());
+                self.advertised.insert(dest, info);
                 ads.push(RouteAdvertisement {
                     destination: dest,
-                    info,
+                    info: wire_info,
                 });
             }
         }
@@ -205,6 +228,10 @@ impl NcPricingNode {
 impl ProtocolNode for NcPricingNode {
     fn id(&self) -> AsId {
         self.selector.id()
+    }
+
+    fn configure_delta_encoding(&mut self, on: bool) {
+        self.set_delta_encoding(on);
     }
 
     fn start(&mut self) -> Option<Update> {

@@ -48,7 +48,15 @@ pub struct PricingBgpNode {
     /// whenever there is a route change"; see [`Self::refresh_prices`].
     prices: BTreeMap<AsId, Vec<Cost>>,
     /// Last advertised state per destination, for change suppression.
+    /// Always holds the *full* route state — when a compressed
+    /// [`RouteInfo::PriceDelta`] goes out on the wire, this map records the
+    /// reassembled `Reachable` it stands for.
     advertised: BTreeMap<AsId, RouteInfo>,
+    /// Whether change advertisements may be compressed to
+    /// [`RouteInfo::PriceDelta`] when only price entries relaxed on an
+    /// unchanged selected path (the monotone-relaxation common case of
+    /// Sect. 6). On by default.
+    delta_encoding: bool,
 }
 
 impl PricingBgpNode {
@@ -62,7 +70,15 @@ impl PricingBgpNode {
             selector: RouteSelector::new(id, graph.cost(id), graph.neighbors(id).iter().copied()),
             prices: BTreeMap::new(),
             advertised: BTreeMap::new(),
+            delta_encoding: true,
         }
+    }
+
+    /// Enables or disables [`RouteInfo::PriceDelta`] compression of change
+    /// advertisements (on by default). The delta-stream equivalence
+    /// proptests run both settings and assert identical fixpoints.
+    pub fn set_delta_encoding(&mut self, on: bool) {
+        self.delta_encoding = on;
     }
 
     /// Creates one pricing node per AS, in AS order.
@@ -242,10 +258,21 @@ impl PricingBgpNode {
                 None => !matches!(info, RouteInfo::Withdrawn),
             };
             if changed {
-                self.advertised.insert(dest, info.clone());
+                // When only price entries moved on an unchanged path (the
+                // monotone-relaxation common case), send a compressed delta
+                // against the previously advertised route; the receiver
+                // patches its retained copy. `advertised` always records
+                // the full state the wire form stands for.
+                let wire_info = self
+                    .advertised
+                    .get(&dest)
+                    .filter(|_| self.delta_encoding)
+                    .and_then(|prev| RouteInfo::delta_from(prev, &info))
+                    .unwrap_or_else(|| info.clone());
+                self.advertised.insert(dest, info);
                 ads.push(RouteAdvertisement {
                     destination: dest,
-                    info,
+                    info: wire_info,
                 });
                 ad_causes.push(causes.get(&dest).copied().unwrap_or(0));
             }
@@ -259,6 +286,10 @@ impl PricingBgpNode {
 impl ProtocolNode for PricingBgpNode {
     fn id(&self) -> AsId {
         self.selector.id()
+    }
+
+    fn configure_delta_encoding(&mut self, on: bool) {
+        self.set_delta_encoding(on);
     }
 
     fn start(&mut self) -> Option<Update> {
@@ -425,7 +456,8 @@ mod tests {
                             node: Fig1::Z,
                             cost: Cost::new(4),
                         },
-                    ],
+                    ]
+                    .into(),
                     path_cost: Cost::new(1),
                     prices: vec![Cost::INFINITE],
                 },
@@ -448,7 +480,8 @@ mod tests {
                             node: Fig1::Z,
                             cost: Cost::new(4),
                         },
-                    ],
+                    ]
+                    .into(),
                     path_cost: Cost::ZERO,
                     prices: vec![],
                 },
@@ -483,7 +516,8 @@ mod tests {
                             node: Fig1::Z,
                             cost: Cost::new(4),
                         },
-                    ],
+                    ]
+                    .into(),
                     path_cost: Cost::ZERO,
                     prices: vec![],
                 },
@@ -515,7 +549,8 @@ mod tests {
                             node: Fig1::Z,
                             cost: Cost::new(4),
                         },
-                    ],
+                    ]
+                    .into(),
                     path_cost: Cost::new(1),
                     prices: vec![Cost::INFINITE],
                 },
@@ -554,7 +589,8 @@ mod tests {
                             node: Fig1::Z,
                             cost: Cost::new(4),
                         },
-                    ],
+                    ]
+                    .into(),
                     path_cost: Cost::new(1),
                     prices: vec![Cost::INFINITE],
                 },

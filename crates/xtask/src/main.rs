@@ -1137,6 +1137,22 @@ fn cmd_ci(root: &Path) -> ExitCode {
     ok &= cmd_obs(root, true) == ExitCode::SUCCESS;
     ok &= cmd_bench(root, true, true) == ExitCode::SUCCESS;
     ok &= cmd_chaos(root, true, true) == ExitCode::SUCCESS;
+    ok &= run_step(
+        root,
+        "codec microbench smoke",
+        "cargo",
+        &[
+            "bench",
+            "-q",
+            "-p",
+            "bgpvcg-bench",
+            "--bench",
+            "codec",
+            "--",
+            "--test",
+        ],
+        false,
+    );
     if ok {
         println!("xtask ci: all steps passed");
         ExitCode::SUCCESS

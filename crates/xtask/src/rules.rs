@@ -496,12 +496,29 @@ fn trace_event_mentions(line: &str) -> Vec<String> {
     found
 }
 
-/// The engine file whose stage-loop bodies must not allocate.
-pub const STAGE_ENGINE_FILE: &str = "crates/bgp/src/engine/sync.rs";
-
-/// The functions forming the per-stage hot loop, matched by bare name
-/// against the parsed item tree.
-const STAGE_LOOP_FNS: &[&str] = &["run_stage", "parallel_handle"];
+/// The (file, hot-path functions) scopes whose bodies must not allocate,
+/// matched by bare name against the parsed item tree: the synchronous
+/// engine's per-stage loop, and the wire codec's zero-allocation encode
+/// path (every broadcast runs it; the `*_v2` entry points write into a
+/// caller-owned scratch buffer, and the size models are pure arithmetic).
+pub const STAGE_ALLOC_SCOPES: &[(&str, &[&str])] = &[
+    (
+        "crates/bgp/src/engine/sync.rs",
+        &["run_stage", "parallel_handle"],
+    ),
+    (
+        "crates/bgp/src/wire.rs",
+        &[
+            "encode_update_v2_into",
+            "encode_advertisement_v2",
+            "encode_frame_v2_into",
+            "update_size_v2_with",
+            "frame_size_v2_with",
+            "advertisement_size",
+            "update_size",
+        ],
+    ),
+];
 
 /// Allocation tokens banned inside the stage loop, with the reason shown
 /// on match.
@@ -520,15 +537,18 @@ const STAGE_ALLOC_TOKENS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Rule 6: no per-stage allocation in the synchronous engine's hot loop.
-/// Body spans come from the parsed item trees.
+/// Rule 6: no allocation in the stage-loop or codec hot paths listed in
+/// [`STAGE_ALLOC_SCOPES`]. Body spans come from the parsed item trees.
 pub fn check_stage_alloc(files: &[SourceFile], trees: &[ParsedFile], out: &mut Vec<Violation>) {
     for (file, tree) in files.iter().zip(trees) {
-        if file.rel_path != Path::new(STAGE_ENGINE_FILE) {
+        let Some((_, hot_fns)) = STAGE_ALLOC_SCOPES
+            .iter()
+            .find(|(path, _)| file.rel_path == Path::new(path))
+        else {
             continue;
-        }
+        };
         for item in &tree.fns {
-            if item.is_test || !STAGE_LOOP_FNS.contains(&item.name.as_str()) {
+            if item.is_test || !hot_fns.contains(&item.name.as_str()) {
                 continue;
             }
             for idx in item.body_start..=item.body_end {
@@ -541,7 +561,7 @@ pub fn check_stage_alloc(files: &[SourceFile], trees: &[ParsedFile], out: &mut V
                             rule: "stage-alloc",
                             file: file.rel_path.clone(),
                             line: idx + 1,
-                            message: format!("`{token}` in the stage loop: {hint}"),
+                            message: format!("`{token}` in hot path `{}`: {hint}", item.name),
                         });
                     }
                 }

@@ -1,0 +1,11 @@
+//! Fixture: a codec hot path that allocates a fresh buffer per call.
+
+/// Sizes `update` by encoding into a brand-new buffer every call instead
+/// of reusing the caller's scratch.
+pub fn update_size_v2_with(_scratch: &mut Vec<u8>, update: &[u32]) -> usize {
+    let mut fresh: Vec<u8> = Vec::new();
+    for value in update {
+        fresh.push((*value & 0x7F) as u8);
+    }
+    fresh.len()
+}

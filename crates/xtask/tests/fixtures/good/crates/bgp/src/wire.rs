@@ -1,0 +1,16 @@
+//! Fixture: the wire codec's zero-allocation encode path, clean.
+
+/// Encodes `update` into the caller's scratch buffer and returns the
+/// encoded length; the buffer is cleared, never reallocated from scratch.
+pub fn update_size_v2_with(scratch: &mut Vec<u8>, update: &[u32]) -> usize {
+    scratch.clear();
+    for value in update {
+        scratch.push((*value & 0x7F) as u8);
+    }
+    scratch.len()
+}
+
+/// Pure-arithmetic size model for one advertisement.
+pub fn advertisement_size(entries: usize) -> usize {
+    5 + entries * 10
+}

@@ -170,6 +170,7 @@ fn bad_corpus_fires_at_the_planted_sites() {
         ("trace-schema", "crates/telemetry/src/event.rs"), // TraceEvent::Mystery
         ("trace-schema", "crates/bgp/src/telemetry.rs"), // RouteSelected without cause/effect
         ("stage-alloc", "crates/bgp/src/engine/sync.rs"), // vec![ and Vec::new()
+        ("stage-alloc", "crates/bgp/src/wire.rs"),     // Vec::new() in the codec hot path
         ("unsafe-audit", "crates/bgp/src/lib.rs"),     // missing #![forbid(unsafe_code)]
         ("unsafe-audit", "crates/bgp/src/engine/sync.rs"), // unsafe block
         ("panic-reachability", "crates/bgp/src/engine/sync.rs"), // unwrap in run_stage

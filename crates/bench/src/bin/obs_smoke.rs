@@ -19,6 +19,11 @@
 //!    limit 1) with a divergence flight recorder attached; the dump it
 //!    leaves behind must validate against the flight schema. The artifact
 //!    lands at `--flight-out` if given, else in a temp dir it cleans up.
+//! 5. **Byzantine quarantine**: an equivocating wire adversary runs on the
+//!    Petersen graph under the online auditor; the tap's injections, the
+//!    auditor's accusation, and the resulting quarantine are all narrated.
+//!    Exercises `AdversaryInjected`, `AuditViolation`, and
+//!    `NodeQuarantined`.
 //!
 //! A single invocation therefore emits every `TraceEvent` kind — and every
 //! causal event carries its `cause`/`effect` provenance ids — which
@@ -34,9 +39,10 @@ use bgpvcg_bench::table::Table;
 use bgpvcg_bgp::chaos::FaultPlan;
 use bgpvcg_bgp::engine::SyncEngine;
 use bgpvcg_bgp::telemetry::metric;
-use bgpvcg_bgp::{PlainBgpNode, TopologyEvent};
+use bgpvcg_bgp::{Adversary, PlainBgpNode, Strategy, TopologyEvent};
 use bgpvcg_core::protocol;
-use bgpvcg_netgraph::generators::structured::{fig1, Fig1};
+use bgpvcg_netgraph::generators::structured::{fig1, petersen, Fig1};
+use bgpvcg_netgraph::{AsId, Cost};
 use bgpvcg_telemetry::{flight, RingBufferSink, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -110,6 +116,25 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // Phase 5: a Byzantine equivocator under the online auditor. Petersen
+    // is 3-connected, so quarantining the culprit is always a valid
+    // recovery and the run reconverges on the honest residual graph.
+    let adversarial = petersen(Cost::new(2));
+    let culprit = AsId::new(4);
+    let mut audited =
+        protocol::build_audited_sync_engine(&adversarial).expect("Petersen is biconnected");
+    audited.attach_telemetry(&telemetry);
+    audited.set_adversary(culprit, Adversary::new(Strategy::Equivocate, 11));
+    assert!(
+        audited.run_to_convergence().converged,
+        "audited adversarial run must reconverge after quarantine"
+    );
+    assert_eq!(
+        audited.quarantined(),
+        &[culprit],
+        "the equivocator must be quarantined"
+    );
+
     let mut kind_counts: BTreeMap<&str, u64> = BTreeMap::new();
     for event in ring.events() {
         *kind_counts.entry(event.kind()).or_insert(0) += 1;
@@ -144,6 +169,9 @@ fn main() {
         "Retransmit",
         "SessionReset",
         "NodeRestart",
+        "AdversaryInjected",
+        "AuditViolation",
+        "NodeQuarantined",
     ] {
         assert!(
             kind_counts.get(kind).copied().unwrap_or(0) > 0,

@@ -48,6 +48,7 @@
 //! See `docs/ROBUSTNESS.md` for the full fault model and the
 //! self-stabilization argument.
 
+use crate::adversary::Adversary;
 use crate::dynamics::LocalEvent;
 use crate::message::{Frame, FrameKind, Update};
 use crate::node::ProtocolNode;
@@ -380,6 +381,12 @@ pub struct ChaosEngine<N> {
     /// Reusable scratch buffer for v2 byte accounting — one encoder per
     /// engine, zero per-frame allocations.
     scratch: Vec<u8>,
+    /// Per-node Byzantine wire taps (see [`crate::adversary`]); `None` =
+    /// honest. Taps perturb outgoing Data payloads — broadcasts *and*
+    /// session full-table resends — through the same deterministic
+    /// function, so retransmitted and re-established streams stay
+    /// self-consistent and runs replay exactly.
+    adversaries: Vec<Option<Adversary>>,
 }
 
 impl<N: ProtocolNode> ChaosEngine<N> {
@@ -425,7 +432,57 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             pending: vec![Vec::new(); n],
             stage_active: false,
             scratch: Vec::new(),
+            adversaries: (0..n).map(|_| None).collect(),
         }
+    }
+
+    /// Arms a Byzantine wire tap on `node` (see [`crate::adversary`]):
+    /// every outgoing Data payload — change broadcast or session
+    /// full-table resend — passes through the adversary's deterministic
+    /// per-neighbor perturbation before framing. The node's own protocol
+    /// state stays honest; only what crosses the wire lies. Delta
+    /// encoding is disabled on the node so every perturbed advertisement
+    /// carries absolute state the receivers can ingest directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_adversary(&mut self, node: AsId, adversary: Adversary) {
+        self.nodes[node.index()].configure_delta_encoding(false);
+        self.adversaries[node.index()] = Some(adversary);
+    }
+
+    /// The Byzantine tap armed on `node`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn adversary(&self, node: AsId) -> Option<&Adversary> {
+        self.adversaries[node.index()].as_ref()
+    }
+
+    /// Runs an outgoing Data payload from `from` toward `to` through
+    /// `from`'s Byzantine tap, if armed. Returns the perturbed payload
+    /// to frame instead (tracing the injection), or `None` when the
+    /// delivery passes through honestly.
+    fn adversarial_payload(&mut self, from: u32, to: u32, update: &Update) -> Option<Update> {
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
+        self.adversaries[from as usize].as_ref()?;
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
+        let rank = self.adjacency[from as usize]
+            .iter()
+            .position(|a| a.index() as u32 == to)?;
+        // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
+        let adversary = self.adversaries[from as usize].as_mut()?;
+        let strategy = adversary.strategy().code();
+        let perturbed = adversary.perturb(AsId::new(to), rank, update)?;
+        self.record(&TraceEvent::AdversaryInjected {
+            stage: self.stage,
+            node: from,
+            peer: to,
+            strategy,
+        });
+        Some(perturbed)
     }
 
     /// Attaches observability: fault injections, retransmits, session
@@ -672,7 +729,8 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let table = self.nodes[from as usize].full_table();
         if let Some(table) = table {
-            self.send_frame(from, to, FrameKind::Data(table));
+            let payload = self.adversarial_payload(from, to, &table).unwrap_or(table);
+            self.send_frame(from, to, FrameKind::Data(payload));
         }
         self.stage_active = true;
     }
@@ -726,7 +784,10 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                 .get(&to)
                 .is_some_and(|s| s.send.established);
             if established {
-                self.send_frame(idx, to, FrameKind::Data(update.clone()));
+                let payload = self
+                    .adversarial_payload(idx, to, &update)
+                    .unwrap_or_else(|| update.clone());
+                self.send_frame(idx, to, FrameKind::Data(payload));
             }
         }
     }
@@ -825,7 +886,8 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             if established {
                 // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
                 if let Some(table) = self.nodes[me as usize].full_table() {
-                    self.send_frame(me, peer, FrameKind::Data(table));
+                    let payload = self.adversarial_payload(me, peer, &table).unwrap_or(table);
+                    self.send_frame(me, peer, FrameKind::Data(payload));
                 }
             }
         }

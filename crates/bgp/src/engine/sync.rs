@@ -10,8 +10,9 @@
 //! for the architecture and the determinism argument.
 
 use super::invariants;
+use crate::adversary::{Accusation, Adversary, WireAuditor};
 use crate::dynamics::{LocalEvent, TopologyEvent};
-use crate::message::Update;
+use crate::message::{RouteInfo, Update};
 use crate::node::ProtocolNode;
 use crate::stats::StateSnapshot;
 use crate::telemetry::{metric, RunInstruments};
@@ -189,6 +190,34 @@ pub struct SyncEngine<N> {
     /// stream, dumped as one JSON artifact when a run exceeds the stage
     /// limit.
     flight: Option<FlightRecorder>,
+    /// Per-node Byzantine wire wrappers (`None` = honest). Consulted on
+    /// every outgoing delivery; see [`set_adversary`](Self::set_adversary).
+    adversaries: Vec<Option<Adversary>>,
+    /// Attached online auditor (watchdog), if any. Kept in a slot so the
+    /// engine's derived `Debug` survives the `dyn` trait object.
+    auditor: Option<AuditorSlot>,
+    /// Whether an auditor accusation triggers automatic NodeDown
+    /// quarantine (on by default when an auditor is attached).
+    auto_quarantine: bool,
+    /// Nodes the auditor quarantined over this engine's lifetime, in
+    /// accusation order.
+    quarantined: Vec<AsId>,
+    /// Every accusation the attached auditor returned, in order.
+    accusations: Vec<Accusation>,
+    /// Scratch: trace events produced inside `broadcast`/`unicast` (which
+    /// run while the caller holds the instruments), drained into the
+    /// instruments after each delivery batch. Empty on the honest path.
+    pending_events: Vec<TraceEvent>,
+}
+
+/// Holder giving the attached `dyn` auditor a `Debug` representation so
+/// [`SyncEngine`] keeps its derived `Debug`.
+struct AuditorSlot(Box<dyn WireAuditor>);
+
+impl fmt::Debug for AuditorSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WireAuditor")
+    }
 }
 
 impl<N: ProtocolNode> SyncEngine<N> {
@@ -223,6 +252,12 @@ impl<N: ProtocolNode> SyncEngine<N> {
             update_seq: 0,
             instruments: None,
             flight: None,
+            adversaries: vec![None; n],
+            auditor: None,
+            auto_quarantine: true,
+            quarantined: Vec::new(),
+            accusations: Vec::new(),
+            pending_events: Vec::new(),
         }
     }
 
@@ -323,6 +358,108 @@ impl<N: ProtocolNode> SyncEngine<N> {
         );
     }
 
+    /// Collects the attached auditor's end-of-stage accusations, narrates
+    /// them (`AuditViolation` trace events plus a flight post-mortem), and
+    /// — with auto-quarantine on — cuts each accused node from the
+    /// topology via the [`TopologyEvent::NodeDown`] machinery. Quarantine
+    /// reaction broadcasts land at the head of the continuing run, so the
+    /// honest subgraph reconverges within the same
+    /// `run_to_convergence` call. An accusation whose removal would break
+    /// the live graph's biconnectivity is recorded but not quarantined.
+    fn audit_stage(
+        &mut self,
+        stage: u64,
+        report: &mut RunReport,
+        instruments: &mut Option<RunInstruments>,
+    ) {
+        if self.auditor.is_none() {
+            return;
+        }
+        let accusations = match self.auditor.as_mut() {
+            Some(auditor) => auditor.0.end_stage(stage),
+            None => Vec::new(),
+        };
+        for accusation in accusations {
+            if let Some(ins) = instruments.as_mut() {
+                for finding in &accusation.findings {
+                    ins.telemetry().record(&TraceEvent::AuditViolation {
+                        stage,
+                        node: accusation.node.index() as u32,
+                        dest: finding.destination.index() as u32,
+                        expected: advertised_cost_raw(finding.expected.as_ref()),
+                        advertised: advertised_cost_raw(finding.advertised.as_ref()),
+                        violation: u32::from(finding.equivocation),
+                    });
+                }
+            }
+            self.dump_audit_flight(stage, &accusation);
+            let culprit = accusation.node;
+            self.accusations.push(accusation);
+            if !self.auto_quarantine || self.down[culprit.index()] {
+                continue;
+            }
+            if self
+                .validate_event(TopologyEvent::NodeDown(culprit))
+                .is_ok()
+            {
+                if let Some(ins) = instruments.as_mut() {
+                    ins.telemetry().record(&TraceEvent::NodeQuarantined {
+                        stage,
+                        node: culprit.index() as u32,
+                    });
+                }
+                // The wire tap goes with the node: a quarantined adversary
+                // sends nothing more to perturb.
+                self.adversaries[culprit.index()] = None;
+                self.inject_event(TopologyEvent::NodeDown(culprit), report, instruments);
+                self.quarantined.push(culprit);
+            }
+        }
+    }
+
+    /// Writes the audit post-mortem after an accusation: the accused node,
+    /// every diverging destination with its expected-vs-advertised costs,
+    /// and the recorded event tail. Best-effort like
+    /// [`dump_flight`](Self::dump_flight).
+    fn dump_audit_flight(&self, stage: u64, accusation: &Accusation) {
+        let Some(recorder) = &self.flight else {
+            return;
+        };
+        let summary: Vec<(&str, u64)> = vec![
+            ("accused", u64::from(accusation.node.index() as u32)),
+            ("stage", stage),
+            ("diverging_destinations", accusation.findings.len() as u64),
+            (
+                "equivocations",
+                accusation
+                    .findings
+                    .iter()
+                    .filter(|f| f.equivocation)
+                    .count() as u64,
+            ),
+        ];
+        let snapshots: Vec<FlightSnapshot> = accusation
+            .findings
+            .iter()
+            .take(64)
+            .map(|finding| FlightSnapshot {
+                node: finding.destination.index() as u32,
+                fields: vec![
+                    (
+                        "expected_cost",
+                        advertised_cost_raw(finding.expected.as_ref()),
+                    ),
+                    (
+                        "advertised_cost",
+                        advertised_cost_raw(finding.advertised.as_ref()),
+                    ),
+                    ("equivocation", u64::from(finding.equivocation)),
+                ],
+            })
+            .collect();
+        let _ = recorder.dump(flight::REASON_AUDIT_VIOLATION, stage, &summary, &snapshots);
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -357,11 +494,74 @@ impl<N: ProtocolNode> SyncEngine<N> {
         }
     }
 
+    /// Wraps `node` in a Byzantine wire-layer adversary: from now on every
+    /// outgoing delivery (broadcast copies and session full-table unicasts
+    /// alike) is offered to [`Adversary::perturb`] for per-neighbor
+    /// corruption. The wrapped node itself keeps running the honest
+    /// protocol on its real inbox — only its wire output lies. Delta
+    /// encoding is disabled on the node so perturbations operate on full
+    /// advertisements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_adversary(&mut self, node: AsId, adversary: Adversary) {
+        self.nodes[node.index()].configure_delta_encoding(false);
+        self.adversaries[node.index()] = Some(adversary);
+    }
+
+    /// The adversary currently wrapping `node`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn adversary(&self, node: AsId) -> Option<&Adversary> {
+        self.adversaries[node.index()].as_ref()
+    }
+
+    /// Attaches an online auditor: every queued delivery is narrated to it
+    /// via [`WireAuditor::on_wire`], and after the stage-0 reaction
+    /// broadcasts plus every executed stage the engine collects its
+    /// accusations. Unless [`set_auto_quarantine`](Self::set_auto_quarantine)
+    /// is turned off, each accused node is immediately cut from the
+    /// topology via the [`TopologyEvent::NodeDown`] machinery (when the
+    /// residual graph stays biconnected) so the honest subgraph
+    /// reconverges. Supported on the `run_to_convergence` /
+    /// `apply_event` APIs; the step-wise API does not drive audit hooks.
+    pub fn attach_auditor(&mut self, auditor: Box<dyn WireAuditor>) {
+        self.auditor = Some(AuditorSlot(auditor));
+    }
+
+    /// Enables or disables automatic quarantine of accused nodes (on by
+    /// default). With it off, accusations are still recorded and traced.
+    pub fn set_auto_quarantine(&mut self, on: bool) {
+        self.auto_quarantine = on;
+    }
+
+    /// Nodes the auditor quarantined over this engine's lifetime.
+    pub fn quarantined(&self) -> &[AsId] {
+        &self.quarantined
+    }
+
+    /// Every accusation the attached auditor has returned, in order.
+    pub fn accusations(&self) -> &[Accusation] {
+        &self.accusations
+    }
+
     /// Queues `update` from `from` to every current neighbor of `from`,
     /// returning (messages, entries, bytes, bytes_v2) accounted. The
     /// payload is shared: each receiving inbox gets an `Arc` clone, not a
-    /// copy.
-    fn broadcast(&mut self, from: AsId, update: &Arc<Update>) -> (usize, usize, usize, usize) {
+    /// copy. `stage` labels the delivery for the adversary/auditor hooks;
+    /// with neither attached the watched path is skipped entirely.
+    fn broadcast(
+        &mut self,
+        from: AsId,
+        update: &Arc<Update>,
+        stage: u64,
+    ) -> (usize, usize, usize, usize) {
+        if self.auditor.is_some() || self.adversaries[from.index()].is_some() {
+            return self.broadcast_watched(from, update, stage);
+        }
         let size = wire::update_size(update);
         let size_v2 = wire::update_size_v2_with(&mut self.scratch, update);
         let neighbors = &self.adjacency[from.index()];
@@ -382,18 +582,110 @@ impl<N: ProtocolNode> SyncEngine<N> {
         )
     }
 
-    /// Delivers `update` to `to` only (used for session establishment on
-    /// link-up).
-    fn unicast(&mut self, to: AsId, update: Update) -> (usize, usize, usize, usize) {
+    /// The watched twin of [`broadcast`](Self::broadcast): offers each
+    /// per-neighbor copy to the sender's adversary for perturbation and
+    /// narrates every queued delivery to the attached auditor. Only taken
+    /// when an adversary or auditor is attached, so the honest hot path
+    /// stays allocation-free.
+    fn broadcast_watched(
+        &mut self,
+        from: AsId,
+        update: &Arc<Update>,
+        stage: u64,
+    ) -> (usize, usize, usize, usize) {
+        let mut messages = 0usize;
+        let mut entries = 0usize;
+        let mut bytes = 0usize;
+        let mut bytes_v2 = 0usize;
+        let neighbors = &self.adjacency[from.index()];
+        for (rank, &to) in neighbors.iter().enumerate() {
+            let perturbed = match self.adversaries[from.index()].as_mut() {
+                Some(adversary) => adversary
+                    .perturb(to, rank, update)
+                    .map(|p| (p, adversary.strategy().code())),
+                None => None,
+            };
+            let delivered = match perturbed {
+                Some((corrupted, strategy)) => {
+                    self.pending_events.push(TraceEvent::AdversaryInjected {
+                        stage,
+                        node: from.index() as u32,
+                        peer: to.index() as u32,
+                        strategy,
+                    });
+                    Arc::new(corrupted)
+                }
+                None => Arc::clone(update),
+            };
+            bytes += wire::update_size(&delivered);
+            bytes_v2 += wire::update_size_v2_with(&mut self.scratch, &delivered);
+            entries += delivered.entry_count();
+            let inbox = &mut self.inboxes[to.index()];
+            if inbox.is_empty() {
+                self.dirty.push(to.index() as u32);
+            }
+            inbox.push(Arc::clone(&delivered));
+            if let Some(auditor) = self.auditor.as_mut() {
+                auditor.0.on_wire(from, to, &delivered);
+            }
+            messages += 1;
+        }
+        (messages, entries, bytes, bytes_v2)
+    }
+
+    /// Delivers `update` from `from` to `to` only (used for session
+    /// establishment on link-up). Runs the same adversary/auditor hooks as
+    /// [`broadcast`](Self::broadcast).
+    fn unicast(
+        &mut self,
+        from: AsId,
+        to: AsId,
+        mut update: Update,
+        stage: u64,
+    ) -> (usize, usize, usize, usize) {
+        if let Some(adversary) = self.adversaries[from.index()].as_mut() {
+            let rank = self.adjacency[from.index()]
+                .iter()
+                .position(|&x| x == to)
+                .unwrap_or(0);
+            if let Some(corrupted) = adversary.perturb(to, rank, &update) {
+                self.pending_events.push(TraceEvent::AdversaryInjected {
+                    stage,
+                    node: from.index() as u32,
+                    peer: to.index() as u32,
+                    strategy: adversary.strategy().code(),
+                });
+                update = corrupted;
+            }
+        }
         let size = wire::update_size(&update);
         let size_v2 = wire::update_size_v2_with(&mut self.scratch, &update);
         let entries = update.entry_count();
+        let delivered = Arc::new(update);
         let inbox = &mut self.inboxes[to.index()];
         if inbox.is_empty() {
             self.dirty.push(to.index() as u32);
         }
-        inbox.push(Arc::new(update));
+        inbox.push(Arc::clone(&delivered));
+        if let Some(auditor) = self.auditor.as_mut() {
+            auditor.0.on_wire(from, to, &delivered);
+        }
         (1, entries, size, size_v2)
+    }
+
+    /// Drains trace events produced inside `broadcast`/`unicast` (adversary
+    /// injections) into the caller-held instruments. A no-op on honest
+    /// runs.
+    fn drain_pending_events(&mut self, instruments: &mut Option<RunInstruments>) {
+        if self.pending_events.is_empty() {
+            return;
+        }
+        if let Some(ins) = instruments.as_mut() {
+            for event in &self.pending_events {
+                ins.telemetry().record(event);
+            }
+        }
+        self.pending_events.clear();
     }
 
     /// Runs every node's `start()` hook, broadcasting the origin
@@ -410,7 +702,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 self.stamp(&mut update);
                 let update = Arc::new(update);
                 let from = AsId::new(idx as u32);
-                let (m, e, b, b2) = self.broadcast(from, &update);
+                let (m, e, b, b2) = self.broadcast(from, &update, 0);
                 if let Some(ins) = instruments.as_mut() {
                     ins.on_broadcast(&update, 0, m, e, b);
                 }
@@ -420,6 +712,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 totals.3 += b2;
             }
         }
+        self.drain_pending_events(instruments);
         totals
     }
 
@@ -446,6 +739,9 @@ impl<N: ProtocolNode> SyncEngine<N> {
         // capacity retained) collect the next stage's.
         std::mem::swap(&mut self.inboxes, &mut self.delivered);
         std::mem::swap(&mut self.dirty, &mut self.stage_dirty);
+        if let Some(auditor) = self.auditor.as_mut() {
+            auditor.0.begin_stage(stage as u64);
+        }
         let mut receiving = std::mem::take(&mut self.stage_dirty);
         // Ascending node order: the broadcast order below is the engine's
         // determinism contract (serial and parallel runs match exactly).
@@ -475,7 +771,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                     self.stamp(&mut update);
                     let update = Arc::new(update);
                     trace.changed_nodes += 1;
-                    let (m, e, b, b2) = self.broadcast(AsId::new(idx), &update);
+                    let (m, e, b, b2) = self.broadcast(AsId::new(idx), &update, stage as u64);
                     if let Some(ins) = instruments.as_mut() {
                         ins.on_broadcast(&update, stage as u64, m, e, b);
                     }
@@ -493,7 +789,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                     self.stamp(&mut update);
                     let update = Arc::new(update);
                     trace.changed_nodes += 1;
-                    let (m, e, b, b2) = self.broadcast(AsId::new(idx), &update);
+                    let (m, e, b, b2) = self.broadcast(AsId::new(idx), &update, stage as u64);
                     if let Some(ins) = instruments.as_mut() {
                         ins.on_broadcast(&update, stage as u64, m, e, b);
                     }
@@ -512,6 +808,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         }
         receiving.clear();
         self.stage_dirty = receiving;
+        self.drain_pending_events(instruments);
         if let (Some(ins), Some(start)) = (instruments.as_ref(), wall_start) {
             let elapsed = ins.telemetry().now_nanos().saturating_sub(start);
             ins.telemetry()
@@ -591,6 +888,10 @@ impl<N: ProtocolNode> SyncEngine<N> {
             report.bytes += b;
             report.bytes_v2 += b2;
         }
+        // Cross-check the stage-0 emissions (origin broadcasts, or the
+        // topology-event reactions a caller queued before entering) before
+        // stage 1 delivers them.
+        self.audit_stage(0, &mut report, &mut instruments);
 
         // `stages` reports the last stage in which some node's advertised
         // state changed — the moment the tables are final. One further
@@ -617,6 +918,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
             report.bytes_v2 += outcome.bytes_v2;
             report.max_link_messages_per_stage =
                 report.max_link_messages_per_stage.max(outcome.link_max);
+            self.audit_stage(executed as u64, &mut report, &mut instruments);
             observer(outcome.trace);
         }
         invariants::convergence(&report, executed, self.stage_limit);
@@ -802,7 +1104,32 @@ impl<N: ProtocolNode> SyncEngine<N> {
             converged: true,
             ..RunReport::default()
         };
-        // Update the engine's own topology state first (validated above).
+        let mut instruments = self.instruments.take();
+        self.inject_event(event, &mut report, &mut instruments);
+        self.instruments = instruments;
+        let reconverge = self.run_to_convergence();
+        report.absorb(reconverge);
+        Ok(report)
+    }
+
+    /// Applies an already-validated topology event *without* reconverging:
+    /// mutates the topology, delivers the affected nodes' local views
+    /// (their reaction broadcasts trace at stage 0), and queues the
+    /// session-establishment full-table exchanges. Callers run (or are
+    /// already inside) the convergence loop that absorbs the queued
+    /// traffic — the auditor's quarantine path injects events mid-run
+    /// through exactly this hook.
+    fn inject_event(
+        &mut self,
+        event: TopologyEvent,
+        report: &mut RunReport,
+        instruments: &mut Option<RunInstruments>,
+    ) {
+        if let Some(auditor) = self.auditor.as_mut() {
+            auditor.0.on_topology(&event);
+        }
+        // Update the engine's own topology state first (validated by the
+        // caller).
         // `restored` collects the links a NodeUp brings back; empty
         // otherwise.
         let mut restored: Vec<AsId> = Vec::new();
@@ -885,7 +1212,6 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 .collect(),
             _ => event.local_views(),
         };
-        let mut instruments = self.instruments.take();
         if let (TopologyEvent::NodeUp(k), Some(ins)) = (event, instruments.as_ref()) {
             ins.telemetry().record(&TraceEvent::NodeRestart {
                 stage: 0,
@@ -893,10 +1219,13 @@ impl<N: ProtocolNode> SyncEngine<N> {
             });
         }
         for (id, local) in views {
+            if let Some(auditor) = self.auditor.as_mut() {
+                auditor.0.on_local_event(id, &local);
+            }
             if let Some(mut update) = self.nodes[id.index()].apply_event(local) {
                 self.stamp(&mut update);
                 let update = Arc::new(update);
-                let (m, e, b, b2) = self.broadcast(id, &update);
+                let (m, e, b, b2) = self.broadcast(id, &update, 0);
                 if let Some(ins) = instruments.as_mut() {
                     ins.on_broadcast(&update, 0, m, e, b);
                 }
@@ -916,7 +1245,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
         };
         for (me, other) in established {
             if let Some(table) = self.nodes[me.index()].full_table() {
-                let (m, e, bytes, bytes_v2) = self.unicast(other, table);
+                let (m, e, bytes, bytes_v2) = self.unicast(me, other, table, 0);
                 if let Some(ins) = instruments.as_mut() {
                     ins.on_unicast(m, e, bytes);
                 }
@@ -926,10 +1255,7 @@ impl<N: ProtocolNode> SyncEngine<N> {
                 report.bytes_v2 += bytes_v2;
             }
         }
-        self.instruments = instruments;
-        let reconverge = self.run_to_convergence();
-        report.absorb(reconverge);
-        Ok(report)
+        self.drain_pending_events(instruments);
     }
 
     /// State snapshots of every node (for the E5 experiment), in AS order.
@@ -954,6 +1280,15 @@ impl<N: ProtocolNode> SyncEngine<N> {
 /// their own node, so execution order across workers is immaterial; all
 /// observable ordering (broadcast and telemetry) happens on the caller's
 /// thread afterwards.
+/// Flattens an audited advertisement into the telemetry cost encoding:
+/// the route's path cost when one is advertised, `u64::MAX` for
+/// withdrawals, silence, and price-delta frames (which carry no cost).
+fn advertised_cost_raw(info: Option<&RouteInfo>) -> u64 {
+    info.and_then(RouteInfo::path_cost)
+        .and_then(Cost::finite)
+        .unwrap_or(u64::MAX)
+}
+
 fn parallel_handle<N: ProtocolNode>(
     nodes: &mut [N],
     delivered: &[Vec<Arc<Update>>],

@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod chaos;
 pub mod engine;
 pub mod forwarding;
@@ -56,6 +57,7 @@ mod node;
 mod selector;
 mod stats;
 
+pub use adversary::{Accusation, Adversary, Strategy, WireAuditor, WireFinding};
 pub use chaos::{ChaosEngine, ChaosReport, FaultPlan};
 pub use dynamics::{LocalEvent, TopologyEvent};
 pub use message::{Frame, FrameKind, PathEntry, RouteAdvertisement, RouteInfo, SharedPath, Update};

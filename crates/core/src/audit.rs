@@ -22,10 +22,40 @@
 //! about the private cost input itself, remain out of reach (the latter by
 //! design — that is what the prices are for).
 
+//! # Offline vs. online auditing
+//!
+//! [`audit_node`] / [`audit_network`] above are **offline**: they look at
+//! one snapshot — the converged tables — through a route collector's eyes.
+//! That vantage point has provable blind spots:
+//!
+//! * **Equivocation** is invisible offline. A collector (or any single
+//!   neighbor) holds *one* table per AS; a node that tells different
+//!   neighbors different stories presents each observer a self-consistent
+//!   lie, and no per-neighborhood replay of a single table can expose the
+//!   inconsistency. Only an observer comparing *per-link deliveries across
+//!   neighbors* can — which is exactly what [`OnlineAuditor`] does.
+//! * **Transient manipulation** that self-corrects before convergence
+//!   (e.g. a replayed stale route that the adversary eventually lets
+//!   catch up) leaves no converged-state residue to diff.
+//!
+//! [`OnlineAuditor`] closes both gaps by moving the same recompute-and-diff
+//! idea onto the wire: it shadows every node with an honest
+//! [`PricingBgpNode`] fed the *actual* deliveries (perturbed or not), and
+//! after every engine stage compares what each node advertised on each
+//! link against what its honest shadow — same inbox, same code path —
+//! advertised. The expected values come from the production route
+//! selection and pricing code, not a parallel implementation, so the
+//! auditor cannot drift from the protocol it polices.
+
 use crate::pricing_node::PricingBgpNode;
-use bgpvcg_bgp::{ProtocolNode, RouteAdvertisement, RouteInfo, Update};
+use bgpvcg_bgp::{
+    Accusation, LocalEvent, ProtocolNode, RouteAdvertisement, RouteInfo, TopologyEvent, Update,
+    WireAuditor, WireFinding,
+};
 use bgpvcg_netgraph::{AsGraph, AsId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// One detected divergence between what a node advertised and what the
 /// algorithm, replayed from its neighborhood, says it should have
@@ -172,6 +202,270 @@ pub fn audit_network(graph: &AsGraph, nodes: &[PricingBgpNode]) -> Vec<AuditFind
     findings
 }
 
+/// Folds one update into a cumulative per-destination advertisement map,
+/// mirroring [`RouteSelector::ingest`]'s retention semantics exactly: a
+/// withdrawal removes the entry, a full advertisement replaces it, and a
+/// price delta patches the retained full route — silently dropped on a
+/// base-path-hash mismatch or an out-of-range index, just as a receiver
+/// would drop it.
+///
+/// The mirror matters: the auditor's link views must equal what receivers
+/// actually retain, or honest delta streams would produce false positives.
+///
+/// [`RouteSelector::ingest`]: bgpvcg_bgp::RouteSelector::ingest
+fn fold_advertisements(map: &mut BTreeMap<AsId, RouteInfo>, update: &Update) {
+    for ad in &update.advertisements {
+        match &ad.info {
+            RouteInfo::Withdrawn => {
+                map.remove(&ad.destination);
+            }
+            RouteInfo::PriceDelta {
+                base_path_hash,
+                entries,
+            } => {
+                let Some(RouteInfo::Reachable { path, prices, .. }) = map.get_mut(&ad.destination)
+                else {
+                    continue;
+                };
+                if path.hash64() != *base_path_hash
+                    || entries
+                        .iter()
+                        .any(|&(idx, _)| usize::from(idx) >= prices.len())
+                {
+                    continue;
+                }
+                for &(idx, value) in entries {
+                    // lint:allow(bounds: every idx range-checked above)
+                    prices[usize::from(idx)] = value;
+                }
+            }
+            reachable => {
+                map.insert(ad.destination, reachable.clone());
+            }
+        }
+    }
+}
+
+/// The online incremental auditor: an engine-attached watchdog that
+/// cross-checks every node's wire behavior against an honest shadow
+/// replay, stage by stage, while the protocol runs.
+///
+/// # How it works
+///
+/// The auditor keeps, per AS:
+///
+/// * a **shadow** — an honest [`PricingBgpNode`] at the same graph
+///   position, fed exactly the deliveries the real node receives (via
+///   [`WireAuditor::on_wire`] + the engine's stage boundary signals).
+///   Delta encoding is disabled on shadows so their emissions are
+///   absolute values;
+/// * the **expected** advertisement state — the cumulative fold of the
+///   shadow's emissions: what the node *should* currently be advertising;
+/// * per-link **views** — what each neighbor has cumulatively heard from
+///   this node, folded with receiver-exact retention semantics.
+///
+/// After each stage the engine calls [`WireAuditor::end_stage`]; the
+/// auditor first replays the stage's inboxes through the shadows (keeping
+/// `expected` in lock-step with honest behavior), then compares every
+/// (sender, destination) pair touched on the wire this stage: each
+/// neighbor's view must equal the expected value (divergence), and all
+/// neighbors' views must equal *each other* (equivocation — the check no
+/// offline audit can make). Violations come back as [`Accusation`]s, which
+/// the engine's quarantine machinery can act on.
+///
+/// # Why a wrapped adversary cannot shake its shadow
+///
+/// The [`Adversary`](bgpvcg_bgp::Adversary) model perturbs a node's wire
+/// *output* only; the wrapped node ingests its inbox honestly. Its shadow
+/// ingests the same inbox, so shadow and real node track each other
+/// exactly and `expected` is precisely the honest output — no tolerance
+/// thresholds, no drift. Receivers' shadows are fed the *perturbed* wire
+/// (what was really delivered), so downstream nodes' honest reactions to
+/// poisoned input are never mis-accused: the auditor flags the liar, not
+/// the lied-to.
+#[derive(Debug)]
+pub struct OnlineAuditor {
+    /// Honest replica of every node, fed the real deliveries.
+    shadows: Vec<PricingBgpNode>,
+    /// `expected[f]`: cumulative fold of shadow `f`'s emissions — the
+    /// honest advertisement state (absent = withdrawn / never advertised).
+    expected: Vec<BTreeMap<AsId, RouteInfo>>,
+    /// `links[t][f]`: what neighbor `t` has cumulatively heard from `f`,
+    /// per destination (pruned when the `f`–`t` link goes down).
+    links: Vec<BTreeMap<AsId, BTreeMap<AsId, RouteInfo>>>,
+    /// Deliveries narrated since the last stage boundary (the engine is
+    /// still collecting them; receivers ingest them *next* stage).
+    staging: Vec<Vec<Arc<Update>>>,
+    /// Deliveries the engine's current stage is handing to receivers.
+    inbox: Vec<Vec<Arc<Update>>>,
+    /// (sender, destination) pairs whose wire state changed this stage —
+    /// the only pairs `end_stage` needs to re-check.
+    touched: BTreeSet<(AsId, AsId)>,
+    /// Quarantined / crashed nodes: their shadows are parked and they are
+    /// exempt from comparison until a `NodeUp`.
+    down: Vec<bool>,
+}
+
+impl OnlineAuditor {
+    /// Builds the auditor for `graph`, with every shadow started (origin
+    /// advertisements folded into the expected state) so it can be
+    /// attached to an engine before `run_to_convergence`.
+    pub fn new(graph: &AsGraph) -> Self {
+        let mut shadows = PricingBgpNode::from_graph(graph);
+        let n = shadows.len();
+        let mut expected = vec![BTreeMap::new(); n];
+        for (idx, shadow) in shadows.iter_mut().enumerate() {
+            shadow.set_delta_encoding(false);
+            if let Some(update) = shadow.start() {
+                fold_advertisements(&mut expected[idx], &update);
+            }
+        }
+        OnlineAuditor {
+            shadows,
+            expected,
+            links: vec![BTreeMap::new(); n],
+            staging: vec![Vec::new(); n],
+            inbox: vec![Vec::new(); n],
+            touched: BTreeSet::new(),
+            down: vec![false; n],
+        }
+    }
+}
+
+impl WireAuditor for OnlineAuditor {
+    fn on_wire(&mut self, from: AsId, to: AsId, update: &Arc<Update>) {
+        for ad in &update.advertisements {
+            self.touched.insert((from, ad.destination));
+        }
+        let link = self.links[to.index()].entry(from).or_default();
+        fold_advertisements(link, update);
+        self.staging[to.index()].push(Arc::clone(update));
+    }
+
+    fn begin_stage(&mut self, _stage: u64) {
+        // The engine swapped its double buffers: everything narrated since
+        // the last boundary is delivered *this* stage. (`inbox` slots were
+        // drained by the previous `end_stage`, so `append` just moves.)
+        for (staged, active) in self.staging.iter_mut().zip(self.inbox.iter_mut()) {
+            active.append(staged);
+        }
+    }
+
+    fn on_topology(&mut self, event: &TopologyEvent) {
+        match *event {
+            TopologyEvent::NodeDown(k) => {
+                // Mirror the engine's crash semantics on the shadow: full
+                // state loss, then the loss of every incident link.
+                let neighbors: Vec<AsId> = self.shadows[k.index()].selector().neighbors().collect();
+                self.shadows[k.index()].reset();
+                for a in neighbors {
+                    let _ = self.shadows[k.index()].apply_event(LocalEvent::LinkDown(a));
+                }
+                self.staging[k.index()].clear();
+                self.inbox[k.index()].clear();
+                self.links[k.index()].clear();
+                self.expected[k.index()].clear();
+                // Seed the expected state with the post-crash table (the
+                // origin route), so the full-table unicast a later NodeUp
+                // triggers compares clean.
+                if let Some(table) = self.shadows[k.index()].full_table() {
+                    fold_advertisements(&mut self.expected[k.index()], &table);
+                }
+                self.down[k.index()] = true;
+            }
+            TopologyEvent::NodeUp(k) => {
+                self.down[k.index()] = false;
+            }
+            // Link and cost events reach the affected nodes as local
+            // views; `on_local_event` mirrors those below.
+            _ => {}
+        }
+    }
+
+    fn on_local_event(&mut self, node: AsId, event: &LocalEvent) {
+        if self.down[node.index()] {
+            return;
+        }
+        if let LocalEvent::LinkDown(peer) = event {
+            // The receiver-side view of a dead link is gone: the engine
+            // will never deliver over it again, and comparing a stale view
+            // against a live expected state would be a false positive.
+            self.links[node.index()].remove(peer);
+        }
+        if let Some(update) = self.shadows[node.index()].apply_event(*event) {
+            fold_advertisements(&mut self.expected[node.index()], &update);
+        }
+    }
+
+    fn end_stage(&mut self, stage: u64) -> Vec<Accusation> {
+        // Phase A — advance the shadows: replay this stage's inboxes
+        // through the honest replicas, in the engine's ascending node
+        // order, folding their emissions into the expected state.
+        let replicas = self
+            .shadows
+            .iter_mut()
+            .zip(self.expected.iter_mut())
+            .zip(self.inbox.iter_mut())
+            .zip(self.down.iter());
+        for (((shadow, expected), inbox), &down) in replicas {
+            if inbox.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(inbox);
+            if !down {
+                if let Some(update) = shadow.handle(&batch) {
+                    fold_advertisements(expected, &update);
+                }
+            }
+        }
+        // Phase B — cross-check every (sender, destination) pair that
+        // moved on the wire this stage. BTreeSet order groups findings by
+        // sender ascending, destinations ascending within each.
+        let touched = std::mem::take(&mut self.touched);
+        let mut accusations: Vec<Accusation> = Vec::new();
+        for (sender, dest) in touched {
+            if self.down[sender.index()] {
+                continue;
+            }
+            let expected = self.expected[sender.index()].get(&dest);
+            // Every neighbor currently holding a live link view of
+            // `sender` must agree with the expected value — and with each
+            // other (a node cannot tell different neighbors different
+            // stories, even stories that are each individually plausible).
+            let mut views: Vec<Option<&RouteInfo>> = Vec::new();
+            for per_receiver in &self.links {
+                if let Some(link) = per_receiver.get(&sender) {
+                    views.push(link.get(&dest));
+                }
+            }
+            let divergent = views.iter().find(|view| **view != expected);
+            let equivocation = views.windows(2).any(|pair| pair[0] != pair[1]);
+            if divergent.is_none() && !equivocation {
+                continue;
+            }
+            let advertised = match divergent {
+                Some(view) => view.cloned(),
+                None => views.first().copied().flatten().cloned(),
+            };
+            let finding = WireFinding {
+                destination: dest,
+                expected: expected.cloned(),
+                advertised,
+                equivocation,
+            };
+            match accusations.last_mut() {
+                Some(last) if last.node == sender => last.findings.push(finding),
+                _ => accusations.push(Accusation {
+                    node: sender,
+                    stage,
+                    findings: vec![finding],
+                }),
+            }
+        }
+        accusations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +551,93 @@ mod tests {
             .collect();
         let findings = audit_node(&g, Fig1::B, &tampered, &neighbor_tables);
         assert!(findings.iter().any(|f| f.destination == Fig1::Z));
+    }
+
+    #[test]
+    fn online_auditor_honest_runs_are_clean() {
+        // Zero false positives: honest runs, serial and parallel, on a
+        // structured and several random graphs, never draw an accusation.
+        let mut graphs = vec![fig1()];
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            graphs.push(erdos_renyi(random_costs(14, 1, 9, &mut rng), 0.3, &mut rng));
+        }
+        for (gi, g) in graphs.iter().enumerate() {
+            let reference = protocol::run_sync(g).unwrap();
+            for workers in [1usize, 4] {
+                let mut engine = protocol::build_audited_sync_engine_parallel(g, workers).unwrap();
+                let report = engine.run_to_convergence();
+                assert!(report.converged, "graph {gi} workers {workers}");
+                assert!(
+                    engine.accusations().is_empty(),
+                    "graph {gi} workers {workers}: {:?}",
+                    engine.accusations()
+                );
+                assert!(engine.quarantined().is_empty());
+                let outcome = protocol::outcome_from_nodes(&engine.into_nodes()).unwrap();
+                assert_eq!(outcome, reference.outcome, "graph {gi} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn online_auditor_detects_and_quarantines_every_strategy() {
+        use bgpvcg_bgp::{Adversary, Strategy, TopologyEvent};
+        // Petersen is 3-connected: removing any one node leaves the graph
+        // biconnected, so quarantine is always a valid recovery.
+        let g = bgpvcg_netgraph::generators::structured::petersen(Cost::new(2));
+        let culprit = AsId::new(4);
+        // The "adversary never joined" reference: an honest convergence
+        // followed by the culprit's removal.
+        let reference = {
+            let mut engine = protocol::build_sync_engine(&g).unwrap();
+            engine.run_to_convergence();
+            engine
+                .try_apply_event(TopologyEvent::NodeDown(culprit))
+                .expect("petersen minus a node stays biconnected");
+            protocol::outcome_from_nodes(&engine.into_nodes()).unwrap()
+        };
+        for strategy in Strategy::ALL {
+            let mut engine = protocol::build_audited_sync_engine(&g).unwrap();
+            engine.set_adversary(culprit, Adversary::new(strategy, 11));
+            let report = engine.run_to_convergence();
+            assert!(report.converged, "{}", strategy.name());
+            assert!(
+                engine.accusations().iter().all(|acc| acc.node == culprit),
+                "{}: only the liar is accused: {:?}",
+                strategy.name(),
+                engine.accusations()
+            );
+            assert_eq!(
+                engine.quarantined(),
+                &[culprit],
+                "{}: detected and quarantined",
+                strategy.name()
+            );
+            // Quarantine-and-reconverge parity: the post-recovery fixpoint
+            // is bit-identical to the run the adversary never joined.
+            let outcome = protocol::outcome_from_nodes(&engine.into_nodes()).unwrap();
+            assert_eq!(outcome, reference, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn online_auditor_flags_equivocation_as_such() {
+        use bgpvcg_bgp::{Adversary, Strategy};
+        let g = bgpvcg_netgraph::generators::structured::petersen(Cost::new(2));
+        let culprit = AsId::new(4);
+        let mut engine = protocol::build_audited_sync_engine(&g).unwrap();
+        engine.set_adversary(culprit, Adversary::new(Strategy::Equivocate, 3));
+        engine.run_to_convergence();
+        assert!(
+            engine
+                .accusations()
+                .iter()
+                .flat_map(|acc| &acc.findings)
+                .any(|f| f.equivocation),
+            "cross-neighbor comparison marks the equivocation flag: {:?}",
+            engine.accusations()
+        );
     }
 
     #[test]

@@ -75,6 +75,41 @@ pub fn run_sync(graph: &AsGraph) -> Result<PricingRun, MechanismError> {
     })
 }
 
+/// Like [`build_sync_engine`], but with an [`OnlineAuditor`] attached:
+/// the run is cross-checked stage by stage against honest shadow replays,
+/// and (unless [`SyncEngine::set_auto_quarantine`] is turned off) nodes
+/// caught lying on the wire are quarantined mid-run via the engine's
+/// `NodeDown` machinery. See [`crate::audit`] for the detection model.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+///
+/// [`OnlineAuditor`]: crate::audit::OnlineAuditor
+pub fn build_audited_sync_engine(
+    graph: &AsGraph,
+) -> Result<SyncEngine<PricingBgpNode>, GraphError> {
+    let mut engine = build_sync_engine(graph)?;
+    engine.attach_auditor(Box::new(crate::audit::OnlineAuditor::new(graph)));
+    Ok(engine)
+}
+
+/// Like [`build_audited_sync_engine`], with a deterministic worker pool —
+/// the auditor observes the engine's canonical broadcast order, which is
+/// identical for any worker count.
+///
+/// # Errors
+///
+/// Returns the graph-validation error if the mechanism's preconditions
+/// fail.
+pub fn build_audited_sync_engine_parallel(
+    graph: &AsGraph,
+    workers: usize,
+) -> Result<SyncEngine<PricingBgpNode>, GraphError> {
+    Ok(build_audited_sync_engine(graph)?.with_parallelism(workers))
+}
+
 /// Like [`build_sync_engine`], but with a deterministic worker pool of
 /// `workers` stage threads (`1` selects the serial reference path). The
 /// parallel engine is bit-for-bit identical to the serial one — emitted

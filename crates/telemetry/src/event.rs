@@ -130,6 +130,47 @@ pub enum TraceEvent {
         /// The restarting AS.
         node: u32,
     },
+    /// A Byzantine adversary perturbed an outgoing advertisement on the
+    /// wire (see the `adversary` module of the BGP crate and
+    /// `docs/ROBUSTNESS.md`).
+    AdversaryInjected {
+        /// Stage of the perturbed send.
+        stage: u64,
+        /// The adversarial (sending) AS.
+        node: u32,
+        /// The neighbor the perturbed copy was delivered to.
+        peer: u32,
+        /// Strategy code: 0 price-inflate, 1 cost-understate,
+        /// 2 equivocate, 3 replay, 4 phantom-withdraw.
+        strategy: u32,
+    },
+    /// The online auditor caught a node advertising something other than
+    /// what the honest protocol, fed the same inbox, would have advertised.
+    AuditViolation {
+        /// Stage at which the divergence was established.
+        stage: u64,
+        /// The accused AS.
+        node: u32,
+        /// The destination whose advertisement diverged.
+        dest: u32,
+        /// Path cost the honest replay expected ([`INFINITE`] = expected
+        /// a withdrawal / no advertisement).
+        expected: u64,
+        /// Path cost actually seen on the wire ([`INFINITE`] = observed a
+        /// withdrawal / silence).
+        advertised: u64,
+        /// Violation code: 0 divergence from the honest replay,
+        /// 1 equivocation across neighbors.
+        violation: u32,
+    },
+    /// An accused node was cut from the topology (NodeDown quarantine) so
+    /// the honest residual graph can reconverge.
+    NodeQuarantined {
+        /// Stage of the quarantine.
+        stage: u64,
+        /// The quarantined AS.
+        node: u32,
+    },
 }
 
 impl TraceEvent {
@@ -146,6 +187,9 @@ impl TraceEvent {
             TraceEvent::Retransmit { .. } => "Retransmit",
             TraceEvent::SessionReset { .. } => "SessionReset",
             TraceEvent::NodeRestart { .. } => "NodeRestart",
+            TraceEvent::AdversaryInjected { .. } => "AdversaryInjected",
+            TraceEvent::AuditViolation { .. } => "AuditViolation",
+            TraceEvent::NodeQuarantined { .. } => "NodeQuarantined",
         }
     }
 
@@ -160,7 +204,10 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { stage, .. }
             | TraceEvent::Retransmit { stage, .. }
             | TraceEvent::SessionReset { stage, .. }
-            | TraceEvent::NodeRestart { stage, .. } => stage,
+            | TraceEvent::NodeRestart { stage, .. }
+            | TraceEvent::AdversaryInjected { stage, .. }
+            | TraceEvent::AuditViolation { stage, .. }
+            | TraceEvent::NodeQuarantined { stage, .. } => stage,
         }
     }
 
@@ -256,6 +303,36 @@ impl TraceEvent {
                 w.field("peer", u64::from(peer));
             }
             TraceEvent::NodeRestart { stage, node } => {
+                w.field("stage", stage);
+                w.field("node", u64::from(node));
+            }
+            TraceEvent::AdversaryInjected {
+                stage,
+                node,
+                peer,
+                strategy,
+            } => {
+                w.field("stage", stage);
+                w.field("node", u64::from(node));
+                w.field("peer", u64::from(peer));
+                w.field("strategy", u64::from(strategy));
+            }
+            TraceEvent::AuditViolation {
+                stage,
+                node,
+                dest,
+                expected,
+                advertised,
+                violation,
+            } => {
+                w.field("stage", stage);
+                w.field("node", u64::from(node));
+                w.field("dest", u64::from(dest));
+                w.field("expected", expected);
+                w.field("advertised", advertised);
+                w.field("violation", u64::from(violation));
+            }
+            TraceEvent::NodeQuarantined { stage, node } => {
                 w.field("stage", stage);
                 w.field("node", u64::from(node));
             }
@@ -390,6 +467,21 @@ mod tests {
                 peer: 0,
             },
             TraceEvent::NodeRestart { stage: 7, node: 2 },
+            TraceEvent::AdversaryInjected {
+                stage: 8,
+                node: 3,
+                peer: 1,
+                strategy: 2,
+            },
+            TraceEvent::AuditViolation {
+                stage: 9,
+                node: 3,
+                dest: 5,
+                expected: 4,
+                advertised: 2,
+                violation: 0,
+            },
+            TraceEvent::NodeQuarantined { stage: 9, node: 3 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
         assert_eq!(
@@ -404,10 +496,13 @@ mod tests {
                 "Retransmit",
                 "SessionReset",
                 "NodeRestart",
+                "AdversaryInjected",
+                "AuditViolation",
+                "NodeQuarantined",
             ]
         );
         kinds.dedup();
-        assert_eq!(kinds.len(), 9);
+        assert_eq!(kinds.len(), 12);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub const REASON_STAGE_LIMIT: &str = "stage-limit-exceeded";
 /// Reason string for a chaos run that failed to restabilize in budget.
 pub const REASON_NOT_STABILIZED: &str = "chaos-not-stabilized";
 
+/// Reason string for a dump triggered by the online auditor catching a
+/// node advertising something the honest protocol would not have.
+pub const REASON_AUDIT_VIOLATION: &str = "audit-violation";
+
 /// One engine entity's state at dump time, as flat `key: value` gauges
 /// (e.g. a node's inbox depth, a session's unacked backlog).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -197,7 +197,10 @@ mod tests {
         assert_eq!(
             schema.kinds(),
             vec![
+                "AdversaryInjected",
+                "AuditViolation",
                 "FaultInjected",
+                "NodeQuarantined",
                 "NodeRestart",
                 "PriceRelaxed",
                 "Quiescent",
@@ -263,6 +266,21 @@ mod tests {
                 peer: 1,
             },
             TraceEvent::NodeRestart { stage: 7, node: 0 },
+            TraceEvent::AdversaryInjected {
+                stage: 8,
+                node: 2,
+                peer: 0,
+                strategy: 4,
+            },
+            TraceEvent::AuditViolation {
+                stage: 9,
+                node: 2,
+                dest: 1,
+                expected: 6,
+                advertised: INFINITE,
+                violation: 0,
+            },
+            TraceEvent::NodeQuarantined { stage: 9, node: 2 },
         ];
         for event in &events {
             assert_eq!(

@@ -117,7 +117,8 @@ fn print_help() {
          \t                    committed baseline\n\
          \tci                  fmt check, lint, analyze, clippy, tests,\n\
          \t                    invariant tests, obs --causal,\n\
-         \t                    bench --smoke --compare, chaos --smoke --compare\n\
+         \t                    bench --smoke --compare, chaos --smoke --compare,\n\
+         \t                    e20_adversary --smoke\n\
          \thelp                this message"
     );
 }
@@ -1137,6 +1138,22 @@ fn cmd_ci(root: &Path) -> ExitCode {
     ok &= cmd_obs(root, true) == ExitCode::SUCCESS;
     ok &= cmd_bench(root, true, true) == ExitCode::SUCCESS;
     ok &= cmd_chaos(root, true, true) == ExitCode::SUCCESS;
+    ok &= run_step(
+        root,
+        "adversary smoke",
+        "cargo",
+        &[
+            "run",
+            "-q",
+            "-p",
+            "bgpvcg-bench",
+            "--bin",
+            "e20_adversary",
+            "--",
+            "--smoke",
+        ],
+        false,
+    );
     ok &= run_step(
         root,
         "codec microbench smoke",

@@ -8,3 +8,21 @@ pub fn observe_selection(t: &Telemetry) {
         stage: 0,
     });
 }
+
+/// Narrates Byzantine-audit events whose kinds the schema never learned.
+pub fn observe_adversary(t: &Telemetry) {
+    t.record(&TraceEvent::AdversaryInjected {
+        stage: 1,
+        node: 4,
+        peer: 2,
+        strategy: 0,
+    });
+    t.record(&TraceEvent::AuditViolation {
+        stage: 2,
+        node: 4,
+        dest: 7,
+        expected: 10,
+        advertised: 12,
+        violation: 1,
+    });
+}

@@ -7,4 +7,6 @@ pub enum TraceEvent {
     StageStart,
     /// Mystery event the schema does not describe.
     Mystery,
+    /// Quarantine narration added without updating the schema.
+    NodeQuarantined,
 }

@@ -11,6 +11,12 @@ pub fn observe_selection(t: &Telemetry) {
     });
 }
 
+/// Narrates a quarantine; Byzantine-audit kinds are schema-described but
+/// carry no causal provenance, so a plain construction is clean.
+pub fn observe_quarantine(t: &Telemetry) {
+    t.record(&TraceEvent::NodeQuarantined { stage: 3, node: 4 });
+}
+
 /// Consumes events; destructuring patterns are exempt from the
 /// provenance requirement.
 pub fn count_selections(events: &[TraceEvent]) -> usize {

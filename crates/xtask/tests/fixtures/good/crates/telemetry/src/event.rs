@@ -5,4 +5,10 @@
 pub enum TraceEvent {
     /// A stage began.
     StageStart,
+    /// A wire adversary corrupted a delivery.
+    AdversaryInjected,
+    /// The online auditor caught a divergent advertisement.
+    AuditViolation,
+    /// An accused node was cut from the topology.
+    NodeQuarantined,
 }

@@ -194,6 +194,32 @@ fn bad_corpus_fires_at_the_planted_sites() {
 }
 
 #[test]
+fn byzantine_trace_kinds_are_guarded() {
+    let corpus = load("bad");
+    let violations = all_violations(&corpus, &[]);
+    // The quarantine variant added to the enum without a schema entry, and
+    // the two Byzantine emission sites the schema never learned, must each
+    // be called out by name.
+    for needle in [
+        "`TraceEvent::NodeQuarantined` is not described",
+        "emission of `TraceEvent::AdversaryInjected` not described",
+        "emission of `TraceEvent::AuditViolation` not described",
+    ] {
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "trace-schema" && v.message.contains(needle)),
+            "expected a trace-schema violation matching `{needle}`; got:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
 fn panic_reachability_reports_the_call_chain() {
     let corpus = load("bad");
     let violations = all_violations(&corpus, &[]);

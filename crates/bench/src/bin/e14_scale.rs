@@ -16,19 +16,32 @@
 //! CI by `cargo xtask bench --smoke` against
 //! `crates/bench/bench-scale-schema.json`.
 //!
+//! Each serial run additionally carries the streaming health monitor
+//! (honest scale runs must raise zero SLO findings) and the zero-alloc
+//! span profiler; each JSON row gains an optional `span_nanos` block (the
+//! per-phase hot-path breakdown, timing-exempt in `--compare`), and the
+//! sweep-merged profile/health artifacts land at the shared
+//! `--profile-out` / `--health-out` paths.
+//!
 //! Flags:
 //!
 //! * `--smoke` — small sizes (n ∈ {32, 64}) for CI; same schema.
 //! * `--out PATH` — where to write the JSON (default: repo-root
 //!   `BENCH_scale.json`).
 //! * `--workers K` — parallel worker count (default 4).
+//! * plus the shared observability surface (`--trace-out`,
+//!   `--metrics-out`, `--health-out`, `--profile-out`, ... — see
+//!   `bgpvcg_bench::obs`).
 //!
 //! Regenerate with: `cargo run --release -p bgpvcg-bench --bin e14_scale`
 
 use bgpvcg_bench::families::Family;
+use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
 use bgpvcg_bgp::{wire, ProtocolNode};
 use bgpvcg_core::{protocol, vcg};
+use bgpvcg_telemetry::profile::span;
+use bgpvcg_telemetry::{HealthConfig, SpanProfiler};
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
@@ -46,6 +59,10 @@ struct Row {
     serial_nanos: u128,
     parallel_nanos: u128,
     encode_nanos: u128,
+    /// Per-span `(name, total_nanos)` hot-path breakdown of the serial
+    /// run, for spans that fired (emitted as the optional `span_nanos`
+    /// JSON block).
+    span_nanos: Vec<(&'static str, u64)>,
     exact: bool,
 }
 
@@ -67,7 +84,7 @@ fn usage() -> ! {
     exit(2);
 }
 
-fn parse_args() -> Config {
+fn parse_args() -> (Config, ObsConfig) {
     // Default output is the repo root regardless of the invoking cwd.
     let mut config = Config {
         smoke: false,
@@ -77,7 +94,8 @@ fn parse_args() -> Config {
         )),
         workers: 4,
     };
-    let mut args = std::env::args().skip(1);
+    let (obs, rest) = ObsConfig::extract(std::env::args().skip(1));
+    let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => config.smoke = true,
@@ -101,7 +119,7 @@ fn parse_args() -> Config {
             }
         }
     }
-    config
+    (config, obs)
 }
 
 /// Hand-written JSON emission (the workspace has no serde implementation);
@@ -118,10 +136,18 @@ fn render_json(config: &Config, rows: &[Row]) -> String {
     out.push_str(&format!("  \"workers\": {},\n", config.workers));
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
+        let mut span_block = String::new();
+        for (j, (name, nanos)) in row.span_nanos.iter().enumerate() {
+            span_block.push_str(&format!(
+                "{}\"{name}\": {nanos}",
+                if j == 0 { "" } else { ", " }
+            ));
+        }
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"n\": {}, \"links\": {}, \"stages\": {}, \
              \"messages\": {}, \"bytes\": {}, \"bytes_v2\": {}, \"serial_nanos\": {}, \
-             \"parallel_nanos\": {}, \"speedup\": {:.4}, \"encode_nanos\": {}, \"exact\": {}}}{}\n",
+             \"parallel_nanos\": {}, \"speedup\": {:.4}, \"encode_nanos\": {}, \
+             \"span_nanos\": {{{span_block}}}, \"exact\": {}}}{}\n",
             row.family,
             row.n,
             row.links,
@@ -143,8 +169,10 @@ fn render_json(config: &Config, rows: &[Row]) -> String {
 }
 
 fn main() {
-    let config = parse_args();
+    let (config, obs) = parse_args();
     println!("E14 — end-to-end scale on Internet-like topologies\n");
+    let mut sweep_profile = SpanProfiler::engine();
+    let mut last_health = None;
     let sizes: &[usize] = if config.smoke {
         &[32, 64]
     } else {
@@ -173,7 +201,27 @@ fn main() {
             // lint:allow(bench wall-clock timing is the measurement itself, not protocol state)
             let t0 = Instant::now();
             let mut engine = protocol::build_sync_engine(&g).expect("valid graph");
+            engine.attach_telemetry(obs.telemetry());
+            engine.attach_health(HealthConfig::default());
+            engine.attach_profiler();
             let serial_report = engine.run_to_convergence();
+            // Honest scale runs are the SLO baseline: zero findings.
+            let health = engine.health_sink().expect("health attached").snapshot();
+            assert!(
+                health.findings().is_empty(),
+                "{} n={n}: honest run raised health findings: {:?}",
+                family.name(),
+                health.findings()
+            );
+            last_health = Some(health);
+            let profile = engine.take_profiler().expect("profiler attached");
+            let span_nanos: Vec<(&'static str, u64)> = (0..span::NAMES.len())
+                .filter_map(|id| {
+                    let (count, total, _) = profile.stat(id);
+                    (count > 0).then(|| (span::NAMES[id], total))
+                })
+                .collect();
+            sweep_profile.merge(&profile);
             let serial_nodes = engine.into_nodes();
             let serial_outcome = protocol::outcome_from_nodes(&serial_nodes).expect("converged");
             let serial_time = t0.elapsed();
@@ -221,6 +269,7 @@ fn main() {
                 serial_nanos: serial_time.as_nanos(),
                 parallel_nanos: parallel_time.as_nanos(),
                 encode_nanos: encode_time.as_nanos(),
+                span_nanos,
                 exact,
             };
             table.row([
@@ -247,6 +296,11 @@ fn main() {
     std::fs::write(&config.out, json)
         .unwrap_or_else(|err| panic!("cannot write {}: {err}", config.out.display()));
     println!("\nwrote {}", config.out.display());
+    if let Some(health) = &last_health {
+        obs.write_health(health);
+    }
+    obs.write_profile(&sweep_profile);
+    obs.finish();
     let (v1, v2) = rows
         .iter()
         .fold((0usize, 0usize), |(a, b), r| (a + r.bytes, b + r.bytes_v2));

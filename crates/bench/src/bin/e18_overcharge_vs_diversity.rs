@@ -17,13 +17,27 @@
 //! shrink. The aggregate assertion therefore allows 5% slack — it guards
 //! against the ratio *growing with* diversity, not against seed noise.
 //!
+//! The study closes with the *live* side of the same economics: the
+//! distributed engine re-runs the sparsest and densest configurations
+//! with the per-stage economics sampler attached
+//! (`bgpvcg_core::econ::attach_economics`), tabulates the aggregate
+//! premium trajectory stage by stage, and asserts the final sample is
+//! *identical* to the settled payment ledger under uniform
+//! one-packet-per-pair traffic — streaming attribution agrees with the
+//! books, per AS, to the unit.
+//!
 //! Regenerate with: `cargo run -p bgpvcg-bench --bin e18_overcharge_vs_diversity`
+//! Optional: the shared observability flags (`--metrics-out` exports the
+//! `vcg_premium_as_<k>` / `vcg_welfare_total` gauges; see
+//! `bgpvcg_bench::obs`).
 
 use bgpvcg_bench::families::Family;
+use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::stats;
 use bgpvcg_bench::table::Table;
-use bgpvcg_core::{overcharge::OverchargeReport, vcg};
-use bgpvcg_netgraph::{AsGraph, AsId};
+use bgpvcg_core::accounting::PaymentLedger;
+use bgpvcg_core::{econ, overcharge::OverchargeReport, protocol, vcg};
+use bgpvcg_netgraph::{AsGraph, AsId, TrafficMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,7 +59,46 @@ fn densify(mut g: AsGraph, extra: usize, rng: &mut StdRng) -> AsGraph {
     g
 }
 
+/// Runs the distributed protocol on `g` with the economics sampler
+/// attached, appends the aggregate premium trajectory to `table` under
+/// `label`, and asserts the final sample equals the settled ledger
+/// welfare for every AS (the streaming-attribution identity).
+fn attribution_run(label: &str, g: &AsGraph, obs: &ObsConfig, table: &mut Table) -> u64 {
+    let mut engine = protocol::build_sync_engine(g).expect("valid graph");
+    engine.attach_telemetry(obs.telemetry());
+    let shared = econ::attach_economics(&mut engine, g, 256, Some(obs.telemetry()));
+    assert!(engine.run_to_convergence().converged, "{label}");
+    let nodes = engine.into_nodes();
+    let sampler = shared.lock().expect("economics sampler poisoned");
+    let finals = sampler.final_premiums();
+    let traffic = TrafficMatrix::uniform(g.node_count(), 1);
+    let ledger = PaymentLedger::settle_from_nodes(&nodes, &traffic).expect("settles");
+    for k in g.nodes() {
+        assert_eq!(
+            i128::from(finals[k.index()]),
+            ledger.welfare(k, g.cost(k)),
+            "{label}: live premium({k}) != settled ledger welfare"
+        );
+    }
+    for (stage, welfare) in sampler.aggregate().iter() {
+        let max_premium = sampler
+            .per_as()
+            .iter()
+            .filter_map(|series| series.iter().find(|&(s, _)| s == stage).map(|(_, v)| v))
+            .max()
+            .unwrap_or(0);
+        table.row([
+            label.to_string(),
+            stage.to_string(),
+            welfare.to_string(),
+            max_premium.to_string(),
+        ]);
+    }
+    sampler.aggregate().last().expect("sampled at least once").1
+}
+
 fn main() {
+    let obs = ObsConfig::from_args();
     println!("E18 — VCG premium vs path diversity (n = 32, 3 seeds/point)\n");
     let n = 32;
     let extra_links = [0usize, 8, 16, 32, 64, 128];
@@ -83,6 +136,28 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    // ── Live attribution: trajectory table + ledger identity ────────────
+    // The sweep above prices fixpoints centrally; the distributed engine
+    // exposes how the economy *gets there*. Replay the sparsest and
+    // densest seed-0 configurations through the protocol with per-stage
+    // premium sampling, and require the final sample to reconcile with
+    // the settled payment ledger, AS by AS.
+    let mut econ_table = Table::new(["graph", "stage", "aggregate premium", "max per-AS premium"]);
+    let sparse = Family::BarabasiAlbert.build(n, 100);
+    let dense = densify(sparse.clone(), *extra_links.last().unwrap(), &mut {
+        StdRng::seed_from_u64(7_000)
+    });
+    let sparse_welfare = attribution_run("sparse (+0)", &sparse, &obs, &mut econ_table);
+    let dense_welfare = attribution_run("dense (+128)", &dense, &obs, &mut econ_table);
+    println!("{econ_table}");
+    println!(
+        "Live attribution: per-stage premiums settle to the payment ledger exactly \
+         (uniform traffic); aggregate welfare {sparse_welfare} (sparse) vs \
+         {dense_welfare} (dense)\n"
+    );
+    obs.finish();
+
     let first_aggregate = aggregate_by_step[0];
     let last_aggregate = *aggregate_by_step.last().expect("non-empty sweep");
     let first_max = max_by_step[0];

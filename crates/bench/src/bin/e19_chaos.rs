@@ -23,6 +23,13 @@
 //! `BENCH_chaos.json` at the repository root, validated in CI by
 //! `cargo xtask chaos --smoke` against `crates/bench/bench-chaos-schema.json`.
 //!
+//! Every run also carries the streaming health monitor and the span
+//! profiler: the table reports how many SLO findings the fault schedule
+//! provoked, each JSON row gains an optional `span_nanos` block (the
+//! per-phase harness breakdown, timing-exempt in `--compare`), and the
+//! sweep-merged profile/health artifacts land at the shared
+//! `--profile-out` / `--health-out` paths.
+//!
 //! Flags:
 //!
 //! * `--smoke` — small sizes and fewer seeds for CI; same schema.
@@ -34,16 +41,21 @@
 //!   run: if a run ever exhausts the stage budget instead of stabilizing,
 //!   the last trace events and per-node session state are dumped to
 //!   `PATH` as a schema-valid post-mortem (see `docs/OBSERVABILITY.md`).
-//!   Converged runs leave no dump.
+//!   Converged runs leave no dump. Part of the shared observability
+//!   surface (`bgpvcg_bench::obs`), alongside `--trace-out`,
+//!   `--metrics-out`, `--health-out`, and `--profile-out`.
 //!
 //! Regenerate with: `cargo run --release -p bgpvcg-bench --bin e19_chaos`
 
 use bgpvcg_bench::families::Family;
+use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
 use bgpvcg_bgp::chaos::FaultPlan;
 use bgpvcg_bgp::{wire, ProtocolNode};
 use bgpvcg_core::protocol;
 use bgpvcg_netgraph::AsId;
+use bgpvcg_telemetry::profile::span;
+use bgpvcg_telemetry::{HealthConfig, SpanProfiler};
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
@@ -74,6 +86,9 @@ struct Row {
     holds_fired: u64,
     crashes: u64,
     restarts: u64,
+    /// Per-span `(name, total_nanos)` harness breakdown for spans that
+    /// fired (emitted as the optional `span_nanos` JSON block).
+    span_nanos: Vec<(&'static str, u64)>,
     exact: bool,
 }
 
@@ -81,15 +96,17 @@ struct Config {
     smoke: bool,
     seed: Option<u64>,
     out: PathBuf,
-    flight_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: e19_chaos [--smoke] [--seed S] [--out PATH] [--flight-out PATH]");
+    eprintln!(
+        "usage: e19_chaos [--smoke] [--seed S] [--out PATH] [--flight-out PATH] \
+         [--health-out PATH] [--profile-out PATH]"
+    );
     exit(2);
 }
 
-fn parse_args() -> Config {
+fn parse_args() -> (Config, ObsConfig) {
     let mut config = Config {
         smoke: false,
         seed: None,
@@ -97,9 +114,9 @@ fn parse_args() -> Config {
             env!("CARGO_MANIFEST_DIR"),
             "/../../BENCH_chaos.json"
         )),
-        flight_out: None,
     };
-    let mut args = std::env::args().skip(1);
+    let (obs, rest) = ObsConfig::extract(std::env::args().skip(1));
+    let mut args = rest.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => config.smoke = true,
@@ -117,20 +134,13 @@ fn parse_args() -> Config {
                     usage();
                 }
             },
-            "--flight-out" => match args.next() {
-                Some(path) => config.flight_out = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("`--flight-out` requires a PATH argument");
-                    usage();
-                }
-            },
             _ => {
                 eprintln!("unknown argument `{arg}`");
                 usage();
             }
         }
     }
-    config
+    (config, obs)
 }
 
 /// Builds the fault plan for one (seed, scenario) cell. The crash victim
@@ -168,7 +178,7 @@ fn render_json(config: &Config, rows: &[Row]) -> String {
              \"bytes_v2\": {}, \"encode_nanos\": {}, \
              \"frames_dropped\": {}, \"frames_duplicated\": {}, \"frames_delayed\": {}, \
              \"retransmits\": {}, \"session_resets\": {}, \"holds_fired\": {}, \
-             \"crashes\": {}, \"restarts\": {}, \"exact\": {}}}{}\n",
+             \"crashes\": {}, \"restarts\": {}, \"span_nanos\": {{{}}}, \"exact\": {}}}{}\n",
             row.family,
             row.n,
             row.seed,
@@ -186,6 +196,14 @@ fn render_json(config: &Config, rows: &[Row]) -> String {
             row.holds_fired,
             row.crashes,
             row.restarts,
+            row.span_nanos
+                .iter()
+                .enumerate()
+                .map(|(j, (name, nanos))| format!(
+                    "{}\"{name}\": {nanos}",
+                    if j == 0 { "" } else { ", " }
+                ))
+                .collect::<String>(),
             row.exact,
             if i + 1 == rows.len() { "" } else { "," },
         ));
@@ -196,8 +214,11 @@ fn render_json(config: &Config, rows: &[Row]) -> String {
 }
 
 fn main() {
-    let config = parse_args();
+    let (config, obs) = parse_args();
     println!("E19 — seeded chaos: self-stabilization of the pricing protocol\n");
+    let mut sweep_profile = SpanProfiler::engine();
+    let mut last_health = None;
+    let mut total_findings = 0usize;
     let sizes: &[usize] = if config.smoke { &[8] } else { &[16, 32] };
     let seeds: Vec<u64> = match config.seed {
         Some(seed) => vec![seed],
@@ -216,6 +237,7 @@ fn main() {
         "retransmits",
         "resets",
         "holds",
+        "health findings",
         "exact",
     ]);
     for family in Family::ALL {
@@ -227,23 +249,45 @@ fn main() {
                     let link = g.links()[seed as usize % g.link_count()];
                     let plan = plan_for(scenario, seed, n, (link.a(), link.b()));
                     let mut engine = protocol::build_chaos_engine(&g, plan).expect("valid graph");
-                    if let Some(path) = &config.flight_out {
+                    engine.attach_telemetry(obs.telemetry());
+                    if let Some(path) = obs.flight_out() {
                         // With a flight recorder attached, a stage-budget
                         // overrun leaves a post-mortem dump before the
                         // assert below aborts the sweep.
                         engine.attach_flight_recorder(path, 256);
                     }
+                    engine.attach_health(HealthConfig::default());
+                    engine.attach_profiler();
                     let report = engine.run_to_stable(MAX_STAGES);
                     assert!(
                         report.converged,
                         "{} n={n} seed={seed} {scenario}: did not quiesce{}: {report}",
                         family.name(),
-                        config
-                            .flight_out
-                            .as_ref()
+                        obs.flight_out()
                             .map(|p| format!(" (flight dump at {})", p.display()))
                             .unwrap_or_default()
                     );
+                    // Fault schedules may legitimately provoke SLO findings
+                    // (that is the monitor doing its job); report, don't
+                    // assert — but a *stall* verdict on a run that
+                    // stabilized would be a detector bug.
+                    let health = engine.health_sink().expect("health attached").snapshot();
+                    assert!(
+                        !health.stalled(),
+                        "{} n={n} seed={seed} {scenario}: stabilized run flagged as stalled",
+                        family.name()
+                    );
+                    let findings = health.findings().len();
+                    total_findings += findings;
+                    last_health = Some(health);
+                    let profile = engine.take_profiler().expect("profiler attached");
+                    let span_nanos: Vec<(&'static str, u64)> = (0..span::NAMES.len())
+                        .filter_map(|id| {
+                            let (count, total, _) = profile.stat(id);
+                            (count > 0).then(|| (span::NAMES[id], total))
+                        })
+                        .collect();
+                    sweep_profile.merge(&profile);
                     let nodes = engine.into_nodes();
 
                     // Encode-cost microfigure: v2-encode every node's full
@@ -282,6 +326,7 @@ fn main() {
                         report.retransmits.to_string(),
                         report.session_resets.to_string(),
                         report.holds_fired.to_string(),
+                        findings.to_string(),
                         exact.to_string(),
                     ]);
                     rows.push(Row {
@@ -302,6 +347,7 @@ fn main() {
                         holds_fired: report.holds_fired,
                         crashes: report.crashes,
                         restarts: report.restarts,
+                        span_nanos,
                         exact,
                     });
                 }
@@ -313,6 +359,12 @@ fn main() {
     std::fs::write(&config.out, json)
         .unwrap_or_else(|err| panic!("cannot write {}: {err}", config.out.display()));
     println!("\nwrote {}", config.out.display());
+    if let Some(health) = &last_health {
+        obs.write_health(health);
+    }
+    obs.write_profile(&sweep_profile);
+    obs.finish();
+    println!("health: {total_findings} SLO finding(s) across the fault sweep, 0 stall verdicts");
     println!(
         "\nVERDICT: under every seeded fault schedule (loss, duplication, reordering \
          delays, node crash/restart) the protocol self-stabilizes to the bit-identical \

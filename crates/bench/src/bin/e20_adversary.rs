@@ -33,15 +33,21 @@
 //!   (PR 7's divergence recorder, armed by the auditor) is dumped;
 //!   defaults to `target/e20_adversary_flight.json`. The artifact is
 //!   validated against the flight dump schema either way.
+//! * `--health-out PATH` / `--profile-out PATH` — the shared observability
+//!   surface (`bgpvcg_bench::obs`): the honest sweep's health report
+//!   (asserted finding-free even under parallel workers) and the span
+//!   profile of the adversarial post-mortem run, which covers the
+//!   audit-shadow and adversary-tap phases.
 //!
 //! Regenerate with: `cargo run -p bgpvcg-bench --bin e20_adversary`
 
 use bgpvcg_bench::families::Family;
+use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
 use bgpvcg_bgp::{Adversary, Strategy, TopologyEvent};
 use bgpvcg_core::{protocol, RoutingOutcome};
 use bgpvcg_netgraph::{AsGraph, AsId};
-use bgpvcg_telemetry::flight;
+use bgpvcg_telemetry::{flight, HealthConfig};
 use std::path::PathBuf;
 
 /// Finds a node whose removal keeps the mechanism preconditions (the
@@ -139,25 +145,24 @@ fn run_cell(
 
 fn main() {
     let mut smoke = false;
-    let mut flight_out = PathBuf::from("target/e20_adversary_flight.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let (obs, rest) = ObsConfig::extract(std::env::args().skip(1));
+    for arg in rest {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--flight-out" => match args.next() {
-                Some(path) => flight_out = PathBuf::from(path),
-                None => {
-                    eprintln!("`--flight-out` requires a PATH argument");
-                    std::process::exit(2);
-                }
-            },
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: e20_adversary [--smoke] [--flight-out PATH]");
+                eprintln!(
+                    "usage: e20_adversary [--smoke] [--flight-out PATH] \
+                     [--health-out PATH] [--profile-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let flight_out = obs
+        .flight_out()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/e20_adversary_flight.json"));
 
     println!("E20 — Byzantine adversaries, online auditing, quarantine-and-reconverge (Sect. 7)\n");
     let n = if smoke { 12 } else { 20 };
@@ -286,12 +291,15 @@ fn main() {
     let seeds: &[u64] = if smoke { &[7, 51] } else { &[7, 23, 51, 97] };
     let workers: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
     let mut honest_runs = 0usize;
+    let mut last_health = None;
     for &family in Family::ALL.iter() {
         for &seed in seeds {
             let g = family.build(n, seed);
             let reference = protocol::run_sync(&g).unwrap();
             for &w in workers {
                 let mut engine = protocol::build_audited_sync_engine_parallel(&g, w).unwrap();
+                engine.attach_telemetry(obs.telemetry());
+                engine.attach_health(HealthConfig::default());
                 assert!(engine.run_to_convergence().converged);
                 assert!(
                     engine.accusations().is_empty(),
@@ -300,6 +308,17 @@ fn main() {
                     engine.accusations()
                 );
                 assert!(engine.quarantined().is_empty());
+                // The SLO story mirrors the audit story: honest runs draw
+                // zero health findings at every worker count, not just
+                // zero accusations.
+                let health = engine.health_sink().expect("health attached").snapshot();
+                assert!(
+                    health.findings().is_empty(),
+                    "{}/seed {seed}/workers {w}: honest run raised health findings: {:?}",
+                    family.name(),
+                    health.findings()
+                );
+                last_health = Some(health);
                 let outcome = protocol::outcome_from_nodes(&engine.into_nodes()).unwrap();
                 assert_eq!(
                     outcome,
@@ -313,7 +332,7 @@ fn main() {
     }
     println!(
         "Honest sweep: {honest_runs} audited runs ({} families x {} seeds x {} worker counts) — \
-         0 accusations, outcomes bit-identical to unaudited runs",
+         0 accusations, 0 health findings, outcomes bit-identical to unaudited runs",
         Family::ALL.len(),
         seeds.len(),
         workers.len()
@@ -327,9 +346,11 @@ fn main() {
     let (culprit, _) = quarantine_reference(&g).expect("erdos-renyi keeps a removable node");
     let mut engine = protocol::build_audited_sync_engine(&g).unwrap();
     engine.attach_flight_recorder(&flight_out, 256);
+    engine.attach_profiler();
     engine.set_adversary(culprit, Adversary::new(Strategy::Equivocate, 11));
     assert!(engine.run_to_convergence().converged);
     assert!(!engine.accusations().is_empty());
+    let profile = engine.take_profiler().expect("profiler attached");
     let dump = std::fs::read_to_string(&flight_out).expect("accusation must dump a post-mortem");
     flight::validate_dump(&dump).expect("post-mortem must be schema-valid");
     assert!(
@@ -341,6 +362,11 @@ fn main() {
         flight_out.display(),
         flight::REASON_AUDIT_VIOLATION
     );
+    if let Some(health) = &last_health {
+        obs.write_health(health);
+    }
+    obs.write_profile(&profile);
+    obs.finish();
 
     println!(
         "\nVERDICT: {fired_rows}/{fired_rows} firing adversarial cells detected online \

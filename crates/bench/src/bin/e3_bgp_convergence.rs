@@ -14,8 +14,14 @@
 //! path is bounded by the engine's own stage count; the table reports the
 //! measured causal depth next to the stage count.
 //!
+//! Every run also carries the convergence health monitor (honest sweeps
+//! must raise zero SLO findings) and the span profiler; the merged profile
+//! lands at `--profile-out` and the final run's health report at
+//! `--health-out`.
+//!
 //! Regenerate with: `cargo run -p bgpvcg-bench --bin e3_bgp_convergence`
-//! Optional: `--trace-out PATH` / `--metrics-out PATH`.
+//! Optional: `--trace-out PATH` / `--metrics-out PATH` /
+//! `--health-out PATH` / `--profile-out PATH`.
 
 use bgpvcg_bench::families::Family;
 use bgpvcg_bench::obs::ObsConfig;
@@ -24,7 +30,7 @@ use bgpvcg_bgp::engine::SyncEngine;
 use bgpvcg_bgp::telemetry::metric;
 use bgpvcg_bgp::PlainBgpNode;
 use bgpvcg_lcp::{diameter, AllPairsLcp};
-use bgpvcg_telemetry::{CausalDag, RingBufferSink, TraceSink};
+use bgpvcg_telemetry::{CausalDag, HealthConfig, RingBufferSink, SpanProfiler, TraceSink};
 use std::sync::Arc;
 
 fn main() {
@@ -47,6 +53,8 @@ fn main() {
     let entries = telemetry.counter(metric::ENTRIES);
     let stages_gauge = telemetry.gauge(metric::STAGES_TO_QUIESCENCE);
     let mut all_within = true;
+    let mut sweep_profile = SpanProfiler::engine();
+    let mut last_health = None;
     for family in Family::ALL {
         for &n in &sizes {
             let g = family.build(n, 11);
@@ -59,9 +67,21 @@ fn main() {
             let ring = Arc::new(RingBufferSink::new(1 << 16));
             let traced = telemetry.tee(Arc::clone(&ring) as Arc<dyn TraceSink>);
             engine.attach_telemetry(&traced);
+            engine.attach_health(HealthConfig::default());
+            engine.attach_profiler();
             let (messages_before, entries_before) = (messages.get(), entries.get());
             let report = engine.run_to_convergence();
             assert!(report.converged, "{} n={n}", family.name());
+            // Honest convergence is the SLO baseline: zero findings.
+            let health = engine.health_sink().expect("health attached").snapshot();
+            assert!(
+                health.findings().is_empty(),
+                "{} n={n}: honest run raised health findings: {:?}",
+                family.name(),
+                health.findings()
+            );
+            last_health = Some(health);
+            sweep_profile.merge(&engine.take_profiler().expect("profiler attached"));
             // The registry is the source of truth for the table; the engine
             // report must agree (observation is non-perturbing).
             let run_messages = messages.get() - messages_before;
@@ -125,6 +145,10 @@ fn main() {
         }
     }
     println!("{table}");
+    if let Some(health) = &last_health {
+        obs.write_health(health);
+    }
+    obs.write_profile(&sweep_profile);
     println!("Paper claim: \"BGP converges within d stages of computation\".");
     println!(
         "\nVERDICT: {}",

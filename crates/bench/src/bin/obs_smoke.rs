@@ -23,7 +23,22 @@
 //!    Petersen graph under the online auditor; the tap's injections, the
 //!    auditor's accusation, and the resulting quarantine are all narrated.
 //!    Exercises `AdversaryInjected`, `AuditViolation`, and
-//!    `NodeQuarantined`.
+//!    `NodeQuarantined`. The span profiler rides along, covering the
+//!    audit-shadow and adversary-tap phases on top of the hot path; its
+//!    report lands at `--profile-out` (plus a `.folded` collapsed-stack
+//!    sibling) and its totals are emitted as `SpanSummary` events.
+//! 6. **Observed honest run**: a pricing engine with the streaming health
+//!    monitor and profiler attached converges cleanly; the monitor must
+//!    report **zero** findings, and its report (latency quantiles per
+//!    destination) lands at `--health-out`.
+//! 7. **Cost-flap oscillation**: node D's declared cost is toggled
+//!    repeatedly, so routes through D revisit recently-abandoned
+//!    signatures; the oscillation detector must fire **exactly once**,
+//!    emitting the trace's `HealthVerdict`.
+//! 8. **Health-stall post-mortem**: a chaos run under a permanent link
+//!    flap stops making advertised-state progress while stages keep
+//!    ticking; the stall detector arms the flight recorder with a
+//!    `health-stall` dump *before* the stage budget runs out.
 //!
 //! A single invocation therefore emits every `TraceEvent` kind — and every
 //! causal event carries its `cause`/`effect` provenance ids — which
@@ -32,18 +47,20 @@
 //!
 //! Run with: `cargo run -p bgpvcg-bench --bin obs_smoke -- \
 //!     --trace-out trace.jsonl --metrics-out metrics.json \
-//!     --flight-out flight.json`
+//!     --flight-out flight.json --health-out health.json \
+//!     --profile-out profile.json`
 
 use bgpvcg_bench::obs::ObsConfig;
 use bgpvcg_bench::table::Table;
-use bgpvcg_bgp::chaos::FaultPlan;
+use bgpvcg_bgp::chaos::{ChaosEngine, FaultPlan};
 use bgpvcg_bgp::engine::SyncEngine;
 use bgpvcg_bgp::telemetry::metric;
 use bgpvcg_bgp::{Adversary, PlainBgpNode, Strategy, TopologyEvent};
 use bgpvcg_core::protocol;
 use bgpvcg_netgraph::generators::structured::{fig1, petersen, Fig1};
 use bgpvcg_netgraph::{AsId, Cost};
-use bgpvcg_telemetry::{flight, RingBufferSink, TraceEvent, TraceSink};
+use bgpvcg_telemetry::health::DETECTOR_OSCILLATION;
+use bgpvcg_telemetry::{flight, HealthConfig, RingBufferSink, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -124,6 +141,7 @@ fn main() {
     let mut audited =
         protocol::build_audited_sync_engine(&adversarial).expect("Petersen is biconnected");
     audited.attach_telemetry(&telemetry);
+    audited.attach_profiler();
     audited.set_adversary(culprit, Adversary::new(Strategy::Equivocate, 11));
     assert!(
         audited.run_to_convergence().converged,
@@ -134,6 +152,107 @@ fn main() {
         &[culprit],
         "the equivocator must be quarantined"
     );
+    // The audited adversarial run exercises the widest span set: stage,
+    // route-select, wire-encode, price-relax, audit-shadow, adversary-tap,
+    // and the health-fold poll — ≥ 6 phases with nonzero counts.
+    let profiler = audited.profiler().expect("profiler attached");
+    let covered = (0..bgpvcg_telemetry::profile::span::NAMES.len())
+        .filter(|&id| profiler.stat(id).0 > 0)
+        .count();
+    assert!(
+        covered >= 6,
+        "profile must cover >= 6 span phases, got {covered}"
+    );
+    assert_eq!(profiler.truncated(), 0, "span stack must never overflow");
+    obs.write_profile(profiler);
+
+    // Phase 6: an honest observed run — health monitor + profiler attached,
+    // cleanly convergent, and therefore finding-free.
+    let mut observed = protocol::build_sync_engine(&g).expect("Fig. 1 is biconnected");
+    observed.attach_telemetry(&telemetry);
+    observed.attach_health(HealthConfig::default());
+    observed.attach_profiler();
+    assert!(observed.run_to_convergence().converged);
+    let honest_health = observed.health_sink().expect("health attached").snapshot();
+    assert!(
+        honest_health.findings().is_empty(),
+        "honest convergence must raise zero health findings: {:?}",
+        honest_health.findings()
+    );
+    assert!(
+        !honest_health.latency().is_empty(),
+        "quiescence must fold per-destination latency sketches"
+    );
+    obs.write_health(&honest_health);
+
+    // Phase 7: flap D's declared cost so routes through D keep revisiting
+    // recently-abandoned signatures — the oscillation detector must fire
+    // exactly once (at most one finding per detector per run).
+    let mut flappy = protocol::build_sync_engine(&g).expect("Fig. 1 is biconnected");
+    flappy.attach_telemetry(&telemetry);
+    flappy.attach_health(HealthConfig::default());
+    assert!(flappy.run_to_convergence().converged);
+    for round in 0..6u64 {
+        let cost = if round % 2 == 0 {
+            Cost::new(9)
+        } else {
+            Cost::new(1)
+        };
+        assert!(
+            flappy
+                .apply_event(TopologyEvent::CostChange(Fig1::D, cost))
+                .converged,
+            "each cost flap must still reconverge"
+        );
+    }
+    let flap_findings = flappy.health_sink().expect("health attached").findings();
+    assert_eq!(
+        flap_findings.len(),
+        1,
+        "cost flapping must seed exactly one finding: {flap_findings:?}"
+    );
+    assert_eq!(flap_findings[0].detector, DETECTOR_OSCILLATION);
+    println!(
+        "health: cost flap seeded 1 oscillation finding (node {}, dest {}, {} revisits)",
+        flap_findings[0].node, flap_findings[0].dest, flap_findings[0].count
+    );
+
+    // Phase 8: a permanent link flap starves the chaos run of progress;
+    // the stall detector must write the health post-mortem before the
+    // stage budget expires, and the dump must carry the health reason.
+    let stall_dir = std::env::temp_dir().join(format!("bgpvcg-obs-stall-{}", std::process::id()));
+    std::fs::create_dir_all(&stall_dir).expect("stall temp dir");
+    let stall_path = stall_dir.join("flight_health_stall.json");
+    let stall_plan = FaultPlan::quiet().with_flap(5, 10_000, Fig1::B, Fig1::D);
+    let mut stall = ChaosEngine::new(&g, PlainBgpNode::from_graph(&g), stall_plan);
+    stall.attach_telemetry(&telemetry);
+    stall.attach_flight_recorder(&stall_path, 64);
+    stall.attach_health(HealthConfig {
+        stall_stages: 24,
+        ..HealthConfig::default()
+    });
+    let stall_report = stall.run_to_stable(160);
+    assert!(
+        !stall_report.converged,
+        "a permanently flapped link must not stabilize"
+    );
+    assert!(
+        stall.health_sink().expect("health attached").stalled(),
+        "the stall detector must fire before the stage budget"
+    );
+    let stall_dump =
+        std::fs::read_to_string(&stall_path).expect("stall must leave a health post-mortem");
+    flight::validate_dump(&stall_dump).expect("health post-mortem validates against the schema");
+    assert!(
+        stall_dump.contains(&format!("\"reason\":\"{}\"", flight::REASON_HEALTH_STALL)),
+        "the post-mortem must carry the health-stall reason, not the generic one"
+    );
+    println!(
+        "health: stalled chaos run dumped a {}-byte {} post-mortem",
+        stall_dump.len(),
+        flight::REASON_HEALTH_STALL
+    );
+    std::fs::remove_dir_all(&stall_dir).ok();
 
     let mut kind_counts: BTreeMap<&str, u64> = BTreeMap::new();
     for event in ring.events() {
@@ -172,12 +291,21 @@ fn main() {
         "AdversaryInjected",
         "AuditViolation",
         "NodeQuarantined",
+        "HealthVerdict",
+        "SpanSummary",
     ] {
         assert!(
             kind_counts.get(kind).copied().unwrap_or(0) > 0,
             "smoke trace must contain at least one {kind} event"
         );
     }
+    // Exactly the seeded findings: one oscillation (phase 7) plus one
+    // stall (phase 8) — the honest phases contribute nothing.
+    assert_eq!(
+        kind_counts.get("HealthVerdict").copied().unwrap_or(0),
+        2,
+        "the trace must carry exactly the two seeded health verdicts"
+    );
     // Causal provenance: every route/price/withdrawal event must carry a
     // stamped effect id, and its cause must precede it in the monotone
     // update-id order (0 = caused by the environment, not by an update).

@@ -11,21 +11,31 @@
 //!   flight recorder ([`bgpvcg_telemetry::flight`]) should dump the
 //!   last-events ring and state snapshot if a run overruns its stage
 //!   budget. Binaries that attach no recorder accept and ignore it.
+//! * `--health-out PATH` — at exit, write the streaming health monitor's
+//!   report (`bgpvcg-health-v1`: findings plus per-destination
+//!   convergence-latency quantiles; see [`bgpvcg_telemetry::health`]).
+//! * `--profile-out PATH` — at exit, write the span profiler's report
+//!   (`bgpvcg-profile-v1`) plus a collapsed-stack text sibling with the
+//!   extension replaced by `.folded` (flamegraph-ready; see
+//!   [`bgpvcg_telemetry::profile`]).
 //!
 //! Without flags the binaries behave exactly as before: the registry still
 //! aggregates (the tables are printed from it), but nothing hits disk.
 //! See `docs/OBSERVABILITY.md` for the event taxonomy and metric names.
 
-use bgpvcg_telemetry::{expose, Telemetry};
+use bgpvcg_telemetry::{expose, HealthMonitor, SpanProfiler, Telemetry};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-/// Parsed `--trace-out` / `--metrics-out` / `--flight-out` flags plus the
-/// [`Telemetry`] handle they configure.
+/// Parsed `--trace-out` / `--metrics-out` / `--flight-out` /
+/// `--health-out` / `--profile-out` flags plus the [`Telemetry`] handle
+/// they configure.
 #[derive(Debug)]
 pub struct ObsConfig {
     metrics_out: Option<PathBuf>,
     flight_out: Option<PathBuf>,
+    health_out: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
     telemetry: Telemetry,
 }
 
@@ -37,21 +47,57 @@ impl ObsConfig {
         Self::from_iter(std::env::args().skip(1))
     }
 
+    /// Splits `args` into the shared observability flags (consumed into an
+    /// `ObsConfig`) and everything else (returned for the binary's own
+    /// parser). Lets experiments with their own CLIs (`--smoke`, `--out`,
+    /// ...) still accept the shared `--trace-out`/.../`--profile-out`
+    /// surface.
+    pub fn extract<I: IntoIterator<Item = String>>(args: I) -> (Self, Vec<String>) {
+        let mut obs_args = Vec::new();
+        let mut rest = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if matches!(
+                arg.as_str(),
+                "--trace-out" | "--metrics-out" | "--flight-out" | "--health-out" | "--profile-out"
+            ) {
+                match args.next() {
+                    Some(path) => {
+                        obs_args.push(arg);
+                        obs_args.push(path);
+                    }
+                    None => {
+                        eprintln!("`{arg}` requires a PATH argument");
+                        exit(2);
+                    }
+                }
+            } else {
+                rest.push(arg);
+            }
+        }
+        (Self::from_iter(obs_args), rest)
+    }
+
     fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut trace_out: Option<PathBuf> = None;
         let mut metrics_out: Option<PathBuf> = None;
         let mut flight_out: Option<PathBuf> = None;
+        let mut health_out: Option<PathBuf> = None;
+        let mut profile_out: Option<PathBuf> = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let slot = match arg.as_str() {
                 "--trace-out" => &mut trace_out,
                 "--metrics-out" => &mut metrics_out,
                 "--flight-out" => &mut flight_out,
+                "--health-out" => &mut health_out,
+                "--profile-out" => &mut profile_out,
                 _ => {
                     eprintln!("unknown argument `{arg}`");
                     eprintln!(
                         "usage: <experiment> [--trace-out PATH] \
-                         [--metrics-out PATH] [--flight-out PATH]"
+                         [--metrics-out PATH] [--flight-out PATH] \
+                         [--health-out PATH] [--profile-out PATH]"
                     );
                     exit(2);
                 }
@@ -72,6 +118,8 @@ impl ObsConfig {
         ObsConfig {
             metrics_out,
             flight_out,
+            health_out,
+            profile_out,
             telemetry,
         }
     }
@@ -80,6 +128,35 @@ impl ObsConfig {
     /// the caller asked for one with `--flight-out`.
     pub fn flight_out(&self) -> Option<&Path> {
         self.flight_out.as_deref()
+    }
+
+    /// Where the health report should land (`--health-out`).
+    pub fn health_out(&self) -> Option<&Path> {
+        self.health_out.as_deref()
+    }
+
+    /// Where the profile report should land (`--profile-out`).
+    pub fn profile_out(&self) -> Option<&Path> {
+        self.profile_out.as_deref()
+    }
+
+    /// Writes `monitor`'s `bgpvcg-health-v1` report to the `--health-out`
+    /// path, if one was given. Call once, with the sweep's merged (or
+    /// final) monitor state.
+    pub fn write_health(&self, monitor: &HealthMonitor) {
+        if let Some(path) = &self.health_out {
+            write_or_die(path, &monitor.to_json());
+        }
+    }
+
+    /// Writes `profiler`'s `bgpvcg-profile-v1` report to the
+    /// `--profile-out` path plus its collapsed-stack text to the
+    /// `.folded` sibling, if a path was given.
+    pub fn write_profile(&self, profiler: &SpanProfiler) {
+        if let Some(path) = &self.profile_out {
+            write_or_die(path, &profiler.to_json());
+            write_or_die(&path.with_extension("folded"), &profiler.collapsed());
+        }
     }
 
     /// The telemetry handle every run in the binary should share, so the
@@ -136,6 +213,59 @@ mod tests {
             config.flight_out().unwrap().to_str().unwrap(),
             "target/obs/flight.json"
         );
+    }
+
+    #[test]
+    fn extract_splits_obs_flags_from_binary_flags() {
+        let (config, rest) = ObsConfig::extract(
+            [
+                "--smoke",
+                "--health-out",
+                "target/obs/health.json",
+                "--out",
+                "x.json",
+                "--profile-out",
+                "target/obs/profile.json",
+            ]
+            .map(str::to_string),
+        );
+        assert_eq!(
+            config.health_out().unwrap().to_str().unwrap(),
+            "target/obs/health.json"
+        );
+        assert_eq!(
+            config.profile_out().unwrap().to_str().unwrap(),
+            "target/obs/profile.json"
+        );
+        assert!(config.flight_out().is_none());
+        assert_eq!(rest, ["--smoke", "--out", "x.json"]);
+    }
+
+    #[test]
+    fn health_and_profile_writers_emit_schema_pinned_artifacts() {
+        use bgpvcg_telemetry::profile::span;
+        let dir = std::env::temp_dir().join("bgpvcg-obs-writers-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let health_path = dir.join("health.json");
+        let profile_path = dir.join("profile.json");
+        let config = ObsConfig::from_iter([
+            "--health-out".to_string(),
+            health_path.display().to_string(),
+            "--profile-out".to_string(),
+            profile_path.display().to_string(),
+        ]);
+        config.write_health(&HealthMonitor::new(Default::default()));
+        let mut profiler = SpanProfiler::engine();
+        profiler.enter(span::STAGE, 10);
+        profiler.exit(30);
+        config.write_profile(&profiler);
+        let health = std::fs::read_to_string(&health_path).unwrap();
+        assert!(health.contains("bgpvcg-health-v1"), "{health}");
+        let profile = std::fs::read_to_string(&profile_path).unwrap();
+        assert!(profile.contains("bgpvcg-profile-v1"), "{profile}");
+        let folded = std::fs::read_to_string(profile_path.with_extension("folded")).unwrap();
+        assert!(folded.contains("stage 20"), "{folded}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Convergence health monitor properties over the benchmark families.
+//!
+//! The streaming SLO analyzer (`bgpvcg_telemetry::health`) must hold
+//! three contracts under sweep pressure: honest converged runs raise
+//! *zero* findings on every family, size, and seed (the monitor is a
+//! zero-false-positive detector, like the online auditor); the verdict is
+//! a pure function of the deterministic event stream, so serial and
+//! parallel engines at any worker count produce byte-identical health
+//! reports; and the mergeable quantile sketch the latency SLOs ride on is
+//! order- and associativity-insensitive, so sweep-merged reports equal
+//! single-pass ones.
+
+use bgpvcg_bench::families::Family;
+use bgpvcg_core::protocol;
+use bgpvcg_telemetry::{HealthConfig, QuantileSketch};
+use proptest::prelude::*;
+
+/// Runs the pricing protocol on `graph` with the health monitor attached
+/// and returns the monitor's full JSON report.
+fn health_report(
+    graph: &bgpvcg_netgraph::AsGraph,
+    workers: usize,
+) -> Result<String, TestCaseError> {
+    let mut engine = if workers <= 1 {
+        protocol::build_sync_engine(graph)
+    } else {
+        protocol::build_sync_engine_parallel(graph, workers)
+    }
+    .expect("benchmark families satisfy the mechanism preconditions");
+    engine.attach_health(HealthConfig::default());
+    prop_assert!(engine.run_to_convergence().converged);
+    let sink = engine.health_sink().expect("health attached");
+    let monitor = sink.snapshot();
+    prop_assert!(
+        monitor.findings().is_empty(),
+        "honest run raised findings: {:?}",
+        monitor.findings()
+    );
+    prop_assert!(!monitor.stalled());
+    prop_assert!(monitor.stages_seen() > 0);
+    prop_assert!(
+        !monitor.latency().is_empty(),
+        "a converged run must record convergence latencies"
+    );
+    Ok(monitor.to_json())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Honest converged runs are the SLO baseline: zero findings, no
+    /// stall, non-empty per-destination latency sketches — on every
+    /// family, size, and seed.
+    #[test]
+    fn honest_runs_raise_zero_findings(
+        family_idx in 0usize..Family::ALL.len(),
+        n in 8usize..14,
+        seed in 0u64..u64::MAX,
+    ) {
+        let family = Family::ALL[family_idx];
+        let graph = family.build(n, seed ^ 0xB10C_ED11);
+        health_report(&graph, 1)?;
+    }
+
+    /// The health verdict is a function of the (deterministic) event
+    /// stream, not of the execution strategy: the parallel engine's
+    /// report is byte-identical to the serial one at every worker count.
+    #[test]
+    fn verdict_is_worker_count_invariant(
+        family_idx in 0usize..Family::ALL.len(),
+        n in 8usize..14,
+        seed in 0u64..u64::MAX,
+        workers in 2usize..9,
+    ) {
+        let family = Family::ALL[family_idx];
+        let graph = family.build(n, seed ^ 0x9EA1_7447);
+        let serial = health_report(&graph, 1)?;
+        let parallel = health_report(&graph, workers)?;
+        prop_assert_eq!(
+            serial,
+            parallel,
+            "{} n={n} workers={workers}: health report depends on worker count",
+            family.name()
+        );
+    }
+
+    /// Sketch merging is associative and agrees with single-pass
+    /// recording: however a sweep shards its observations, the merged
+    /// sketch reports the same count, sum, max, and quantiles.
+    #[test]
+    fn sketch_merge_is_associative(
+        values in proptest::collection::vec(0u64..1 << 48, 0..256),
+        cut_a in 0usize..257,
+        cut_b in 0usize..257,
+    ) {
+        let (cut_a, cut_b) = {
+            let a = cut_a.min(values.len());
+            let b = cut_b.min(values.len());
+            (a.min(b), a.max(b))
+        };
+        let record = |slice: &[u64]| {
+            let mut sketch = QuantileSketch::new();
+            for &v in slice {
+                sketch.record(v);
+            }
+            sketch
+        };
+        let (a, b, c) = (
+            record(&values[..cut_a]),
+            record(&values[cut_a..cut_b]),
+            record(&values[cut_b..]),
+        );
+
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail);
+        // Single pass over everything.
+        let single = record(&values);
+
+        for sketch in [&left, &right] {
+            prop_assert_eq!(sketch.count(), single.count());
+            prop_assert_eq!(sketch.sum(), single.sum());
+            prop_assert_eq!(sketch.max(), single.max());
+            for permille in [0, 100, 500, 900, 990, 1000] {
+                prop_assert_eq!(
+                    sketch.quantile_permille(permille),
+                    single.quantile_permille(permille),
+                    "p{permille} diverges under merge"
+                );
+            }
+        }
+        prop_assert_eq!(left.to_json(), right.to_json());
+        prop_assert_eq!(left.to_json(), single.to_json());
+    }
+}

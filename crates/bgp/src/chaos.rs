@@ -56,7 +56,11 @@ use crate::telemetry::UpdateTracer;
 use crate::wire;
 use bgpvcg_netgraph::{AsGraph, AsId};
 use bgpvcg_telemetry::flight::{self, FlightRecorder, StateSnapshot};
-use bgpvcg_telemetry::{Telemetry, TraceEvent};
+use bgpvcg_telemetry::profile::span;
+use bgpvcg_telemetry::{
+    Clock, HealthConfig, HealthSink, SpanId, SpanProfiler, SystemClock, Telemetry, TraceEvent,
+    TraceSink,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -387,6 +391,16 @@ pub struct ChaosEngine<N> {
     /// function, so retransmitted and re-established streams stay
     /// self-consistent and runs replay exactly.
     adversaries: Vec<Option<Adversary>>,
+    /// Attached hierarchical span profiler (`None` = zero overhead); see
+    /// [`attach_profiler`](Self::attach_profiler).
+    profiler: Option<SpanProfiler>,
+    /// Clock backing the profiler's timestamps.
+    prof_clock: Option<Arc<dyn Clock>>,
+    /// Attached streaming health monitor, teed into the trace stream; see
+    /// [`attach_health`](Self::attach_health).
+    health: Option<Arc<HealthSink>>,
+    /// Whether the one-shot health-stall post-mortem has been written.
+    health_stall_dumped: bool,
 }
 
 impl<N: ProtocolNode> ChaosEngine<N> {
@@ -433,6 +447,10 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             stage_active: false,
             scratch: Vec::new(),
             adversaries: (0..n).map(|_| None).collect(),
+            profiler: None,
+            prof_clock: None,
+            health: None,
+            health_stall_dumped: false,
         }
     }
 
@@ -468,6 +486,21 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     fn adversarial_payload(&mut self, from: u32, to: u32, update: &Update) -> Option<Update> {
         // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         self.adversaries[from as usize].as_ref()?;
+        self.prof_enter(span::ADVERSARY_TAP);
+        let out = self.adversarial_payload_tapped(from, to, update);
+        self.prof_exit();
+        out
+    }
+
+    /// The armed-tap body of [`adversarial_payload`]
+    /// (Self::adversarial_payload), split out so the profiler span
+    /// brackets every early return.
+    fn adversarial_payload_tapped(
+        &mut self,
+        from: u32,
+        to: u32,
+        update: &Update,
+    ) -> Option<Update> {
         // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
         let rank = self.adjacency[from as usize]
             .iter()
@@ -514,6 +547,131 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     /// The attached flight recorder, if any.
     pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
         self.flight.as_ref()
+    }
+
+    /// Attaches the hierarchical span profiler over the harness phases
+    /// (per-stage root, route-select/handle, wire framing, and the
+    /// session/retransmit timer pass). Timestamps come from the attached
+    /// telemetry's clock, or a fresh [`SystemClock`] when detached. Call
+    /// after [`attach_telemetry`](Self::attach_telemetry).
+    pub fn attach_profiler(&mut self) {
+        self.prof_clock = Some(match &self.telemetry {
+            Some(t) => t.clock_handle(),
+            None => Arc::new(SystemClock::new()),
+        });
+        self.profiler = Some(SpanProfiler::engine());
+    }
+
+    /// The attached span profiler's current totals, if any.
+    pub fn profiler(&self) -> Option<&SpanProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Detaches and returns the span profiler (e.g. to merge shards).
+    pub fn take_profiler(&mut self) -> Option<SpanProfiler> {
+        self.prof_clock = None;
+        self.profiler.take()
+    }
+
+    /// Attaches the streaming convergence-health monitor: a [`HealthSink`]
+    /// is teed into the trace stream so it folds every event as recorded.
+    /// [`run_to_stable`](Self::run_to_stable) polls the stall detector
+    /// after every stage and — with a flight recorder attached — writes a
+    /// [`flight::REASON_HEALTH_STALL`] post-mortem at first stall, before
+    /// the stage budget runs out. Call after `attach_telemetry` /
+    /// `attach_flight_recorder`.
+    pub fn attach_health(&mut self, config: HealthConfig) {
+        let sink = Arc::new(HealthSink::new(config));
+        let telemetry = match &self.telemetry {
+            Some(t) => t.tee(Arc::clone(&sink) as Arc<dyn TraceSink>),
+            None => Telemetry::new(Arc::clone(&sink) as Arc<dyn TraceSink>),
+        };
+        self.tracer = Some(UpdateTracer::new(&telemetry));
+        self.telemetry = Some(telemetry);
+        self.health = Some(sink);
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health_sink(&self) -> Option<&Arc<HealthSink>> {
+        self.health.as_ref()
+    }
+
+    /// Opens span `id` on the attached profiler (no-op when detached).
+    fn prof_enter(&mut self, id: SpanId) {
+        if let (Some(profiler), Some(clock)) = (self.profiler.as_mut(), self.prof_clock.as_ref()) {
+            profiler.enter(id, clock.now_nanos());
+        }
+    }
+
+    /// Closes the innermost open span (no-op when detached).
+    fn prof_exit(&mut self) {
+        if let (Some(profiler), Some(clock)) = (self.profiler.as_mut(), self.prof_clock.as_ref()) {
+            profiler.exit(clock.now_nanos());
+        }
+    }
+
+    /// Writes the one-shot health-stall post-mortem (the fired findings as
+    /// snapshots plus the session-layer run counters). Best-effort; a
+    /// no-op without a recorder.
+    fn dump_health_flight(&mut self) {
+        if self.health_stall_dumped {
+            return;
+        }
+        self.health_stall_dumped = true;
+        let Some(recorder) = &self.flight else {
+            return;
+        };
+        let findings = self
+            .health
+            .as_ref()
+            .map(|h| h.findings())
+            .unwrap_or_default();
+        let snapshots: Vec<StateSnapshot> = findings
+            .iter()
+            .take(64)
+            .map(|f| StateSnapshot {
+                node: f.node,
+                fields: vec![
+                    ("detector", u64::from(f.detector)),
+                    ("stage", f.stage),
+                    ("dest", u64::from(f.dest)),
+                    ("count", f.count),
+                    ("threshold", f.threshold),
+                ],
+            })
+            .collect();
+        let _ = recorder.dump(
+            flight::REASON_HEALTH_STALL,
+            self.stage,
+            &[
+                ("findings", findings.len() as u64),
+                ("messages", self.report.messages),
+                ("retransmits", self.report.retransmits),
+                ("session_resets", self.report.session_resets),
+                ("updates_stamped", self.update_seq),
+                ("nodes", self.nodes.len() as u64),
+            ],
+            &snapshots,
+        );
+    }
+
+    /// Emits end-of-run observability: freshly-fired health findings as
+    /// `HealthVerdict` events and the profiler's cumulative per-span
+    /// totals as `SpanSummary` events, stamped with the current stage.
+    fn emit_run_observability(&mut self) {
+        let Some(telemetry) = self.telemetry.clone() else {
+            return;
+        };
+        if let Some(health) = self.health.as_ref() {
+            for finding in health.drain_new_findings() {
+                telemetry.record(&finding.to_event());
+            }
+        }
+        if let Some(profiler) = self.profiler.as_ref() {
+            for event in profiler.summary_events(self.stage) {
+                telemetry.record(&event);
+            }
+        }
     }
 
     /// Writes the divergence dump after a budget exhaustion. Best-effort:
@@ -1056,6 +1214,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
     /// faults, establishment, delivery, handling, timers — and every loop
     /// iterates in ascending node/peer order, so runs replay exactly.
     pub fn step(&mut self) {
+        self.prof_enter(span::STAGE);
         self.stage += 1;
         self.stage_active = false;
         let stage = self.stage;
@@ -1129,6 +1288,7 @@ impl<N: ProtocolNode> ChaosEngine<N> {
 
         // Handle pass: nodes ingest this stage's in-order Data payloads
         // and broadcast what changed.
+        self.prof_enter(span::ROUTE_SELECT);
         for idx in 0..self.nodes.len() as u32 {
             // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let updates = std::mem::take(&mut self.pending[idx as usize]);
@@ -1140,11 +1300,15 @@ impl<N: ProtocolNode> ChaosEngine<N> {
             // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             let out = self.nodes[idx as usize].handle(&updates);
             if let Some(update) = out {
+                self.prof_enter(span::WIRE_ENCODE);
                 self.broadcast(idx, update);
+                self.prof_exit();
             }
         }
+        self.prof_exit();
 
         // Timer pass: retransmits, hold expiry, keepalives.
+        self.prof_enter(span::SESSION_RETRANSMIT);
         for me in 0..self.nodes.len() as u32 {
             // lint:allow(bounds: per-node session state is sized n at construction and node ids are below n)
             if !self.up[me as usize] {
@@ -1218,6 +1382,8 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                 }
             }
         }
+        self.prof_exit();
+        self.prof_exit();
     }
 
     /// `true` when nothing recovery-relevant is pending: no sequenced
@@ -1249,6 +1415,16 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         let mut idle_streak = 0u64;
         while self.stage < max_stages {
             self.step();
+            // Health bookkeeping: the monitor folded this stage's events
+            // through the trace tee; at first stall verdict the flight
+            // recorder is armed with the health post-mortem, before the
+            // stage budget runs out and a generic not-stabilized dump
+            // would bury the cause.
+            self.prof_enter(span::HEALTH_FOLD);
+            if self.health.as_ref().is_some_and(|h| h.stalled()) {
+                self.dump_health_flight();
+            }
+            self.prof_exit();
             if self.stage > activity_end && self.is_idle() {
                 idle_streak += 1;
                 if idle_streak >= 2 {
@@ -1261,7 +1437,11 @@ impl<N: ProtocolNode> ChaosEngine<N> {
         }
         self.report.converged = false;
         self.finish(activity_end);
-        self.dump_flight();
+        // The health post-mortem, if one fired, is the richer artifact —
+        // don't overwrite it with the generic budget-exhaustion dump.
+        if !self.health_stall_dumped {
+            self.dump_flight();
+        }
         self.report
     }
 
@@ -1273,6 +1453,9 @@ impl<N: ProtocolNode> ChaosEngine<N> {
                 stage: self.stage,
                 messages: self.report.messages,
             });
+        }
+        self.emit_run_observability();
+        if let Some(t) = &self.telemetry {
             t.flush();
         }
     }

@@ -56,6 +56,7 @@
 pub mod accounting;
 pub mod audit;
 pub mod baseline;
+pub mod econ;
 pub mod neighbor_costs;
 pub mod overcharge;
 pub mod protocol;

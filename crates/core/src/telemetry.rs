@@ -24,4 +24,11 @@ pub mod metric {
     /// Deviations that strictly increased the liar's utility. Theorem 1
     /// says this counter never moves; a nonzero value is a mechanism bug.
     pub const PROFITABLE_DEVIATIONS: &str = "vcg_profitable_deviations_total";
+    /// Gauge-name prefix for node `k`'s overpayment premium
+    /// `Σ (p^k_ij − c_k)` over pairs currently transiting `k`; the full
+    /// name appends `k`'s index (see [`crate::econ`]).
+    pub const PREMIUM_AS_PREFIX: &str = "vcg_premium_node_";
+    /// Aggregate welfare gauge: the sum of every node's premium, sampled
+    /// per stage.
+    pub const WELFARE_TOTAL: &str = "vcg_welfare_total";
 }

@@ -171,6 +171,40 @@ pub enum TraceEvent {
         /// The quarantined AS.
         node: u32,
     },
+    /// A streaming health detector fired (see the `health` module and
+    /// `docs/OBSERVABILITY.md` §health-SLOs). At most one verdict per
+    /// detector is emitted per run.
+    HealthVerdict {
+        /// Stage at which the detector fired.
+        stage: u64,
+        /// Detector code: 0 route oscillation, 1 price-churn spike,
+        /// 2 convergence stall.
+        detector: u32,
+        /// The AS the finding concerns (`u32::MAX` for run-wide findings).
+        node: u32,
+        /// The destination the finding concerns (`u32::MAX` for run-wide
+        /// findings).
+        dest: u32,
+        /// The measured quantity that crossed the threshold (revisits,
+        /// relaxations in the spike stage, quiet stages).
+        count: u64,
+        /// The configured threshold the measurement crossed.
+        threshold: u64,
+    },
+    /// End-of-run profile line for one engine phase (see the `profile`
+    /// module; span ids are the fixed `profile::span` table).
+    SpanSummary {
+        /// Final stage of the profiled run.
+        stage: u64,
+        /// Span id in the fixed engine span table.
+        span: u32,
+        /// Times the span was entered.
+        count: u64,
+        /// Inclusive nanoseconds (children included).
+        total_nanos: u64,
+        /// Exclusive nanoseconds (children subtracted).
+        self_nanos: u64,
+    },
 }
 
 impl TraceEvent {
@@ -190,6 +224,8 @@ impl TraceEvent {
             TraceEvent::AdversaryInjected { .. } => "AdversaryInjected",
             TraceEvent::AuditViolation { .. } => "AuditViolation",
             TraceEvent::NodeQuarantined { .. } => "NodeQuarantined",
+            TraceEvent::HealthVerdict { .. } => "HealthVerdict",
+            TraceEvent::SpanSummary { .. } => "SpanSummary",
         }
     }
 
@@ -207,7 +243,9 @@ impl TraceEvent {
             | TraceEvent::NodeRestart { stage, .. }
             | TraceEvent::AdversaryInjected { stage, .. }
             | TraceEvent::AuditViolation { stage, .. }
-            | TraceEvent::NodeQuarantined { stage, .. } => stage,
+            | TraceEvent::NodeQuarantined { stage, .. }
+            | TraceEvent::HealthVerdict { stage, .. }
+            | TraceEvent::SpanSummary { stage, .. } => stage,
         }
     }
 
@@ -335,6 +373,34 @@ impl TraceEvent {
             TraceEvent::NodeQuarantined { stage, node } => {
                 w.field("stage", stage);
                 w.field("node", u64::from(node));
+            }
+            TraceEvent::HealthVerdict {
+                stage,
+                detector,
+                node,
+                dest,
+                count,
+                threshold,
+            } => {
+                w.field("stage", stage);
+                w.field("detector", u64::from(detector));
+                w.field("node", u64::from(node));
+                w.field("dest", u64::from(dest));
+                w.field("count", count);
+                w.field("threshold", threshold);
+            }
+            TraceEvent::SpanSummary {
+                stage,
+                span,
+                count,
+                total_nanos,
+                self_nanos,
+            } => {
+                w.field("stage", stage);
+                w.field("span", u64::from(span));
+                w.field("count", count);
+                w.field("total_nanos", total_nanos);
+                w.field("self_nanos", self_nanos);
             }
         }
         w.finish()
@@ -482,6 +548,21 @@ mod tests {
                 violation: 0,
             },
             TraceEvent::NodeQuarantined { stage: 9, node: 3 },
+            TraceEvent::HealthVerdict {
+                stage: 10,
+                detector: 0,
+                node: 1,
+                dest: 2,
+                count: 4,
+                threshold: 3,
+            },
+            TraceEvent::SpanSummary {
+                stage: 10,
+                span: 1,
+                count: 12,
+                total_nanos: 900,
+                self_nanos: 600,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
         assert_eq!(
@@ -499,10 +580,12 @@ mod tests {
                 "AdversaryInjected",
                 "AuditViolation",
                 "NodeQuarantined",
+                "HealthVerdict",
+                "SpanSummary",
             ]
         );
         kinds.dedup();
-        assert_eq!(kinds.len(), 12);
+        assert_eq!(kinds.len(), 14);
     }
 
     #[test]

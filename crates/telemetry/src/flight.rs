@@ -51,6 +51,11 @@ pub const REASON_NOT_STABILIZED: &str = "chaos-not-stabilized";
 /// node advertising something the honest protocol would not have.
 pub const REASON_AUDIT_VIOLATION: &str = "audit-violation";
 
+/// Reason string for a dump armed by the streaming health monitor's stall
+/// detector — a post-mortem captured *before* the hard stage-limit overrun
+/// would fire (see the `health` module and `docs/OBSERVABILITY.md`).
+pub const REASON_HEALTH_STALL: &str = "health-stall";
+
 /// One engine entity's state at dump time, as flat `key: value` gauges
 /// (e.g. a node's inbox depth, a session's unacked backlog).
 #[derive(Debug, Clone, PartialEq, Eq)]

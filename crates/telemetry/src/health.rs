@@ -1,0 +1,626 @@
+//! Streaming convergence-health detectors (SLO monitors).
+//!
+//! [`HealthMonitor`] folds the live [`TraceEvent`] stream — no replay, no
+//! buffering of the whole trace — and maintains three detectors plus
+//! per-destination convergence-latency sketches
+//! (`docs/OBSERVABILITY.md` §health-SLOs):
+//!
+//! * **Route oscillation** (detector 0): a `(node, dest)` pair re-selects
+//!   a route it recently moved away from at least
+//!   [`HealthConfig::flap_revisits`] times inside a
+//!   [`HealthConfig::flap_window`]-stage window. FPSS convergence is
+//!   monotone, so any revisit at all means the inputs are flapping
+//!   (costs, links, or an adversary), and repeated revisits are the
+//!   instability signature the related route-incentive literature warns
+//!   about.
+//! * **Price-churn spike** (detector 1): the number of `PriceRelaxed`
+//!   events in one stage exceeds [`HealthConfig::churn_factor`] × the
+//!   trailing mean over the previous [`HealthConfig::churn_window`] full
+//!   stages (and an absolute floor, so small reconvergences never
+//!   alarm). Warm-up stages — before one full window of history exists —
+//!   are never judged, which keeps honest initial convergence quiet.
+//! * **Convergence stall** (detector 2): stages keep starting but no
+//!   advertised state (route, price, withdrawal) has changed for more
+//!   than [`HealthConfig::stall_stages`] stages. Engines use
+//!   [`HealthMonitor::stalled`] to arm the divergence flight recorder
+//!   with a [`crate::flight::REASON_HEALTH_STALL`] post-mortem *before*
+//!   the hard stage-limit overrun destroys the evidence.
+//!
+//! Each detector reports **at most one finding per run** (the first
+//! trigger, with the measured count), so "exactly the seeded findings"
+//! is a meaningful acceptance check and honest runs assert zero findings.
+//!
+//! Everything is stage-denominated integer arithmetic — no wall clock —
+//! so serial and parallel engines folding the same (deterministically
+//! ordered) event stream produce bit-identical verdicts and sketches.
+
+use crate::event::TraceEvent;
+use crate::series::QuantileSketch;
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Detector code for route-flap / oscillation findings.
+pub const DETECTOR_OSCILLATION: u32 = 0;
+/// Detector code for price-churn spike findings.
+pub const DETECTOR_CHURN: u32 = 1;
+/// Detector code for convergence-stall findings.
+pub const DETECTOR_STALL: u32 = 2;
+
+/// `node`/`dest` value for findings that concern the whole run.
+pub const RUN_WIDE: u32 = u32::MAX;
+
+/// Thresholds for the streaming detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Revisits of a recently-abandoned route that count as oscillation.
+    pub flap_revisits: u64,
+    /// Window (in stages) revisits must fall within.
+    pub flap_window: u64,
+    /// Trailing stages forming the churn baseline.
+    pub churn_window: u64,
+    /// Spike multiplier over the trailing mean.
+    pub churn_factor: u64,
+    /// Absolute floor: a stage below this many relaxations never spikes.
+    pub churn_min_events: u64,
+    /// Consecutive stages without advertised-state change that count as a
+    /// stall.
+    pub stall_stages: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            flap_revisits: 3,
+            flap_window: 32,
+            churn_window: 8,
+            churn_factor: 4,
+            churn_min_events: 32,
+            stall_stages: 64,
+        }
+    }
+}
+
+/// One detector firing: what crossed which threshold, where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthFinding {
+    /// Detector code ([`DETECTOR_OSCILLATION`] etc.).
+    pub detector: u32,
+    /// Stage at which the detector fired.
+    pub stage: u64,
+    /// Concerned AS ([`RUN_WIDE`] for run-wide findings).
+    pub node: u32,
+    /// Concerned destination ([`RUN_WIDE`] for run-wide findings).
+    pub dest: u32,
+    /// The measured quantity.
+    pub count: u64,
+    /// The threshold it crossed.
+    pub threshold: u64,
+}
+
+impl HealthFinding {
+    /// The trace emission for this finding.
+    pub fn to_event(&self) -> TraceEvent {
+        TraceEvent::HealthVerdict {
+            stage: self.stage,
+            detector: self.detector,
+            node: self.node,
+            dest: self.dest,
+            count: self.count,
+            threshold: self.threshold,
+        }
+    }
+
+    /// Human-readable detector name.
+    pub fn detector_name(&self) -> &'static str {
+        detector_name(self.detector)
+    }
+}
+
+/// Human-readable name for a detector code.
+pub fn detector_name(detector: u32) -> &'static str {
+    match detector {
+        DETECTOR_OSCILLATION => "oscillation",
+        DETECTOR_CHURN => "churn-spike",
+        DETECTOR_STALL => "stall",
+        _ => "unknown",
+    }
+}
+
+/// Per-(node, dest) route history backing the oscillation detector. Route
+/// identity is the advertised `(hops, path_cost)` signature.
+#[derive(Debug, Clone, Copy)]
+struct RouteHistory {
+    last: (u32, u64),
+    before_last: Option<(u32, u64)>,
+    revisits: u64,
+    window_start: u64,
+}
+
+/// Streaming health monitor; fold events with [`HealthMonitor::fold`].
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    routes: BTreeMap<(u32, u32), RouteHistory>,
+    /// Stage currently being filled by `relax_in_stage`.
+    current_stage: u64,
+    relax_in_stage: u64,
+    /// Completed-stage relaxation counts, most recent last, capped at
+    /// `churn_window`.
+    churn_history: Vec<u64>,
+    last_progress_stage: u64,
+    /// Stage of the last advertised-state change per destination, folded
+    /// into `latency` at each quiescence.
+    last_change_by_dest: BTreeMap<u32, u64>,
+    latency: BTreeMap<u32, QuantileSketch>,
+    findings: Vec<HealthFinding>,
+    fired: [bool; 3],
+    stages_seen: u64,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given thresholds.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthMonitor {
+            config,
+            routes: BTreeMap::new(),
+            current_stage: 0,
+            relax_in_stage: 0,
+            churn_history: Vec::new(),
+            last_progress_stage: 0,
+            last_change_by_dest: BTreeMap::new(),
+            latency: BTreeMap::new(),
+            findings: Vec::new(),
+            fired: [false; 3],
+            stages_seen: 0,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Folds one trace event into the detectors.
+    pub fn fold(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::StageStart { stage } => self.on_stage_start(stage),
+            TraceEvent::RouteSelected {
+                node,
+                dest,
+                stage,
+                hops,
+                path_cost,
+                ..
+            } => {
+                self.on_progress(dest, stage);
+                self.on_route_selected(node, dest, stage, (hops, path_cost));
+            }
+            TraceEvent::PriceRelaxed { dest, stage, .. } => {
+                self.on_progress(dest, stage);
+                if stage == self.current_stage {
+                    self.relax_in_stage += 1;
+                }
+            }
+            TraceEvent::Withdrawn { dest, stage, .. } => self.on_progress(dest, stage),
+            TraceEvent::Quiescent { .. } => self.on_quiescent(),
+            _ => {}
+        }
+    }
+
+    fn on_stage_start(&mut self, stage: u64) {
+        self.stages_seen += 1;
+        // Judge the stage that just completed against the trailing baseline,
+        // then roll it into the history.
+        if stage > self.current_stage && self.current_stage > 0 {
+            self.judge_churn();
+            if self.churn_history.len() == self.config.churn_window as usize {
+                self.churn_history.remove(0);
+            }
+            self.churn_history.push(self.relax_in_stage);
+        }
+        self.current_stage = stage;
+        self.relax_in_stage = 0;
+        // Stall: stages keep starting with no advertised-state change.
+        let quiet = stage.saturating_sub(self.last_progress_stage);
+        // lint:allow(bounds: fired is [bool; DETECTORS] and the detector codes are the fixed indices 0..DETECTORS)
+        if quiet > self.config.stall_stages && !self.fired[DETECTOR_STALL as usize] {
+            self.fire(HealthFinding {
+                detector: DETECTOR_STALL,
+                stage,
+                node: RUN_WIDE,
+                dest: RUN_WIDE,
+                count: quiet,
+                threshold: self.config.stall_stages,
+            });
+        }
+    }
+
+    fn judge_churn(&mut self) {
+        if self.churn_history.len() < self.config.churn_window as usize
+            // lint:allow(bounds: fired is [bool; DETECTORS] and the detector codes are the fixed indices 0..DETECTORS)
+            || self.fired[DETECTOR_CHURN as usize]
+        {
+            return;
+        }
+        let baseline: u64 =
+            self.churn_history.iter().sum::<u64>() / self.config.churn_window.max(1);
+        let threshold = (baseline * self.config.churn_factor).max(self.config.churn_min_events);
+        if self.relax_in_stage > threshold {
+            self.fire(HealthFinding {
+                detector: DETECTOR_CHURN,
+                stage: self.current_stage,
+                node: RUN_WIDE,
+                dest: RUN_WIDE,
+                count: self.relax_in_stage,
+                threshold,
+            });
+        }
+    }
+
+    fn on_progress(&mut self, dest: u32, stage: u64) {
+        self.last_progress_stage = self.last_progress_stage.max(stage);
+        let entry = self.last_change_by_dest.entry(dest).or_insert(stage);
+        *entry = (*entry).max(stage);
+    }
+
+    fn on_route_selected(&mut self, node: u32, dest: u32, stage: u64, sig: (u32, u64)) {
+        let config = self.config;
+        let mut finding = None;
+        match self.routes.get_mut(&(node, dest)) {
+            None => {
+                self.routes.insert(
+                    (node, dest),
+                    RouteHistory {
+                        last: sig,
+                        before_last: None,
+                        revisits: 0,
+                        window_start: stage,
+                    },
+                );
+            }
+            Some(history) => {
+                if sig == history.last {
+                    return; // re-advertisement of the same route, not a flap
+                }
+                if stage.saturating_sub(history.window_start) > config.flap_window {
+                    history.revisits = 0;
+                    history.window_start = stage;
+                }
+                if history.before_last == Some(sig) {
+                    history.revisits += 1;
+                    if history.revisits >= config.flap_revisits {
+                        finding = Some(HealthFinding {
+                            detector: DETECTOR_OSCILLATION,
+                            stage,
+                            node,
+                            dest,
+                            count: history.revisits,
+                            threshold: config.flap_revisits,
+                        });
+                    }
+                }
+                history.before_last = Some(history.last);
+                history.last = sig;
+            }
+        }
+        if let Some(finding) = finding {
+            // lint:allow(bounds: fired is [bool; DETECTORS] and the detector codes are the fixed indices 0..DETECTORS)
+            if !self.fired[DETECTOR_OSCILLATION as usize] {
+                self.fire(finding);
+            }
+        }
+    }
+
+    fn on_quiescent(&mut self) {
+        // Fold each destination's settle stage into its latency sketch and
+        // reset for the next convergence episode on the same monitor.
+        for (&dest, &stage) in &self.last_change_by_dest {
+            self.latency.entry(dest).or_default().record(stage);
+        }
+        self.last_change_by_dest.clear();
+    }
+
+    fn fire(&mut self, finding: HealthFinding) {
+        // lint:allow(bounds: findings are only constructed with the fixed detector codes 0..DETECTORS)
+        self.fired[finding.detector as usize] = true;
+        self.findings.push(finding);
+    }
+
+    /// Findings so far, in firing order (at most one per detector).
+    pub fn findings(&self) -> &[HealthFinding] {
+        &self.findings
+    }
+
+    /// True once the stall detector has fired — the engine's cue to dump a
+    /// [`crate::flight::REASON_HEALTH_STALL`] post-mortem.
+    pub fn stalled(&self) -> bool {
+        // lint:allow(bounds: fired is [bool; DETECTORS] and the detector codes are the fixed indices 0..DETECTORS)
+        self.fired[DETECTOR_STALL as usize]
+    }
+
+    /// Per-destination convergence-latency sketches (one sample per
+    /// quiescence).
+    pub fn latency(&self) -> &BTreeMap<u32, QuantileSketch> {
+        &self.latency
+    }
+
+    /// Stages observed so far.
+    pub fn stages_seen(&self) -> u64 {
+        self.stages_seen
+    }
+
+    /// Schema-pinned report JSON (`bgpvcg-health-v1`): findings in firing
+    /// order plus per-destination latency quantiles. Stage-denominated
+    /// throughout — no timing fields — so serial and parallel runs of the
+    /// same scenario serialize byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.findings.len() * 96);
+        out.push_str("{\"version\":1,\"schema\":\"bgpvcg-health-v1\",\"stages\":");
+        out.push_str(&self.stages_seen.to_string());
+        out.push_str(",\"findings\":[");
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"detector\":\"");
+            out.push_str(finding.detector_name());
+            out.push_str("\",\"stage\":");
+            out.push_str(&finding.stage.to_string());
+            out.push_str(",\"node\":");
+            out.push_str(&finding.node.to_string());
+            out.push_str(",\"dest\":");
+            out.push_str(&finding.dest.to_string());
+            out.push_str(",\"count\":");
+            out.push_str(&finding.count.to_string());
+            out.push_str(",\"threshold\":");
+            out.push_str(&finding.threshold.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"destinations\":[");
+        for (i, (dest, sketch)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"dest\":");
+            out.push_str(&dest.to_string());
+            out.push_str(",\"latency\":");
+            out.push_str(&sketch.to_json());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A [`TraceSink`] adapter around a [`HealthMonitor`], so engines can tee
+/// the monitor into their telemetry stream exactly like a flight recorder:
+/// every recorded event is folded as it happens, and the engine polls
+/// [`HealthSink::stalled`] between stages and drains freshly-fired
+/// findings into `HealthVerdict` trace emissions at run end.
+#[derive(Debug)]
+pub struct HealthSink {
+    state: Mutex<HealthSinkState>,
+}
+
+#[derive(Debug)]
+struct HealthSinkState {
+    monitor: HealthMonitor,
+    /// Findings already drained by [`HealthSink::drain_new_findings`].
+    emitted: usize,
+}
+
+impl HealthSink {
+    /// A sink folding into a fresh monitor with the given thresholds.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthSink {
+            state: Mutex::new(HealthSinkState {
+                monitor: HealthMonitor::new(config),
+                emitted: 0,
+            }),
+        }
+    }
+
+    /// True once the stall detector has fired.
+    pub fn stalled(&self) -> bool {
+        self.lock().monitor.stalled()
+    }
+
+    /// Findings fired since the previous drain, in firing order. Engines
+    /// call this when emitting `HealthVerdict` events so each finding is
+    /// traced exactly once even across repeated runs on one sink.
+    pub fn drain_new_findings(&self) -> Vec<HealthFinding> {
+        let mut state = self.lock();
+        let fresh = state.monitor.findings()[state.emitted..].to_vec();
+        state.emitted = state.monitor.findings().len();
+        fresh
+    }
+
+    /// All findings so far, in firing order.
+    pub fn findings(&self) -> Vec<HealthFinding> {
+        self.lock().monitor.findings().to_vec()
+    }
+
+    /// A point-in-time copy of the underlying monitor.
+    pub fn snapshot(&self) -> HealthMonitor {
+        self.lock().monitor.clone()
+    }
+
+    /// The monitor's schema-pinned report JSON.
+    pub fn to_json(&self) -> String {
+        self.lock().monitor.to_json()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthSinkState> {
+        // lint:allow(poisoning requires a prior panic while folding; propagating it is the only sound move)
+        self.state.lock().expect("health sink poisoned")
+    }
+}
+
+impl TraceSink for HealthSink {
+    fn record(&self, event: &TraceEvent) {
+        self.lock().monitor.fold(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(node: u32, dest: u32, stage: u64, hops: u32, cost: u64) -> TraceEvent {
+        TraceEvent::RouteSelected {
+            node,
+            dest,
+            stage,
+            hops,
+            path_cost: cost,
+            cause: 0,
+            effect: 1,
+        }
+    }
+
+    #[test]
+    fn steady_convergence_raises_no_findings() {
+        let mut monitor = HealthMonitor::new(HealthConfig::default());
+        for stage in 1..=10u64 {
+            monitor.fold(&TraceEvent::StageStart { stage });
+            monitor.fold(&select(1, 2, stage, 2, 100 - stage));
+        }
+        monitor.fold(&TraceEvent::Quiescent {
+            stage: 10,
+            messages: 10,
+        });
+        assert!(monitor.findings().is_empty());
+        assert!(!monitor.stalled());
+        assert_eq!(monitor.latency()[&2].count(), 1);
+        assert_eq!(monitor.latency()[&2].max(), 10);
+    }
+
+    #[test]
+    fn oscillation_fires_once_after_enough_revisits() {
+        let config = HealthConfig {
+            flap_revisits: 3,
+            ..HealthConfig::default()
+        };
+        let mut monitor = HealthMonitor::new(config);
+        // Route toggles A (2 hops, 10) <-> B (3 hops, 9): each return to a
+        // recently-held signature is one revisit.
+        for stage in 1..=12u64 {
+            monitor.fold(&TraceEvent::StageStart { stage });
+            let (hops, cost) = if stage % 2 == 0 { (2, 10) } else { (3, 9) };
+            monitor.fold(&select(7, 1, stage, hops, cost));
+        }
+        let findings = monitor.findings();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].detector, DETECTOR_OSCILLATION);
+        assert_eq!((findings[0].node, findings[0].dest), (7, 1));
+        assert_eq!(findings[0].count, 3);
+    }
+
+    #[test]
+    fn churn_spike_needs_a_full_baseline_window() {
+        let config = HealthConfig {
+            churn_window: 3,
+            churn_factor: 2,
+            churn_min_events: 4,
+            ..HealthConfig::default()
+        };
+        let relax = |stage: u64| TraceEvent::PriceRelaxed {
+            node: 1,
+            dest: 2,
+            k: 3,
+            stage,
+            old: 10,
+            new: 9,
+            cause: 0,
+            effect: 1,
+        };
+        let mut monitor = HealthMonitor::new(config);
+        // A huge first stage during warm-up must NOT alarm.
+        monitor.fold(&TraceEvent::StageStart { stage: 1 });
+        for _ in 0..100 {
+            monitor.fold(&relax(1));
+        }
+        // Three quiet stages build the baseline (mean 1).
+        for stage in 2..=4u64 {
+            monitor.fold(&TraceEvent::StageStart { stage });
+            monitor.fold(&relax(stage));
+        }
+        assert!(monitor.findings().is_empty());
+        // Stage 5 spikes: 40 > max(1 * 2, 4).
+        monitor.fold(&TraceEvent::StageStart { stage: 5 });
+        for _ in 0..40 {
+            monitor.fold(&relax(5));
+        }
+        monitor.fold(&TraceEvent::StageStart { stage: 6 });
+        let findings = monitor.findings();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].detector, DETECTOR_CHURN);
+        assert_eq!(findings[0].count, 40);
+    }
+
+    #[test]
+    fn stall_fires_after_quiet_stages_and_sets_stalled() {
+        let config = HealthConfig {
+            stall_stages: 5,
+            ..HealthConfig::default()
+        };
+        let mut monitor = HealthMonitor::new(config);
+        monitor.fold(&TraceEvent::StageStart { stage: 1 });
+        monitor.fold(&select(1, 2, 1, 2, 9));
+        for stage in 2..=6u64 {
+            monitor.fold(&TraceEvent::StageStart { stage });
+        }
+        assert!(!monitor.stalled());
+        monitor.fold(&TraceEvent::StageStart { stage: 7 });
+        assert!(monitor.stalled());
+        let findings = monitor.findings();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].detector, DETECTOR_STALL);
+        assert_eq!(findings[0].count, 6);
+        assert_eq!(findings[0].threshold, 5);
+        // And it stays a single finding however long the stall continues.
+        for stage in 8..=20u64 {
+            monitor.fold(&TraceEvent::StageStart { stage });
+        }
+        assert_eq!(monitor.findings().len(), 1);
+    }
+
+    #[test]
+    fn sink_folds_records_and_drains_findings_once() {
+        let config = HealthConfig {
+            stall_stages: 2,
+            ..HealthConfig::default()
+        };
+        let sink = HealthSink::new(config);
+        sink.record(&TraceEvent::StageStart { stage: 1 });
+        sink.record(&select(1, 2, 1, 2, 9));
+        for stage in 2..=4u64 {
+            sink.record(&TraceEvent::StageStart { stage });
+        }
+        assert!(sink.stalled());
+        let fresh = sink.drain_new_findings();
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].detector, DETECTOR_STALL);
+        assert!(sink.drain_new_findings().is_empty());
+        assert_eq!(sink.findings().len(), 1);
+        assert_eq!(sink.snapshot().findings().len(), 1);
+        assert!(sink.to_json().contains("\"stall\""));
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_schema_pinned() {
+        let mut monitor = HealthMonitor::new(HealthConfig::default());
+        monitor.fold(&TraceEvent::StageStart { stage: 1 });
+        monitor.fold(&select(1, 2, 1, 2, 9));
+        monitor.fold(&TraceEvent::Quiescent {
+            stage: 1,
+            messages: 1,
+        });
+        let json = monitor.to_json();
+        assert!(json.starts_with("{\"version\":1,\"schema\":\"bgpvcg-health-v1\""));
+        assert!(json.contains("\"findings\":[]"));
+        assert!(json.contains("{\"dest\":2,\"latency\":{\"count\":1"));
+        assert_eq!(json, monitor.clone().to_json());
+    }
+}

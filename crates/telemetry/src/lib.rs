@@ -50,20 +50,26 @@ pub mod clock;
 pub mod event;
 pub mod expose;
 pub mod flight;
+pub mod health;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod schema;
+pub mod series;
 pub mod sink;
 
 pub use causal::{CausalDag, CausalError, CausalSummary};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use event::{TraceEvent, INFINITE};
 pub use flight::{FlightRecorder, StateSnapshot};
+pub use health::{HealthConfig, HealthFinding, HealthMonitor, HealthSink};
+pub use profile::{SpanId, SpanProfiler};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEFAULT_NANOS_BOUNDS,
 };
 pub use schema::Schema;
+pub use series::{QuantileSketch, TimeSeries};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TeeSink, TraceSink};
 
 use std::path::Path;
@@ -173,6 +179,12 @@ impl Telemetry {
     /// Nanoseconds on the handle's clock (differences only).
     pub fn now_nanos(&self) -> u64 {
         self.clock.now_nanos()
+    }
+
+    /// The shared clock itself, for components that need to timestamp
+    /// outside this handle (e.g. the span profiler).
+    pub fn clock_handle(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 }
 

@@ -200,6 +200,7 @@ mod tests {
                 "AdversaryInjected",
                 "AuditViolation",
                 "FaultInjected",
+                "HealthVerdict",
                 "NodeQuarantined",
                 "NodeRestart",
                 "PriceRelaxed",
@@ -207,6 +208,7 @@ mod tests {
                 "Retransmit",
                 "RouteSelected",
                 "SessionReset",
+                "SpanSummary",
                 "StageStart",
                 "Withdrawn"
             ]
@@ -281,6 +283,21 @@ mod tests {
                 violation: 0,
             },
             TraceEvent::NodeQuarantined { stage: 9, node: 2 },
+            TraceEvent::HealthVerdict {
+                stage: 10,
+                detector: 1,
+                node: u32::MAX,
+                dest: u32::MAX,
+                count: 48,
+                threshold: 12,
+            },
+            TraceEvent::SpanSummary {
+                stage: 10,
+                span: 3,
+                count: 77,
+                total_nanos: 12_000,
+                self_nanos: 9_000,
+            },
         ];
         for event in &events {
             assert_eq!(

@@ -21,8 +21,13 @@
 //!   additionally runs the traced E3 sweep, rebuilds the causal provenance
 //!   DAG of every run segment (acyclicity, origin-root, and
 //!   critical-path-vs-stages validation), and writes a schema-validated
-//!   causal summary to `target/obs/causal.json`. See
-//!   `docs/OBSERVABILITY.md`.
+//!   causal summary to `target/obs/causal.json`. `--health` additionally
+//!   collects and validates the SLO health report (`bgpvcg-health-v1`:
+//!   zero findings on the honest phase, exactly the seeded
+//!   `HealthVerdict` events in the trace); `--profile` collects and
+//!   validates the span profile (`bgpvcg-profile-v1`: ≥ 6 engine phases
+//!   observed, inclusive ≥ exclusive nanos, no truncated exits, non-empty
+//!   collapsed stacks). See `docs/OBSERVABILITY.md`.
 //! - `bench` — the perf-record pipeline: run the E14 scale benchmark
 //!   (serial vs parallel, asserted bit-identical) and validate the emitted
 //!   `BENCH_scale.json` against the checked-in schema. `--smoke` runs small
@@ -36,7 +41,7 @@
 //!   `--smoke` runs small sizes for CI; `--compare` diffs a fresh full
 //!   trajectory against the committed baseline. See `docs/ROBUSTNESS.md`.
 //! - `ci`    — the full offline-tolerant pipeline: fmt check, lint, clippy
-//!   wall, workspace tests, invariant-checked tests, obs --causal,
+//!   wall, workspace tests, invariant-checked tests, obs --causal --health --profile,
 //!   bench --smoke --compare, chaos --smoke --compare. Steps whose
 //!   external tool is unavailable (no rustfmt/clippy component) are
 //!   reported and skipped rather than failed, so `ci` works in minimal
@@ -54,7 +59,12 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&root),
         Some("analyze") => cmd_analyze(&root),
         Some("audit") => cmd_audit(&root, args.iter().any(|a| a == "--static-only")),
-        Some("obs") => cmd_obs(&root, args.iter().any(|a| a == "--causal")),
+        Some("obs") => cmd_obs(
+            &root,
+            args.iter().any(|a| a == "--causal"),
+            args.iter().any(|a| a == "--health"),
+            args.iter().any(|a| a == "--profile"),
+        ),
         Some("bench") => cmd_bench(
             &root,
             args.iter().any(|a| a == "--smoke"),
@@ -91,13 +101,19 @@ fn print_help() {
          \taudit [--static-only]\n\
          \t                    check allowlist hygiene + invariant-hook wiring,\n\
          \t                    then run tests with --features invariant-checks\n\
-         \tobs [--causal]      run the traced smoke topology, validate the JSONL\n\
+         \tobs [--causal] [--health] [--profile]\n\
+         \t                    run the traced smoke topology, validate the JSONL\n\
          \t                    trace against the golden schema, check metric\n\
          \t                    expositions, print the convergence summary;\n\
          \t                    --causal also runs the traced E3 sweep, validates\n\
          \t                    every run's causal provenance DAG (acyclic,\n\
          \t                    stage-0 roots, critical path <= stages) and\n\
-         \t                    writes target/obs/causal.json\n\
+         \t                    writes target/obs/causal.json; --health validates\n\
+         \t                    the SLO health report (zero findings honest,\n\
+         \t                    exactly the seeded HealthVerdicts in the trace)\n\
+         \t                    at target/obs/health.json; --profile validates\n\
+         \t                    the span profile (>= 6 phases, no truncation)\n\
+         \t                    at target/obs/profile.json + .folded\n\
          \tbench [--smoke] [--compare]\n\
          \t                    run the E14 scale benchmark (serial vs parallel)\n\
          \t                    and validate BENCH_scale.json against\n\
@@ -116,7 +132,7 @@ fn print_help() {
          \t                    diffs a fresh full trajectory against the\n\
          \t                    committed baseline\n\
          \tci                  fmt check, lint, analyze, clippy, tests,\n\
-         \t                    invariant tests, obs --causal,\n\
+         \t                    invariant tests, obs --causal --health --profile,\n\
          \t                    bench --smoke --compare, chaos --smoke --compare,\n\
          \t                    e20_adversary --smoke\n\
          \thelp                this message"
@@ -419,7 +435,7 @@ fn run_step(root: &Path, label: &str, program: &str, args: &[&str], optional: bo
 /// convergence summary table. With `causal`, additionally run the traced
 /// E3 sweep and validate + summarize its causal provenance DAGs (see
 /// [`run_causal`]). See `docs/OBSERVABILITY.md`.
-fn cmd_obs(root: &Path, causal: bool) -> ExitCode {
+fn cmd_obs(root: &Path, causal: bool, health: bool, profile: bool) -> ExitCode {
     use bgpvcg_telemetry::{json, Schema};
     use std::collections::BTreeMap;
 
@@ -430,28 +446,34 @@ fn cmd_obs(root: &Path, causal: bool) -> ExitCode {
     }
     let trace_path = out_dir.join("trace.jsonl");
     let metrics_path = out_dir.join("metrics.json");
-    let trace_arg = trace_path.display().to_string();
-    let metrics_arg = metrics_path.display().to_string();
-    let ran = run_step(
-        root,
-        "obs smoke run",
-        "cargo",
-        &[
-            "run",
-            "--release",
-            "-q",
-            "-p",
-            "bgpvcg-bench",
-            "--bin",
-            "obs_smoke",
-            "--",
-            "--trace-out",
-            &trace_arg,
-            "--metrics-out",
-            &metrics_arg,
-        ],
-        false,
-    );
+    let health_path = out_dir.join("health.json");
+    let profile_path = out_dir.join("profile.json");
+    let mut run_args: Vec<String> = [
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "bgpvcg-bench",
+        "--bin",
+        "obs_smoke",
+        "--",
+        "--trace-out",
+    ]
+    .map(str::to_string)
+    .to_vec();
+    run_args.push(trace_path.display().to_string());
+    run_args.push("--metrics-out".to_string());
+    run_args.push(metrics_path.display().to_string());
+    if health {
+        run_args.push("--health-out".to_string());
+        run_args.push(health_path.display().to_string());
+    }
+    if profile {
+        run_args.push("--profile-out".to_string());
+        run_args.push(profile_path.display().to_string());
+    }
+    let run_args: Vec<&str> = run_args.iter().map(String::as_str).collect();
+    let ran = run_step(root, "obs smoke run", "cargo", &run_args, false);
     if !ran {
         return ExitCode::FAILURE;
     }
@@ -561,21 +583,191 @@ fn cmd_obs(root: &Path, causal: bool) -> ExitCode {
         }
     }
 
+    // The smoke fixture seeds exactly two SLO verdicts (one oscillation,
+    // one stall) — the trace must carry exactly those, no more, no fewer.
+    let mut health_problems = 0usize;
+    if health {
+        let verdicts = kind_counts.get("HealthVerdict").copied().unwrap_or(0);
+        if verdicts != 2 {
+            println!("==> expected exactly 2 HealthVerdict events in the trace, saw {verdicts}");
+            health_problems += 1;
+        }
+        health_problems += validate_health_artifact(&health_path);
+    }
+    let profile_problems = if profile {
+        validate_profile_artifact(&profile_path)
+    } else {
+        0
+    };
+
     let causal_problems = if causal { run_causal(root) } else { 0 };
 
-    if bad_lines == 0 && missing_kinds == 0 && expo_problems == 0 && causal_problems == 0 {
+    if bad_lines == 0
+        && missing_kinds == 0
+        && expo_problems == 0
+        && causal_problems == 0
+        && health_problems == 0
+        && profile_problems == 0
+    {
         println!(
-            "\nxtask obs: trace schema-valid, all {} event kinds covered, expositions ok{}",
+            "\nxtask obs: trace schema-valid, all {} event kinds covered, expositions ok{}{}{}",
             schema.kinds().len(),
-            if causal { ", causal DAGs valid" } else { "" }
+            if causal { ", causal DAGs valid" } else { "" },
+            if health { ", health report ok" } else { "" },
+            if profile { ", span profile ok" } else { "" }
         );
         ExitCode::SUCCESS
     } else {
         println!(
-            "\nxtask obs: FAILED ({bad_lines} invalid line(s), {missing_kinds} uncovered kind(s), {expo_problems} exposition problem(s), {causal_problems} causal problem(s))"
+            "\nxtask obs: FAILED ({bad_lines} invalid line(s), {missing_kinds} uncovered kind(s), {expo_problems} exposition problem(s), {causal_problems} causal problem(s), {health_problems} health problem(s), {profile_problems} profile problem(s))"
         );
         ExitCode::FAILURE
     }
+}
+
+/// Validates the `bgpvcg-health-v1` artifact the smoke fixture wrote for
+/// its *honest* phase: schema-pinned, zero findings, and a non-empty
+/// per-destination latency section. Returns the number of problems
+/// (all printed).
+fn validate_health_artifact(path: &Path) -> usize {
+    use bgpvcg_telemetry::json::{self, JsonValue};
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("==> cannot read {}: {err}", path.display());
+            return 1;
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(value) => value,
+        Err(err) => {
+            println!("==> health report does not parse: {err}");
+            return 1;
+        }
+    };
+    let mut problems = 0usize;
+    if value.get("schema").and_then(JsonValue::as_str) != Some("bgpvcg-health-v1") {
+        println!("==> health report schema is not `bgpvcg-health-v1`");
+        problems += 1;
+    }
+    match value.get("findings") {
+        Some(JsonValue::Array(findings)) if findings.is_empty() => {}
+        Some(JsonValue::Array(findings)) => {
+            println!(
+                "==> honest health report carries {} finding(s); expected zero",
+                findings.len()
+            );
+            problems += 1;
+        }
+        _ => {
+            println!("==> health report has no `findings` array");
+            problems += 1;
+        }
+    }
+    match value.get("destinations") {
+        Some(JsonValue::Array(dests)) if !dests.is_empty() => {
+            for dest in dests {
+                let count = dest
+                    .get("latency")
+                    .and_then(|l| l.get("count"))
+                    .and_then(JsonValue::as_u64);
+                if count.is_none_or(|c| c == 0) {
+                    println!("==> health report destination with an empty latency sketch");
+                    problems += 1;
+                    break;
+                }
+            }
+        }
+        _ => {
+            println!("==> health report has no per-destination latency quantiles");
+            problems += 1;
+        }
+    }
+    problems
+}
+
+/// Validates the `bgpvcg-profile-v1` artifact plus its `.folded` sibling:
+/// schema-pinned, no truncated exits, at least six engine phases actually
+/// observed (count > 0) with inclusive >= exclusive nanos, and a
+/// non-empty collapsed-stack rendering. Returns the number of problems
+/// (all printed).
+fn validate_profile_artifact(path: &Path) -> usize {
+    use bgpvcg_telemetry::json::{self, JsonValue};
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("==> cannot read {}: {err}", path.display());
+            return 1;
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(value) => value,
+        Err(err) => {
+            println!("==> span profile does not parse: {err}");
+            return 1;
+        }
+    };
+    let mut problems = 0usize;
+    if value.get("schema").and_then(JsonValue::as_str) != Some("bgpvcg-profile-v1") {
+        println!("==> span profile schema is not `bgpvcg-profile-v1`");
+        problems += 1;
+    }
+    if value.get("truncated").and_then(JsonValue::as_u64) != Some(0) {
+        println!("==> span profile reports truncated span exits");
+        problems += 1;
+    }
+    match value.get("spans") {
+        Some(JsonValue::Array(spans)) => {
+            let mut covered = 0usize;
+            for span in spans {
+                let count = span.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+                if count == 0 {
+                    continue;
+                }
+                covered += 1;
+                let total = span.get("total_nanos").and_then(JsonValue::as_u64);
+                let self_nanos = span.get("self_nanos").and_then(JsonValue::as_u64);
+                match (total, self_nanos) {
+                    (Some(total), Some(self_nanos)) if total >= self_nanos => {}
+                    _ => {
+                        println!(
+                            "==> span `{}`: inclusive nanos must dominate exclusive nanos",
+                            span.get("name").and_then(JsonValue::as_str).unwrap_or("?")
+                        );
+                        problems += 1;
+                    }
+                }
+            }
+            if covered < 6 {
+                println!(
+                    "==> span profile covers {covered} engine phase(s); the smoke fixture must light up at least 6"
+                );
+                problems += 1;
+            }
+        }
+        _ => {
+            println!("==> span profile has no `spans` array");
+            problems += 1;
+        }
+    }
+    let folded_path = path.with_extension("folded");
+    match std::fs::read_to_string(&folded_path) {
+        Ok(folded) if folded.lines().any(|l| !l.trim().is_empty()) => {}
+        Ok(_) => {
+            println!(
+                "==> collapsed-stack file {} is empty",
+                folded_path.display()
+            );
+            problems += 1;
+        }
+        Err(err) => {
+            println!("==> cannot read {}: {err}", folded_path.display());
+            problems += 1;
+        }
+    }
+    problems
 }
 
 /// The causal half of the observability pipeline: run the full traced E3
@@ -697,13 +889,16 @@ fn bench_type_ok(value: &bgpvcg_telemetry::json::JsonValue, ty: &str) -> bool {
         "string" => matches!(value, JsonValue::String(_)),
         "bool" => matches!(value, JsonValue::Bool(_)),
         "array" => matches!(value, JsonValue::Array(_)),
+        "object" => matches!(value, JsonValue::Object(_)),
         _ => false,
     }
 }
 
 /// Validates one BENCH_scale.json document against the checked-in schema:
 /// every `top` key present with its declared type, `rows` non-empty, and
-/// every row carrying every `row` key with its declared type. Returns the
+/// every row carrying every `row` key with its declared type. Keys listed
+/// under `row_optional` are type-checked only when a row carries them
+/// (older committed baselines without them stay valid). Returns the
 /// number of problems found (all printed).
 fn validate_bench_json(
     label: &str,
@@ -741,11 +936,29 @@ fn validate_bench_json(
         }
         bad
     };
+    // Optional row keys: validated when present, absent rows stay valid.
+    let check_optional_keys = |row: &JsonValue| {
+        let Some(JsonValue::Object(spec)) = schema.get("row_optional") else {
+            return 0usize;
+        };
+        let mut bad = 0usize;
+        for (key, ty) in spec {
+            let ty = ty.as_str().unwrap_or("");
+            if let Some(value) = row.get(key) {
+                if !bench_type_ok(value, ty) {
+                    println!("==> {label}: optional row key `{key}` is not a {ty}");
+                    bad += 1;
+                }
+            }
+        }
+        bad
+    };
     problems += check_keys(schema.get("top"), &doc, "top");
     match doc.get("rows") {
         Some(JsonValue::Array(rows)) if !rows.is_empty() => {
             for row in rows {
                 problems += check_keys(schema.get("row"), row, "row");
+                problems += check_optional_keys(row);
             }
         }
         Some(JsonValue::Array(_)) => {
@@ -1135,7 +1348,7 @@ fn cmd_ci(root: &Path) -> ExitCode {
         &["test", "-q", "--features", "invariant-checks"],
         false,
     );
-    ok &= cmd_obs(root, true) == ExitCode::SUCCESS;
+    ok &= cmd_obs(root, true, true, true) == ExitCode::SUCCESS;
     ok &= cmd_bench(root, true, true) == ExitCode::SUCCESS;
     ok &= cmd_chaos(root, true, true) == ExitCode::SUCCESS;
     ok &= run_step(

@@ -498,14 +498,17 @@ fn trace_event_mentions(line: &str) -> Vec<String> {
 
 /// The (file, hot-path functions) scopes whose bodies must not allocate,
 /// matched by bare name against the parsed item tree: the synchronous
-/// engine's per-stage loop, and the wire codec's zero-allocation encode
+/// engine's per-stage loop, the wire codec's zero-allocation encode
 /// path (every broadcast runs it; the `*_v2` entry points write into a
-/// caller-owned scratch buffer, and the size models are pure arithmetic).
+/// caller-owned scratch buffer, and the size models are pure arithmetic),
+/// and the span profiler's enter/exit brackets (they wrap every hot-path
+/// phase, so an allocation there would tax everything they measure).
 pub const STAGE_ALLOC_SCOPES: &[(&str, &[&str])] = &[
     (
         "crates/bgp/src/engine/sync.rs",
         &["run_stage", "parallel_handle"],
     ),
+    ("crates/telemetry/src/profile.rs", &["enter", "exit"]),
     (
         "crates/bgp/src/wire.rs",
         &[

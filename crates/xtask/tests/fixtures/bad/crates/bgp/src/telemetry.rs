@@ -9,6 +9,18 @@ pub fn observe_selection(t: &Telemetry) {
     });
 }
 
+/// Narrates an SLO verdict whose kind the schema never learned.
+pub fn observe_health(t: &Telemetry) {
+    t.record(&TraceEvent::HealthVerdict {
+        stage: 9,
+        detector: 0,
+        node: 2,
+        dest: 0,
+        count: 3,
+        threshold: 3,
+    });
+}
+
 /// Narrates Byzantine-audit events whose kinds the schema never learned.
 pub fn observe_adversary(t: &Telemetry) {
     t.record(&TraceEvent::AdversaryInjected {

@@ -1,0 +1,26 @@
+//! Fixture: span-profiler brackets that allocate on the paths they time.
+
+/// A span profiler whose brackets tax everything they measure.
+#[derive(Debug)]
+pub struct SpanProfiler {
+    stack: Vec<u32>,
+    total: Vec<u64>,
+}
+
+impl SpanProfiler {
+    /// Opens `span`, growing a fresh frame vector on every call.
+    pub fn enter(&mut self, span: u32, now: u64) {
+        let frame: Vec<u64> = vec![now];
+        self.stack.push(span);
+        self.total[span as usize] = self.total[span as usize].wrapping_sub(frame[0]);
+    }
+
+    /// Closes the innermost span through a freshly allocated scratch.
+    pub fn exit(&mut self, now: u64) {
+        let mut scratch: Vec<u64> = Vec::new();
+        scratch.push(now);
+        if let Some(span) = self.stack.pop() {
+            self.total[span as usize] = self.total[span as usize].wrapping_add(scratch[0]);
+        }
+    }
+}

@@ -17,6 +17,26 @@ pub fn observe_quarantine(t: &Telemetry) {
     t.record(&TraceEvent::NodeQuarantined { stage: 3, node: 4 });
 }
 
+/// Narrates an SLO finding and a span rollup; both kinds are
+/// schema-described and carry no causal provenance.
+pub fn observe_health(t: &Telemetry) {
+    t.record(&TraceEvent::HealthVerdict {
+        stage: 9,
+        detector: 0,
+        node: 2,
+        dest: 0,
+        count: 3,
+        threshold: 3,
+    });
+    t.record(&TraceEvent::SpanSummary {
+        stage: 9,
+        span: 1,
+        count: 40,
+        total_nanos: 900,
+        self_nanos: 700,
+    });
+}
+
 /// Consumes events; destructuring patterns are exempt from the
 /// provenance requirement.
 pub fn count_selections(events: &[TraceEvent]) -> usize {

@@ -1,0 +1,30 @@
+//! Fixture: the span profiler's hot-path brackets, allocation-free.
+
+/// A zero-allocation span profiler over a fixed engine span table.
+#[derive(Debug)]
+pub struct SpanProfiler {
+    stack: Vec<u32>,
+    depth: usize,
+    total: Vec<u64>,
+}
+
+impl SpanProfiler {
+    /// Opens `span` at `now` nanoseconds, writing into the fixed-depth
+    /// stack slot.
+    pub fn enter(&mut self, span: u32, now: u64) {
+        if self.depth < self.stack.len() {
+            self.stack[self.depth] = span;
+            self.total[span as usize] = self.total[span as usize].wrapping_sub(now);
+            self.depth += 1;
+        }
+    }
+
+    /// Closes the innermost open span at `now` nanoseconds.
+    pub fn exit(&mut self, now: u64) {
+        if self.depth > 0 {
+            self.depth -= 1;
+            let span = self.stack[self.depth];
+            self.total[span as usize] = self.total[span as usize].wrapping_add(now);
+        }
+    }
+}

@@ -171,6 +171,7 @@ fn bad_corpus_fires_at_the_planted_sites() {
         ("trace-schema", "crates/bgp/src/telemetry.rs"), // RouteSelected without cause/effect
         ("stage-alloc", "crates/bgp/src/engine/sync.rs"), // vec![ and Vec::new()
         ("stage-alloc", "crates/bgp/src/wire.rs"),     // Vec::new() in the codec hot path
+        ("stage-alloc", "crates/telemetry/src/profile.rs"), // vec![ / Vec::new() in enter/exit
         ("unsafe-audit", "crates/bgp/src/lib.rs"),     // missing #![forbid(unsafe_code)]
         ("unsafe-audit", "crates/bgp/src/engine/sync.rs"), // unsafe block
         ("panic-reachability", "crates/bgp/src/engine/sync.rs"), // unwrap in run_stage
@@ -204,6 +205,7 @@ fn byzantine_trace_kinds_are_guarded() {
         "`TraceEvent::NodeQuarantined` is not described",
         "emission of `TraceEvent::AdversaryInjected` not described",
         "emission of `TraceEvent::AuditViolation` not described",
+        "emission of `TraceEvent::HealthVerdict` not described",
     ] {
         assert!(
             violations
